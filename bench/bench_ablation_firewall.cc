@@ -1,0 +1,73 @@
+// Ablation A5: per-client caches vs a shared firewall proxy (Section 7).
+//
+// The paper replays with separate per-client caches ("in reality client
+// sites do not share caches") but closes by arguing that invalidation
+// should run between the server and the firewall proxy, which then serves
+// everyone behind it. This ablation compares the two deployments: sharing
+// multiplies the hit ratio and collapses the server's invalidation targets
+// to one per proxy.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace webcc;
+
+int main() {
+  std::printf("=== Ablation: per-client caches vs shared firewall proxies "
+              "(SASK, 14-day lifetime) ===\n\n");
+
+  const replay::ExperimentSpec spec = replay::Table3Experiments()[1];
+  const trace::Trace& trace = bench::TraceFor(spec.trace);
+
+  stats::Table table({"", "per-client (paper)", "shared proxy (firewall)"});
+  std::vector<replay::ReplayMetrics> runs;
+  for (const bool shared : {false, true}) {
+    replay::ReplayConfig config =
+        replay::MakeReplayConfig(spec, core::Protocol::kInvalidation, trace);
+    config.shared_proxy_cache = shared;
+    runs.push_back(replay::RunReplay(config));
+  }
+
+  const auto row = [&table, &runs](const std::string& label, auto get) {
+    table.AddRow({label, get(runs[0]), get(runs[1])});
+  };
+  row("Cache hits", [](const auto& m) {
+    return util::WithCommas(static_cast<std::int64_t>(m.cache_hits()));
+  });
+  row("File transfers", [](const auto& m) {
+    return util::WithCommas(static_cast<std::int64_t>(m.replies_200));
+  });
+  row("Total messages", [](const auto& m) {
+    return util::WithCommas(static_cast<std::int64_t>(m.total_messages()));
+  });
+  row("Message bytes", [](const auto& m) {
+    return util::HumanBytes(m.message_bytes);
+  });
+  row("Invalidations sent", [](const auto& m) {
+    return util::WithCommas(static_cast<std::int64_t>(m.invalidations_sent));
+  });
+  row("Site-list entries (end)", [](const auto& m) {
+    return util::WithCommas(static_cast<std::int64_t>(m.sitelist_entries));
+  });
+  row("Site-list storage", [](const auto& m) {
+    return util::HumanBytes(m.sitelist_storage_bytes);
+  });
+  row("Max fan-out time", [](const auto& m) {
+    return util::Fixed(m.invalidation_time_ms.max() / 1000.0, 2) + " s";
+  });
+  row("Server CPU", [](const auto& m) {
+    return util::Fixed(m.server_cpu_utilization * 100, 1) + "%";
+  });
+  row("Strong violations", [](const auto& m) {
+    return util::WithCommas(static_cast<std::int64_t>(m.strong_violations));
+  });
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf(
+      "Sharing turns every cross-client re-request into a proxy hit, so\n"
+      "transfers and server load fall, and the accelerator only ever tracks\n"
+      "a handful of proxy sites — site lists and fan-out delays become\n"
+      "trivial. This is why the paper prescribes the firewall-proxy\n"
+      "deployment for invalidation at scale.\n");
+  return 0;
+}

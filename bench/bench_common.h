@@ -1,0 +1,144 @@
+// Shared plumbing for the table-regeneration benches.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "replay/engine.h"
+#include "replay/experiments.h"
+#include "stats/table.h"
+#include "trace/presets.h"
+#include "trace/summary.h"
+#include "trace/workload.h"
+#include "util/format.h"
+
+namespace webcc::bench {
+
+inline const std::vector<core::Protocol>& PaperProtocolOrder() {
+  // Column order of Tables 3/4: TTL, polling, invalidation.
+  static const std::vector<core::Protocol> order = {
+      core::Protocol::kAdaptiveTtl, core::Protocol::kPollEveryTime,
+      core::Protocol::kInvalidation};
+  return order;
+}
+
+// Generates (and caches) the synthetic trace for a preset; rows of the same
+// trace at different lifetimes share one generation.
+inline const trace::Trace& TraceFor(trace::TraceName name) {
+  static std::map<trace::TraceName, trace::Trace> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache.emplace(name, trace::GenerateTrace(GetPreset(name).workload))
+             .first;
+  }
+  return it->second;
+}
+
+// Runs one (experiment, protocol) cell.
+inline replay::ReplayMetrics RunCell(const replay::ExperimentSpec& spec,
+                                     core::Protocol protocol) {
+  const trace::Trace& trace = TraceFor(spec.trace);
+  return replay::RunReplay(replay::MakeReplayConfig(spec, protocol, trace));
+}
+
+// Renders one experiment's three-protocol comparison in the layout of
+// Tables 3/4, with the paper's legible values alongside.
+inline void PrintReplayTable(const replay::ExperimentSpec& spec,
+                             const std::vector<replay::ReplayMetrics>& runs) {
+  using util::Fixed;
+  using util::WithCommas;
+  const trace::Trace& trace = TraceFor(spec.trace);
+
+  std::printf("Trace %s, %s requests, %s files modified (mean lifetime %s)\n",
+              spec.id.c_str(),
+              WithCommas(static_cast<std::int64_t>(trace.records.size())).c_str(),
+              WithCommas(static_cast<std::int64_t>(
+                             runs[0].modifications_applied)).c_str(),
+              util::HumanDuration(spec.mean_lifetime).c_str());
+
+  stats::Table table({"", "Adaptive TTL", "Polling-every-time",
+                      "Invalidation"});
+  const auto row = [&table, &runs](const std::string& label, auto getter) {
+    std::vector<std::string> cells{label};
+    for (const replay::ReplayMetrics& metrics : runs) {
+      cells.push_back(getter(metrics));
+    }
+    table.AddRow(std::move(cells));
+  };
+
+  row("Hits", [](const auto& m) {
+    return util::WithCommas(static_cast<std::int64_t>(m.cache_hits()));
+  });
+  row("GET Requests", [](const auto& m) {
+    return util::WithCommas(static_cast<std::int64_t>(m.get_requests));
+  });
+  row("If-Modified-Since", [](const auto& m) {
+    return util::WithCommas(static_cast<std::int64_t>(m.ims_requests));
+  });
+  row("Reply 200", [](const auto& m) {
+    return util::WithCommas(static_cast<std::int64_t>(m.replies_200));
+  });
+  row("Reply 304", [](const auto& m) {
+    return util::WithCommas(static_cast<std::int64_t>(m.replies_304));
+  });
+  row("Invalidations", [](const auto& m) {
+    return util::WithCommas(static_cast<std::int64_t>(m.invalidations_sent));
+  });
+  row("Total Messages", [](const auto& m) {
+    return util::WithCommas(static_cast<std::int64_t>(m.total_messages()));
+  });
+  row("Messages Bytes", [](const auto& m) {
+    return util::HumanBytes(m.message_bytes);
+  });
+  row("Avg. Latency (ms)",
+      [](const auto& m) { return util::Fixed(m.latency_ms.mean(), 1); });
+  row("Min Latency (ms)",
+      [](const auto& m) { return util::Fixed(m.latency_ms.min(), 1); });
+  row("Max Latency (ms)",
+      [](const auto& m) { return util::Fixed(m.latency_ms.max(), 1); });
+  row("Server CPU", [](const auto& m) {
+    return util::Fixed(m.server_cpu_utilization * 100.0, 1) + "%";
+  });
+  row("Disk R;W /s", [](const auto& m) {
+    return util::Fixed(m.disk_reads_per_second, 2) + ";" +
+           util::Fixed(m.disk_writes_per_second, 2);
+  });
+  row("Stale serves (exact)", [](const auto& m) {
+    return util::WithCommas(static_cast<std::int64_t>(m.stale_serves));
+  });
+  row("Strong violations", [](const auto& m) {
+    return util::WithCommas(static_cast<std::int64_t>(m.strong_violations));
+  });
+  std::printf("%s", table.Render().c_str());
+
+  std::printf("paper: server CPU %.1f%% / %.1f%% / %.1f%%, message bytes %s\n",
+              spec.paper.cpu_percent[0], spec.paper.cpu_percent[1],
+              spec.paper.cpu_percent[2], spec.paper.message_bytes);
+  const double polling_over_invalidation =
+      100.0 *
+      (static_cast<double>(runs[1].total_messages()) /
+           static_cast<double>(runs[2].total_messages()) -
+       1.0);
+  std::printf("shape: polling sends %+.0f%% messages vs invalidation; "
+              "invalidation/TTL message ratio %.3f\n\n",
+              polling_over_invalidation,
+              static_cast<double>(runs[2].total_messages()) /
+                  static_cast<double>(runs[0].total_messages()));
+}
+
+inline void RunAndPrintExperiments(
+    const std::vector<replay::ExperimentSpec>& specs) {
+  for (const replay::ExperimentSpec& spec : specs) {
+    std::vector<replay::ReplayMetrics> runs;
+    runs.reserve(PaperProtocolOrder().size());
+    for (const core::Protocol protocol : PaperProtocolOrder()) {
+      runs.push_back(RunCell(spec, protocol));
+    }
+    PrintReplayTable(spec, runs);
+  }
+}
+
+}  // namespace webcc::bench

@@ -1,0 +1,110 @@
+// Regenerates Table 1: message counts of the three consistency approaches
+// for a single client viewing a single document, in terms of R (requests)
+// and RI (request intervals with no intervening modification).
+//
+// Prints the closed forms, evaluates them on the paper's example sequence,
+// and then validates the closed forms against exact per-event protocol
+// simulations across a sweep of random request/modification mixes.
+#include <cstdio>
+#include <string>
+
+#include "core/analysis.h"
+#include "stats/table.h"
+#include "util/rng.h"
+
+using namespace webcc;
+
+namespace {
+
+void PrintSymbolicTable() {
+  stats::Table table(
+      {"Messages", "Polling-Every-Time", "Invalidation", "Adaptive TTL"});
+  table.AddRow({"GET requests", "1 (cold)", "RI", "1 (cold)"});
+  table.AddRow({"If-Modified-Since", "R-1", "0", "TTL-missed"});
+  table.AddRow({"304 replies", "R-RI", "0",
+                "TTL-missed - TTL-missed-and-new-doc"});
+  table.AddRow({"Invalidations", "0", "RI", "0"});
+  table.AddRow({"Total control msgs", "2R-RI", "2*RI",
+                "2*TTL-missed - TTL-missed-and-new-doc"});
+  table.AddRow({"File transfers", "RI", "RI", "RI - stale hits"});
+  std::printf("%s\n", table.Render().c_str());
+}
+
+void EvaluateSequence(const std::string& sequence) {
+  const auto events = core::ParseSequence(sequence);
+  const core::SequenceShape shape = core::AnalyzeSequence(events);
+  std::printf("sequence \"%s\": R=%llu RI=%llu (paper's example has RI=4)\n",
+              sequence.c_str(),
+              static_cast<unsigned long long>(shape.requests),
+              static_cast<unsigned long long>(shape.request_intervals));
+
+  const core::MessageCounts polling = core::SimulatePollingSequence(events);
+  const core::MessageCounts invalidation =
+      core::SimulateInvalidationSequence(events);
+  core::AdaptiveTtlConfig ttl;
+  const core::MessageCounts adaptive =
+      core::SimulateAdaptiveTtlSequence(events, ttl, -50 * kDay);
+
+  stats::Table table({"Messages", "Polling", "Invalidation", "Adaptive TTL"});
+  const auto row = [&table](const char* label, auto get) {
+    table.AddRow({label, std::to_string(get(0)), std::to_string(get(1)),
+                  std::to_string(get(2))});
+  };
+  const core::MessageCounts all[] = {polling, invalidation, adaptive};
+  row("GET requests", [&all](int i) { return all[i].gets; });
+  row("If-Modified-Since", [&all](int i) { return all[i].ims; });
+  row("304 replies", [&all](int i) { return all[i].replies_304; });
+  row("Invalidations", [&all](int i) { return all[i].invalidations; });
+  row("Control messages", [&all](int i) { return all[i].control_messages(); });
+  row("File transfers", [&all](int i) { return all[i].file_transfers(); });
+  row("Stale hits", [&all](int i) { return all[i].stale_hits; });
+  std::printf("%s\n", table.Render().c_str());
+}
+
+void ValidateClosedForms() {
+  util::Rng rng(2024);
+  std::size_t checked = 0;
+  std::size_t mismatches = 0;
+  for (double request_probability : {0.3, 0.5, 0.7, 0.9}) {
+    for (int trial = 0; trial < 250; ++trial) {
+      std::string sequence;
+      for (int i = 0; i < 120; ++i) {
+        sequence += rng.NextBool(request_probability) ? 'r' : 'm';
+      }
+      const auto events = core::ParseSequence(sequence);
+      const core::SequenceShape shape = core::AnalyzeSequence(events);
+      const core::MessageCounts closed_polling = core::Table1Polling(shape);
+      const core::MessageCounts sim_polling =
+          core::SimulatePollingSequence(events);
+      const core::MessageCounts closed_inv = core::Table1Invalidation(shape);
+      const core::MessageCounts sim_inv =
+          core::SimulateInvalidationSequence(events);
+      ++checked;
+      if (closed_polling.control_messages() != sim_polling.control_messages() ||
+          closed_polling.file_transfers() != sim_polling.file_transfers() ||
+          closed_inv.control_messages() != sim_inv.control_messages() ||
+          closed_inv.file_transfers() != sim_inv.file_transfers()) {
+        ++mismatches;
+      }
+    }
+  }
+  std::printf("closed-form vs exact simulation: %zu random sequences, "
+              "%zu mismatches\n\n",
+              checked, mismatches);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 1: analytic message counts ===\n\n");
+  PrintSymbolicTable();
+  EvaluateSequence("rrrmmmrrmrrrmmr");
+  ValidateClosedForms();
+  std::printf(
+      "observations (paper, Section 3):\n"
+      " - adaptive TTL saves file transfers over strong schemes only via\n"
+      "   stale hits (transfers column: RI - stale hits)\n"
+      " - invalidation incurs at most twice the minimum control messages\n"
+      " - polling vs invalidation depends on the request/modification mix\n");
+  return 0;
+}

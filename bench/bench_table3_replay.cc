@@ -1,0 +1,18 @@
+// Regenerates Table 3: full trace replays of EPA (50-day mean file
+// lifetime), SASK (14-day) and ClarkNet (50-day) under the three
+// consistency approaches.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  std::printf("=== Table 3: replay results for EPA, SASK, ClarkNet ===\n\n");
+  webcc::bench::RunAndPrintExperiments(webcc::replay::Table3Experiments());
+  std::printf(
+      "paper's reading: invalidation performs within a few percent of\n"
+      "adaptive TTL on every metric while guaranteeing freshness;\n"
+      "polling-every-time sends 10-50%% more messages, loads the server\n"
+      "CPU hardest, and has the worst minimum latency. SASK shows adaptive\n"
+      "TTL's stale hits reaching ~1%% of file transfers.\n");
+  return 0;
+}

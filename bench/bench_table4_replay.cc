@@ -1,0 +1,16 @@
+// Regenerates Table 4: full trace replays of NASA (7-day mean file
+// lifetime) and SDSC with 25-day and 2.5-day lifetimes.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  std::printf("=== Table 4: replay results for NASA and SDSC ===\n\n");
+  webcc::bench::RunAndPrintExperiments(webcc::replay::Table4Experiments());
+  std::printf(
+      "paper's reading: the two SDSC lifetimes sample the modification-rate\n"
+      "axis — at 2.5 days the modifier touches ten times as many files, so\n"
+      "invalidation traffic grows and adaptive TTL validates more, yet the\n"
+      "ordering of the three approaches is unchanged.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Regenerates the Section 6 numbers: the two-tier lease-augmented
+// invalidation scheme on the 8-day SASK trace.
+//
+// The paper reports that two-tier leases shrink SASK's site lists from the
+// simple scheme's tens of thousands of entries to 2,489, and the longest
+// per-document list from 1,155 to 473 entries, at a cost of 2,489 extra
+// If-Modified-Since requests — far fewer than polling-every-time generates.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace webcc;
+
+namespace {
+
+replay::ReplayMetrics RunSask(core::LeaseConfig lease) {
+  const replay::ExperimentSpec spec = replay::Table3Experiments()[1];  // SASK
+  const trace::Trace& trace = bench::TraceFor(spec.trace);
+  replay::ReplayConfig config =
+      replay::MakeReplayConfig(spec, core::Protocol::kInvalidation, trace);
+  config.lease = lease;
+  return replay::RunReplay(config);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Section 6: two-tier lease-augmented invalidation "
+              "(SASK, 14-day lifetime) ===\n\n");
+
+  core::LeaseConfig simple;  // kNone: remember every requester forever
+
+  core::LeaseConfig two_tier;
+  two_tier.mode = core::LeaseMode::kTwoTier;
+  two_tier.duration = 8 * kDay;  // regular lease spans the trace
+  two_tier.short_duration = 0;   // GETs earn nothing
+
+  core::LeaseConfig three_day;
+  three_day.mode = core::LeaseMode::kFixed;
+  three_day.duration = 3 * kDay;  // the paper's example lease length
+
+  const replay::ReplayMetrics simple_run = RunSask(simple);
+  const replay::ReplayMetrics lease_run = RunSask(three_day);
+  const replay::ReplayMetrics two_tier_run = RunSask(two_tier);
+  const replay::ReplayMetrics polling = bench::RunCell(
+      replay::Table3Experiments()[1], core::Protocol::kPollEveryTime);
+
+  stats::Table table({"", "Simple invalidation", "3-day lease",
+                      "Two-tier lease"});
+  const replay::ReplayMetrics* runs[] = {&simple_run, &lease_run,
+                                         &two_tier_run};
+  const auto row = [&](const std::string& label, auto get) {
+    std::vector<std::string> cells{label};
+    for (const auto* run : runs) cells.push_back(get(*run));
+    table.AddRow(std::move(cells));
+  };
+
+  row("Site-list entries (end)", [](const auto& m) {
+    return util::WithCommas(static_cast<std::int64_t>(m.sitelist_entries));
+  });
+  row("Site-list storage", [](const auto& m) {
+    return util::HumanBytes(m.sitelist_storage_bytes);
+  });
+  row("Max site list (end)", [](const auto& m) {
+    return util::WithCommas(
+        static_cast<std::int64_t>(m.sitelist_max_len_end));
+  });
+  row("Extra IMS (lease renewals)", [](const auto& m) {
+    return util::WithCommas(
+        static_cast<std::int64_t>(m.ims_requests));
+  });
+  row("Invalidations sent", [](const auto& m) {
+    return util::WithCommas(
+        static_cast<std::int64_t>(m.invalidations_sent));
+  });
+  row("Total messages", [](const auto& m) {
+    return util::WithCommas(static_cast<std::int64_t>(m.total_messages()));
+  });
+  row("Strong violations", [](const auto& m) {
+    return util::WithCommas(static_cast<std::int64_t>(m.strong_violations));
+  });
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf(
+      "paper: two-tier leases cut SASK's site lists to 2,489 entries (max\n"
+      "list 1,155 -> 473) for 2,489 extra If-Modified-Since requests.\n"
+      "polling-every-time on the same replay sends %s IMS — the two-tier\n"
+      "extra validations are a small fraction of that, as the paper argues.\n",
+      util::WithCommas(static_cast<std::int64_t>(polling.ims_requests))
+          .c_str());
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Lifetime crossover: where does polling-every-time beat invalidation?
+//
+// Section 3's analysis says the comparison depends on the ratio of requests
+// to modifications: if documents change more often than they are re-read,
+// invalidation wastes a message per change; if reads dominate (the web's
+// normal regime), polling wastes a validation per hit. The paper concludes
+// invalidation wins "except in the extreme case of file lifetime on the
+// order of minutes". This example sweeps the mean file lifetime across four
+// orders of magnitude and finds the crossover empirically.
+#include <cstdio>
+#include <vector>
+
+#include "replay/engine.h"
+#include "stats/table.h"
+#include "trace/workload.h"
+#include "util/format.h"
+
+using namespace webcc;
+
+int main() {
+  trace::WorkloadConfig workload;
+  workload.name = "crossover";
+  workload.duration = 6 * kHour;
+  workload.total_requests = 15000;
+  workload.num_documents = 300;
+  workload.num_clients = 150;
+  workload.revisit_probability = 0.25;  // plenty of cache hits at stake
+  workload.seed = 7;
+  const trace::Trace trace = trace::GenerateTrace(workload);
+
+  std::printf("=== Sweep: mean file lifetime vs protocol traffic ===\n\n");
+  stats::Table table({"Mean lifetime", "Polling msgs", "Invalidation msgs",
+                      "Inval. sent", "TTL msgs", "TTL stale", "Winner"});
+
+  const Time lifetimes[] = {2 * kMinute,  5 * kMinute,
+                            10 * kMinute, 30 * kMinute, 2 * kHour,
+                            8 * kHour,    2 * kDay,     10 * kDay,
+                            50 * kDay};
+  for (const Time lifetime : lifetimes) {
+    std::vector<replay::ReplayMetrics> runs;
+    for (const core::Protocol protocol :
+         {core::Protocol::kPollEveryTime, core::Protocol::kInvalidation,
+          core::Protocol::kAdaptiveTtl}) {
+      replay::ReplayConfig config;
+      config.protocol = protocol;
+      config.trace = &trace;
+      config.mean_lifetime = lifetime;
+      runs.push_back(replay::RunReplay(config));
+    }
+    const auto& polling = runs[0];
+    const auto& invalidation = runs[1];
+    const auto& ttl = runs[2];
+    table.AddRow(
+        {util::HumanDuration(lifetime),
+         util::WithCommas(static_cast<std::int64_t>(polling.total_messages())),
+         util::WithCommas(
+             static_cast<std::int64_t>(invalidation.total_messages())),
+         util::WithCommas(
+             static_cast<std::int64_t>(invalidation.invalidations_sent)),
+         util::WithCommas(static_cast<std::int64_t>(ttl.total_messages())),
+         util::WithCommas(static_cast<std::int64_t>(ttl.stale_serves)),
+         polling.total_messages() < invalidation.total_messages()
+             ? "polling"
+             : "invalidation"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "At lifetimes of minutes, nearly every cached copy dies before its\n"
+      "next use: invalidation pays for messages that save nothing, and\n"
+      "polling's validations are no longer redundant. As lifetimes reach\n"
+      "hours to days — the measured reality of the web — invalidation's\n"
+      "traffic collapses toward the minimum while polling keeps paying per\n"
+      "hit, which is the paper's argument for invalidation.\n");
+  return 0;
+}

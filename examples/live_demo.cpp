@@ -1,0 +1,110 @@
+// Live demo: the whole protocol over real TCP sockets on localhost.
+//
+// Starts an origin server fronted by the accelerator, and two proxy caches
+// (imagine two firewall proxies at different organizations), then walks
+// through the paper's story end to end: fetch, hit, modify-and-invalidate,
+// two-tier registration, and a server crash/recovery drill.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "live/live_proxy.h"
+#include "live/live_server.h"
+
+using namespace webcc;
+using namespace std::chrono_literals;
+
+namespace {
+
+void Report(const char* who, const live::LiveProxy::FetchResult& result) {
+  std::printf("  %-8s -> %s (version %llu, %llu bytes)\n", who,
+              !result.ok          ? "ERROR"
+              : result.local_hit  ? "served from cache, no network"
+              : result.validated  ? "validated with server (304)"
+                                  : "fetched from server (200)",
+              static_cast<unsigned long long>(result.version),
+              static_cast<unsigned long long>(result.size_bytes));
+}
+
+// Invalidations arrive asynchronously over TCP; give them a beat.
+void Settle() { std::this_thread::sleep_for(50ms); }
+
+}  // namespace
+
+int main() {
+  // --- bring up the site ----------------------------------------------------
+  live::LiveServer::Options server_options;
+  server_options.server_name = "www.example.org";
+  live::LiveServer server(server_options);
+  if (!server.Start()) {
+    std::fprintf(stderr, "could not bind the server\n");
+    return 1;
+  }
+  server.AddDocument("/index.html", 21 * 1024);
+  server.AddDocument("/paper.ps", 480 * 1024);
+  std::printf("origin+accelerator on 127.0.0.1:%u\n", server.port());
+
+  live::LiveProxy::Options proxy_options;
+  proxy_options.server_port = server.port();
+  live::LiveProxy proxy_a(proxy_options);
+  live::LiveProxy proxy_b(proxy_options);
+  if (!proxy_a.Start() || !proxy_b.Start()) {
+    std::fprintf(stderr, "could not bind a proxy\n");
+    return 1;
+  }
+  std::printf("proxy A on :%u, proxy B on :%u\n\n", proxy_a.port(),
+              proxy_b.port());
+
+  // --- normal operation -------------------------------------------------------
+  std::printf("1) cold fetches register each site with the accelerator\n");
+  Report("alice@A", proxy_a.Fetch("alice", "/index.html"));
+  Report("bob@B", proxy_b.Fetch("bob", "/index.html"));
+
+  std::printf("2) repeat views are pure cache hits — zero server traffic\n");
+  Report("alice@A", proxy_a.Fetch("alice", "/index.html"));
+  Report("bob@B", proxy_b.Fetch("bob", "/index.html"));
+
+  std::printf("3) the page is edited and checked in: the accelerator pushes "
+              "INVALIDATE to both sites\n");
+  const std::size_t pushed = server.TouchDocument("/index.html");
+  Settle();
+  std::printf("  accelerator pushed %zu invalidations; cached copies "
+              "deleted (A holds %zu entries, B holds %zu)\n",
+              pushed, proxy_a.cached_entries(), proxy_b.cached_entries());
+
+  std::printf("4) the next views fetch the new version — no one ever saw "
+              "stale data\n");
+  Report("alice@A", proxy_a.Fetch("alice", "/index.html"));
+  Report("bob@B", proxy_b.Fetch("bob", "/index.html"));
+
+  std::printf("5) a site that stops viewing stops being notified\n");
+  server.TouchDocument("/index.html");
+  Settle();
+  std::printf("  second edit pushed invalidations only to registered "
+              "sites: %llu total pushes so far\n",
+              static_cast<unsigned long long>(server.invalidations_pushed()));
+
+  // --- failure drill ------------------------------------------------------------
+  std::printf("6) server-site crash: in-memory site lists are lost\n");
+  Report("alice@A", proxy_a.Fetch("alice", "/index.html"));  // re-register
+  server.CrashTables();
+  server.TouchDocument("/index.html");  // changes while tables are gone
+  Settle();
+  std::printf("  a modification during the outage pushed nothing "
+              "(A still holds %zu entries)\n", proxy_a.cached_entries());
+
+  std::printf("7) recovery: INVSRV to every site the disk registry "
+              "remembers\n");
+  const std::size_t notices = server.Recover();
+  Settle();
+  std::printf("  %zu recovery notices sent; cached copies are now "
+              "questionable and revalidate before use:\n", notices);
+  Report("alice@A", proxy_a.Fetch("alice", "/index.html"));
+
+  proxy_a.Stop();
+  proxy_b.Stop();
+  server.Stop();
+  std::printf("\ndone: strong consistency maintained across normal "
+              "operation and a full crash/recovery cycle.\n");
+  return 0;
+}

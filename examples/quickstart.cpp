@@ -1,0 +1,101 @@
+// Quickstart: generate a synthetic server workload, replay it under the
+// three cache-consistency approaches, and compare the outcomes.
+//
+//   ./quickstart [requests] [mean_lifetime_hours]
+//
+// This is the library's whole pipeline in ~80 lines: trace synthesis
+// (trace/), lock-step replay over the simulated testbed (replay/ + sim/),
+// and the consistency protocols themselves (core/ + http/).
+#include <cstdio>
+#include <cstdlib>
+
+#include "replay/engine.h"
+#include "stats/table.h"
+#include "trace/summary.h"
+#include "trace/workload.h"
+#include "util/format.h"
+
+using namespace webcc;
+
+int main(int argc, char** argv) {
+  const std::uint64_t requests =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  const double lifetime_hours = argc > 2 ? std::strtod(argv[2], nullptr) : 48;
+
+  // 1. Synthesize a server trace: one day of traffic, Zipf-popular
+  //    documents, lognormal sizes, a few hundred client sites.
+  trace::WorkloadConfig workload;
+  workload.name = "quickstart";
+  workload.duration = kDay;
+  workload.total_requests = requests;
+  workload.num_documents = 800;
+  workload.num_clients = 400;
+  workload.seed = 42;
+  const trace::Trace trace = trace::GenerateTrace(workload);
+
+  const trace::TraceSummary summary = trace::Summarize(trace);
+  std::printf("workload: %s requests, %llu documents (avg %s), "
+              "hottest document seen by %llu clients\n\n",
+              util::WithCommas(static_cast<std::int64_t>(
+                                   summary.total_requests)).c_str(),
+              static_cast<unsigned long long>(summary.num_files),
+              util::HumanBytes(static_cast<std::uint64_t>(
+                                   summary.avg_file_size_bytes)).c_str(),
+              static_cast<unsigned long long>(summary.max_popularity));
+
+  // 2. Replay it under each consistency approach. The modifier touches a
+  //    random document on a fixed cadence, giving files the configured
+  //    geometric mean lifetime.
+  stats::Table table({"", "Adaptive TTL", "Poll-every-time", "Invalidation"});
+  std::vector<replay::ReplayMetrics> runs;
+  for (const core::Protocol protocol :
+       {core::Protocol::kAdaptiveTtl, core::Protocol::kPollEveryTime,
+        core::Protocol::kInvalidation}) {
+    replay::ReplayConfig config;
+    config.protocol = protocol;
+    config.trace = &trace;
+    config.mean_lifetime = FromSeconds(lifetime_hours * 3600);
+    runs.push_back(replay::RunReplay(config));
+  }
+
+  const auto row = [&table, &runs](const char* label, auto get) {
+    std::vector<std::string> cells{label};
+    for (const replay::ReplayMetrics& metrics : runs) {
+      cells.push_back(get(metrics));
+    }
+    table.AddRow(std::move(cells));
+  };
+  row("Cache hits", [](const auto& m) {
+    return util::WithCommas(static_cast<std::int64_t>(m.cache_hits()));
+  });
+  row("Network messages", [](const auto& m) {
+    return util::WithCommas(static_cast<std::int64_t>(m.total_messages()));
+  });
+  row("Bytes moved", [](const auto& m) {
+    return util::HumanBytes(m.message_bytes);
+  });
+  row("Avg latency", [](const auto& m) {
+    return util::Fixed(m.latency_ms.mean(), 1) + " ms";
+  });
+  row("Worst latency", [](const auto& m) {
+    return util::Fixed(m.latency_ms.max(), 0) + " ms";
+  });
+  row("Server CPU", [](const auto& m) {
+    return util::Fixed(m.server_cpu_utilization * 100, 1) + "%";
+  });
+  row("Stale serves", [](const auto& m) {
+    return util::WithCommas(static_cast<std::int64_t>(m.stale_serves));
+  });
+  row("Consistency violations", [](const auto& m) {
+    return util::WithCommas(static_cast<std::int64_t>(m.strong_violations));
+  });
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf(
+      "reading the table (the paper's conclusion):\n"
+      " - invalidation matches adaptive TTL's traffic and load while never\n"
+      "   serving stale data (strong consistency at weak-consistency cost);\n"
+      " - poll-every-time is also strong but pays a validation round-trip\n"
+      "   on every hit: more messages, more server CPU, higher latency.\n");
+  return 0;
+}

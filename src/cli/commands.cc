@@ -1,0 +1,330 @@
+#include "cli/commands.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/piggyback.h"
+#include "replay/engine.h"
+#include "stats/table.h"
+#include "trace/clf.h"
+#include "trace/filter.h"
+#include "trace/presets.h"
+#include "trace/summary.h"
+#include "trace/workload.h"
+#include "util/format.h"
+
+namespace webcc::cli {
+namespace {
+
+std::optional<trace::TraceName> ParsePreset(const std::string& name) {
+  for (const trace::TraceName preset : trace::AllTraces()) {
+    if (name == trace::ToString(preset)) return preset;
+  }
+  return std::nullopt;
+}
+
+// Loads the input trace per the --preset/--in flags shared by several
+// commands; reports its own errors.
+std::optional<trace::Trace> LoadTrace(const Flags& flags, std::ostream& err) {
+  const std::string preset_name = flags.GetString("preset", "");
+  const std::string in_path = flags.GetString("in", "");
+  if (!preset_name.empty() && !in_path.empty()) {
+    err << "error: --preset and --in are mutually exclusive\n";
+    return std::nullopt;
+  }
+  if (!preset_name.empty()) {
+    const auto preset = ParsePreset(preset_name);
+    if (!preset.has_value()) {
+      err << "error: unknown preset '" << preset_name
+          << "' (try EPA, SDSC, ClarkNet, NASA, SASK)\n";
+      return std::nullopt;
+    }
+    return trace::GenerateTrace(trace::GetPreset(*preset).workload);
+  }
+  if (!in_path.empty()) {
+    std::ifstream in(in_path);
+    if (!in) {
+      err << "error: cannot open " << in_path << "\n";
+      return std::nullopt;
+    }
+    trace::ClfParseStats stats;
+    trace::Trace trace = trace::ReadClf(in, in_path, &stats);
+    if (trace.records.empty()) {
+      err << "error: no usable GET records in " << in_path << " ("
+          << stats.malformed << " malformed lines)\n";
+      return std::nullopt;
+    }
+    if (stats.malformed > 0 || stats.skipped > 0) {
+      err << "note: " << in_path << ": skipped " << stats.skipped
+          << " non-GET and " << stats.malformed << " malformed line(s)\n";
+    }
+    return trace;
+  }
+  err << "error: need --preset NAME or --in FILE\n";
+  return std::nullopt;
+}
+
+bool RejectUnusedFlags(const Flags& flags, std::ostream& err) {
+  const auto unused = flags.UnusedFlags();
+  if (unused.empty()) return false;
+  err << "error: unknown flag(s):";
+  for (const std::string& name : unused) err << " --" << name;
+  err << "\n";
+  return true;
+}
+
+void PrintSummary(const trace::Trace& trace, std::ostream& out) {
+  const trace::TraceSummary summary = trace::Summarize(trace);
+  stats::Table table({"Statistic", "Value"});
+  table.AddRow({"Trace", trace.name});
+  table.AddRow({"Duration", util::HumanDuration(trace.duration)});
+  table.AddRow({"Total requests",
+                util::WithCommas(static_cast<std::int64_t>(
+                    summary.total_requests))});
+  table.AddRow({"Requested files",
+                util::WithCommas(static_cast<std::int64_t>(
+                    summary.num_files))});
+  table.AddRow({"Avg file size",
+                util::HumanBytes(static_cast<std::uint64_t>(
+                    summary.avg_file_size_bytes))});
+  table.AddRow({"File popularity (max)",
+                util::WithCommas(static_cast<std::int64_t>(
+                    summary.max_popularity))});
+  table.AddRow({"File popularity (avg)",
+                util::Fixed(summary.avg_popularity, 1)});
+  table.AddRow({"Repeat-request fraction",
+                util::Fixed(summary.repeat_request_fraction, 3)});
+  out << table.Render();
+}
+
+}  // namespace
+
+std::optional<core::Protocol> ParseProtocol(const std::string& name) {
+  if (name == "ttl" || name == "adaptive-ttl") {
+    return core::Protocol::kAdaptiveTtl;
+  }
+  if (name == "poll" || name == "polling" || name == "poll-every-time") {
+    return core::Protocol::kPollEveryTime;
+  }
+  if (name == "invalidation" || name == "inv") {
+    return core::Protocol::kInvalidation;
+  }
+  if (name == "pcv" || name == "piggyback-validation") {
+    return core::Protocol::kPiggybackValidation;
+  }
+  if (name == "psi" || name == "piggyback-invalidation") {
+    return core::Protocol::kPiggybackInvalidation;
+  }
+  return std::nullopt;
+}
+
+int RunGenerate(const Flags& flags, std::ostream& out, std::ostream& err) {
+  trace::Trace trace;
+  const std::string preset_name = flags.GetString("preset", "");
+  if (!preset_name.empty()) {
+    const auto preset = ParsePreset(preset_name);
+    if (!preset.has_value()) {
+      err << "error: unknown preset '" << preset_name << "'\n";
+      return 2;
+    }
+    trace = trace::GenerateTrace(trace::GetPreset(*preset).workload);
+  } else {
+    trace::WorkloadConfig config;
+    config.name = "webcc-generated";
+    const auto requests = flags.GetInt("requests", 20000);
+    const auto documents = flags.GetInt("documents", 1000);
+    const auto clients = flags.GetInt("clients", 500);
+    const auto hours = flags.GetDouble("duration-hours", 24);
+    const auto seed = flags.GetInt("seed", 1);
+    const auto zipf = flags.GetDouble("zipf", config.doc_zipf_exponent);
+    const auto mean_kb =
+        flags.GetDouble("mean-size-kb", config.mean_file_size_bytes / 1024);
+    if (!requests || !documents || !clients || !hours || !seed || !zipf ||
+        !mean_kb || *requests <= 0 || *documents <= 0 || *clients <= 0 ||
+        *hours <= 0) {
+      err << "error: invalid generate parameters\n";
+      return 2;
+    }
+    config.total_requests = static_cast<std::uint64_t>(*requests);
+    config.num_documents = static_cast<std::uint32_t>(*documents);
+    config.num_clients = static_cast<std::uint32_t>(*clients);
+    config.duration = FromSeconds(*hours * 3600);
+    config.seed = static_cast<std::uint64_t>(*seed);
+    config.doc_zipf_exponent = *zipf;
+    config.mean_file_size_bytes = *mean_kb * 1024;
+    trace = trace::GenerateTrace(config);
+  }
+
+  const std::string out_path = flags.GetString("out", "");
+  if (RejectUnusedFlags(flags, err)) return 2;
+  if (out_path.empty()) {
+    trace::WriteClf(trace, out);
+  } else {
+    std::ofstream file(out_path);
+    if (!file) {
+      err << "error: cannot write " << out_path << "\n";
+      return 1;
+    }
+    trace::WriteClf(trace, file);
+    err << "wrote " << trace.records.size() << " records to " << out_path
+        << "\n";
+  }
+  return 0;
+}
+
+int RunSummarize(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const auto trace = LoadTrace(flags, err);
+  if (!trace.has_value()) return 2;
+  if (RejectUnusedFlags(flags, err)) return 2;
+  PrintSummary(*trace, out);
+  return 0;
+}
+
+int RunFilter(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const auto trace = LoadTrace(flags, err);
+  if (!trace.has_value()) return 2;
+  const auto ttl_minutes = flags.GetDouble("browser-ttl-minutes", 60);
+  const std::string out_path = flags.GetString("out", "");
+  if (!ttl_minutes || *ttl_minutes < 0) {
+    err << "error: invalid --browser-ttl-minutes\n";
+    return 2;
+  }
+  if (RejectUnusedFlags(flags, err)) return 2;
+
+  trace::BrowserFilterStats stats;
+  const trace::Trace filtered = trace::FilterThroughBrowserCaches(
+      *trace, FromSeconds(*ttl_minutes * 60), &stats);
+  err << "absorbed " << stats.absorbed << " of " << stats.input_requests
+      << " requests\n";
+  if (out_path.empty()) {
+    trace::WriteClf(filtered, out);
+  } else {
+    std::ofstream file(out_path);
+    if (!file) {
+      err << "error: cannot write " << out_path << "\n";
+      return 1;
+    }
+    trace::WriteClf(filtered, file);
+  }
+  return 0;
+}
+
+int RunReplayCommand(const Flags& flags, std::ostream& out,
+                     std::ostream& err) {
+  const auto trace = LoadTrace(flags, err);
+  if (!trace.has_value()) return 2;
+
+  const std::string protocol_name = flags.GetString("protocol", "");
+  replay::ReplayConfig config;
+  config.trace = &*trace;
+
+  std::vector<core::Protocol> protocols;
+  if (protocol_name.empty() || protocol_name == "all") {
+    protocols = {core::Protocol::kAdaptiveTtl, core::Protocol::kPollEveryTime,
+                 core::Protocol::kInvalidation};
+  } else {
+    const auto protocol = ParseProtocol(protocol_name);
+    if (!protocol.has_value()) {
+      err << "error: unknown protocol '" << protocol_name
+          << "' (ttl, poll, invalidation, pcv, psi, all)\n";
+      return 2;
+    }
+    protocols = {*protocol};
+  }
+
+  const auto lifetime_days = flags.GetDouble("lifetime-days", 14);
+  const auto lease_days = flags.GetDouble("lease-days", 0);
+  const auto cache_mb = flags.GetInt("cache-mb", 128);
+  if (!lifetime_days || *lifetime_days <= 0 || !lease_days ||
+      *lease_days < 0 || !cache_mb || *cache_mb <= 0) {
+    err << "error: invalid replay parameters\n";
+    return 2;
+  }
+  config.mean_lifetime = FromSeconds(*lifetime_days * 86400);
+  config.proxy_cache_bytes = static_cast<std::uint64_t>(*cache_mb) << 20;
+  if (flags.GetBool("two-tier")) {
+    config.lease.mode = core::LeaseMode::kTwoTier;
+    config.lease.duration =
+        *lease_days > 0 ? FromSeconds(*lease_days * 86400) : trace->duration;
+  } else if (*lease_days > 0) {
+    config.lease.mode = core::LeaseMode::kFixed;
+    config.lease.duration = FromSeconds(*lease_days * 86400);
+  }
+  config.multicast_invalidation = flags.GetBool("multicast");
+  config.serialized_invalidation = !flags.GetBool("decoupled");
+  if (RejectUnusedFlags(flags, err)) return 2;
+
+  for (const core::Protocol protocol : protocols) {
+    config.protocol = protocol;
+    const replay::ReplayMetrics metrics = replay::RunReplay(config);
+    out << core::ToString(protocol) << "\n  " << metrics.Summary() << "\n";
+    if (protocol == core::Protocol::kInvalidation) {
+      out << "  site lists: "
+          << util::WithCommas(
+                 static_cast<std::int64_t>(metrics.sitelist_entries))
+          << " entries, "
+          << util::HumanBytes(metrics.sitelist_storage_bytes)
+          << "; worst fan-out "
+          << util::Fixed(metrics.invalidation_time_ms.max() / 1000.0, 2)
+          << "s\n";
+    }
+  }
+  return 0;
+}
+
+int RunProtocols(std::ostream& out) {
+  out << "ttl           " << core::ToString(core::Protocol::kAdaptiveTtl)
+      << "\n"
+      << "poll          " << core::ToString(core::Protocol::kPollEveryTime)
+      << "\n"
+      << "invalidation  " << core::ToString(core::Protocol::kInvalidation)
+      << "\n"
+      << "pcv           "
+      << core::ToString(core::Protocol::kPiggybackValidation) << "\n"
+      << "psi           "
+      << core::ToString(core::Protocol::kPiggybackInvalidation) << "\n";
+  return 0;
+}
+
+void PrintUsage(std::ostream& out) {
+  out << "usage: webcc <command> [flags]\n"
+         "commands:\n"
+         "  generate   synthesize a workload, write it as CLF\n"
+         "             --preset EPA|SDSC|ClarkNet|NASA|SASK, or\n"
+         "             --requests N --documents N --clients N\n"
+         "             --duration-hours H [--seed S] [--zipf Z]\n"
+         "             [--mean-size-kb K]   [--out FILE]\n"
+         "  summarize  Table-2 style statistics of a trace\n"
+         "             --in FILE | --preset NAME\n"
+         "  filter     drop requests a browser cache would absorb\n"
+         "             --in FILE [--browser-ttl-minutes M] [--out FILE]\n"
+         "  replay     run the consistency experiment on a trace\n"
+         "             --in FILE | --preset NAME\n"
+         "             [--protocol ttl|poll|invalidation|pcv|psi|all]\n"
+         "             [--lifetime-days D] [--lease-days L] [--two-tier]\n"
+         "             [--multicast] [--decoupled] [--cache-mb N]\n"
+         "  protocols  list protocol names\n";
+}
+
+int RunCli(const Flags& flags, std::ostream& out, std::ostream& err) {
+  if (flags.positional().empty()) {
+    PrintUsage(err);
+    return 2;
+  }
+  const std::string& command = flags.positional()[0];
+  if (command == "generate") return RunGenerate(flags, out, err);
+  if (command == "summarize") return RunSummarize(flags, out, err);
+  if (command == "filter") return RunFilter(flags, out, err);
+  if (command == "replay") return RunReplayCommand(flags, out, err);
+  if (command == "protocols") return RunProtocols(out);
+  if (command == "help") {
+    PrintUsage(out);
+    return 0;
+  }
+  err << "error: unknown command '" << command << "'\n";
+  PrintUsage(err);
+  return 2;
+}
+
+}  // namespace webcc::cli

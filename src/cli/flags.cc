@@ -1,0 +1,95 @@
+#include "cli/flags.h"
+
+#include <charconv>
+#include <cstdlib>
+
+namespace webcc::cli {
+
+std::optional<Flags> Flags::Parse(int argc, const char* const* argv,
+                                  std::string* error) {
+  Flags flags;
+  int i = 1;
+  // Positional arguments (the subcommand) come first.
+  while (i < argc && argv[i][0] != '-') {
+    flags.positional_.emplace_back(argv[i]);
+    ++i;
+  }
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || arg.size() <= 2 || arg[2] == '-') {
+      if (error != nullptr) *error = "unexpected argument: " + arg;
+      return std::nullopt;
+    }
+    const std::size_t equals = arg.find('=');
+    if (equals != std::string::npos) {
+      flags.values_[arg.substr(2, equals - 2)] = arg.substr(equals + 1);
+      continue;
+    }
+    const std::string name = arg.substr(2);
+    // `--name value` unless the next token is another flag (then a switch).
+    if (i + 1 < argc && argv[i + 1][0] != '-') {
+      flags.values_[name] = argv[++i];
+    } else {
+      flags.values_[name] = "";
+    }
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  used_[name] = true;
+  return true;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  used_[name] = true;
+  return it->second;
+}
+
+std::optional<std::int64_t> Flags::GetInt(const std::string& name,
+                                          std::int64_t default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  used_[name] = true;
+  std::int64_t value = 0;
+  const auto& text = it->second;
+  const auto result =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (result.ec != std::errc{} || result.ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<double> Flags::GetDouble(const std::string& name,
+                                       double default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  used_[name] = true;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') return std::nullopt;
+  return value;
+}
+
+bool Flags::GetBool(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  used_[name] = true;
+  return it->second.empty() || it->second == "true" || it->second == "1";
+}
+
+std::vector<std::string> Flags::UnusedFlags() const {
+  std::vector<std::string> unused;
+  for (const auto& [name, value] : values_) {
+    if (used_.find(name) == used_.end()) unused.push_back(name);
+  }
+  return unused;
+}
+
+}  // namespace webcc::cli

@@ -1,0 +1,47 @@
+// Minimal command-line flag parsing for the webcc tool.
+//
+// Syntax: `--name value` or `--name=value`; bare `--name` is a boolean
+// switch. Anything before the first flag is a positional argument (the
+// subcommand). No external dependencies, fully testable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace webcc::cli {
+
+class Flags {
+ public:
+  // Parses argv[1..); returns std::nullopt and fills `error` on malformed
+  // input (e.g. a value-less flag at the end followed by another flag is
+  // fine — it parses as a switch — but `---x` is not).
+  static std::optional<Flags> Parse(int argc, const char* const* argv,
+                                    std::string* error);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool Has(const std::string& name) const;
+
+  // Typed getters: return the default when absent; std::nullopt when
+  // present but unparseable (callers treat that as a usage error).
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  std::optional<std::int64_t> GetInt(const std::string& name,
+                                     std::int64_t default_value) const;
+  std::optional<double> GetDouble(const std::string& name,
+                                  double default_value) const;
+  bool GetBool(const std::string& name) const;  // switch present?
+
+  // Flags that were provided but never read; used to reject typos.
+  std::vector<std::string> UnusedFlags() const;
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> values_;  // "" for bare switches
+  mutable std::map<std::string, bool> used_;
+};
+
+}  // namespace webcc::cli

@@ -1,0 +1,87 @@
+#include "core/accelerator.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace webcc::core {
+
+std::optional<net::Reply> Accelerator::HandleRequest(
+    const net::Request& request, Time now) {
+  std::optional<net::Reply> reply = origin_.Handle(request, now);
+  if (!reply.has_value()) return reply;
+  ++stats_.requests;
+
+  // First sighting of a document pins the version baseline so a later
+  // notify can tell "changed since last invalidation" from "never seen".
+  const http::Document* doc = store_->Find(request.url);
+  WEBCC_DCHECK(doc != nullptr);
+  last_seen_version_.try_emplace(request.url, doc->version);
+
+  // Pessimistic registration: any requester might cache the document.
+  reply->lease_until =
+      table_.Register(request.url, request.client_id, request.type, now);
+  registry_.RecordSite(request.client_id);
+  return reply;
+}
+
+std::vector<net::Invalidation> Accelerator::HandleNotify(
+    const net::Notify& notify, Time now) {
+  ++stats_.notifies;
+  return DetectAndInvalidate(notify.url, now);
+}
+
+std::vector<net::Invalidation> Accelerator::CheckDocument(std::string_view url,
+                                                          Time now) {
+  return DetectAndInvalidate(url, now);
+}
+
+std::vector<net::Invalidation> Accelerator::DetectAndInvalidate(
+    std::string_view url, Time now) {
+  std::vector<net::Invalidation> out;
+  const http::Document* doc = store_->Find(url);
+  if (doc == nullptr) return out;
+
+  auto [it, first_sighting] =
+      last_seen_version_.try_emplace(std::string(url), doc->version);
+  if (first_sighting || doc->version == it->second) {
+    return out;  // unchanged (or nothing could have cached it yet)
+  }
+  it->second = doc->version;
+  ++stats_.modifications_detected;
+
+  std::vector<std::string> sites = table_.TakeSitesForInvalidation(url, now);
+  stats_.list_lengths_at_modification.push_back(sites.size());
+  out.reserve(sites.size());
+  for (std::string& site : sites) {
+    net::Invalidation inv;
+    inv.type = net::MessageType::kInvalidateUrl;
+    inv.url = std::string(url);
+    inv.client_id = std::move(site);
+    out.push_back(std::move(inv));
+  }
+  stats_.invalidations_generated += out.size();
+  return out;
+}
+
+void Accelerator::Crash() {
+  table_.Clear();
+  last_seen_version_.clear();
+  // stats_ intentionally survives: it is the experiment's measurement
+  // record, not server state.
+}
+
+std::vector<net::Invalidation> Accelerator::Recover() {
+  std::vector<net::Invalidation> out;
+  out.reserve(registry_.sites().size());
+  for (const std::string& site : registry_.sites()) {
+    net::Invalidation inv;
+    inv.type = net::MessageType::kInvalidateServer;
+    inv.server = server_name_;
+    inv.client_id = site;
+    out.push_back(std::move(inv));
+  }
+  return out;
+}
+
+}  // namespace webcc::core

@@ -1,0 +1,104 @@
+// The Harvest-style server accelerator: the invalidation protocol's
+// server-side brain.
+//
+// The accelerator fronts the origin server (the paper runs it on port 80
+// with HTTPD moved to 81) and performs the three operations of Section 4:
+//
+//  1. tracking remote sites that cache each document (InvalidationTable,
+//     fed pessimistically by every request),
+//  2. detecting modifications — via check-in NOTIFY messages from the
+//     modifier ("notify") or via a freshness check hinted by a local
+//     browser request ("browser-based" detection), and
+//  3. producing INVALIDATE messages for the sites on the modified
+//     document's list.
+//
+// The accelerator is transport-agnostic: it turns protocol inputs into
+// protocol outputs, and the replay engine (or the live socket server)
+// moves them. Costs/queueing live with the caller.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/invalidation_table.h"
+#include "core/policy.h"
+#include "core/site_registry.h"
+#include "http/document_store.h"
+#include "http/origin.h"
+#include "net/message.h"
+
+namespace webcc::core {
+
+struct AcceleratorStats {
+  std::uint64_t requests = 0;
+  std::uint64_t notifies = 0;
+  // Notifies/checks that found an actual version change.
+  std::uint64_t modifications_detected = 0;
+  std::uint64_t invalidations_generated = 0;
+  // Site-list length at each detected modification (Table 5's "Avg./Max.
+  // SiteList" statistics are taken over exactly these).
+  std::vector<std::size_t> list_lengths_at_modification;
+};
+
+class Accelerator {
+ public:
+  Accelerator(const http::DocumentStore& store, LeaseConfig lease,
+              std::string server_name = "origin")
+      : origin_(store),
+        store_(&store),
+        table_(lease),
+        server_name_(std::move(server_name)) {}
+
+  // Serves a GET/IMS at protocol time `now`: answers from the origin,
+  // registers the requesting site, and stamps the granted lease into the
+  // reply. std::nullopt for unknown URLs.
+  std::optional<net::Reply> HandleRequest(const net::Request& request,
+                                          Time now);
+
+  // Check-in notification: if the document changed since the accelerator
+  // last saw it, returns one INVALIDATE per registered site (and forgets
+  // them). Empty when nothing changed.
+  std::vector<net::Invalidation> HandleNotify(const net::Notify& notify,
+                                              Time now);
+
+  // Browser-based detection: a request from a local browser for a local
+  // document suggests checking its modification time. Same outcome as a
+  // notify when the document did change.
+  std::vector<net::Invalidation> CheckDocument(std::string_view url,
+                                               Time now);
+
+  // --- failure handling ----------------------------------------------------
+  // Server-site crash: the in-memory invalidation table is lost; the
+  // on-disk site registry survives.
+  void Crash();
+
+  // Recovery: one server-address INVALIDATE per site ever seen, telling each
+  // to mark this server's documents questionable.
+  std::vector<net::Invalidation> Recover();
+
+  InvalidationTable& table() { return table_; }
+  const InvalidationTable& table() const { return table_; }
+  SiteRegistry& registry() { return registry_; }
+  const AcceleratorStats& stats() const { return stats_; }
+  const std::string& server_name() const { return server_name_; }
+
+ private:
+  std::vector<net::Invalidation> DetectAndInvalidate(std::string_view url,
+                                                     Time now);
+
+  http::OriginServer origin_;
+  const http::DocumentStore* store_;
+  InvalidationTable table_;
+  SiteRegistry registry_;
+  // Document version as of the last invalidation (or first sighting);
+  // modifications are detected as version advances past this.
+  std::unordered_map<std::string, std::uint64_t> last_seen_version_;
+  std::string server_name_;
+  AcceleratorStats stats_;
+};
+
+}  // namespace webcc::core

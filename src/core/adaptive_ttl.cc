@@ -1,0 +1,24 @@
+#include "core/adaptive_ttl.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace webcc::core {
+
+Time ComputeAdaptiveTtl(const AdaptiveTtlConfig& config, Time now,
+                        Time last_modified) {
+  WEBCC_DCHECK(config.factor >= 0.0);
+  WEBCC_DCHECK(config.min_ttl >= 0 && config.max_ttl >= config.min_ttl);
+  const Time age = std::max<Time>(0, now - last_modified);
+  const auto scaled =
+      static_cast<Time>(config.factor * static_cast<double>(age));
+  return std::clamp(scaled, config.min_ttl, config.max_ttl);
+}
+
+Time AdaptiveTtlExpiry(const AdaptiveTtlConfig& config, Time now,
+                       Time last_modified) {
+  return now + ComputeAdaptiveTtl(config, now, last_modified);
+}
+
+}  // namespace webcc::core

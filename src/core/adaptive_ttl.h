@@ -1,0 +1,19 @@
+// Adaptive TTL computation (the Alex protocol as implemented in Harvest).
+#pragma once
+
+#include "core/policy.h"
+#include "util/time.h"
+
+namespace webcc::core {
+
+// TTL assigned to a copy validated at `now` whose server last-modified time
+// is `last_modified`. Negative ages (clock skew between the lock-stepped
+// components) are treated as zero, which yields min_ttl.
+Time ComputeAdaptiveTtl(const AdaptiveTtlConfig& config, Time now,
+                        Time last_modified);
+
+// Absolute expiry: now + ComputeAdaptiveTtl, saturating.
+Time AdaptiveTtlExpiry(const AdaptiveTtlConfig& config, Time now,
+                       Time last_modified);
+
+}  // namespace webcc::core

@@ -1,0 +1,174 @@
+#include "core/analysis.h"
+
+#include <cctype>
+
+#include "core/adaptive_ttl.h"
+#include "util/check.h"
+
+namespace webcc::core {
+
+std::vector<SeqEvent> ParseSequence(std::string_view text, Time spacing) {
+  WEBCC_CHECK_MSG(spacing > 0, "spacing must be positive");
+  std::vector<SeqEvent> events;
+  Time at = spacing;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    WEBCC_CHECK_MSG(c == 'r' || c == 'm', "sequence must be 'r'/'m' only");
+    events.push_back(SeqEvent{at, c == 'r'});
+    at += spacing;
+  }
+  return events;
+}
+
+SequenceShape AnalyzeSequence(std::span<const SeqEvent> events) {
+  SequenceShape shape;
+  bool in_run = false;
+  for (const SeqEvent& event : events) {
+    if (event.is_request) {
+      ++shape.requests;
+      if (!in_run) {
+        ++shape.request_intervals;
+        in_run = true;
+      }
+    } else {
+      ++shape.modifications;
+      if (in_run) {
+        ++shape.closed_intervals;
+        in_run = false;
+      }
+    }
+  }
+  return shape;
+}
+
+MessageCounts Table1Polling(const SequenceShape& shape) {
+  MessageCounts counts;
+  if (shape.requests == 0) return counts;
+  counts.gets = 1;  // cold start
+  counts.ims = shape.requests - 1;
+  counts.replies_200 = shape.request_intervals;
+  counts.replies_304 = shape.requests - shape.request_intervals;
+  return counts;
+}
+
+MessageCounts Table1Invalidation(const SequenceShape& shape) {
+  MessageCounts counts;
+  counts.gets = shape.request_intervals;
+  counts.replies_200 = shape.request_intervals;
+  counts.invalidations = shape.closed_intervals;
+  return counts;
+}
+
+MessageCounts Table1Minimum(const SequenceShape& shape) {
+  MessageCounts counts;
+  counts.gets = shape.request_intervals;
+  counts.replies_200 = shape.request_intervals;
+  return counts;
+}
+
+namespace {
+
+// Shared walker state for the exact simulations: tracks the document's true
+// version/mtime as modifications stream past.
+struct DocState {
+  std::uint64_t version = 1;
+  Time last_modified = 0;
+
+  void ApplyModification(Time at) {
+    ++version;
+    last_modified = at;
+  }
+};
+
+}  // namespace
+
+MessageCounts SimulatePollingSequence(std::span<const SeqEvent> events) {
+  MessageCounts counts;
+  DocState doc;
+  bool cached = false;
+  std::uint64_t cached_version = 0;
+  for (const SeqEvent& event : events) {
+    if (!event.is_request) {
+      doc.ApplyModification(event.at);
+      continue;
+    }
+    if (!cached) {
+      ++counts.gets;
+      ++counts.replies_200;
+      cached = true;
+      cached_version = doc.version;
+    } else {
+      ++counts.ims;
+      if (cached_version == doc.version) {
+        ++counts.replies_304;
+      } else {
+        ++counts.replies_200;
+        cached_version = doc.version;
+      }
+    }
+  }
+  return counts;
+}
+
+MessageCounts SimulateInvalidationSequence(std::span<const SeqEvent> events) {
+  MessageCounts counts;
+  DocState doc;
+  bool cached = false;  // valid copy at the client <=> client on site list
+  for (const SeqEvent& event : events) {
+    if (!event.is_request) {
+      doc.ApplyModification(event.at);
+      if (cached) {
+        ++counts.invalidations;  // server notifies, then forgets the client
+        cached = false;
+      }
+      continue;
+    }
+    if (cached) continue;  // pure local hit, no traffic
+    ++counts.gets;
+    ++counts.replies_200;
+    cached = true;
+  }
+  return counts;
+}
+
+MessageCounts SimulateAdaptiveTtlSequence(std::span<const SeqEvent> events,
+                                          const AdaptiveTtlConfig& config,
+                                          Time initial_last_modified) {
+  MessageCounts counts;
+  DocState doc;
+  doc.last_modified = initial_last_modified;
+  bool cached = false;
+  std::uint64_t cached_version = 0;
+  Time ttl_expires = 0;
+  for (const SeqEvent& event : events) {
+    if (!event.is_request) {
+      doc.ApplyModification(event.at);
+      continue;
+    }
+    const Time now = event.at;
+    if (cached && now < ttl_expires) {
+      // Fresh by TTL: served locally, possibly stale.
+      if (cached_version != doc.version) ++counts.stale_hits;
+      continue;
+    }
+    if (!cached) {
+      ++counts.gets;
+      ++counts.replies_200;
+    } else {
+      // TTL miss: validate with If-Modified-Since (Harvest optimization the
+      // paper applies: expired copies are revalidated, not refetched).
+      ++counts.ims;
+      if (cached_version == doc.version) {
+        ++counts.replies_304;
+      } else {
+        ++counts.replies_200;
+      }
+    }
+    cached = true;
+    cached_version = doc.version;
+    ttl_expires = AdaptiveTtlExpiry(config, now, doc.last_modified);
+  }
+  return counts;
+}
+
+}  // namespace webcc::core

@@ -1,0 +1,86 @@
+// The Section 3 analytic model (Table 1).
+//
+// Models the traffic of delivering one document D to one viewing client C
+// with an always-sufficient cache: an interleaved sequence of requests (r)
+// and modifications (m), e.g. "r r r m m m r r m r r r m m r". With
+//   R  = number of requests and
+//   RI = number of intervals of repeated requests with D unchanged
+// Table 1 gives closed-form message counts per approach. This module
+// provides both the closed forms and exact per-event simulations of the
+// three approaches on arbitrary timed sequences; property tests pin them to
+// each other and to the full replay engine.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/policy.h"
+#include "util/time.h"
+
+namespace webcc::core {
+
+struct SeqEvent {
+  Time at = 0;
+  bool is_request = false;  // false => modification
+};
+
+// Parses "rrmmr"-style strings (whitespace ignored) with `spacing` between
+// consecutive events, starting at `spacing`.
+std::vector<SeqEvent> ParseSequence(std::string_view text,
+                                    Time spacing = kHour);
+
+struct SequenceShape {
+  std::uint64_t requests = 0;       // R
+  std::uint64_t modifications = 0;  // total m's
+  // RI: maximal runs of requests with no intervening modification.
+  std::uint64_t request_intervals = 0;
+  // Runs of requests followed by at least one modification; this is the
+  // exact invalidation-message count (Table 1 writes RI, a steady-state
+  // approximation that over-counts by one when the sequence ends in
+  // requests).
+  std::uint64_t closed_intervals = 0;
+};
+
+SequenceShape AnalyzeSequence(std::span<const SeqEvent> events);
+
+struct MessageCounts {
+  std::uint64_t gets = 0;
+  std::uint64_t ims = 0;
+  std::uint64_t replies_200 = 0;
+  std::uint64_t replies_304 = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t stale_hits = 0;  // requests served with an outdated copy
+
+  // Control messages per the paper: GETs, IMS, 304s and invalidations; 200
+  // replies are "file transfers", counted separately.
+  std::uint64_t control_messages() const {
+    return gets + ims + replies_304 + invalidations;
+  }
+  std::uint64_t file_transfers() const { return replies_200; }
+  std::uint64_t total_messages() const {
+    return control_messages() + file_transfers();
+  }
+};
+
+// --- closed forms (Table 1) -------------------------------------------------
+// Polling-every-time: R requests to the server (1 cold GET + R-1 IMS),
+// R - RI 304s, RI transfers.
+MessageCounts Table1Polling(const SequenceShape& shape);
+// Invalidation: RI GETs, RI transfers, `closed_intervals` invalidations.
+MessageCounts Table1Invalidation(const SequenceShape& shape);
+// The minimum traffic any always-fresh scheme needs: RI control messages
+// plus RI transfers.
+MessageCounts Table1Minimum(const SequenceShape& shape);
+
+// --- exact per-event simulations ---------------------------------------------
+// Unbounded cache, instantaneous messages; `initial_last_modified` is the
+// document's mtime before the sequence begins (its age seeds adaptive TTL).
+MessageCounts SimulatePollingSequence(std::span<const SeqEvent> events);
+MessageCounts SimulateInvalidationSequence(std::span<const SeqEvent> events);
+MessageCounts SimulateAdaptiveTtlSequence(std::span<const SeqEvent> events,
+                                          const AdaptiveTtlConfig& config,
+                                          Time initial_last_modified = 0);
+
+}  // namespace webcc::core

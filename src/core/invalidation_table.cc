@@ -1,0 +1,102 @@
+#include "core/invalidation_table.h"
+
+#include <algorithm>
+
+#include "core/lease.h"
+#include "util/check.h"
+
+namespace webcc::core {
+
+Time InvalidationTable::Register(std::string_view url, std::string_view client,
+                                 net::MessageType request_type, Time now) {
+  const Time lease_until = GrantLease(lease_, request_type, now);
+  if (!LeaseActive(lease_until, now)) {
+    // Zero-length (two-tier GET) lease: the client promises to validate on
+    // its next access, so the server need not remember it. An existing
+    // longer lease from an earlier request is left untouched.
+    return lease_until;
+  }
+  SiteList& list = lists_[std::string(url)];
+  auto [it, inserted] = list.lease_until.try_emplace(std::string(client),
+                                                     lease_until);
+  if (inserted) {
+    ++total_entries_;
+  } else {
+    // Refresh, never shorten: a still-active lease keeps its later expiry.
+    if (it->second != net::kNoLease &&
+        (lease_until == net::kNoLease || lease_until > it->second)) {
+      it->second = lease_until;
+    }
+  }
+  return lease_until;
+}
+
+std::vector<std::string> InvalidationTable::TakeSitesForInvalidation(
+    std::string_view url, Time now) {
+  std::vector<std::string> sites;
+  const auto it = lists_.find(std::string(url));
+  if (it == lists_.end()) return sites;
+  sites.reserve(it->second.lease_until.size());
+  for (auto& [client, lease_until] : it->second.lease_until) {
+    if (LeaseActive(lease_until, now)) sites.push_back(client);
+  }
+  total_entries_ -= it->second.lease_until.size();
+  lists_.erase(it);
+  std::sort(sites.begin(), sites.end());  // deterministic fan-out order
+  return sites;
+}
+
+std::size_t InvalidationTable::ListLength(std::string_view url,
+                                          Time now) const {
+  const auto it = lists_.find(std::string(url));
+  if (it == lists_.end()) return 0;
+  std::size_t live = 0;
+  for (const auto& [client, lease_until] : it->second.lease_until) {
+    if (LeaseActive(lease_until, now)) ++live;
+  }
+  return live;
+}
+
+std::size_t InvalidationTable::PruneExpired(Time now) {
+  std::size_t pruned = 0;
+  for (auto list_it = lists_.begin(); list_it != lists_.end();) {
+    auto& entries = list_it->second.lease_until;
+    for (auto it = entries.begin(); it != entries.end();) {
+      if (!LeaseActive(it->second, now)) {
+        it = entries.erase(it);
+        ++pruned;
+        --total_entries_;
+      } else {
+        ++it;
+      }
+    }
+    list_it = entries.empty() ? lists_.erase(list_it) : std::next(list_it);
+  }
+  return pruned;
+}
+
+std::size_t InvalidationTable::MaxListLength() const {
+  std::size_t longest = 0;
+  for (const auto& [url, list] : lists_) {
+    longest = std::max(longest, list.lease_until.size());
+  }
+  return longest;
+}
+
+std::uint64_t InvalidationTable::StorageBytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& [url, list] : lists_) {
+    bytes += url.size();
+    for (const auto& [client, lease_until] : list.lease_until) {
+      bytes += client.size() + kPerEntryOverheadBytes;
+    }
+  }
+  return bytes;
+}
+
+void InvalidationTable::Clear() {
+  lists_.clear();
+  total_entries_ = 0;
+}
+
+}  // namespace webcc::core

@@ -1,0 +1,79 @@
+// The accelerator's invalidation table: per-URL lists of client sites that
+// may hold a cached copy.
+//
+// Following the paper, the server never asks clients whether they cache a
+// document — every requester is pessimistically added to the document's site
+// list and removed when it is sent an invalidation (so a site that never
+// requests the document again receives no further invalidations).
+//
+// Leases (Section 6) bound the lists: a site entry only earns a place while
+// its lease is in force, so list size is bounded by the requests of the last
+// lease window, and with two-tier leases a plain GET's near-zero lease keeps
+// one-time viewers out of the table entirely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/policy.h"
+#include "net/message.h"
+#include "util/time.h"
+
+namespace webcc::core {
+
+class InvalidationTable {
+ public:
+  explicit InvalidationTable(LeaseConfig lease) : lease_(lease) {}
+
+  // Registers `client` for `url` following a request of `request_type`
+  // (kGet or kIfModifiedSince) at protocol time `now`. Returns the lease
+  // expiry granted (net::kNoLease when leases are off). A zero-length lease
+  // does not create an entry.
+  Time Register(std::string_view url, std::string_view client,
+                net::MessageType request_type, Time now);
+
+  // Collects the sites holding an unexpired lease on `url` and clears the
+  // list (each collected site is about to receive an invalidation, after
+  // which the server forgets it, as in the paper).
+  std::vector<std::string> TakeSitesForInvalidation(std::string_view url,
+                                                    Time now);
+
+  // Number of live (unexpired) entries for one URL.
+  std::size_t ListLength(std::string_view url, Time now) const;
+
+  // Drops expired entries table-wide; returns how many were pruned. The
+  // replay calls this at lock-step boundaries so storage numbers reflect
+  // live leases only.
+  std::size_t PruneExpired(Time now);
+
+  // --- storage accounting (Table 5) ---------------------------------------
+  // Total live entries across all URLs.
+  std::size_t TotalEntries() const { return total_entries_; }
+  // Longest current list.
+  std::size_t MaxListLength() const;
+  // Approximate bytes consumed: per entry, the client identifier plus the
+  // lease timestamp and list linkage (the paper observes 20-30 bytes per
+  // request).
+  std::uint64_t StorageBytes() const;
+
+  const LeaseConfig& lease_config() const { return lease_; }
+
+  // Discards everything (server-site crash: the in-memory table dies).
+  void Clear();
+
+ private:
+  struct SiteList {
+    std::unordered_map<std::string, Time> lease_until;  // client -> expiry
+  };
+
+  static constexpr std::uint64_t kPerEntryOverheadBytes = 16;
+
+  LeaseConfig lease_;
+  std::unordered_map<std::string, SiteList> lists_;
+  std::size_t total_entries_ = 0;
+};
+
+}  // namespace webcc::core

@@ -1,0 +1,44 @@
+#include "core/lease.h"
+
+#include "util/check.h"
+
+namespace webcc::core {
+
+Time GrantLease(const LeaseConfig& config, net::MessageType request_type,
+                Time now) {
+  WEBCC_DCHECK(request_type == net::MessageType::kGet ||
+               request_type == net::MessageType::kIfModifiedSince);
+  switch (config.mode) {
+    case LeaseMode::kNone:
+      return net::kNoLease;
+    case LeaseMode::kFixed:
+      return now + config.duration;
+    case LeaseMode::kTwoTier:
+      return request_type == net::MessageType::kIfModifiedSince
+                 ? now + config.duration
+                 : now + config.short_duration;
+  }
+  return net::kNoLease;
+}
+
+bool LeaseActive(Time lease_until, Time now) {
+  return lease_until == net::kNoLease || lease_until > now;
+}
+
+const char* ToString(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kAdaptiveTtl:
+      return "Adaptive TTL";
+    case Protocol::kPollEveryTime:
+      return "Poll-Every-Time";
+    case Protocol::kInvalidation:
+      return "Invalidation";
+    case Protocol::kPiggybackValidation:
+      return "Piggyback Validation (PCV)";
+    case Protocol::kPiggybackInvalidation:
+      return "Piggyback Invalidation (PSI)";
+  }
+  return "?";
+}
+
+}  // namespace webcc::core

@@ -1,0 +1,20 @@
+// Lease grants for the Section 6 lease-augmented invalidation schemes.
+#pragma once
+
+#include "core/policy.h"
+#include "net/message.h"
+#include "util/time.h"
+
+namespace webcc::core {
+
+// The absolute lease expiry a reply to `request_type` (kGet or
+// kIfModifiedSince) earns at time `now`; net::kNoLease when leases are off
+// (the server promises invalidations forever).
+Time GrantLease(const LeaseConfig& config, net::MessageType request_type,
+                Time now);
+
+// True when a lease granted as `lease_until` is still in force at `now`.
+// kNoLease never expires.
+bool LeaseActive(Time lease_until, Time now);
+
+}  // namespace webcc::core

@@ -1,0 +1,42 @@
+// Consistency-approach selection and shared policy configuration.
+#pragma once
+
+#include "util/time.h"
+
+namespace webcc::core {
+
+// The three consistency approaches the paper compares, plus the two
+// piggyback schemes from the follow-on literature (see core/piggyback.h),
+// which layer freshness exchange on top of adaptive TTL.
+enum class Protocol {
+  kAdaptiveTtl,     // weak: Alex protocol, TTL = fraction of document age
+  kPollEveryTime,   // strong: If-Modified-Since on every cache hit
+  kInvalidation,    // strong: server-driven INVALIDATE callbacks
+  kPiggybackValidation,    // weak: TTL + bulk validation on misses (PCV)
+  kPiggybackInvalidation,  // weak: TTL + per-contact change lists (PSI)
+};
+
+const char* ToString(Protocol protocol);
+
+// Adaptive TTL (Alex protocol). A validated document whose age is A gets
+// TTL = clamp(factor * A, min_ttl, max_ttl): old files are assumed stable,
+// young files volatile (file lifetimes are bimodal).
+struct AdaptiveTtlConfig {
+  double factor = 0.2;
+  Time min_ttl = 1 * kMinute;
+  Time max_ttl = 30 * kDay;
+};
+
+enum class LeaseMode {
+  kNone,     // plain invalidation: sites are remembered forever
+  kFixed,    // every reply carries a `duration` lease
+  kTwoTier,  // GET earns `short_duration`, IMS earns `duration` (Section 6)
+};
+
+struct LeaseConfig {
+  LeaseMode mode = LeaseMode::kNone;
+  Time duration = 3 * kDay;
+  Time short_duration = 0;
+};
+
+}  // namespace webcc::core

@@ -1,0 +1,34 @@
+#include "core/site_registry.h"
+
+#include <fstream>
+
+namespace webcc::core {
+
+bool SiteRegistry::RecordSite(std::string_view client) {
+  const auto [it, inserted] = sites_.insert(std::string(client));
+  if (inserted) ++disk_writes_;
+  return inserted;
+}
+
+bool SiteRegistry::Contains(std::string_view client) const {
+  return sites_.count(std::string(client)) != 0;
+}
+
+bool SiteRegistry::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  for (const std::string& site : sites_) out << site << '\n';
+  return static_cast<bool>(out);
+}
+
+bool SiteRegistry::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) sites_.insert(line);
+  }
+  return true;
+}
+
+}  // namespace webcc::core

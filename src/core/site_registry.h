@@ -1,0 +1,40 @@
+// Durable registry of every client site the server has ever served.
+//
+// Supports the paper's server-site crash recovery: logging each HTTP request
+// to disk would be too expensive, so the accelerator keeps an in-memory set
+// of all sites ever seen and appends to a disk list only when a brand-new
+// site appears. On recovery, a server-address INVALIDATE goes to every site
+// in the list.
+//
+// The registry counts its disk writes (the replay charges them to the disk
+// station) and can optionally persist to a real file for live mode.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace webcc::core {
+
+class SiteRegistry {
+ public:
+  // Records a site; returns true (and counts one disk write) only when the
+  // site was never seen before.
+  bool RecordSite(std::string_view client);
+
+  bool Contains(std::string_view client) const;
+  const std::set<std::string>& sites() const { return sites_; }
+  std::uint64_t disk_writes() const { return disk_writes_; }
+
+  // --- optional real persistence (live mode) ------------------------------
+  // One site per line. Save rewrites the whole file; Load merges.
+  bool SaveToFile(const std::string& path) const;
+  bool LoadFromFile(const std::string& path);
+
+ private:
+  std::set<std::string> sites_;  // ordered => deterministic recovery fan-out
+  std::uint64_t disk_writes_ = 0;
+};
+
+}  // namespace webcc::core

@@ -1,0 +1,40 @@
+#include "http/document_store.h"
+
+#include <utility>
+
+namespace webcc::http {
+
+bool DocumentStore::Add(std::string path, std::uint64_t size_bytes,
+                        Time last_modified) {
+  const auto [it, inserted] = index_.try_emplace(path, documents_.size());
+  if (!inserted) return false;
+  Document doc;
+  doc.path = std::move(path);
+  doc.size_bytes = size_bytes;
+  doc.last_modified = last_modified;
+  documents_.push_back(std::move(doc));
+  total_bytes_ += size_bytes;
+  return true;
+}
+
+const Document* DocumentStore::Find(std::string_view path) const {
+  const auto it = index_.find(std::string(path));
+  if (it == index_.end()) return nullptr;
+  return &documents_[it->second];
+}
+
+bool DocumentStore::Touch(std::string_view path, Time now) {
+  const auto it = index_.find(std::string(path));
+  if (it == index_.end()) return false;
+  Document& doc = documents_[it->second];
+  doc.last_modified = now;
+  ++doc.version;
+  return true;
+}
+
+void DocumentStore::ForEach(
+    const std::function<void(const Document&)>& fn) const {
+  for (const Document& doc : documents_) fn(doc);
+}
+
+}  // namespace webcc::http

@@ -1,0 +1,136 @@
+#include "http/proxy_cache.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace webcc::http {
+
+CacheEntry* ProxyCache::Lookup(const std::string& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &*it->second;
+}
+
+CacheEntry* ProxyCache::Peek(const std::string& key) {
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &*it->second;
+}
+
+void ProxyCache::PushTtlItem(const CacheEntry& entry) {
+  if (entry.ttl_expires == kNeverExpires) return;
+  ttl_heap_.push(TtlHeapItem{entry.ttl_expires, entry.heap_stamp_, entry.key});
+}
+
+void ProxyCache::Insert(CacheEntry entry, Time now) {
+  Erase(entry.key);  // replace semantics
+  if (entry.size_bytes > capacity_bytes_) return;  // uncacheable
+  while (bytes_used_ + entry.size_bytes > capacity_bytes_) EvictOne(now);
+
+  entry.heap_stamp_ = next_stamp_++;
+  bytes_used_ += entry.size_bytes;
+  ++stats_.insertions;
+  lru_.push_front(std::move(entry));
+  index_[lru_.front().key] = lru_.begin();
+  url_index_[lru_.front().url].insert(lru_.front().key);
+  PushTtlItem(lru_.front());
+}
+
+bool ProxyCache::Erase(const std::string& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  ++stats_.erased;
+  RemoveEntry(it->second);
+  return true;
+}
+
+void ProxyCache::RemoveEntry(LruList::iterator it) {
+  bytes_used_ -= it->size_bytes;
+  const auto url_it = url_index_.find(it->url);
+  if (url_it != url_index_.end()) {
+    url_it->second.erase(it->key);
+    if (url_it->second.empty()) url_index_.erase(url_it);
+  }
+  index_.erase(it->key);
+  lru_.erase(it);
+  // Any TTL-heap items pointing at this key become stale and are skipped
+  // lazily (their stamp no longer matches a live entry).
+}
+
+std::size_t ProxyCache::EraseByUrl(const std::string& url) {
+  const auto it = url_index_.find(url);
+  if (it == url_index_.end()) return 0;
+  // Copy out: Erase mutates the index we are iterating.
+  const std::vector<std::string> keys(it->second.begin(), it->second.end());
+  std::size_t erased = 0;
+  for (const std::string& key : keys) erased += Erase(key);
+  return erased;
+}
+
+std::vector<CacheEntry*> ProxyCache::TakeExpired(Time now,
+                                                 std::size_t max_items) {
+  std::vector<CacheEntry*> expired;
+  while (expired.size() < max_items && !ttl_heap_.empty()) {
+    const TtlHeapItem& top = ttl_heap_.top();
+    if (top.expires > now) break;
+    const auto it = index_.find(top.key);
+    if (it != index_.end() && it->second->heap_stamp_ == top.stamp) {
+      expired.push_back(&*it->second);
+    }
+    ttl_heap_.pop();
+  }
+  return expired;
+}
+
+void ProxyCache::SetTtlExpiry(CacheEntry& entry, Time expires) {
+  entry.ttl_expires = expires;
+  entry.heap_stamp_ = next_stamp_++;
+  PushTtlItem(entry);
+}
+
+void ProxyCache::EvictOne(Time now) {
+  WEBCC_CHECK_MSG(!lru_.empty(), "eviction from an empty cache");
+
+  if (policy_ == ReplacementPolicy::kExpiredFirstLru) {
+    // Drop stale heap records, then evict the earliest-expiring entry if it
+    // is actually expired.
+    while (!ttl_heap_.empty()) {
+      const TtlHeapItem& top = ttl_heap_.top();
+      const auto it = index_.find(top.key);
+      if (it == index_.end() || it->second->heap_stamp_ != top.stamp) {
+        ttl_heap_.pop();
+        continue;
+      }
+      if (top.expires <= now) {
+        ++stats_.evictions;
+        ++stats_.expired_evictions;
+        RemoveEntry(it->second);
+        ttl_heap_.pop();
+        return;
+      }
+      break;  // earliest expiry is still fresh: fall back to LRU
+    }
+  }
+
+  ++stats_.evictions;
+  RemoveEntry(std::prev(lru_.end()));
+}
+
+void ProxyCache::MarkAllQuestionable() {
+  for (CacheEntry& entry : lru_) entry.questionable = true;
+}
+
+std::size_t ProxyCache::MarkQuestionableWhere(
+    const std::function<bool(const CacheEntry&)>& predicate) {
+  std::size_t marked = 0;
+  for (CacheEntry& entry : lru_) {
+    if (!entry.questionable && predicate(entry)) {
+      entry.questionable = true;
+      ++marked;
+    }
+  }
+  return marked;
+}
+
+}  // namespace webcc::http

@@ -1,0 +1,150 @@
+// Client-side proxy cache in the style of Harvest "cached".
+//
+// Entries are namespaced per real client (the replay inserts keys of the
+// form url@clientid exactly as the paper does, so one proxy process hosts
+// many independent per-client caches). Two replacement policies are
+// provided:
+//
+//  * kLru             — plain least-recently-used.
+//  * kExpiredFirstLru — Harvest's policy: evict documents whose TTL has
+//                       already expired before falling back to LRU. The
+//                       paper traces its SASK hit-ratio anomaly to this
+//                       policy interacting with adaptive TTL's conservative
+//                       lifetimes (a freshly modified document gets a short
+//                       TTL and is evicted first despite being hot).
+//
+// Consistency state (TTL expiry, lease expiry, questionable flag) lives on
+// the entry; the protocol logic that interprets it lives in core/.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <list>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.h"
+
+namespace webcc::http {
+
+// Sentinel expiry for "never expires" (strong-consistency entries).
+inline constexpr Time kNeverExpires = std::numeric_limits<Time>::max();
+
+enum class ReplacementPolicy { kLru, kExpiredFirstLru };
+
+struct CacheEntry {
+  std::string key;  // url@client
+  std::string url;
+  std::string owner;  // the real client this namespaced entry belongs to
+  std::uint64_t size_bytes = 0;
+  Time last_modified = 0;
+  std::uint64_t version = 0;
+  Time fetched_at = 0;
+  Time ttl_expires = kNeverExpires;
+  Time lease_expires = kNeverExpires;
+  // Set by server-address invalidations and proxy recovery: the entry must
+  // be revalidated with If-Modified-Since before it may be served.
+  bool questionable = false;
+
+ private:
+  friend class ProxyCache;
+  std::uint64_t heap_stamp_ = 0;  // lazy-deletion marker for the TTL heap
+};
+
+struct ProxyCacheStats {
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t expired_evictions = 0;  // evicted via the expired-first rule
+  std::uint64_t erased = 0;             // removed by invalidation
+};
+
+class ProxyCache {
+ public:
+  ProxyCache(std::uint64_t capacity_bytes, ReplacementPolicy policy)
+      : capacity_bytes_(capacity_bytes), policy_(policy) {}
+
+  ProxyCache(const ProxyCache&) = delete;
+  ProxyCache& operator=(const ProxyCache&) = delete;
+
+  // Returns the entry and promotes it to most-recently-used, or nullptr.
+  // The pointer stays valid until the next Insert/Erase on this cache.
+  CacheEntry* Lookup(const std::string& key);
+
+  // Lookup without the LRU promotion (for metrics/tests).
+  CacheEntry* Peek(const std::string& key);
+
+  // Inserts (or replaces) an entry, evicting per the policy until it fits.
+  // Objects larger than the whole cache are not cached. `now` is the
+  // protocol time used to judge which entries are expired.
+  void Insert(CacheEntry entry, Time now);
+
+  // Removes an entry (invalidation path). Returns whether it existed.
+  bool Erase(const std::string& key);
+
+  // Changes an entry's TTL expiry, keeping the expired-first index in sync.
+  // `entry` must be owned by this cache.
+  void SetTtlExpiry(CacheEntry& entry, Time expires);
+
+  // Removes every owner's copy of `url` (proxy-wide invalidation, as PSI
+  // performs). Returns the number of entries removed.
+  std::size_t EraseByUrl(const std::string& url);
+
+  // Collects up to `max_items` live entries whose TTL has expired at `now`,
+  // consuming their expiry-index records: the caller must either erase each
+  // returned entry or re-arm it with SetTtlExpiry (PCV does one or the
+  // other after the bulk validation). Pointers stay valid until the next
+  // Insert/Erase.
+  std::vector<CacheEntry*> TakeExpired(Time now, std::size_t max_items);
+
+  // Proxy-recovery sweep: every entry must revalidate before serving.
+  void MarkAllQuestionable();
+
+  // Selective sweep (e.g. server-address invalidation for one real client's
+  // entries). Returns the number of entries marked.
+  std::size_t MarkQuestionableWhere(
+      const std::function<bool(const CacheEntry&)>& predicate);
+
+  std::uint64_t bytes_used() const { return bytes_used_; }
+  std::uint64_t capacity_bytes() const { return capacity_bytes_; }
+  std::size_t entry_count() const { return lru_.size(); }
+  const ProxyCacheStats& stats() const { return stats_; }
+
+ private:
+  struct TtlHeapItem {
+    Time expires;
+    std::uint64_t stamp;
+    std::string key;
+    // Ties on expiry break by stamp (insertion/update order), making the
+    // expired-first victim deterministic.
+    bool operator>(const TtlHeapItem& other) const {
+      if (expires != other.expires) return expires > other.expires;
+      return stamp > other.stamp;
+    }
+  };
+
+  using LruList = std::list<CacheEntry>;
+
+  void EvictOne(Time now);
+  void RemoveEntry(LruList::iterator it);
+  void PushTtlItem(const CacheEntry& entry);
+
+  std::uint64_t capacity_bytes_;
+  ReplacementPolicy policy_;
+  std::uint64_t bytes_used_ = 0;
+  std::uint64_t next_stamp_ = 1;
+
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> index_;
+  // url -> keys of the entries caching it (one per owner).
+  std::unordered_map<std::string, std::unordered_set<std::string>> url_index_;
+  std::priority_queue<TtlHeapItem, std::vector<TtlHeapItem>,
+                      std::greater<TtlHeapItem>>
+      ttl_heap_;
+  ProxyCacheStats stats_;
+};
+
+}  // namespace webcc::http

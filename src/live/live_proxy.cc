@@ -1,0 +1,179 @@
+#include "live/live_proxy.h"
+
+#include <chrono>
+#include <utility>
+
+#include "core/adaptive_ttl.h"
+#include "live/live_server.h"
+#include "net/wire.h"
+#include "util/log.h"
+
+namespace webcc::live {
+
+LiveProxy::LiveProxy(Options options) : options_(std::move(options)) {}
+
+LiveProxy::~LiveProxy() { Stop(); }
+
+bool LiveProxy::Start() {
+  listener_.emplace(options_.port);
+  if (!listener_->valid()) return false;
+  port_ = listener_->port();
+  cache_.emplace(options_.cache_bytes, options_.replacement);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void LiveProxy::Stop() {
+  if (!running_.exchange(false)) return;
+  listener_->Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+Time LiveProxy::Now() const {
+  // Unix-epoch microseconds: server and proxy clocks must agree because
+  // lease expiries and modification times cross the wire.
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+std::size_t LiveProxy::cached_entries() const {
+  const std::scoped_lock lock(mutex_);
+  return cache_->entry_count();
+}
+
+void LiveProxy::SimulateRecovery() {
+  const std::scoped_lock lock(mutex_);
+  cache_->MarkAllQuestionable();
+}
+
+LiveProxy::FetchResult LiveProxy::Fetch(const std::string& client_name,
+                                        const std::string& url) {
+  const std::string client_id = MakeClientId(client_name, port_);
+  const std::string key = url + "@" + client_id;
+  const Time now = Now();
+
+  net::Request request;
+  request.url = url;
+  request.client_id = client_id;
+  request.type = net::MessageType::kGet;
+
+  {
+    const std::scoped_lock lock(mutex_);
+    http::CacheEntry* entry = cache_->Lookup(key);
+    if (entry != nullptr) {
+      bool serve_local = false;
+      switch (options_.protocol) {
+        case core::Protocol::kAdaptiveTtl:
+          serve_local = !entry->questionable && now < entry->ttl_expires;
+          break;
+        case core::Protocol::kPollEveryTime:
+          serve_local = false;
+          break;
+        case core::Protocol::kInvalidation:
+          serve_local = !entry->questionable &&
+                        (entry->lease_expires == http::kNeverExpires ||
+                         now < entry->lease_expires);
+          break;
+      }
+      if (serve_local) {
+        FetchResult result;
+        result.ok = true;
+        result.local_hit = true;
+        result.version = entry->version;
+        result.size_bytes = entry->size_bytes;
+        return result;
+      }
+      request.type = net::MessageType::kIfModifiedSince;
+      request.if_modified_since = entry->last_modified;
+    }
+  }
+
+  const std::optional<std::string> reply_line =
+      Exchange(options_.server_port, net::EncodeLine(request));
+  if (!reply_line.has_value()) return FetchResult{};
+  const std::optional<net::Message> message = net::DecodeLine(*reply_line);
+  if (!message.has_value()) return FetchResult{};
+  const auto* reply = std::get_if<net::Reply>(&*message);
+  if (reply == nullptr) return FetchResult{};
+
+  FetchResult result;
+  result.ok = true;
+  result.version = reply->version;
+
+  const std::scoped_lock lock(mutex_);
+  if (reply->type == net::MessageType::kReply200) {
+    http::CacheEntry entry;
+    entry.key = key;
+    entry.url = url;
+    entry.owner = client_id;
+    entry.size_bytes = reply->body_bytes;
+    entry.last_modified = reply->last_modified;
+    entry.version = reply->version;
+    entry.fetched_at = now;
+    if (options_.protocol == core::Protocol::kAdaptiveTtl) {
+      entry.ttl_expires =
+          core::AdaptiveTtlExpiry(options_.ttl, now, reply->last_modified);
+    }
+    entry.lease_expires = reply->lease_until == net::kNoLease
+                              ? http::kNeverExpires
+                              : reply->lease_until;
+    result.size_bytes = entry.size_bytes;
+    cache_->Insert(std::move(entry), now);
+  } else {
+    result.validated = true;
+    http::CacheEntry* entry = cache_->Peek(key);
+    if (entry != nullptr) {
+      entry->questionable = false;
+      result.size_bytes = entry->size_bytes;
+      result.version = entry->version;
+      if (options_.protocol == core::Protocol::kAdaptiveTtl) {
+        cache_->SetTtlExpiry(
+            *entry, core::AdaptiveTtlExpiry(options_.ttl, now,
+                                            reply->last_modified));
+      }
+      if (reply->lease_until != net::kNoLease) {
+        entry->lease_expires = reply->lease_until;
+      } else if (options_.protocol == core::Protocol::kInvalidation) {
+        entry->lease_expires = http::kNeverExpires;
+      }
+    }
+  }
+  return result;
+}
+
+void LiveProxy::AcceptLoop() {
+  while (running_.load()) {
+    TcpStream stream = listener_->Accept();
+    if (!stream.valid()) {
+      if (!running_.load()) return;
+      continue;
+    }
+    stream.SetReadTimeout(5000);
+    const std::optional<std::string> line = stream.ReadLine();
+    if (!line.has_value()) continue;
+    const std::optional<net::Message> message = net::DecodeLine(*line);
+    if (!message.has_value()) continue;
+    const auto* invalidation = std::get_if<net::Invalidation>(&*message);
+    if (invalidation == nullptr) continue;
+    // A TTL or polling proxy predates the INVALIDATE extension and ignores
+    // such messages, as the paper's weak-consistency baselines do.
+    if (options_.protocol != core::Protocol::kInvalidation) continue;
+
+    const std::scoped_lock lock(mutex_);
+    if (invalidation->type == net::MessageType::kInvalidateUrl) {
+      cache_->Erase(invalidation->url + "@" + invalidation->client_id);
+      invalidations_received_.fetch_add(1);
+    } else {
+      // Server-address invalidation: the recovering server cannot know what
+      // changed while it was down, so every copy of its documents at this
+      // site becomes questionable (the wire message carries no client; with
+      // a single origin that is this proxy's whole cache).
+      cache_->MarkAllQuestionable();
+      server_notices_received_.fetch_add(1);
+    }
+  }
+}
+
+}  // namespace webcc::live

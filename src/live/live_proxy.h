@@ -1,0 +1,89 @@
+// Real-TCP caching proxy, the live counterpart of the replay's
+// pseudo-client proxies (Harvest "cached").
+//
+// Serves Fetch() calls on behalf of named real clients (entries are
+// namespaced url@name, as in the paper's replay), forwards misses and
+// validations to the live server, and runs a listener for the server's
+// INVALIDATE pushes. Supports all three consistency protocols so the live
+// demo can show their behavioral differences end to end.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "core/policy.h"
+#include "http/proxy_cache.h"
+#include "live/socket.h"
+#include "util/time.h"
+
+namespace webcc::live {
+
+class LiveProxy {
+ public:
+  struct Options {
+    std::uint16_t port = 0;       // invalidation listener; 0 = ephemeral
+    std::uint16_t server_port = 0;
+    core::Protocol protocol = core::Protocol::kInvalidation;
+    core::AdaptiveTtlConfig ttl;
+    std::uint64_t cache_bytes = 64ull * 1024 * 1024;
+    http::ReplacementPolicy replacement =
+        http::ReplacementPolicy::kExpiredFirstLru;
+  };
+
+  explicit LiveProxy(Options options);
+  ~LiveProxy();
+
+  LiveProxy(const LiveProxy&) = delete;
+  LiveProxy& operator=(const LiveProxy&) = delete;
+
+  bool Start();
+  void Stop();
+
+  std::uint16_t port() const { return port_; }
+
+  struct FetchResult {
+    bool ok = false;
+    // Served from cache without contacting the server.
+    bool local_hit = false;
+    // Contacted the server and got a 304 (copy certified fresh).
+    bool validated = false;
+    std::uint64_t version = 0;
+    std::uint64_t size_bytes = 0;
+  };
+
+  // Fetches `url` on behalf of real client `client_name`. Thread-safe.
+  FetchResult Fetch(const std::string& client_name, const std::string& url);
+
+  // Simulated proxy restart: every cached entry becomes questionable.
+  void SimulateRecovery();
+
+  std::uint64_t invalidations_received() const {
+    return invalidations_received_.load();
+  }
+  std::uint64_t server_notices_received() const {
+    return server_notices_received_.load();
+  }
+  std::size_t cached_entries() const;
+
+ private:
+  void AcceptLoop();
+  Time Now() const;
+
+  Options options_;
+  std::uint16_t port_ = 0;
+
+  mutable std::mutex mutex_;  // guards cache_
+  std::optional<http::ProxyCache> cache_;
+
+  std::optional<TcpListener> listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> invalidations_received_{0};
+  std::atomic<std::uint64_t> server_notices_received_{0};
+};
+
+}  // namespace webcc::live

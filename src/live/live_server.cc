@@ -1,0 +1,162 @@
+#include "live/live_server.h"
+
+#include <charconv>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "net/wire.h"
+#include "util/log.h"
+
+namespace webcc::live {
+
+std::string MakeClientId(std::string_view name, std::uint16_t proxy_port) {
+  return std::string(name) + "@" + std::to_string(proxy_port);
+}
+
+std::optional<std::uint16_t> ParseClientPort(std::string_view client_id) {
+  const std::size_t at = client_id.rfind('@');
+  if (at == std::string_view::npos) return std::nullopt;
+  const std::string_view digits = client_id.substr(at + 1);
+  std::uint16_t port = 0;
+  const auto result =
+      std::from_chars(digits.data(), digits.data() + digits.size(), port);
+  if (result.ec != std::errc{} ||
+      result.ptr != digits.data() + digits.size()) {
+    return std::nullopt;
+  }
+  return port;
+}
+
+LiveServer::LiveServer(Options options)
+    : options_(std::move(options)),
+      accel_(docs_, options_.lease, options_.server_name) {}
+
+LiveServer::~LiveServer() { Stop(); }
+
+bool LiveServer::Start() {
+  listener_.emplace(options_.port);
+  if (!listener_->valid()) return false;
+  port_ = listener_->port();
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void LiveServer::Stop() {
+  if (!running_.exchange(false)) return;
+  listener_->Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+Time LiveServer::Now() const {
+  // Unix-epoch microseconds: server and proxy clocks must agree because
+  // lease expiries and modification times cross the wire.
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void LiveServer::AddDocument(std::string path, std::uint64_t size_bytes) {
+  const std::scoped_lock lock(mutex_);
+  docs_.Add(std::move(path), size_bytes, Now());
+}
+
+std::size_t LiveServer::TouchDocument(const std::string& path) {
+  std::vector<net::Invalidation> invalidations;
+  {
+    const std::scoped_lock lock(mutex_);
+    if (!docs_.Touch(path, Now())) return 0;
+    invalidations = accel_.HandleNotify(net::Notify{path}, Now());
+  }
+  return PushInvalidations(invalidations);
+}
+
+void LiveServer::CrashTables() {
+  const std::scoped_lock lock(mutex_);
+  accel_.Crash();
+}
+
+std::size_t LiveServer::Recover() {
+  std::vector<net::Invalidation> notices;
+  {
+    const std::scoped_lock lock(mutex_);
+    notices = accel_.Recover();
+  }
+  return PushInvalidations(notices);
+}
+
+std::size_t LiveServer::PushInvalidations(
+    const std::vector<net::Invalidation>& invalidations) {
+  std::size_t pushed = 0;
+  for (const net::Invalidation& invalidation : invalidations) {
+    const auto port = ParseClientPort(invalidation.client_id);
+    if (!port.has_value()) {
+      WEBCC_LOG_WARN("live: client id '%s' has no callback port",
+                     invalidation.client_id.c_str());
+      continue;
+    }
+    if (SendOneWay(*port, net::EncodeLine(invalidation))) {
+      ++pushed;
+      invalidations_pushed_.fetch_add(1);
+    }
+    // A refused connection means the proxy is down; its recovery path
+    // (mark-all-questionable) covers consistency, so no retry — exactly the
+    // paper's failure handling.
+  }
+  return pushed;
+}
+
+void LiveServer::AcceptLoop() {
+  while (running_.load()) {
+    TcpStream stream = listener_->Accept();
+    if (!stream.valid()) {
+      if (!running_.load()) return;
+      continue;
+    }
+    HandleConnection(std::move(stream));
+  }
+}
+
+void LiveServer::HandleConnection(TcpStream stream) {
+  stream.SetReadTimeout(5000);
+  const std::optional<std::string> line = stream.ReadLine();
+  if (!line.has_value()) return;
+  const std::optional<net::Message> message = net::DecodeLine(*line);
+  if (!message.has_value()) {
+    stream.WriteAll("ERR malformed\n");
+    return;
+  }
+
+  if (const auto* request = std::get_if<net::Request>(&*message)) {
+    std::optional<net::Reply> reply;
+    {
+      const std::scoped_lock lock(mutex_);
+      reply = accel_.HandleRequest(*request, Now());
+    }
+    if (!reply.has_value()) {
+      stream.WriteAll("ERR notfound\n");
+      return;
+    }
+    requests_served_.fetch_add(1);
+    stream.WriteAll(net::EncodeLine(*reply));
+    return;
+  }
+
+  if (const auto* notify = std::get_if<net::Notify>(&*message)) {
+    // Out-of-band check-in (the replay drives TouchDocument directly; a
+    // remote modifier can also announce an already-applied edit).
+    std::vector<net::Invalidation> invalidations;
+    {
+      const std::scoped_lock lock(mutex_);
+      invalidations = accel_.HandleNotify(*notify, Now());
+    }
+    const std::size_t pushed = PushInvalidations(invalidations);
+    stream.WriteAll("OK " + std::to_string(pushed) + "\n");
+    return;
+  }
+
+  stream.WriteAll("ERR unsupported\n");
+}
+
+}  // namespace webcc::live

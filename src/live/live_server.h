@@ -1,0 +1,97 @@
+// Real-TCP origin server + accelerator, the live counterpart of the
+// replay's pseudo-server.
+//
+// Mirrors the paper's deployment: the accelerator fronts the origin,
+// registers every requesting site, and pushes INVALIDATE messages over TCP
+// when a document is touched and checked in. One request per connection;
+// the wire format is net/wire.h.
+//
+// Invalidations must reach the requesting proxy's listener, so live client
+// identifiers embed the proxy's callback port: "name@port" (see
+// MakeClientId). This plays the role of the IP address the paper's
+// accelerator records per site.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "core/accelerator.h"
+#include "core/policy.h"
+#include "http/document_store.h"
+#include "live/socket.h"
+#include "util/time.h"
+
+namespace webcc::live {
+
+// "alice@45123": real-client name plus the proxy listener to call back.
+std::string MakeClientId(std::string_view name, std::uint16_t proxy_port);
+// Extracts the callback port; std::nullopt if the id has no port suffix.
+std::optional<std::uint16_t> ParseClientPort(std::string_view client_id);
+
+class LiveServer {
+ public:
+  struct Options {
+    std::uint16_t port = 0;  // 0 = pick an ephemeral port
+    core::LeaseConfig lease;
+    std::string server_name = "origin";
+  };
+
+  explicit LiveServer(Options options);
+  ~LiveServer();
+
+  LiveServer(const LiveServer&) = delete;
+  LiveServer& operator=(const LiveServer&) = delete;
+
+  // Binds and spawns the accept loop. False if the port could not be bound.
+  bool Start();
+  void Stop();
+
+  std::uint16_t port() const { return port_; }
+
+  // --- document administration (thread-safe) -------------------------------
+  void AddDocument(std::string path, std::uint64_t size_bytes);
+  // Simulates an edit plus check-in: bumps the version and runs the
+  // accelerator's detection, pushing invalidations to registered proxies.
+  // Returns the number of INVALIDATE messages pushed.
+  std::size_t TouchDocument(const std::string& path);
+
+  // --- failure drill --------------------------------------------------------
+  // Drops the in-memory invalidation table (server-site crash)...
+  void CrashTables();
+  // ...and the recovery path: pushes a server-address INVALIDATE to every
+  // site ever seen. Returns how many were pushed.
+  std::size_t Recover();
+
+  // Monotonic protocol time (microseconds since Start).
+  Time Now() const;
+
+  std::uint64_t requests_served() const { return requests_served_.load(); }
+  std::uint64_t invalidations_pushed() const {
+    return invalidations_pushed_.load();
+  }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(TcpStream stream);
+  std::size_t PushInvalidations(
+      const std::vector<net::Invalidation>& invalidations);
+
+  Options options_;
+  std::uint16_t port_ = 0;
+
+  mutable std::mutex mutex_;  // guards docs_ and accel_
+  http::DocumentStore docs_;
+  core::Accelerator accel_;
+
+  std::optional<TcpListener> listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> invalidations_pushed_{0};
+};
+
+}  // namespace webcc::live

@@ -1,0 +1,145 @@
+#include "live/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace webcc::live {
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool TcpStream::WriteAll(std::string_view data) {
+  if (!fd_.valid()) return false;
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::send(fd_.get(), data.data() + written,
+                             data.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> TcpStream::ReadLine() {
+  if (!fd_.valid()) return std::nullopt;
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline + 1);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      if (!buffer_.empty()) {
+        std::string line = std::move(buffer_);
+        buffer_.clear();
+        return line;  // final unterminated line
+      }
+      return std::nullopt;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void TcpStream::SetReadTimeout(int milliseconds) {
+  if (!fd_.valid()) return;
+  timeval tv{};
+  tv.tv_sec = milliseconds / 1000;
+  tv.tv_usec = (milliseconds % 1000) * 1000;
+  ::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return;
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return;
+  }
+  if (::listen(fd.get(), 64) != 0) return;
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return;
+  }
+  port_ = ntohs(addr.sin_port);
+  fd_ = std::move(fd);
+}
+
+TcpStream TcpListener::Accept() {
+  if (!fd_.valid()) return TcpStream(Fd());
+  const int client = ::accept(fd_.get(), nullptr, nullptr);
+  return TcpStream(Fd(client));
+}
+
+void TcpListener::Shutdown() {
+  if (fd_.valid()) {
+    ::shutdown(fd_.get(), SHUT_RDWR);
+    fd_.Close();
+  }
+}
+
+TcpStream Connect(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return TcpStream(Fd());
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return TcpStream(Fd());
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream(std::move(fd));
+}
+
+std::optional<std::string> Exchange(std::uint16_t port, std::string_view line) {
+  TcpStream stream = Connect(port);
+  if (!stream.valid()) return std::nullopt;
+  stream.SetReadTimeout(5000);
+  if (!stream.WriteAll(line)) return std::nullopt;
+  return stream.ReadLine();
+}
+
+bool SendOneWay(std::uint16_t port, std::string_view line) {
+  TcpStream stream = Connect(port);
+  if (!stream.valid()) return false;
+  return stream.WriteAll(line);
+}
+
+}  // namespace webcc::live

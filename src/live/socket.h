@@ -1,0 +1,89 @@
+// Minimal RAII TCP sockets for the live prototype (loopback deployments).
+//
+// The live components speak one request per connection (HTTP/1.0 style,
+// like the paper's Harvest-era stack): connect, write one wire line, read
+// one wire line back, close. Blocking I/O with short timeouts keeps the
+// threading model simple — one accept loop per component, handling each
+// connection inline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace webcc::live {
+
+// Owning file-descriptor wrapper.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { Close(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+// A connected TCP stream with line-oriented helpers.
+class TcpStream {
+ public:
+  explicit TcpStream(Fd fd) : fd_(std::move(fd)) {}
+
+  bool valid() const { return fd_.valid(); }
+
+  // Writes the whole buffer; false on error.
+  bool WriteAll(std::string_view data);
+
+  // Reads up to (and including) the next '\n'. std::nullopt on EOF/error
+  // before any byte, empty-line results are returned as "\n".
+  std::optional<std::string> ReadLine();
+
+  // Sets SO_RCVTIMEO so a dead peer cannot hang a handler thread.
+  void SetReadTimeout(int milliseconds);
+
+ private:
+  Fd fd_;
+  std::string buffer_;  // bytes read past the last returned line
+};
+
+// Listening socket bound to 127.0.0.1.
+class TcpListener {
+ public:
+  // Binds to the given port; 0 picks an ephemeral port. Check valid().
+  explicit TcpListener(std::uint16_t port);
+
+  bool valid() const { return fd_.valid(); }
+  std::uint16_t port() const { return port_; }
+
+  // Blocks until a connection arrives; invalid stream on error (including
+  // the listener being closed from another thread — the shutdown path).
+  TcpStream Accept();
+
+  // Unblocks Accept() from another thread.
+  void Shutdown();
+
+ private:
+  Fd fd_;
+  std::uint16_t port_ = 0;
+};
+
+// Connects to 127.0.0.1:port; invalid stream on failure.
+TcpStream Connect(std::uint16_t port);
+
+// One-shot request/response exchange: connect, send `line`, read one line.
+std::optional<std::string> Exchange(std::uint16_t port, std::string_view line);
+
+// Fire-and-forget: connect and send `line` (used for INVALIDATE pushes).
+bool SendOneWay(std::uint16_t port, std::string_view line);
+
+}  // namespace webcc::live

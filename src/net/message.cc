@@ -1,0 +1,42 @@
+#include "net/message.h"
+
+namespace webcc::net {
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kGet:
+      return "GET";
+    case MessageType::kIfModifiedSince:
+      return "IMS";
+    case MessageType::kReply200:
+      return "200";
+    case MessageType::kReply304:
+      return "304";
+    case MessageType::kInvalidateUrl:
+      return "INV";
+    case MessageType::kInvalidateServer:
+      return "INVSRV";
+    case MessageType::kNotify:
+      return "NOTIFY";
+  }
+  return "?";
+}
+
+std::uint64_t WireSize(const Request& request) {
+  return kControlHeaderBytes + request.url.size() + request.client_id.size();
+}
+
+std::uint64_t WireSize(const Reply& reply) {
+  return kControlHeaderBytes + reply.url.size() + reply.body_bytes;
+}
+
+std::uint64_t WireSize(const Invalidation& invalidation) {
+  return kControlHeaderBytes + invalidation.url.size() +
+         invalidation.server.size() + invalidation.client_id.size();
+}
+
+std::uint64_t WireSize(const Notify& notify) {
+  return kControlHeaderBytes + notify.url.size();
+}
+
+}  // namespace webcc::net

@@ -1,0 +1,84 @@
+// Protocol message model.
+//
+// The protocol is the paper's: HTTP GET and If-Modified-Since requests,
+// 200/304 replies, the check-in NOTIFY from the modification detector, and
+// the INVALIDATE message type the paper adds to HTTP — carrying either a URL
+// (delete that document) or a server address (mark every document from that
+// server questionable, used on server-site recovery).
+//
+// Replies optionally carry a lease expiry for the Section 6 lease-augmented
+// schemes; `kNoLease` denotes the unbounded lease of plain invalidation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/time.h"
+
+namespace webcc::net {
+
+enum class MessageType : std::uint8_t {
+  kGet,
+  kIfModifiedSince,
+  kReply200,
+  kReply304,
+  kInvalidateUrl,
+  kInvalidateServer,
+  kNotify,
+};
+
+// Absolute lease expiry value meaning "never expires".
+inline constexpr Time kNoLease = -1;
+
+const char* MessageTypeName(MessageType type);
+
+struct Request {
+  MessageType type = MessageType::kGet;  // kGet or kIfModifiedSince
+  std::string url;
+  // Identifier of the *real* client (the paper forwards it with each request
+  // so the accelerator can register per-client cache sites).
+  std::string client_id;
+  // If-Modified-Since timestamp; ignored for kGet.
+  Time if_modified_since = 0;
+};
+
+struct Reply {
+  MessageType type = MessageType::kReply200;  // kReply200 or kReply304
+  std::string url;
+  // Unscaled document size; 0 for 304s.
+  std::uint64_t body_bytes = 0;
+  Time last_modified = 0;
+  // Monotone per-document version, used by the replay harness for exact
+  // stale-serve accounting (not part of the paper's wire format).
+  std::uint64_t version = 0;
+  // Absolute expiry of the lease granted with this reply, or kNoLease.
+  Time lease_until = kNoLease;
+};
+
+struct Invalidation {
+  MessageType type = MessageType::kInvalidateUrl;
+  // kInvalidateUrl: the document to drop. kInvalidateServer: empty.
+  std::string url;
+  // kInvalidateServer: the origin whose documents become questionable.
+  std::string server;
+  // The real client whose cache entry is addressed.
+  std::string client_id;
+};
+
+// Check-in notification from the modification detector to the accelerator.
+struct Notify {
+  std::string url;
+};
+
+// --- wire-size accounting --------------------------------------------------
+// Sizes used for the byte columns of Tables 3/4: a typical HTTP header
+// footprint plus variable parts, with 200 replies adding their body.
+
+inline constexpr std::uint64_t kControlHeaderBytes = 180;
+
+std::uint64_t WireSize(const Request& request);
+std::uint64_t WireSize(const Reply& reply);
+std::uint64_t WireSize(const Invalidation& invalidation);
+std::uint64_t WireSize(const Notify& notify);
+
+}  // namespace webcc::net

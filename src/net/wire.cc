@@ -1,0 +1,208 @@
+#include "net/wire.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <vector>
+
+namespace webcc::net {
+namespace {
+
+bool NeedsEscape(unsigned char c) {
+  return c == '%' || c == ' ' || c < 0x21 || c == 0x7f;
+}
+
+// Splits on single spaces; returns false if the line has empty fields.
+bool SplitFields(std::string_view line, std::vector<std::string_view>& out) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    const std::size_t space = line.find(' ', start);
+    const std::size_t end = space == std::string_view::npos ? line.size() : space;
+    if (end == start) return false;
+    out.push_back(line.substr(start, end - start));
+    if (space == std::string_view::npos) break;
+    start = space + 1;
+  }
+  return !out.empty();
+}
+
+template <typename Int>
+bool ParseInt(std::string_view field, Int& out) {
+  const auto result =
+      std::from_chars(field.data(), field.data() + field.size(), out);
+  return result.ec == std::errc{} && result.ptr == field.data() + field.size();
+}
+
+std::optional<std::string> ParseField(std::string_view field) {
+  return UnescapeField(field);
+}
+
+}  // namespace
+
+std::string EscapeField(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (unsigned char c : raw) {
+    if (NeedsEscape(c)) {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X", c);
+      out += buf;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> UnescapeField(std::string_view escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    const char c = escaped[i];
+    if (c != '%') {
+      out += c;
+      continue;
+    }
+    if (i + 2 >= escaped.size() || !std::isxdigit(escaped[i + 1]) ||
+        !std::isxdigit(escaped[i + 2])) {
+      return std::nullopt;
+    }
+    unsigned value = 0;
+    for (int k = 1; k <= 2; ++k) {
+      const char h = escaped[i + k];
+      value = value * 16 +
+              (std::isdigit(h) ? h - '0' : std::tolower(h) - 'a' + 10);
+    }
+    out += static_cast<char>(value);
+    i += 2;
+  }
+  return out;
+}
+
+std::string EncodeLine(const Message& message) {
+  char buf[128];
+  std::string out;
+  if (const auto* request = std::get_if<Request>(&message)) {
+    if (request->type == MessageType::kGet) {
+      out = "GET " + EscapeField(request->url) + " " +
+            EscapeField(request->client_id);
+    } else {
+      std::snprintf(buf, sizeof(buf), " %lld",
+                    static_cast<long long>(request->if_modified_since));
+      out = "IMS " + EscapeField(request->url) + " " +
+            EscapeField(request->client_id) + buf;
+    }
+  } else if (const auto* reply = std::get_if<Reply>(&message)) {
+    if (reply->type == MessageType::kReply200) {
+      std::snprintf(buf, sizeof(buf), " %llu %lld %llu %lld",
+                    static_cast<unsigned long long>(reply->body_bytes),
+                    static_cast<long long>(reply->last_modified),
+                    static_cast<unsigned long long>(reply->version),
+                    static_cast<long long>(reply->lease_until));
+      out = "200 " + EscapeField(reply->url) + buf;
+    } else {
+      std::snprintf(buf, sizeof(buf), " %lld %lld",
+                    static_cast<long long>(reply->last_modified),
+                    static_cast<long long>(reply->lease_until));
+      out = "304 " + EscapeField(reply->url) + buf;
+    }
+  } else if (const auto* inv = std::get_if<Invalidation>(&message)) {
+    if (inv->type == MessageType::kInvalidateUrl) {
+      out = "INV " + EscapeField(inv->url) + " " + EscapeField(inv->client_id);
+    } else {
+      out = "INVSRV " + EscapeField(inv->server);
+    }
+  } else if (const auto* notify = std::get_if<Notify>(&message)) {
+    out = "NOTIFY " + EscapeField(notify->url);
+  }
+  out += '\n';
+  return out;
+}
+
+std::optional<Message> DecodeLine(std::string_view line) {
+  std::vector<std::string_view> fields;
+  if (!SplitFields(line, fields)) return std::nullopt;
+  const std::string_view verb = fields[0];
+
+  if (verb == "GET" || verb == "IMS") {
+    Request request;
+    request.type =
+        verb == "GET" ? MessageType::kGet : MessageType::kIfModifiedSince;
+    if (fields.size() != (verb == "GET" ? 3u : 4u)) return std::nullopt;
+    auto url = ParseField(fields[1]);
+    auto client = ParseField(fields[2]);
+    if (!url || !client) return std::nullopt;
+    request.url = std::move(*url);
+    request.client_id = std::move(*client);
+    if (verb == "IMS" && !ParseInt(fields[3], request.if_modified_since)) {
+      return std::nullopt;
+    }
+    return request;
+  }
+
+  if (verb == "200") {
+    if (fields.size() != 6) return std::nullopt;
+    Reply reply;
+    reply.type = MessageType::kReply200;
+    auto url = ParseField(fields[1]);
+    if (!url || !ParseInt(fields[2], reply.body_bytes) ||
+        !ParseInt(fields[3], reply.last_modified) ||
+        !ParseInt(fields[4], reply.version) ||
+        !ParseInt(fields[5], reply.lease_until)) {
+      return std::nullopt;
+    }
+    reply.url = std::move(*url);
+    return reply;
+  }
+
+  if (verb == "304") {
+    if (fields.size() != 4) return std::nullopt;
+    Reply reply;
+    reply.type = MessageType::kReply304;
+    auto url = ParseField(fields[1]);
+    if (!url || !ParseInt(fields[2], reply.last_modified) ||
+        !ParseInt(fields[3], reply.lease_until)) {
+      return std::nullopt;
+    }
+    reply.url = std::move(*url);
+    return reply;
+  }
+
+  if (verb == "INV") {
+    if (fields.size() != 3) return std::nullopt;
+    Invalidation inv;
+    inv.type = MessageType::kInvalidateUrl;
+    auto url = ParseField(fields[1]);
+    auto client = ParseField(fields[2]);
+    if (!url || !client) return std::nullopt;
+    inv.url = std::move(*url);
+    inv.client_id = std::move(*client);
+    return inv;
+  }
+
+  if (verb == "INVSRV") {
+    if (fields.size() != 2) return std::nullopt;
+    Invalidation inv;
+    inv.type = MessageType::kInvalidateServer;
+    auto server = ParseField(fields[1]);
+    if (!server) return std::nullopt;
+    inv.server = std::move(*server);
+    return inv;
+  }
+
+  if (verb == "NOTIFY") {
+    if (fields.size() != 2) return std::nullopt;
+    Notify notify;
+    auto url = ParseField(fields[1]);
+    if (!url) return std::nullopt;
+    notify.url = std::move(*url);
+    return notify;
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace webcc::net

@@ -1,0 +1,43 @@
+// Line-based text codec for the webcc protocol.
+//
+// Used by the live (real-socket) prototype and by tests; the simulator only
+// needs WireSize(). One message per line; fields are space-separated and
+// URL/client fields are percent-escaped so they cannot contain separators.
+//
+//   GET <url> <client>
+//   IMS <url> <client> <if_modified_since_us>
+//   200 <url> <body_bytes> <last_modified_us> <version> <lease_until_us>
+//   304 <url> <last_modified_us> <lease_until_us>
+//   INV <url> <client>
+//   INVSRV <server>
+//   NOTIFY <url>
+//
+// A 200 line is followed by exactly <body_bytes> bytes of body on the
+// stream; framing of the body is the caller's job (the codec deals in
+// header lines only).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "net/message.h"
+
+namespace webcc::net {
+
+using Message = std::variant<Request, Reply, Invalidation, Notify>;
+
+// Encodes a message as a single newline-terminated header line.
+std::string EncodeLine(const Message& message);
+
+// Parses one header line (with or without trailing newline). Returns
+// std::nullopt on malformed input.
+std::optional<Message> DecodeLine(std::string_view line);
+
+// Escaping for URL/client/server fields: '%', ' ', '\n', '\r' and other
+// control bytes become %XX.
+std::string EscapeField(std::string_view raw);
+std::optional<std::string> UnescapeField(std::string_view escaped);
+
+}  // namespace webcc::net

@@ -1,0 +1,134 @@
+// Replay configuration: everything Section 5.1's methodology parameterizes.
+//
+// The replay reproduces the paper's testbed: one pseudo-server (origin +
+// accelerator + modifier) and a handful of pseudo-clients, each running a
+// proxy cache and replaying its share of the trace's real clients (clientid
+// mod num_pseudo_clients). A time coordinator advances simulated trace time
+// in lock-step intervals; within an interval each pseudo-client issues its
+// requests back-to-back, waiting for each reply (closed loop), exactly like
+// the paper's replay programs. Wall (performance) time is therefore
+// compressed relative to trace time; protocol decisions — TTLs, leases,
+// mtime comparisons — run on trace time, while latency and utilization are
+// measured in wall time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/piggyback.h"
+#include "core/policy.h"
+#include "http/origin.h"
+#include "http/proxy_cache.h"
+#include "net/message.h"
+#include "sim/network.h"
+#include "trace/modifier.h"
+#include "trace/record.h"
+#include "util/time.h"
+
+namespace webcc::replay {
+
+// Costs at the pseudo-client: replay-program overhead per request (trace
+// parsing, socket setup — this dominates the paper's replay pacing) and the
+// proxy's local serve/forward times.
+struct ClientCosts {
+  Time think_time = 1 * kSecond;
+  Time proxy_hit_time = 1 * kMillisecond;
+  Time proxy_forward_overhead = 1 * kMillisecond;
+  // A request with no reply times out and the closed loop moves on. The
+  // default is deliberately long: the paper's replay programs wait
+  // indefinitely, and a request stalled behind a serialized invalidation
+  // fan-out must complete so its (large) latency is measured. Failure
+  // experiments lower this to ride out dead servers.
+  Time request_timeout = 10 * kMinute;
+};
+
+// Failure injection, keyed by trace time; each event fires at the start of
+// the first lock-step interval covering it.
+enum class FailureKind {
+  kProxyCrash,    // target = pseudo-client index; cache survives on disk
+  kProxyRecover,  // proxy marks all entries questionable
+  kServerCrash,   // accelerator loses its in-memory tables
+  kServerRecover, // server sends INVSRV to every site ever seen
+  kPartition,     // target pseudo-client <-> server link cut
+  kHeal,
+};
+
+struct FailureEvent {
+  Time trace_time = 0;
+  FailureKind kind = FailureKind::kProxyCrash;
+  int target = 0;  // pseudo-client index; ignored for server events
+};
+
+struct ReplayConfig {
+  core::Protocol protocol = core::Protocol::kInvalidation;
+
+  // The trace to replay (non-owning; must outlive the run).
+  const trace::Trace* trace = nullptr;
+
+  // Modifier process: mean file lifetime (Tables 3/4 sample 2.5-50 days).
+  Time mean_lifetime = 50 * kDay;
+  std::uint64_t modifier_seed = 42;
+  // When non-empty, replaces the generated modifier schedule.
+  std::vector<trace::ModEvent> explicit_modifications;
+
+  std::uint32_t num_pseudo_clients = 4;
+
+  // Proxy cache capacity (unscaled bytes) and replacement policy; Harvest's
+  // expired-first policy is the paper's default.
+  std::uint64_t proxy_cache_bytes = 128ull * 1024 * 1024;
+  http::ReplacementPolicy replacement = http::ReplacementPolicy::kExpiredFirstLru;
+
+  // The paper replays with *separate* per-client caches (keys namespaced
+  // url@client) because real client sites do not share caches. Setting this
+  // true instead shares each pseudo-client's cache across its real clients
+  // — the Section 7 firewall-proxy deployment, where the server tracks and
+  // invalidates whole proxies rather than individual clients.
+  bool shared_proxy_cache = false;
+
+  // Hierarchical caching (the Worrell [14] configuration the paper
+  // contrasts itself against): a parent proxy sits between the leaf
+  // proxies and the server. Leaf misses go to the parent, which serves
+  // them from its shared cache when it can; the server only ever tracks
+  // and invalidates the parent, which forwards invalidations to the leaf
+  // proxies that fetched the document. Only meaningful with
+  // Protocol::kInvalidation.
+  bool hierarchical = false;
+
+  // Documents are stored scaled down by this factor (the paper uses 100);
+  // transfer delays use scaled sizes, byte accounting scales back up.
+  double size_scale = 100.0;
+
+  sim::NetworkConfig network = sim::NetworkConfig::Lan();
+  http::ServerCosts server_costs;
+  ClientCosts client_costs;
+
+  core::AdaptiveTtlConfig ttl;
+  core::LeaseConfig lease;
+  core::PiggybackConfig piggyback;
+
+  // The paper's prototype sends all invalidations for a modification before
+  // accepting new requests (shared FIFO CPU); false models the suggested
+  // fix of a decoupled sender.
+  bool serialized_invalidation = true;
+
+  // Section 5.2's other suggested fix: "or use multicast schemes". With
+  // multicast the server pays one send (CPU and bytes) per modification
+  // regardless of list length; deliveries still reach each site
+  // individually and all consistency bookkeeping is unchanged.
+  bool multicast_invalidation = false;
+
+  Time lockstep_interval = 5 * kMinute;
+
+  std::vector<FailureEvent> failures;
+
+  // Seeds initial document ages (exponential with mean_lifetime, predating
+  // the trace) so adaptive TTL sees a realistic age distribution at t=0.
+  std::uint64_t seed = 7;
+
+  // When >= 0, every document starts exactly this old instead of sampling
+  // from the exponential (used by tests that need the TTL trajectory to be
+  // predictable).
+  Time fixed_initial_age = -1;
+};
+
+}  // namespace webcc::replay

@@ -1,0 +1,1205 @@
+#include "replay/engine.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/accelerator.h"
+#include "core/adaptive_ttl.h"
+#include "core/lease.h"
+#include "core/piggyback.h"
+#include "http/document_store.h"
+#include "http/origin.h"
+#include "http/proxy_cache.h"
+#include "net/message.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sim/station.h"
+#include "util/check.h"
+#include "util/distributions.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace webcc::replay {
+namespace {
+
+using core::Protocol;
+
+class Engine {
+ public:
+  explicit Engine(const ReplayConfig& config)
+      : config_(config),
+        trace_(*config.trace),
+        net_(sim_, config.network),
+        server_cpu_(sim_, "server-cpu"),
+        server_disk_(sim_, "server-disk"),
+        inval_sender_(sim_, "invalidation-sender"),
+        accel_(docs_, config.lease) {
+    WEBCC_CHECK_MSG(config.trace != nullptr, "replay needs a trace");
+    WEBCC_CHECK_MSG(config.num_pseudo_clients > 0, "need pseudo-clients");
+    Setup();
+  }
+
+  ReplayMetrics Run();
+
+ private:
+  struct PseudoClient {
+    int index = 0;
+    sim::NodeId node = 0;
+    std::unique_ptr<http::ProxyCache> cache;
+    std::vector<trace::TraceRecord> records;
+    std::size_t cursor = 0;        // next record to issue
+    std::size_t window_end = 0;    // bound for the current interval
+    bool down = false;
+    std::uint64_t outstanding = 0;  // seq of the in-flight request; 0 = none
+    Time request_start = 0;         // wall time the in-flight request began
+  };
+
+  sim::NodeId ServerNode() const {
+    return static_cast<sim::NodeId>(clients_.size());
+  }
+  sim::NodeId ParentNode() const {
+    return static_cast<sim::NodeId>(clients_.size() + 1);
+  }
+  bool InvalidationMode() const {
+    return config_.protocol == Protocol::kInvalidation;
+  }
+  // Protocols whose local-serve decision is the adaptive TTL.
+  bool TtlBased() const {
+    return config_.protocol == Protocol::kAdaptiveTtl ||
+           config_.protocol == Protocol::kPiggybackValidation ||
+           config_.protocol == Protocol::kPiggybackInvalidation;
+  }
+
+  // --- setup ---------------------------------------------------------------
+  void Setup();
+
+  // --- lock-step coordinator -----------------------------------------------
+  void StartInterval();
+  void ParticipantDone();
+  void ApplyFailure(const FailureEvent& event);
+
+  // --- pseudo-client request loop -------------------------------------------
+  void IssueNext(PseudoClient& pc);
+  void FinishRequest(PseudoClient& pc, Time latency);
+  void LocalServe(PseudoClient& pc, http::CacheEntry& entry, Time trace_time);
+  void SendToServer(PseudoClient& pc, net::Request request, Time trace_time,
+                    bool lease_renewal);
+  void ServerHandle(const net::Request& request, int client_index,
+                    std::uint64_t seq, Time trace_time);
+  void DeliverReply(int client_index, std::uint64_t seq, net::Reply reply,
+                    std::string owner, Time trace_time);
+
+  // --- hierarchy (parent proxy) ----------------------------------------------
+  void ParentHandle(const net::Request& request, int client_index,
+                    std::uint64_t seq, Time trace_time);
+  void ServerHandleForParent(net::Request request, int client_index,
+                             std::uint64_t seq, std::string owner,
+                             bool leaf_wanted_body, Time trace_time);
+  void ParentReceiveReply(net::Reply reply, int client_index,
+                          std::uint64_t seq, std::string owner,
+                          bool leaf_wanted_body, Time trace_time);
+  void ParentDeliverInvalidation(const std::string& url, std::uint64_t mod_id);
+  void ParentDeliverServerNotice(const net::Invalidation& notice);
+  void ApplyPiggyback(int client_index,
+                      const std::vector<core::PcvVerdict>& verdicts,
+                      const std::vector<std::string>& psi_urls,
+                      Time trace_time);
+
+  // --- modifier / invalidation path -----------------------------------------
+  void ModifierStep();
+  // Fans out the invalidations for one modification. `on_complete` runs when
+  // the modifier may proceed: in serialized mode after every message is
+  // delivered (the paper's check-in blocks until the accelerator finishes
+  // sending), in decoupled mode immediately.
+  void FanOutInvalidations(std::vector<net::Invalidation> invalidations,
+                           const std::string& url,
+                           std::function<void()> on_complete);
+  void SendInvalidation(net::Invalidation invalidation, std::uint64_t mod_id);
+  void DeliverInvalidation(const net::Invalidation& invalidation,
+                           std::uint64_t mod_id);
+  void FinishInvalidationTarget(const net::Invalidation& invalidation,
+                                std::uint64_t mod_id);
+  void ResolveFirstAttempt(std::uint64_t mod_id);
+  void CompleteWrite(const std::string& url);
+  void FinishRecoveryNotice();
+  void ServerRecover();
+
+  // --- helpers ---------------------------------------------------------------
+  const std::string& DocPath(trace::DocId doc) const {
+    return trace_.documents[doc].path;
+  }
+  // True when serving `entry` at trace time `trace_now` returns outdated
+  // data *in trace order*: version v became obsolete at the trace time of
+  // the modification that produced v+1. Lock-step compression can process a
+  // modification in wall time before a request that precedes it in trace
+  // time; such a read linearizes before the write and is fresh.
+  bool StaleInTraceOrder(const http::CacheEntry& entry, Time trace_now) const {
+    const auto it = mod_times_.find(entry.url);
+    if (it == mod_times_.end()) return false;
+    const std::vector<Time>& times = it->second;
+    WEBCC_DCHECK(entry.version >= 1);
+    const std::size_t obsolete_index = entry.version - 1;
+    return obsolete_index < times.size() && times[obsolete_index] <= trace_now;
+  }
+  static std::string CacheKey(const std::string& url,
+                              const std::string& owner) {
+    return url + "@" + owner;
+  }
+  void CheckStaleness(const PseudoClient& pc, const http::CacheEntry& entry,
+                      Time trace_time);
+  http::CacheEntry BuildEntry(const net::Reply& reply,
+                              const std::string& owner, Time trace_time) const;
+
+  const ReplayConfig& config_;
+  const trace::Trace& trace_;
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  http::DocumentStore docs_;
+  sim::FifoStation server_cpu_;
+  sim::FifoStation server_disk_;
+  sim::FifoStation inval_sender_;  // used when sends are decoupled
+  core::Accelerator accel_;
+  std::unique_ptr<http::OriginServer> origin_;
+
+  std::vector<PseudoClient> clients_;
+  std::unordered_map<std::string, int> pseudo_of_client_;
+  std::vector<std::string> proxy_site_names_;  // shared-proxy site identities
+
+  // Hierarchical mode: the parent proxy's shared cache, its per-document
+  // leaf-interest lists, and its CPU station.
+  std::unique_ptr<http::ProxyCache> parent_cache_;
+  std::unique_ptr<core::InvalidationTable> parent_table_;
+  std::unique_ptr<sim::FifoStation> parent_cpu_;
+
+  std::vector<trace::ModEvent> modifications_;
+  std::size_t mod_cursor_ = 0;
+  std::size_t mod_window_end_ = 0;
+
+  std::vector<FailureEvent> failures_;  // sorted by trace_time
+  std::size_t failure_cursor_ = 0;
+
+  std::size_t interval_index_ = 0;
+  std::size_t num_intervals_ = 0;
+  int participants_ = 0;
+  bool server_down_ = false;
+  // True from a server-site crash until the recovery broadcast finishes:
+  // modifications in this window cannot complete (their invalidations reach
+  // clients only as the recovery INVSRV notices), so stale serves are still
+  // within the strong-consistency contract.
+  bool write_gap_active_ = false;
+  int recovery_notices_pending_ = 0;
+
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_mod_id_ = 1;
+  // Writes (modifications) whose invalidation fan-out has not finished;
+  // stale serves are legitimate only while the document has one in
+  // progress.
+  std::unordered_map<std::string, int> writes_in_progress_;
+  // Trace times at which each document version became obsolete:
+  // mod_times_[url][v-1] is the modification that superseded version v.
+  std::unordered_map<std::string, std::vector<Time>> mod_times_;
+  // PSI server state: the modification log and each proxy's contact cursor.
+  core::ModificationLog mod_log_;
+  std::vector<Time> psi_last_contact_;
+  // PCV piggyback batches in flight, keyed by request sequence number.
+  std::unordered_map<std::uint64_t, std::vector<core::PcvItem>>
+      pcv_in_flight_;
+  struct PendingMod {
+    std::string url;
+    // Undelivered invalidations: the write completes when this drains.
+    int remaining = 0;
+    // Unresolved first transmission attempts: the blocking check-in (the
+    // modifier's gate) waits only for these — a send that hits a partition
+    // moves to background retry and stops gating the modifier, exactly like
+    // a failed TCP send being queued for periodic retry.
+    int first_pending = 0;
+    std::function<void()> on_complete;  // modifier continuation (serialized)
+  };
+  std::unordered_map<std::uint64_t, PendingMod> pending_mod_targets_;
+
+  Time wall_end_ = 0;
+  ReplayMetrics metrics_;
+};
+
+void Engine::Setup() {
+  // Document store with pre-trace ages so adaptive TTL sees a realistic age
+  // distribution at t = 0 (files on a real server predate the log).
+  util::Rng rng(config_.seed);
+  for (const trace::DocumentInfo& doc : trace_.documents) {
+    const Time initial_age =
+        config_.fixed_initial_age >= 0
+            ? config_.fixed_initial_age
+            : static_cast<Time>(util::SampleExponential(
+                  rng, static_cast<double>(config_.mean_lifetime)));
+    docs_.Add(doc.path, doc.size_bytes, -initial_age);
+  }
+  origin_ = std::make_unique<http::OriginServer>(docs_);
+
+  clients_.resize(config_.num_pseudo_clients);
+  for (std::uint32_t i = 0; i < config_.num_pseudo_clients; ++i) {
+    PseudoClient& pc = clients_[i];
+    pc.index = static_cast<int>(i);
+    pc.node = static_cast<sim::NodeId>(i);
+    pc.cache = std::make_unique<http::ProxyCache>(config_.proxy_cache_bytes,
+                                                  config_.replacement);
+  }
+  psi_last_contact_.assign(config_.num_pseudo_clients, 0);
+  for (std::size_t c = 0; c < trace_.clients.size(); ++c) {
+    pseudo_of_client_[trace_.clients[c]] =
+        static_cast<int>(c % config_.num_pseudo_clients);
+  }
+  for (std::uint32_t i = 0; i < config_.num_pseudo_clients; ++i) {
+    proxy_site_names_.push_back("proxy-" + std::to_string(i));
+    pseudo_of_client_[proxy_site_names_.back()] = static_cast<int>(i);
+  }
+  for (const trace::TraceRecord& record : trace_.records) {
+    clients_[record.client % config_.num_pseudo_clients].records.push_back(
+        record);
+  }
+
+  if (!config_.explicit_modifications.empty()) {
+    modifications_ = config_.explicit_modifications;
+    // Callers may build these by hand; the modifier and the PSI log both
+    // require time order.
+    std::stable_sort(modifications_.begin(), modifications_.end(),
+                     [](const trace::ModEvent& a, const trace::ModEvent& b) {
+                       return a.at < b.at;
+                     });
+  } else {
+    trace::ModifierConfig mod_config;
+    mod_config.duration = trace_.duration;
+    mod_config.num_documents =
+        static_cast<std::uint32_t>(trace_.documents.size());
+    mod_config.mean_lifetime = config_.mean_lifetime;
+    mod_config.seed = config_.modifier_seed;
+    modifications_ = trace::GenerateModifierSchedule(mod_config);
+  }
+
+  failures_ = config_.failures;
+  std::stable_sort(failures_.begin(), failures_.end(),
+                   [](const FailureEvent& a, const FailureEvent& b) {
+                     return a.trace_time < b.trace_time;
+                   });
+
+  num_intervals_ = static_cast<std::size_t>(
+      (trace_.duration + config_.lockstep_interval - 1) /
+      config_.lockstep_interval);
+  if (num_intervals_ == 0) num_intervals_ = 1;
+
+  if (config_.hierarchical) {
+    WEBCC_CHECK_MSG(InvalidationMode(),
+                    "hierarchical mode is defined for the invalidation "
+                    "protocol only");
+    parent_cache_ = std::make_unique<http::ProxyCache>(
+        config_.proxy_cache_bytes * 4, config_.replacement);
+    parent_table_ = std::make_unique<core::InvalidationTable>(
+        core::LeaseConfig{});
+    parent_cpu_ = std::make_unique<sim::FifoStation>(sim_, "parent-cpu");
+  }
+}
+
+ReplayMetrics Engine::Run() {
+  StartInterval();
+  // Drain in-flight work after the last interval, but don't chase retry
+  // loops forever if a partition is never healed.
+  constexpr Time kDrainGrace = 10 * kMinute;
+  while (sim_.Step()) {
+    if (wall_end_ != 0 && sim_.now() > wall_end_ + kDrainGrace) break;
+  }
+
+  metrics_.server_cpu_utilization =
+      server_cpu_.utilization().BusyFraction(wall_end_);
+  metrics_.disk_reads_per_second =
+      server_disk_.utilization().ReadsPerSecond(wall_end_);
+  metrics_.disk_writes_per_second =
+      server_disk_.utilization().WritesPerSecond(wall_end_);
+  metrics_.wall_duration = wall_end_;
+
+  metrics_.sitelist_storage_bytes = accel_.table().StorageBytes();
+  metrics_.sitelist_entries = accel_.table().TotalEntries();
+  metrics_.sitelist_max_len_end = accel_.table().MaxListLength();
+  const auto& lengths = accel_.stats().list_lengths_at_modification;
+  if (!lengths.empty()) {
+    std::uint64_t sum = 0;
+    std::uint64_t longest = 0;
+    for (std::size_t length : lengths) {
+      sum += length;
+      longest = std::max<std::uint64_t>(longest, length);
+    }
+    metrics_.sitelist_avg_len_at_mod =
+        static_cast<double>(sum) / static_cast<double>(lengths.size());
+    metrics_.sitelist_max_len_at_mod = longest;
+  }
+  for (const PseudoClient& pc : clients_) {
+    metrics_.proxy_evictions += pc.cache->stats().evictions;
+    metrics_.proxy_expired_evictions += pc.cache->stats().expired_evictions;
+  }
+  return metrics_;
+}
+
+// --- lock-step coordinator ---------------------------------------------------
+
+void Engine::StartInterval() {
+  const Time window_start =
+      static_cast<Time>(interval_index_) * config_.lockstep_interval;
+  const Time window_end = (interval_index_ + 1 == num_intervals_)
+                              ? trace_.duration + 1
+                              : window_start + config_.lockstep_interval;
+
+  while (failure_cursor_ < failures_.size() &&
+         failures_[failure_cursor_].trace_time < window_end) {
+    ApplyFailure(failures_[failure_cursor_++]);
+  }
+
+  if (InvalidationMode()) accel_.table().PruneExpired(window_start);
+
+  participants_ = static_cast<int>(clients_.size()) + 1;  // clients + modifier
+
+  for (PseudoClient& pc : clients_) {
+    while (pc.window_end < pc.records.size() &&
+           pc.records[pc.window_end].timestamp < window_end) {
+      ++pc.window_end;
+    }
+    sim_.After(0, [this, &pc] { IssueNext(pc); });
+  }
+
+  while (mod_window_end_ < modifications_.size() &&
+         modifications_[mod_window_end_].at < window_end) {
+    ++mod_window_end_;
+  }
+  sim_.After(0, [this] { ModifierStep(); });
+}
+
+void Engine::ParticipantDone() {
+  WEBCC_CHECK(participants_ > 0);
+  if (--participants_ > 0) return;
+  ++interval_index_;
+  if (interval_index_ < num_intervals_) {
+    StartInterval();
+  } else {
+    wall_end_ = sim_.now();
+  }
+}
+
+void Engine::ApplyFailure(const FailureEvent& event) {
+  switch (event.kind) {
+    case FailureKind::kProxyCrash: {
+      PseudoClient& pc = clients_.at(event.target);
+      pc.down = true;
+      net_.SetNodeUp(pc.node, false);
+      break;
+    }
+    case FailureKind::kProxyRecover: {
+      PseudoClient& pc = clients_.at(event.target);
+      pc.down = false;
+      net_.SetNodeUp(pc.node, true);
+      // The recovering proxy may have missed invalidations: everything it
+      // holds must be revalidated before it can be served again.
+      pc.cache->MarkAllQuestionable();
+      break;
+    }
+    case FailureKind::kServerCrash:
+      server_down_ = true;
+      net_.SetNodeUp(ServerNode(), false);
+      if (InvalidationMode()) {
+        accel_.Crash();
+        write_gap_active_ = true;
+      }
+      break;
+    case FailureKind::kServerRecover:
+      server_down_ = false;
+      net_.SetNodeUp(ServerNode(), true);
+      if (InvalidationMode()) ServerRecover();
+      break;
+    case FailureKind::kPartition:
+      net_.Partition(clients_.at(event.target).node, ServerNode());
+      break;
+    case FailureKind::kHeal:
+      net_.Heal(clients_.at(event.target).node, ServerNode());
+      break;
+  }
+}
+
+// --- pseudo-client request loop ------------------------------------------------
+
+void Engine::IssueNext(PseudoClient& pc) {
+  if (pc.down) {
+    // Requests from users behind a dead proxy are lost for the interval.
+    metrics_.requests_skipped += pc.window_end - pc.cursor;
+    pc.cursor = pc.window_end;
+  }
+  if (pc.cursor >= pc.window_end) {
+    ParticipantDone();
+    return;
+  }
+  const trace::TraceRecord& record = pc.records[pc.cursor++];
+  ++metrics_.requests_issued;
+
+  const std::string& url = DocPath(record.doc);
+  // Shared mode: the whole proxy is one site (the firewall deployment of
+  // Section 7) — one cache namespace and one invalidation target per proxy.
+  const std::string& owner = config_.shared_proxy_cache
+                                 ? proxy_site_names_[pc.index]
+                                 : trace_.clients[record.client];
+  const Time trace_time = record.timestamp;
+  http::CacheEntry* entry = pc.cache->Lookup(CacheKey(url, owner));
+
+  bool validate = false;        // IMS instead of a full GET
+  bool lease_renewal = false;   // the IMS exists only because a lease lapsed
+  if (entry != nullptr) {
+    switch (config_.protocol) {
+      case Protocol::kAdaptiveTtl:
+      case Protocol::kPiggybackValidation:
+      case Protocol::kPiggybackInvalidation:
+        // The piggyback schemes serve by TTL exactly as adaptive TTL does;
+        // their freshness exchange rides on the server round-trips below.
+        if (!entry->questionable && trace_time < entry->ttl_expires) {
+          LocalServe(pc, *entry, trace_time);
+          return;
+        }
+        validate = true;
+        break;
+      case Protocol::kPollEveryTime:
+        validate = true;
+        break;
+      case Protocol::kInvalidation: {
+        const bool lease_ok =
+            entry->lease_expires == http::kNeverExpires ||
+            trace_time < entry->lease_expires;
+        if (!entry->questionable && lease_ok) {
+          LocalServe(pc, *entry, trace_time);
+          return;
+        }
+        validate = true;
+        lease_renewal = !entry->questionable && !lease_ok;
+        break;
+      }
+    }
+  }
+
+  net::Request request;
+  request.url = url;
+  request.client_id = owner;
+  if (validate) {
+    request.type = net::MessageType::kIfModifiedSince;
+    request.if_modified_since = entry->last_modified;
+  } else {
+    request.type = net::MessageType::kGet;
+  }
+  SendToServer(pc, std::move(request), trace_time, lease_renewal);
+}
+
+void Engine::FinishRequest(PseudoClient& pc, Time latency) {
+  metrics_.latency_ms.Record(ToMillis(latency));
+  sim_.After(config_.client_costs.think_time, [this, &pc] { IssueNext(pc); });
+}
+
+void Engine::CheckStaleness(const PseudoClient& pc,
+                            const http::CacheEntry& entry, Time trace_time) {
+  if (!StaleInTraceOrder(entry, trace_time)) return;
+  ++metrics_.stale_serves;
+  if (config_.protocol != Protocol::kInvalidation) return;
+  const auto it = writes_in_progress_.find(entry.url);
+  if (write_gap_active_ ||
+      (it != writes_in_progress_.end() && it->second > 0)) {
+    // The write has not completed (invalidations still in flight): a stale
+    // read here is within the strong-consistency contract.
+    ++metrics_.stale_while_invalidation_in_flight;
+  } else {
+    ++metrics_.strong_violations;
+    WEBCC_LOG_WARN(
+        "strong-consistency violation: %s served stale at client %s (proxy %d)",
+        entry.url.c_str(), entry.owner.c_str(), pc.index);
+  }
+}
+
+void Engine::LocalServe(PseudoClient& pc, http::CacheEntry& entry,
+                        Time trace_time) {
+  ++metrics_.local_hits;
+  CheckStaleness(pc, entry, trace_time);
+  FinishRequest(pc, config_.client_costs.proxy_hit_time);
+}
+
+void Engine::SendToServer(PseudoClient& pc, net::Request request,
+                          Time trace_time, bool lease_renewal) {
+  const std::uint64_t seq = next_seq_++;
+  pc.outstanding = seq;
+  pc.request_start = sim_.now();
+
+  if (request.type == net::MessageType::kGet) {
+    ++metrics_.get_requests;
+  } else {
+    ++metrics_.ims_requests;
+    if (lease_renewal) ++metrics_.lease_renewal_ims;
+  }
+
+  // PCV: since we are contacting the server anyway, piggyback a batch of
+  // this proxy's TTL-expired entries for bulk validation.
+  std::uint64_t piggyback_bytes = 0;
+  if (config_.protocol == Protocol::kPiggybackValidation) {
+    std::vector<core::PcvItem> items;
+    const std::string requested_key = CacheKey(request.url, request.client_id);
+    for (http::CacheEntry* expired : pc.cache->TakeExpired(
+             trace_time, config_.piggyback.max_validations_per_request)) {
+      if (expired->key == requested_key) {
+        // The request itself validates this entry; leave it indexed.
+        pc.cache->SetTtlExpiry(*expired, expired->ttl_expires);
+        continue;
+      }
+      items.push_back(core::PcvItem{expired->key, expired->url,
+                                    expired->last_modified});
+    }
+    metrics_.pcv_items_piggybacked += items.size();
+    piggyback_bytes = core::PcvRequestExtraBytes(items);
+    if (!items.empty()) pcv_in_flight_[seq] = std::move(items);
+  }
+  metrics_.message_bytes += net::WireSize(request) + piggyback_bytes;
+
+  // Reply timeout: the closed loop must advance even if the server is dead.
+  sim_.After(config_.client_costs.request_timeout, [this, &pc, seq] {
+    if (pc.outstanding != seq) return;
+    pc.outstanding = 0;
+    pcv_in_flight_.erase(seq);
+    ++metrics_.request_timeouts;
+    FinishRequest(pc, config_.client_costs.request_timeout);
+  });
+
+  // In hierarchical mode leaf misses go to the parent proxy, not the server.
+  const sim::NodeId upstream =
+      config_.hierarchical ? ParentNode() : ServerNode();
+  const std::uint64_t wire = net::WireSize(request) + piggyback_bytes;
+  sim_.After(config_.client_costs.proxy_forward_overhead,
+             [this, &pc, request = std::move(request), seq, trace_time, wire,
+              upstream]() mutable {
+               net_.Send(pc.node, upstream, wire,
+                         [this, request = std::move(request),
+                          index = pc.index, seq, trace_time] {
+                           if (config_.hierarchical) {
+                             ParentHandle(request, index, seq, trace_time);
+                           } else {
+                             ServerHandle(request, index, seq, trace_time);
+                           }
+                         });
+             });
+}
+
+void Engine::ParentHandle(const net::Request& request, int client_index,
+                          std::uint64_t seq, Time trace_time) {
+  // Remember this leaf's interest so an invalidation can be forwarded.
+  parent_table_->Register(request.url, "leaf-" + std::to_string(client_index),
+                          net::MessageType::kGet, trace_time);
+
+  http::CacheEntry* entry =
+      parent_cache_->Lookup(CacheKey(request.url, "parent"));
+  if (entry != nullptr && !entry->questionable &&
+      request.type == net::MessageType::kGet) {
+    // Served from the parent's shared cache: no server involvement.
+    ++metrics_.parent_hits;
+    net::Reply reply;
+    reply.type = net::MessageType::kReply200;
+    reply.url = request.url;
+    reply.body_bytes = entry->size_bytes;
+    reply.last_modified = entry->last_modified;
+    reply.version = entry->version;
+    ++metrics_.replies_200;
+    metrics_.message_bytes += net::WireSize(reply);
+    const auto scaled_body = static_cast<std::uint64_t>(
+        static_cast<double>(reply.body_bytes) / config_.size_scale);
+    const std::uint64_t wire_bytes =
+        net::kControlHeaderBytes + reply.url.size() + scaled_body;
+    const Time ready =
+        parent_cpu_->Enqueue(config_.client_costs.proxy_hit_time);
+    sim_.At(ready, [this, client_index, seq, reply = std::move(reply),
+                    owner = request.client_id, trace_time,
+                    wire_bytes]() mutable {
+      net_.Send(ParentNode(), clients_[client_index].node, wire_bytes,
+                [this, client_index, seq, reply = std::move(reply),
+                 owner = std::move(owner), trace_time]() mutable {
+                  DeliverReply(client_index, seq, std::move(reply),
+                               std::move(owner), trace_time);
+                });
+    });
+    return;
+  }
+
+  // Miss (or a validation): fetch through to the server as "parent".
+  ++metrics_.parent_fetches;
+  const bool leaf_wanted_body = request.type == net::MessageType::kGet;
+  net::Request upstream = request;
+  std::string owner = request.client_id;
+  upstream.client_id = "parent";
+  if (entry != nullptr && request.type == net::MessageType::kGet) {
+    // Questionable parent copy revalidates rather than refetching.
+    upstream.type = net::MessageType::kIfModifiedSince;
+    upstream.if_modified_since = entry->last_modified;
+  }
+  const std::uint64_t wire = net::WireSize(upstream);
+  metrics_.message_bytes += wire;
+  net_.Send(ParentNode(), ServerNode(), wire,
+            [this, upstream = std::move(upstream), client_index, seq,
+             owner = std::move(owner), leaf_wanted_body,
+             trace_time]() mutable {
+              ServerHandleForParent(std::move(upstream), client_index, seq,
+                                    std::move(owner), leaf_wanted_body,
+                                    trace_time);
+            });
+}
+
+void Engine::ServerHandleForParent(net::Request request, int client_index,
+                                   std::uint64_t seq, std::string owner,
+                                   bool leaf_wanted_body, Time trace_time) {
+  std::optional<net::Reply> reply = accel_.HandleRequest(request, trace_time);
+  WEBCC_CHECK_MSG(reply.has_value(), "trace referenced an unknown document");
+
+  const bool transfer = reply->type == net::MessageType::kReply200;
+  const http::ServerCosts& costs = config_.server_costs;
+  server_disk_.utilization().AddWrite();
+  server_disk_.Enqueue(costs.disk_op);
+  Time ready = server_cpu_.Enqueue(transfer ? costs.request_cpu_200
+                                            : costs.request_cpu_304);
+  if (transfer) {
+    server_disk_.utilization().AddRead();
+    ready = std::max(ready, server_disk_.Enqueue(costs.disk_op));
+  }
+  // Hop-2 replies are counted via parent_fetches; bytes are real traffic.
+  metrics_.message_bytes += net::WireSize(*reply);
+  const auto scaled_body = static_cast<std::uint64_t>(
+      static_cast<double>(reply->body_bytes) / config_.size_scale);
+  const std::uint64_t wire_bytes =
+      net::kControlHeaderBytes + reply->url.size() + scaled_body;
+
+  sim_.At(ready, [this, client_index, seq, reply = std::move(*reply),
+                  owner = std::move(owner), leaf_wanted_body, trace_time,
+                  wire_bytes]() mutable {
+    net_.Send(ServerNode(), ParentNode(), wire_bytes,
+              [this, client_index, seq, reply = std::move(reply),
+               owner = std::move(owner), leaf_wanted_body,
+               trace_time]() mutable {
+                ParentReceiveReply(std::move(reply), client_index, seq,
+                                   std::move(owner), leaf_wanted_body,
+                                   trace_time);
+              });
+  });
+}
+
+void Engine::ParentReceiveReply(net::Reply reply, int client_index,
+                                std::uint64_t seq, std::string owner,
+                                bool leaf_wanted_body, Time trace_time) {
+  const std::string parent_key = CacheKey(reply.url, "parent");
+  if (reply.type == net::MessageType::kReply200) {
+    http::CacheEntry entry;
+    entry.key = parent_key;
+    entry.url = reply.url;
+    entry.owner = "parent";
+    entry.size_bytes = reply.body_bytes;
+    entry.last_modified = reply.last_modified;
+    entry.version = reply.version;
+    entry.fetched_at = trace_time;
+    parent_cache_->Insert(std::move(entry), trace_time);
+  } else {
+    http::CacheEntry* entry = parent_cache_->Peek(parent_key);
+    if (entry == nullptr && leaf_wanted_body) {
+      // The parent's copy was evicted while this validation was in flight:
+      // the 304 certifies a copy that no longer exists. Refetch it so the
+      // leaf's GET is answered with a body.
+      ++metrics_.parent_fetches;
+      net::Request refetch;
+      refetch.type = net::MessageType::kGet;
+      refetch.url = reply.url;
+      refetch.client_id = "parent";
+      const std::uint64_t wire = net::WireSize(refetch);
+      metrics_.message_bytes += wire;
+      net_.Send(ParentNode(), ServerNode(), wire,
+                [this, refetch = std::move(refetch), client_index, seq,
+                 owner = std::move(owner), trace_time]() mutable {
+                  ServerHandleForParent(std::move(refetch), client_index, seq,
+                                        std::move(owner),
+                                        /*leaf_wanted_body=*/true, trace_time);
+                });
+      return;
+    }
+    if (entry != nullptr) {
+      entry->questionable = false;
+      if (leaf_wanted_body) {
+        // The leaf asked for a body but the server certified the parent's
+        // copy fresh: serve the revalidated copy as a 200.
+        reply.type = net::MessageType::kReply200;
+        reply.body_bytes = entry->size_bytes;
+        reply.version = entry->version;
+      }
+    }
+  }
+
+  // Forward to the leaf (this is the leaf-facing reply).
+  if (reply.type == net::MessageType::kReply200) {
+    ++metrics_.replies_200;
+  } else {
+    ++metrics_.replies_304;
+  }
+  metrics_.message_bytes += net::WireSize(reply);
+  const auto scaled_body = static_cast<std::uint64_t>(
+      static_cast<double>(reply.body_bytes) / config_.size_scale);
+  const std::uint64_t wire_bytes =
+      net::kControlHeaderBytes + reply.url.size() + scaled_body;
+  const Time ready = parent_cpu_->Enqueue(config_.client_costs.proxy_hit_time);
+  sim_.At(ready, [this, client_index, seq, reply = std::move(reply),
+                  owner = std::move(owner), trace_time,
+                  wire_bytes]() mutable {
+    net_.Send(ParentNode(), clients_[client_index].node, wire_bytes,
+              [this, client_index, seq, reply = std::move(reply),
+               owner = std::move(owner), trace_time]() mutable {
+                DeliverReply(client_index, seq, std::move(reply),
+                             std::move(owner), trace_time);
+              });
+  });
+}
+
+void Engine::ServerHandle(const net::Request& request, int client_index,
+                          std::uint64_t seq, Time trace_time) {
+  std::optional<net::Reply> reply =
+      InvalidationMode() ? accel_.HandleRequest(request, trace_time)
+                         : origin_->Handle(request, trace_time);
+  WEBCC_CHECK_MSG(reply.has_value(), "trace referenced an unknown document");
+
+  const bool transfer = reply->type == net::MessageType::kReply200;
+  const http::ServerCosts& costs = config_.server_costs;
+
+  // PCV: bulk-validate the piggybacked batch against the file system.
+  std::vector<core::PcvVerdict> verdicts;
+  if (const auto it = pcv_in_flight_.find(seq); it != pcv_in_flight_.end()) {
+    verdicts = core::ValidatePiggyback(docs_, it->second);
+    pcv_in_flight_.erase(it);
+  }
+
+  // PSI: attach the documents modified since this proxy's last contact and
+  // advance its cursor.
+  std::vector<std::string> psi_urls;
+  if (config_.protocol == Protocol::kPiggybackInvalidation) {
+    Time& cursor = psi_last_contact_[client_index];
+    core::ModificationLog::Window window = mod_log_.CollectSince(
+        cursor, trace_time, config_.piggyback.max_invalidations_per_reply);
+    cursor = std::max(cursor, window.advanced_to);
+    psi_urls = std::move(window.urls);
+  }
+
+  const Time piggyback_cpu =
+      static_cast<Time>(verdicts.size() + psi_urls.size()) *
+      costs.piggyback_item_cpu;
+
+  // Access log write (all approaches log incoming requests).
+  server_disk_.utilization().AddWrite();
+  const Time log_done = server_disk_.Enqueue(costs.disk_op);
+  Time ready = server_cpu_.Enqueue(
+      (transfer ? costs.request_cpu_200 : costs.request_cpu_304) +
+      piggyback_cpu);
+  if (transfer) {
+    // The file read must complete before the body can be sent.
+    server_disk_.utilization().AddRead();
+    ready = std::max(ready, server_disk_.Enqueue(costs.disk_op));
+  }
+  (void)log_done;  // logging is asynchronous w.r.t. the reply
+
+  if (transfer) {
+    ++metrics_.replies_200;
+  } else {
+    ++metrics_.replies_304;
+  }
+  const std::uint64_t piggyback_bytes =
+      core::PcvReplyExtraBytes(verdicts) + core::PsiReplyExtraBytes(psi_urls);
+  metrics_.message_bytes += net::WireSize(*reply) + piggyback_bytes;
+
+  // Transfer delay uses the scaled-down body, as in the paper's testbed.
+  const auto scaled_body = static_cast<std::uint64_t>(
+      static_cast<double>(reply->body_bytes) / config_.size_scale);
+  const std::uint64_t wire_bytes = net::kControlHeaderBytes +
+                                   reply->url.size() + scaled_body +
+                                   piggyback_bytes;
+
+  sim_.At(ready, [this, client_index, seq, reply = std::move(*reply),
+                  owner = request.client_id, trace_time, wire_bytes,
+                  verdicts = std::move(verdicts),
+                  psi_urls = std::move(psi_urls)]() mutable {
+    net_.Send(ServerNode(), clients_[client_index].node, wire_bytes,
+              [this, client_index, seq, reply = std::move(reply),
+               owner = std::move(owner), trace_time,
+               verdicts = std::move(verdicts),
+               psi_urls = std::move(psi_urls)]() mutable {
+                ApplyPiggyback(client_index, verdicts, psi_urls, trace_time);
+                DeliverReply(client_index, seq, std::move(reply),
+                             std::move(owner), trace_time);
+              });
+  });
+}
+
+// Applies PCV verdicts and PSI change notices at the proxy, before the
+// reply itself is processed (so a just-fetched body is inserted after any
+// purge of its URL).
+void Engine::ApplyPiggyback(int client_index,
+                            const std::vector<core::PcvVerdict>& verdicts,
+                            const std::vector<std::string>& psi_urls,
+                            Time trace_time) {
+  PseudoClient& pc = clients_[client_index];
+  for (const core::PcvVerdict& verdict : verdicts) {
+    http::CacheEntry* entry = pc.cache->Peek(verdict.key);
+    if (entry == nullptr) continue;
+    if (verdict.invalid) {
+      pc.cache->Erase(verdict.key);
+      ++metrics_.pcv_invalidated;
+    } else {
+      pc.cache->SetTtlExpiry(
+          *entry, core::AdaptiveTtlExpiry(config_.ttl, trace_time,
+                                          entry->last_modified));
+    }
+  }
+  for (const std::string& url : psi_urls) {
+    ++metrics_.psi_notices;
+    metrics_.psi_entries_erased += pc.cache->EraseByUrl(url);
+  }
+}
+
+http::CacheEntry Engine::BuildEntry(const net::Reply& reply,
+                                    const std::string& owner,
+                                    Time trace_time) const {
+  http::CacheEntry entry;
+  entry.key = CacheKey(reply.url, owner);
+  entry.url = reply.url;
+  entry.owner = owner;
+  entry.size_bytes = reply.body_bytes;
+  entry.last_modified = reply.last_modified;
+  entry.version = reply.version;
+  entry.fetched_at = trace_time;
+  if (TtlBased()) {
+    entry.ttl_expires =
+        core::AdaptiveTtlExpiry(config_.ttl, trace_time, reply.last_modified);
+  }
+  entry.lease_expires = reply.lease_until == net::kNoLease
+                            ? http::kNeverExpires
+                            : reply.lease_until;
+  return entry;
+}
+
+void Engine::DeliverReply(int client_index, std::uint64_t seq,
+                          net::Reply reply, std::string owner,
+                          Time trace_time) {
+  PseudoClient& pc = clients_[client_index];
+  if (pc.outstanding != seq) return;  // timed out; late reply dropped
+  pc.outstanding = 0;
+
+  if (reply.type == net::MessageType::kReply200) {
+    pc.cache->Insert(BuildEntry(reply, owner, trace_time), trace_time);
+  } else {
+    // 304: the cached copy is certified fresh as of this validation.
+    ++metrics_.validated_hits;
+    http::CacheEntry* entry = pc.cache->Peek(CacheKey(reply.url, owner));
+    if (entry != nullptr) {
+      entry->questionable = false;
+      if (TtlBased()) {
+        pc.cache->SetTtlExpiry(*entry,
+                               core::AdaptiveTtlExpiry(config_.ttl, trace_time,
+                                                       reply.last_modified));
+      }
+      if (reply.lease_until != net::kNoLease) {
+        entry->lease_expires = reply.lease_until;
+      } else if (config_.protocol == Protocol::kInvalidation &&
+                 accel_.table().lease_config().mode == core::LeaseMode::kNone) {
+        entry->lease_expires = http::kNeverExpires;
+      }
+    }
+  }
+  FinishRequest(pc, sim_.now() - pc.request_start);
+}
+
+// --- modifier / invalidation path ---------------------------------------------
+
+void Engine::ModifierStep() {
+  if (mod_cursor_ >= mod_window_end_) {
+    ParticipantDone();
+    return;
+  }
+  const trace::ModEvent event = modifications_[mod_cursor_++];
+  const std::string& url = DocPath(event.doc);
+
+  // The touch registers in the file system immediately; for polling, this is
+  // the point at which the write is complete. For invalidation the write is
+  // in progress from this instant until the fan-out is delivered.
+  docs_.Touch(url, event.at);
+  mod_times_[url].push_back(event.at);
+  mod_log_.Record(event.at, url);
+  ++metrics_.modifications_applied;
+  if (InvalidationMode() && !server_down_) ++writes_in_progress_[url];
+
+  if (server_down_) {
+    // The accelerator is dead: the modification goes unnoticed until the
+    // recovery broadcast. The touch itself persists (the file system
+    // survives the crash).
+    sim_.After(0, [this] { ModifierStep(); });
+    return;
+  }
+
+  // The check-in utility notifies the accelerator; detection happens when
+  // the notify is processed.
+  server_cpu_.Enqueue(config_.server_costs.notify_cpu,
+                      [this, url, at = event.at] {
+                        if (InvalidationMode()) {
+                          net::Notify notify{url};
+                          FanOutInvalidations(accel_.HandleNotify(notify, at),
+                                              url,
+                                              [this] { ModifierStep(); });
+                        } else {
+                          ModifierStep();
+                        }
+                      });
+}
+
+void Engine::FanOutInvalidations(std::vector<net::Invalidation> invalidations,
+                                 const std::string& url,
+                                 std::function<void()> on_complete) {
+  WEBCC_CHECK(static_cast<bool>(on_complete));
+  if (invalidations.empty()) {
+    // No site holds a live-leased copy: the write is trivially complete.
+    CompleteWrite(url);
+    sim_.After(0, std::move(on_complete));
+    return;
+  }
+
+  const std::uint64_t mod_id = next_mod_id_++;
+  PendingMod& pending = pending_mod_targets_[mod_id];
+  pending.url = url;
+  pending.remaining = static_cast<int>(invalidations.size());
+  pending.first_pending = pending.remaining;
+  if (config_.serialized_invalidation) {
+    // The check-in blocks until the fan-out lands (the paper's prototype);
+    // the modifier resumes only once this write has completed.
+    pending.on_complete = std::move(on_complete);
+  }
+
+  sim::FifoStation& sender =
+      config_.serialized_invalidation ? server_cpu_ : inval_sender_;
+  const Time fanout_start = sim_.now();
+  Time last_send_done = fanout_start;
+  if (config_.multicast_invalidation) {
+    // One group send regardless of list length: one CPU charge, one
+    // message's bytes; the network fans the copies out.
+    ++metrics_.multicast_sends;
+    metrics_.invalidations_sent += invalidations.size();
+    metrics_.message_bytes += net::WireSize(invalidations.front());
+    last_send_done = sender.Enqueue(
+        config_.server_costs.invalidation_send_cpu,
+        [this, invalidations = std::move(invalidations), mod_id]() mutable {
+          for (net::Invalidation& invalidation : invalidations) {
+            SendInvalidation(std::move(invalidation), mod_id);
+          }
+        });
+  } else {
+    for (net::Invalidation& invalidation : invalidations) {
+      ++metrics_.invalidations_sent;
+      metrics_.message_bytes += net::WireSize(invalidation);
+      last_send_done = sender.Enqueue(
+          config_.server_costs.invalidation_send_cpu,
+          [this, invalidation = std::move(invalidation), mod_id]() mutable {
+            SendInvalidation(std::move(invalidation), mod_id);
+          });
+    }
+  }
+  metrics_.invalidation_time_ms.Record(ToMillis(last_send_done - fanout_start));
+  if (!config_.serialized_invalidation) sim_.After(0, std::move(on_complete));
+}
+
+void Engine::SendInvalidation(net::Invalidation invalidation,
+                              std::uint64_t mod_id) {
+  sim::NodeId target;
+  const bool to_parent =
+      config_.hierarchical && invalidation.client_id == "parent";
+  if (to_parent) {
+    target = ParentNode();
+  } else {
+    const auto it = pseudo_of_client_.find(invalidation.client_id);
+    WEBCC_CHECK_MSG(it != pseudo_of_client_.end(),
+                    "invalidation for an unknown client");
+    target = clients_[it->second].node;
+  }
+  const std::uint64_t wire = net::WireSize(invalidation);
+
+  // A send that hits a partition is queued for periodic background retry;
+  // the blocking check-in does not wait for it. A reachable target gates
+  // the check-in until the message actually arrives (a successful TCP send
+  // means the peer acknowledged the bytes).
+  bool gate_released = false;
+  if (!net_.Reachable(ServerNode(), target) && net_.IsNodeUp(target) &&
+      net_.IsNodeUp(ServerNode())) {
+    gate_released = true;
+    ResolveFirstAttempt(mod_id);
+  }
+
+  // TCP with periodic retry across partitions (Section 4's failure
+  // handling); a down proxy refuses the connection and is dropped — its
+  // recovery path revalidates everything.
+  net_.SendReliable(
+      ServerNode(), target, wire,
+      [this, invalidation, mod_id, gate_released, to_parent] {
+        if (!gate_released) ResolveFirstAttempt(mod_id);
+        if (to_parent) {
+          if (invalidation.type == net::MessageType::kInvalidateUrl) {
+            ParentDeliverInvalidation(invalidation.url, mod_id);
+          } else {
+            ParentDeliverServerNotice(invalidation);
+          }
+        } else {
+          DeliverInvalidation(invalidation, mod_id);
+        }
+      },
+      [this, invalidation, mod_id,
+       gate_released](sim::Network::SendResult result, Time) {
+        if (result == sim::Network::SendResult::kDelivered) return;
+        if (!gate_released) ResolveFirstAttempt(mod_id);
+        ++metrics_.invalidations_refused;
+        if (invalidation.type == net::MessageType::kInvalidateServer) {
+          FinishRecoveryNotice();
+        } else {
+          FinishInvalidationTarget(invalidation, mod_id);
+        }
+      },
+      /*max_retries=*/-1);
+}
+
+void Engine::ParentDeliverInvalidation(const std::string& url,
+                                       std::uint64_t mod_id) {
+  parent_cache_->EraseByUrl(url);
+  ++metrics_.invalidations_delivered;
+
+  // Forward to the leaf proxies that fetched this document since the last
+  // invalidation; the write completes when they have all been reached.
+  std::vector<std::string> leaves =
+      parent_table_->TakeSitesForInvalidation(url, sim_.now());
+  const auto pending = pending_mod_targets_.find(mod_id);
+  if (pending != pending_mod_targets_.end()) {
+    pending->second.remaining += static_cast<int>(leaves.size());
+  }
+  for (const std::string& leaf : leaves) {
+    const int index = std::stoi(leaf.substr(5));  // "leaf-<i>"
+    ++metrics_.hierarchy_forwards;
+    net::Invalidation forward;
+    forward.type = net::MessageType::kInvalidateUrl;
+    forward.url = url;
+    forward.client_id = leaf;
+    metrics_.message_bytes += net::WireSize(forward);
+    net_.SendReliable(
+        ParentNode(), clients_[index].node, net::WireSize(forward),
+        [this, url, index, mod_id, forward] {
+          clients_[index].cache->EraseByUrl(url);
+          ++metrics_.invalidations_delivered;
+          FinishInvalidationTarget(forward, mod_id);
+        },
+        [this, forward, mod_id](sim::Network::SendResult result, Time) {
+          if (result == sim::Network::SendResult::kDelivered) return;
+          ++metrics_.invalidations_refused;
+          FinishInvalidationTarget(forward, mod_id);
+        },
+        /*max_retries=*/-1);
+  }
+
+  net::Invalidation parent_slot;
+  parent_slot.url = url;
+  FinishInvalidationTarget(parent_slot, mod_id);
+}
+
+void Engine::ParentDeliverServerNotice(const net::Invalidation& notice) {
+  // Server-site recovery reaches the parent, which must assume everything
+  // below it may be stale: its own cache and every leaf's become
+  // questionable.
+  parent_cache_->MarkAllQuestionable();
+  for (PseudoClient& pc : clients_) {
+    ++metrics_.hierarchy_forwards;
+    metrics_.message_bytes += net::WireSize(notice);
+    net_.Send(ParentNode(), pc.node, net::WireSize(notice),
+              [&pc] { pc.cache->MarkAllQuestionable(); });
+  }
+  FinishRecoveryNotice();
+}
+
+void Engine::DeliverInvalidation(const net::Invalidation& invalidation,
+                                 std::uint64_t mod_id) {
+  const int index = pseudo_of_client_.at(invalidation.client_id);
+  PseudoClient& pc = clients_[index];
+  if (invalidation.type == net::MessageType::kInvalidateUrl) {
+    // Deleting (rather than marking) frees cache space for fresh documents —
+    // the cache-utilization benefit the paper credits invalidation with.
+    pc.cache->Erase(CacheKey(invalidation.url, invalidation.client_id));
+    ++metrics_.invalidations_delivered;
+    FinishInvalidationTarget(invalidation, mod_id);
+  } else {
+    // Server-address invalidation: every entry this real client holds from
+    // that server becomes questionable.
+    pc.cache->MarkQuestionableWhere(
+        [&invalidation](const http::CacheEntry& entry) {
+          return entry.owner == invalidation.client_id;
+        });
+    FinishRecoveryNotice();
+  }
+}
+
+void Engine::FinishRecoveryNotice() {
+  if (recovery_notices_pending_ > 0 && --recovery_notices_pending_ == 0) {
+    // Every ever-seen site has been told (or is dead and will revalidate on
+    // its own recovery): the downtime writes are as complete as they get.
+    write_gap_active_ = false;
+  }
+}
+
+void Engine::ResolveFirstAttempt(std::uint64_t mod_id) {
+  const auto it = pending_mod_targets_.find(mod_id);
+  if (it == pending_mod_targets_.end()) return;
+  if (--it->second.first_pending > 0) return;
+  std::function<void()> on_complete = std::move(it->second.on_complete);
+  it->second.on_complete = nullptr;
+  if (it->second.remaining <= 0) pending_mod_targets_.erase(it);
+  if (on_complete) on_complete();
+}
+
+void Engine::FinishInvalidationTarget(const net::Invalidation& invalidation,
+                                      std::uint64_t mod_id) {
+  (void)invalidation;
+  const auto it = pending_mod_targets_.find(mod_id);
+  if (it == pending_mod_targets_.end()) return;
+  if (--it->second.remaining > 0) return;
+  // Write complete: all invalidations delivered (or their targets dead).
+  CompleteWrite(it->second.url);
+  if (it->second.first_pending <= 0) pending_mod_targets_.erase(it);
+}
+
+void Engine::CompleteWrite(const std::string& url) {
+  const auto it = writes_in_progress_.find(url);
+  if (it != writes_in_progress_.end() && --it->second <= 0) {
+    writes_in_progress_.erase(it);
+  }
+}
+
+void Engine::ServerRecover() {
+  std::vector<net::Invalidation> notices = accel_.Recover();
+  recovery_notices_pending_ = static_cast<int>(notices.size());
+  if (notices.empty()) write_gap_active_ = false;
+  sim::FifoStation& sender =
+      config_.serialized_invalidation ? server_cpu_ : inval_sender_;
+  for (net::Invalidation& notice : notices) {
+    ++metrics_.invsrv_sent;
+    metrics_.message_bytes += net::WireSize(notice);
+    sender.Enqueue(config_.server_costs.invalidation_send_cpu,
+                   [this, notice = std::move(notice)]() mutable {
+                     SendInvalidation(std::move(notice), 0);
+                   });
+  }
+}
+
+}  // namespace
+
+ReplayMetrics RunReplay(const ReplayConfig& config) {
+  Engine engine(config);
+  return engine.Run();
+}
+
+}  // namespace webcc::replay

@@ -1,0 +1,69 @@
+#include "replay/experiments.h"
+
+namespace webcc::replay {
+namespace {
+
+constexpr std::uint64_t kMB = 1024ull * 1024;
+
+ExperimentSpec MakeSpec(std::string id, trace::TraceName trace,
+                        Time mean_lifetime, std::uint64_t cache_bytes,
+                        PaperRunNumbers paper) {
+  ExperimentSpec spec;
+  spec.id = std::move(id);
+  spec.trace = trace;
+  spec.mean_lifetime = mean_lifetime;
+  spec.proxy_cache_bytes = cache_bytes;
+  spec.paper = paper;
+  return spec;
+}
+
+}  // namespace
+
+std::vector<ExperimentSpec> Table3Experiments() {
+  return {
+      MakeSpec("EPA", trace::TraceName::kEpa, 50 * kDay, 128 * kMB,
+               PaperRunNumbers{{37.6, 41.6, 38.6}, "237MB", "1.0MB"}),
+      MakeSpec("SASK", trace::TraceName::kSask, 14 * kDay, 24 * kMB,
+               PaperRunNumbers{{26.0, 30.2, 27.6}, "183MB", "621KB"}),
+      MakeSpec("ClarkNet", trace::TraceName::kClarkNet, 50 * kDay, 128 * kMB,
+               PaperRunNumbers{{38.3, 40.4, 38.1}, "448MB", "1.6MB"}),
+  };
+}
+
+std::vector<ExperimentSpec> Table4Experiments() {
+  return {
+      MakeSpec("NASA", trace::TraceName::kNasa, 7 * kDay, 256 * kMB,
+               PaperRunNumbers{{32.6, 36.1, 34.4}, "1.26GB", "742KB"}),
+      MakeSpec("SDSC(57)", trace::TraceName::kSdsc, 25 * kDay, 128 * kMB,
+               PaperRunNumbers{{34.1, 35.6, 32.7}, "263MB", "489KB"}),
+      MakeSpec("SDSC(576)", trace::TraceName::kSdsc, Time(2.5 * kDay),
+               128 * kMB,
+               PaperRunNumbers{{33.6, 36.7, 34.7}, "263MB", "474KB"}),
+  };
+}
+
+std::vector<ExperimentSpec> AllTableExperiments() {
+  std::vector<ExperimentSpec> all = Table3Experiments();
+  for (ExperimentSpec& spec : Table4Experiments()) {
+    all.push_back(std::move(spec));
+  }
+  return all;
+}
+
+ReplayConfig MakeReplayConfig(const ExperimentSpec& spec,
+                              core::Protocol protocol,
+                              const trace::Trace& trace) {
+  ReplayConfig config;
+  config.protocol = protocol;
+  config.trace = &trace;
+  config.mean_lifetime = spec.mean_lifetime;
+  config.proxy_cache_bytes = spec.proxy_cache_bytes;
+  // Same modifier schedule across the three protocols of a row: the
+  // modifier seed depends only on the experiment, so every protocol sees
+  // the identical modification stream, as in the paper's lock-step replay.
+  config.modifier_seed = 1000 + static_cast<std::uint64_t>(spec.trace);
+  config.seed = 2000 + static_cast<std::uint64_t>(spec.trace);
+  return config;
+}
+
+}  // namespace webcc::replay

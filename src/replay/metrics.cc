@@ -1,0 +1,28 @@
+#include "replay/metrics.h"
+
+#include <cstdio>
+
+#include "util/format.h"
+
+namespace webcc::replay {
+
+std::string ReplayMetrics::Summary() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "requests=%llu hits=%llu (local=%llu validated=%llu) msgs=%llu "
+      "bytes=%s lat(avg/min/max ms)=%.1f/%.1f/%.1f cpu=%.1f%% stale=%llu "
+      "violations=%llu",
+      static_cast<unsigned long long>(requests_issued),
+      static_cast<unsigned long long>(cache_hits()),
+      static_cast<unsigned long long>(local_hits),
+      static_cast<unsigned long long>(validated_hits),
+      static_cast<unsigned long long>(total_messages()),
+      util::HumanBytes(message_bytes).c_str(), latency_ms.mean(),
+      latency_ms.min(), latency_ms.max(), server_cpu_utilization * 100.0,
+      static_cast<unsigned long long>(stale_serves),
+      static_cast<unsigned long long>(strong_violations));
+  return buf;
+}
+
+}  // namespace webcc::replay

@@ -1,0 +1,112 @@
+// Everything a replay run measures — the union of the columns of the
+// paper's Tables 3, 4 and 5 plus the exact staleness accounting the paper
+// could only estimate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "stats/latency.h"
+#include "util/time.h"
+
+namespace webcc::replay {
+
+struct ReplayMetrics {
+  // --- message counts (Tables 3/4) ----------------------------------------
+  std::uint64_t get_requests = 0;
+  std::uint64_t ims_requests = 0;
+  std::uint64_t replies_200 = 0;
+  std::uint64_t replies_304 = 0;
+  std::uint64_t invalidations_sent = 0;   // INVALIDATE with a URL
+  std::uint64_t invsrv_sent = 0;          // server-address INVALIDATE
+  // Multicast mode: number of group sends (one per modification with a
+  // non-empty site list); each replaces `list length` unicast sends.
+  std::uint64_t multicast_sends = 0;
+  std::uint64_t message_bytes = 0;        // unscaled, all of the above
+
+  // "Hits": requests satisfied without a file transfer. Local serves and
+  // 304-validated serves both count, which is why polling's hit count
+  // includes hits on stale copies, as the paper notes.
+  std::uint64_t local_hits = 0;
+  std::uint64_t validated_hits = 0;
+  std::uint64_t cache_hits() const { return local_hits + validated_hits; }
+
+  // Network-level invalidation message count: with multicast one group
+  // send covers a whole site list.
+  std::uint64_t invalidation_messages() const {
+    return multicast_sends > 0 ? multicast_sends : invalidations_sent;
+  }
+
+  std::uint64_t total_messages() const {
+    return get_requests + ims_requests + replies_200 + replies_304 +
+           invalidation_messages() + invsrv_sent;
+  }
+
+  // --- client response time (wall), milliseconds --------------------------
+  stats::LatencyStats latency_ms;
+
+  // --- server load ---------------------------------------------------------
+  double server_cpu_utilization = 0.0;
+  double disk_reads_per_second = 0.0;
+  double disk_writes_per_second = 0.0;
+  Time wall_duration = 0;
+
+  // --- staleness (ground truth) --------------------------------------------
+  // Serves of an outdated version. For adaptive TTL these are the "stale
+  // hits"; for invalidation a stale serve is legitimate exactly while the
+  // client's invalidation is still in flight (the write has not completed).
+  std::uint64_t stale_serves = 0;
+  std::uint64_t stale_while_invalidation_in_flight = 0;
+  // Stale serves after write completion: must be zero for both strong
+  // protocols; the replay engine checks this invariant.
+  std::uint64_t strong_violations = 0;
+
+  // --- invalidation costs (Table 5) ----------------------------------------
+  std::uint64_t sitelist_storage_bytes = 0;  // at end of run
+  std::uint64_t sitelist_entries = 0;        // at end of run
+  std::uint64_t sitelist_max_len_end = 0;    // longest list at end of run
+  double sitelist_avg_len_at_mod = 0.0;      // over modified documents
+  std::uint64_t sitelist_max_len_at_mod = 0;
+  // Time for the server to push all invalidations of one modification.
+  stats::LatencyStats invalidation_time_ms;
+
+  // --- hierarchy (parent proxy) ----------------------------------------------
+  // Leaf misses answered from the parent's shared cache without a server
+  // trip, and the parent's own upstream fetches (hop-2 requests; their
+  // replies are implied). Existing request/reply counters remain
+  // leaf-facing so conservation identities hold in every topology.
+  std::uint64_t parent_hits = 0;
+  std::uint64_t parent_fetches = 0;
+  // INVALIDATE forwards from the parent to interested leaf proxies
+  // (invalidations_sent counts only what the server itself sends).
+  std::uint64_t hierarchy_forwards = 0;
+
+  // Messages on the parent<->server link (hop-2 request + reply pairs).
+  std::uint64_t hierarchy_messages() const { return 2 * parent_fetches; }
+
+  // --- piggyback schemes (PCV / PSI) ----------------------------------------
+  std::uint64_t pcv_items_piggybacked = 0;  // entries bulk-validated
+  std::uint64_t pcv_invalidated = 0;        // entries found changed
+  std::uint64_t psi_notices = 0;            // modified-url notices delivered
+  std::uint64_t psi_entries_erased = 0;     // proxy entries purged by PSI
+
+  // --- lease bookkeeping (Section 6) ---------------------------------------
+  // IMS requests issued because a lease (not a TTL) had expired; the
+  // "extra if-modified-since" cost of lease-augmented schemes.
+  std::uint64_t lease_renewal_ims = 0;
+
+  // --- bookkeeping ----------------------------------------------------------
+  std::uint64_t requests_issued = 0;
+  std::uint64_t requests_skipped = 0;  // pseudo-client was down
+  std::uint64_t request_timeouts = 0;
+  std::uint64_t modifications_applied = 0;
+  std::uint64_t invalidations_delivered = 0;
+  std::uint64_t invalidations_refused = 0;  // target proxy down
+  std::uint64_t proxy_evictions = 0;
+  std::uint64_t proxy_expired_evictions = 0;
+
+  // One-line sanity summary for logs/examples.
+  std::string Summary() const;
+};
+
+}  // namespace webcc::replay

@@ -1,0 +1,101 @@
+#include "sim/network.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+
+namespace webcc::sim {
+
+void Network::Partition(NodeId a, NodeId b) {
+  WEBCC_CHECK(a != b);
+  partitions_.insert(Ordered(a, b));
+}
+
+void Network::Heal(NodeId a, NodeId b) { partitions_.erase(Ordered(a, b)); }
+
+bool Network::IsPartitioned(NodeId a, NodeId b) const {
+  return partitions_.count(Ordered(a, b)) != 0;
+}
+
+void Network::SetNodeUp(NodeId node, bool up) {
+  if (up) {
+    down_nodes_.erase(node);
+  } else {
+    down_nodes_.insert(node);
+  }
+}
+
+bool Network::IsNodeUp(NodeId node) const {
+  return down_nodes_.count(node) == 0;
+}
+
+bool Network::Reachable(NodeId from, NodeId to) const {
+  return IsNodeUp(from) && IsNodeUp(to) && !IsPartitioned(from, to);
+}
+
+Time Network::TransferDelay(std::uint64_t bytes) const {
+  const double wire_bytes =
+      static_cast<double>(bytes + config_.per_message_overhead_bytes);
+  const double serialization_s = wire_bytes * 8.0 / config_.bandwidth_bps;
+  return config_.one_way_latency + FromSeconds(serialization_s);
+}
+
+bool Network::Send(NodeId from, NodeId to, std::uint64_t bytes,
+                   DeliverFn on_deliver) {
+  WEBCC_CHECK_MSG(static_cast<bool>(on_deliver), "null delivery handler");
+  if (!Reachable(from, to)) {
+    ++messages_dropped_;
+    return false;
+  }
+  ++messages_delivered_;
+  bytes_delivered_ += bytes;
+  sim_.After(TransferDelay(bytes), std::move(on_deliver));
+  return true;
+}
+
+void Network::SendReliable(NodeId from, NodeId to, std::uint64_t bytes,
+                           DeliverFn on_deliver, ReliableDoneFn done,
+                           int max_retries) {
+  TryReliable(from, to, bytes, std::move(on_deliver), std::move(done),
+              max_retries);
+}
+
+void Network::TryReliable(NodeId from, NodeId to, std::uint64_t bytes,
+                          DeliverFn on_deliver, ReliableDoneFn done,
+                          int retries_left) {
+  if (!IsNodeUp(from)) {
+    // The sender itself died; its pending sends evaporate with it.
+    return;
+  }
+  if (!IsNodeUp(to)) {
+    // Connection refused: surface immediately, no retry. The paper's
+    // recovery path (mark-all-questionable at the proxy) covers safety.
+    ++messages_dropped_;
+    if (done) done(SendResult::kRefused, sim_.now());
+    return;
+  }
+  if (IsPartitioned(from, to)) {
+    if (retries_left == 0) {
+      ++messages_dropped_;
+      if (done) done(SendResult::kGaveUp, sim_.now());
+      return;
+    }
+    ++retries_;
+    const int next = retries_left > 0 ? retries_left - 1 : -1;
+    sim_.After(config_.retry_interval,
+               [this, from, to, bytes, on_deliver = std::move(on_deliver),
+                done = std::move(done), next]() mutable {
+                 TryReliable(from, to, bytes, std::move(on_deliver),
+                             std::move(done), next);
+               });
+    return;
+  }
+  ++messages_delivered_;
+  bytes_delivered_ += bytes;
+  const Time delivery = sim_.now() + TransferDelay(bytes);
+  sim_.At(delivery, std::move(on_deliver));
+  if (done) done(SendResult::kDelivered, delivery);
+}
+
+}  // namespace webcc::sim

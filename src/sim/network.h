@@ -1,0 +1,122 @@
+// Point-to-point network model with partitions, node failures, and
+// TCP-style retry.
+//
+// Models the replay testbed's interconnect: a fixed one-way latency plus a
+// bandwidth term per message. Failure injection mirrors the paper's three
+// scenarios — a down proxy (connection refused; sender may give up, the
+// proxy revalidates everything on recovery), a down server site, and a
+// network partition (sender retries periodically until the link heals).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/time.h"
+
+namespace webcc::sim {
+
+// Dense small integers; the replay assigns one per host (pseudo-clients,
+// pseudo-server).
+using NodeId = int;
+
+struct NetworkConfig {
+  // One-way propagation latency between any two distinct nodes. The default
+  // approximates the paper's switched 100 Mb/s Ethernet.
+  Time one_way_latency = 350 * kMicrosecond;
+  // Link bandwidth used for the serialization term of the delivery delay.
+  double bandwidth_bps = 100e6;
+  // Fixed per-message framing overhead added to the payload (TCP/IP).
+  std::uint32_t per_message_overhead_bytes = 40;
+  // Interval between retries of a reliable send across a partition.
+  Time retry_interval = 5 * kSecond;
+
+  // A wide-area profile for the Section 5.2 "on the real Internet"
+  // extrapolation: ~35 ms one-way, 1.5 Mb/s.
+  static NetworkConfig Lan() { return NetworkConfig{}; }
+  static NetworkConfig Wan() {
+    NetworkConfig config;
+    config.one_way_latency = 35 * kMillisecond;
+    config.bandwidth_bps = 1.5e6;
+    return config;
+  }
+};
+
+class Network {
+ public:
+  // Outcome reported to SendReliable's completion callback.
+  enum class SendResult {
+    kDelivered,      // arrived at the destination
+    kRefused,        // destination node down: TCP connect refused
+    kGaveUp,         // partition outlived the retry budget
+  };
+
+  using DeliverFn = std::function<void()>;
+  using ReliableDoneFn = std::function<void(SendResult, Time /*done_at*/)>;
+
+  Network(Simulator& sim, NetworkConfig config)
+      : sim_(sim), config_(config) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- failure injection -------------------------------------------------
+  void Partition(NodeId a, NodeId b);
+  void Heal(NodeId a, NodeId b);
+  bool IsPartitioned(NodeId a, NodeId b) const;
+
+  void SetNodeUp(NodeId node, bool up);
+  bool IsNodeUp(NodeId node) const;
+
+  // True when a message sent now from `from` would reach `to`.
+  bool Reachable(NodeId from, NodeId to) const;
+
+  // --- sending -----------------------------------------------------------
+
+  // Serialization + propagation delay for a payload of `bytes`.
+  Time TransferDelay(std::uint64_t bytes) const;
+
+  // Best-effort datagram: delivered after TransferDelay unless the pair is
+  // unreachable at send time, in which case it is dropped. Returns whether
+  // the message was sent. `on_deliver` runs at the destination.
+  bool Send(NodeId from, NodeId to, std::uint64_t bytes, DeliverFn on_deliver);
+
+  // TCP-with-retry, the paper's transport for invalidations. If the
+  // destination node is down the connection is refused immediately (the
+  // recovering proxy revalidates, so the sender need not persist). If the
+  // path is partitioned, the send retries every retry_interval up to
+  // `max_retries` times (-1 = unbounded). `on_deliver` runs at delivery;
+  // `done` reports the outcome at the sender.
+  void SendReliable(NodeId from, NodeId to, std::uint64_t bytes,
+                    DeliverFn on_deliver, ReliableDoneFn done,
+                    int max_retries = -1);
+
+  // --- accounting --------------------------------------------------------
+  std::uint64_t messages_delivered() const { return messages_delivered_; }
+  std::uint64_t bytes_delivered() const { return bytes_delivered_; }
+  std::uint64_t messages_dropped() const { return messages_dropped_; }
+  std::uint64_t retries() const { return retries_; }
+
+ private:
+  static std::pair<NodeId, NodeId> Ordered(NodeId a, NodeId b) {
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+  }
+
+  void TryReliable(NodeId from, NodeId to, std::uint64_t bytes,
+                   DeliverFn on_deliver, ReliableDoneFn done,
+                   int retries_left);
+
+  Simulator& sim_;
+  NetworkConfig config_;
+  std::set<std::pair<NodeId, NodeId>> partitions_;
+  std::set<NodeId> down_nodes_;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t bytes_delivered_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace webcc::sim

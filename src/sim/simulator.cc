@@ -1,0 +1,42 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace webcc::sim {
+
+void Simulator::At(Time t, Action action) {
+  WEBCC_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  WEBCC_CHECK_MSG(static_cast<bool>(action), "null action");
+  queue_.push(Event{t, next_seq_++, std::move(action)});
+}
+
+void Simulator::After(Time delay, Action action) {
+  WEBCC_CHECK_MSG(delay >= 0, "negative delay");
+  At(now_ + delay, std::move(action));
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // Move the action out before popping: the action may schedule new events.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.at;
+  ++executed_;
+  event.action();
+  return true;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(Time t) {
+  WEBCC_CHECK_MSG(t >= now_, "cannot run backwards");
+  while (!queue_.empty() && queue_.top().at <= t) Step();
+  now_ = t;
+}
+
+}  // namespace webcc::sim

@@ -1,0 +1,63 @@
+// Single-threaded discrete-event simulator.
+//
+// Everything in a replay — request arrivals, network deliveries, station
+// completions, the lock-step time coordinator — is an event on one queue.
+// Events at equal timestamps run in scheduling order (a monotone sequence
+// number breaks ties), which together with seeded RNGs makes whole replays
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.h"
+
+namespace webcc::sim {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Time now() const { return now_; }
+
+  // Schedules `action` at absolute time `t` (>= now()).
+  void At(Time t, Action action);
+
+  // Schedules `action` `delay` microseconds from now (delay >= 0).
+  void After(Time delay, Action action);
+
+  // Runs the earliest event; returns false when the queue is empty.
+  bool Step();
+
+  // Runs until the queue drains.
+  void Run();
+
+  // Runs all events with timestamp <= `t`, then advances the clock to `t`
+  // even if the queue still holds later events.
+  void RunUntil(Time t);
+
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace webcc::sim

@@ -1,0 +1,19 @@
+#include "sim/station.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace webcc::sim {
+
+Time FifoStation::Enqueue(Time cost, std::function<void()> on_complete) {
+  WEBCC_CHECK_MSG(cost >= 0, "negative service cost");
+  const Time start = std::max(sim_.now(), busy_until_);
+  busy_until_ = start + cost;
+  utilization_.AddBusy(cost);
+  if (on_complete) sim_.At(busy_until_, std::move(on_complete));
+  return busy_until_;
+}
+
+}  // namespace webcc::sim

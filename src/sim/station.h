@@ -1,0 +1,45 @@
+// Single-server FIFO service station.
+//
+// Models a serially shared resource — the pseudo-server's CPU or its disk.
+// Jobs queue in arrival order; each occupies the station for its service
+// cost. Completion latency therefore responds to load, which is what turns
+// the paper's protocol differences (polling's extra validations, serialized
+// invalidation fan-out) into the latency and utilization differences its
+// tables report.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "sim/simulator.h"
+#include "stats/utilization.h"
+
+namespace webcc::sim {
+
+class FifoStation {
+ public:
+  FifoStation(Simulator& sim, std::string name)
+      : sim_(sim), name_(std::move(name)) {}
+
+  FifoStation(const FifoStation&) = delete;
+  FifoStation& operator=(const FifoStation&) = delete;
+
+  // Enqueues a job with the given service cost; `on_complete` (optional)
+  // runs when the job finishes. Returns the completion time.
+  Time Enqueue(Time cost, std::function<void()> on_complete = nullptr);
+
+  // Earliest time a new job could start service.
+  Time busy_until() const { return busy_until_; }
+
+  const std::string& name() const { return name_; }
+  stats::Utilization& utilization() { return utilization_; }
+  const stats::Utilization& utilization() const { return utilization_; }
+
+ private:
+  Simulator& sim_;
+  std::string name_;
+  Time busy_until_ = 0;
+  stats::Utilization utilization_;
+};
+
+}  // namespace webcc::sim

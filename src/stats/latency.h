@@ -1,0 +1,45 @@
+// Online aggregation of latency (or any scalar) samples.
+//
+// Replays record one sample per client request (tens of thousands), so the
+// aggregate keeps the full sample set for exact percentiles; Min/Max/Mean are
+// maintained online so they are valid even if the sample cap is hit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/time.h"
+
+namespace webcc::stats {
+
+class LatencyStats {
+ public:
+  // `max_samples` bounds memory for percentile computation; the running
+  // min/max/mean/count remain exact regardless. 0 keeps every sample.
+  explicit LatencyStats(std::size_t max_samples = 0)
+      : max_samples_(max_samples) {}
+
+  void Record(double value);
+  void Merge(const LatencyStats& other);
+
+  std::size_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double sum() const { return sum_; }
+
+  // Exact percentile over retained samples, p in [0, 100]. Returns 0 when
+  // empty. Sorts lazily, amortized across queries.
+  double Percentile(double p) const;
+
+ private:
+  std::size_t max_samples_ = 0;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  mutable bool sorted_ = true;
+  mutable std::vector<double> samples_;
+};
+
+}  // namespace webcc::stats

@@ -1,0 +1,71 @@
+#include "stats/table.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace webcc::stats {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  WEBCC_CHECK_MSG(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  WEBCC_CHECK_MSG(cells.size() == headers_.size(),
+                  "row width does not match header");
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void Table::AddSeparator() { rows_.push_back(Row{true, {}}); }
+
+std::string Table::Render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  std::size_t total = 1;  // leading '|'
+  for (std::size_t w : widths) total += w + 3;
+
+  std::string out;
+  const auto emit_cells = [&](const std::vector<std::string>& cells) {
+    out += '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::string& cell = cells[c];
+      const std::size_t pad = widths[c] - cell.size();
+      out += ' ';
+      if (c == 0) {  // left-align the label column
+        out += cell;
+        out.append(pad, ' ');
+      } else {
+        out.append(pad, ' ');
+        out += cell;
+      }
+      out += " |";
+    }
+    out += '\n';
+  };
+
+  const std::string rule(total, '-');
+  emit_cells(headers_);
+  out += rule;
+  out += '\n';
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      out += rule;
+      out += '\n';
+    } else {
+      emit_cells(row.cells);
+    }
+  }
+  return out;
+}
+
+}  // namespace webcc::stats

@@ -1,0 +1,33 @@
+// Fixed-width ASCII table rendering for the bench binaries.
+//
+// The table benches print rows in the paper's layout next to the paper's
+// reported values; this renderer handles column sizing and alignment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace webcc::stats {
+
+class Table {
+ public:
+  // Column headers define the column count; every AddRow must match it.
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // A rule row renders as a full-width separator line.
+  void AddSeparator();
+
+  // Renders with a header rule; first column left-aligned, rest right.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace webcc::stats

@@ -1,0 +1,30 @@
+#include "stats/utilization.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace webcc::stats {
+
+void Utilization::AddBusy(Time busy) {
+  WEBCC_DCHECK(busy >= 0);
+  busy_ += busy;
+}
+
+double Utilization::BusyFraction(Time elapsed) const {
+  if (elapsed <= 0) return 0.0;
+  return std::min(1.0, static_cast<double>(busy_) /
+                           static_cast<double>(elapsed));
+}
+
+double Utilization::ReadsPerSecond(Time elapsed) const {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(reads_) / ToSeconds(elapsed);
+}
+
+double Utilization::WritesPerSecond(Time elapsed) const {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(writes_) / ToSeconds(elapsed);
+}
+
+}  // namespace webcc::stats

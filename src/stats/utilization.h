@@ -1,0 +1,40 @@
+// Busy-time and operation-rate accounting for simulated service stations.
+//
+// Mirrors what the paper read off `iostat` at the pseudo-server: CPU
+// utilization (busy time / elapsed time) and disk reads+writes per second.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace webcc::stats {
+
+class Utilization {
+ public:
+  // Accumulates `busy` microseconds of service time.
+  void AddBusy(Time busy);
+
+  // Counts one operation (e.g. a disk read); `reads`/`writes` are split so
+  // the disk station can report the paper's "R;W per second" pair.
+  void AddRead() { ++reads_; }
+  void AddWrite() { ++writes_; }
+
+  Time busy_time() const { return busy_; }
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+
+  // Fraction of `elapsed` spent busy, in [0, 1]; saturates at 1 (a FIFO
+  // station can carry queued work past the nominal end of a run).
+  double BusyFraction(Time elapsed) const;
+
+  double ReadsPerSecond(Time elapsed) const;
+  double WritesPerSecond(Time elapsed) const;
+
+ private:
+  Time busy_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace webcc::stats

@@ -1,0 +1,51 @@
+// Common Log Format reader/writer.
+//
+// The paper replays five server logs from the Internet Traffic Archive; all
+// are in Common Log Format. The reader lets real ITA logs drive the replay
+// engine when they are available; the writer round-trips synthetic traces
+// into the same format for interoperability with external tools.
+//
+//   host ident authuser [dd/Mon/yyyy:HH:MM:SS zone] "GET /path HTTP/1.0" status bytes
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "trace/record.h"
+
+namespace webcc::trace {
+
+struct ClfParseStats {
+  std::uint64_t lines = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t malformed = 0;   // unparseable lines
+  std::uint64_t skipped = 0;     // parseable but not a successful GET
+};
+
+// Reads CLF from `in`. Only successful GETs (status 200/304) are kept, like
+// the paper's preprocessing. Document sizes are the largest byte count
+// observed for each path (304s carry no size). Timestamps are shifted so the
+// first accepted record is at 0; `duration` is set to the last record's
+// offset rounded up to a whole second.
+Trace ReadClf(std::istream& in, std::string trace_name,
+              ClfParseStats* stats = nullptr);
+
+// Writes `trace` to `out` as CLF, with timestamps offset from
+// `epoch_seconds` (Unix time of the trace start) and all statuses 200.
+void WriteClf(const Trace& trace, std::ostream& out,
+              std::int64_t epoch_seconds = 804556800 /* 1995-07-01 */);
+
+// Parses one CLF line into its parts; exposed for tests. Returns false if
+// the line is malformed.
+struct ClfLine {
+  std::string host;
+  std::int64_t unix_seconds = 0;
+  std::string method;
+  std::string path;
+  int status = 0;
+  std::int64_t bytes = 0;  // -1 when the field is "-"
+};
+bool ParseClfLine(std::string_view line, ClfLine& out);
+
+}  // namespace webcc::trace

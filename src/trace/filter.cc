@@ -1,0 +1,39 @@
+#include "trace/filter.h"
+
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace webcc::trace {
+
+Trace FilterThroughBrowserCaches(const Trace& raw, Time browser_ttl,
+                                 BrowserFilterStats* stats) {
+  WEBCC_CHECK_MSG(browser_ttl >= 0, "negative browser TTL");
+  Trace filtered;
+  filtered.name = raw.name + "+browser-filtered";
+  filtered.duration = raw.duration;
+  filtered.documents = raw.documents;
+  filtered.clients = raw.clients;
+
+  BrowserFilterStats local;
+  std::unordered_map<std::uint64_t, Time> last_fetch;
+  last_fetch.reserve(raw.records.size());
+  for (const TraceRecord& record : raw.records) {
+    ++local.input_requests;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(record.client) << 32) | record.doc;
+    const auto it = last_fetch.find(key);
+    if (it != last_fetch.end() &&
+        record.timestamp - it->second < browser_ttl) {
+      ++local.absorbed;
+      continue;
+    }
+    last_fetch[key] = record.timestamp;
+    ++local.forwarded;
+    filtered.records.push_back(record);
+  }
+  if (stats != nullptr) *stats = local;
+  return filtered;
+}
+
+}  // namespace webcc::trace

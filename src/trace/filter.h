@@ -1,0 +1,29 @@
+// Browser-cache filtering of request streams.
+//
+// Section 7 of the paper notes that its server traces were "probably
+// already filtered by the client caches": a browser absorbs repeat views,
+// so the server log under-represents the hits a proxy would see, and
+// polling-every-time looks better than it would against raw client traffic.
+// This filter models that: given a raw client-request stream, it removes
+// the requests a per-(client, document) browser cache with the given TTL
+// would have served itself, yielding the corresponding server trace.
+#pragma once
+
+#include "trace/record.h"
+
+namespace webcc::trace {
+
+struct BrowserFilterStats {
+  std::uint64_t input_requests = 0;
+  std::uint64_t absorbed = 0;  // served by the browser cache, dropped
+  std::uint64_t forwarded = 0;
+};
+
+// Keeps a request iff the issuing client has not fetched that document
+// within the past `browser_ttl` (an infinite-capacity per-client cache with
+// a fixed freshness window — the simplest browser model). Documents and
+// clients are preserved; only records are dropped.
+Trace FilterThroughBrowserCaches(const Trace& raw, Time browser_ttl,
+                                 BrowserFilterStats* stats = nullptr);
+
+}  // namespace webcc::trace

@@ -1,0 +1,32 @@
+#include "trace/modifier.h"
+
+#include "util/check.h"
+
+namespace webcc::trace {
+
+Time TouchInterval(const ModifierConfig& config) {
+  WEBCC_CHECK(config.num_documents > 0);
+  WEBCC_CHECK(config.mean_lifetime > 0);
+  return config.mean_lifetime / config.num_documents;
+}
+
+std::uint64_t ExpectedTouchCount(const ModifierConfig& config) {
+  const Time interval = TouchInterval(config);
+  if (interval <= 0) return 0;
+  return static_cast<std::uint64_t>(config.duration / interval);
+}
+
+std::vector<ModEvent> GenerateModifierSchedule(const ModifierConfig& config) {
+  const Time interval = TouchInterval(config);
+  WEBCC_CHECK_MSG(interval > 0,
+                  "mean lifetime too short for the document count");
+  util::Rng rng(config.seed);
+  std::vector<ModEvent> events;
+  for (Time at = interval; at <= config.duration; at += interval) {
+    events.push_back(ModEvent{
+        at, static_cast<DocId>(rng.NextBelow(config.num_documents))});
+  }
+  return events;
+}
+
+}  // namespace webcc::trace

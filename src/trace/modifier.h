@@ -1,0 +1,42 @@
+// Modifier-process schedule.
+//
+// The paper's traces carry no modification history, so a modifier process on
+// the pseudo-server touches a uniformly random file every N seconds; this
+// yields a geometric (memoryless) per-file lifetime with mean
+// N * num_documents. Given a target mean lifetime the schedule derives N
+// exactly as the paper does.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.h"
+#include "util/rng.h"
+
+namespace webcc::trace {
+
+struct ModEvent {
+  Time at = 0;
+  DocId doc = 0;
+};
+
+struct ModifierConfig {
+  Time duration = kDay;
+  std::uint32_t num_documents = 1000;
+  // Target mean file lifetime (e.g. 50 days); the touch interval is
+  // mean_lifetime / num_documents.
+  Time mean_lifetime = 50 * kDay;
+  std::uint64_t seed = 2;
+};
+
+// One touch every `mean_lifetime / num_documents`, each picking a uniform
+// random document; sorted by time, all within [interval, duration].
+std::vector<ModEvent> GenerateModifierSchedule(const ModifierConfig& config);
+
+// The touch interval N implied by a config (exposed for tests/benches).
+Time TouchInterval(const ModifierConfig& config);
+
+// Expected number of touches in the configured duration.
+std::uint64_t ExpectedTouchCount(const ModifierConfig& config);
+
+}  // namespace webcc::trace

@@ -1,0 +1,112 @@
+#include "trace/presets.h"
+
+#include "util/check.h"
+
+namespace webcc::trace {
+
+const char* ToString(TraceName name) {
+  switch (name) {
+    case TraceName::kEpa:
+      return "EPA";
+    case TraceName::kSdsc:
+      return "SDSC";
+    case TraceName::kClarkNet:
+      return "ClarkNet";
+    case TraceName::kNasa:
+      return "NASA";
+    case TraceName::kSask:
+      return "SASK";
+  }
+  return "?";
+}
+
+TracePreset GetPreset(TraceName name) {
+  TracePreset preset;
+  preset.id = name;
+  WorkloadConfig& w = preset.workload;
+  w.name = ToString(name);
+
+  switch (name) {
+    case TraceName::kEpa:
+      // EPA WWW server, 1 day (40,658 requests; avg file 21 KB;
+      // popularity 1642 max / 8.2 avg). 72 files modified at a 50-day
+      // lifetime over 1 day implies ~3600 files.
+      w.duration = kDay;
+      w.total_requests = 40658;
+      w.num_documents = 3600;
+      w.num_clients = 2400;
+      w.mean_file_size_bytes = 21.0 * 1024;
+      w.doc_zipf_exponent = 0.97;
+      w.revisit_probability = 0.05;
+      w.seed = 1;  // distinct fixed seeds per preset
+      preset.paper = {"1 day", 40658, 3600, 21.0 * 1024, 1642, 8.2};
+      preset.paper_mean_lifetime = 50 * kDay;
+      break;
+    case TraceName::kSdsc:
+      // San Diego Supercomputer Center, 1 day (25,430 requests; 14 KB;
+      // 1020 max / 12 avg). 57 mods at 25 days ~ 576 at 2.5 days ~ 1430
+      // files.
+      w.duration = kDay;
+      w.total_requests = 25430;
+      w.num_documents = 1430;
+      w.num_clients = 1700;
+      w.mean_file_size_bytes = 14.0 * 1024;
+      w.doc_zipf_exponent = 0.92;
+      w.revisit_probability = 0.08;
+      w.seed = 2;
+      preset.paper = {"1 day", 25430, 1430, 14.0 * 1024, 1020, 12.0};
+      preset.paper_mean_lifetime = 25 * kDay;
+      break;
+    case TraceName::kClarkNet:
+      // ClarkNet commercial ISP, 10 hours (61,703 requests; 13 KB;
+      // 680 max / 8 avg). 40 mods at 50 days over 10 hours ~ 4800 files.
+      w.duration = 10 * kHour;
+      w.total_requests = 61703;
+      w.num_documents = 4800;
+      w.num_clients = 6000;
+      w.mean_file_size_bytes = 13.0 * 1024;
+      w.doc_zipf_exponent = 0.62;
+      w.revisit_probability = 0.15;
+      w.seed = 3;
+      preset.paper = {"10 hours", 61703, 4800, 13.0 * 1024, 680, 8.0};
+      preset.paper_mean_lifetime = 50 * kDay;
+      break;
+    case TraceName::kNasa:
+      // NASA Kennedy Space Center, 1 day (61,823 requests; 44 KB;
+      // 3138 max / 31 avg). 144 mods at 7 days ~ 1008 files. Heavily
+      // front-page dominated: nearly every client hits the top document.
+      w.duration = kDay;
+      w.total_requests = 61823;
+      w.num_documents = 1008;
+      w.num_clients = 3600;
+      w.mean_file_size_bytes = 44.0 * 1024;
+      w.doc_zipf_exponent = 1.12;
+      w.revisit_probability = 0.05;
+      w.seed = 4;
+      preset.paper = {"1 day", 61823, 1008, 44.0 * 1024, 3138, 31.0};
+      preset.paper_mean_lifetime = 7 * kDay;
+      break;
+    case TraceName::kSask:
+      // University of Saskatchewan, 8 days (51,471 requests; 12 KB;
+      // 1155 max / 14 avg). 1148 mods at 14 days over 8 days ~ 2009 files.
+      w.duration = 8 * kDay;
+      w.total_requests = 51471;
+      w.num_documents = 2009;
+      w.num_clients = 1300;
+      w.mean_file_size_bytes = 12.0 * 1024;
+      w.doc_zipf_exponent = 0.95;
+      w.revisit_probability = 0.12;
+      w.seed = 5;
+      preset.paper = {"8 days", 51471, 2009, 12.0 * 1024, 1155, 14.0};
+      preset.paper_mean_lifetime = 14 * kDay;
+      break;
+  }
+  return preset;
+}
+
+std::vector<TraceName> AllTraces() {
+  return {TraceName::kEpa, TraceName::kSdsc, TraceName::kClarkNet,
+          TraceName::kNasa, TraceName::kSask};
+}
+
+}  // namespace webcc::trace

@@ -1,0 +1,44 @@
+// In-memory trace representation.
+//
+// A Trace is the unit the replay engine consumes: a document table, a client
+// table, and a time-sorted request stream indexing into both. Traces come
+// either from the synthetic workload generator (trace/workload.h) or from
+// real Common-Log-Format server logs (trace/clf.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace webcc::trace {
+
+using DocId = std::uint32_t;
+using ClientId = std::uint32_t;
+
+struct DocumentInfo {
+  std::string path;          // e.g. "/docs/00042.html"
+  std::uint64_t size_bytes;  // unscaled size
+};
+
+struct TraceRecord {
+  Time timestamp = 0;  // relative to the start of the trace
+  ClientId client = 0;
+  DocId doc = 0;
+};
+
+struct Trace {
+  std::string name;
+  Time duration = 0;
+  std::vector<DocumentInfo> documents;
+  std::vector<std::string> clients;  // real-client identifiers (IP-like)
+  std::vector<TraceRecord> records;  // sorted by timestamp
+
+  // Checks internal consistency (indices in range, sorted timestamps,
+  // records within [0, duration]); returns an empty string when valid and
+  // a description of the first problem otherwise.
+  std::string Validate() const;
+};
+
+}  // namespace webcc::trace

@@ -1,0 +1,31 @@
+// Trace summary statistics in the shape of the paper's Table 2.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/record.h"
+
+namespace webcc::trace {
+
+struct TraceSummary {
+  Time duration = 0;
+  std::uint64_t total_requests = 0;
+  std::uint64_t num_files = 0;          // documents actually requested
+  double avg_file_size_bytes = 0.0;     // over requested documents
+  // "File popularity": number of distinct client sites that requested the
+  // same document — the paper reports the maximum and (in parentheses) the
+  // average over requested documents.
+  std::uint64_t max_popularity = 0;
+  double avg_popularity = 0.0;
+  // Extra derived statistics (not in Table 2 but useful for calibration):
+  // fraction of requests that repeat an earlier (client, document) pair,
+  // i.e. the infinite-cache per-client hit ratio.
+  double repeat_request_fraction = 0.0;
+};
+
+TraceSummary Summarize(const Trace& trace);
+
+// Implements Trace::Validate (kept here with the other whole-trace scans).
+std::string ValidateTrace(const Trace& trace);
+
+}  // namespace webcc::trace

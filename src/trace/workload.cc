@@ -1,0 +1,138 @@
+#include "trace/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "util/check.h"
+#include "util/distributions.h"
+
+namespace webcc::trace {
+namespace {
+
+// Allocates `total` requests across fixed-width time buckets proportionally
+// to a diurnal rate curve, then scatters them uniformly within buckets.
+std::vector<Time> GenerateArrivals(const WorkloadConfig& config,
+                                   util::Rng& rng) {
+  const Time bucket_width = std::min<Time>(5 * kMinute, config.duration);
+  const auto num_buckets = static_cast<std::size_t>(
+      (config.duration + bucket_width - 1) / bucket_width);
+
+  std::vector<double> weights(num_buckets);
+  for (std::size_t b = 0; b < num_buckets; ++b) {
+    const double t = ToSeconds(static_cast<Time>(b) * bucket_width);
+    const double phase = 2.0 * M_PI * t / ToSeconds(kDay);
+    weights[b] = std::max(0.05, 1.0 + config.diurnal_amplitude *
+                                          std::sin(phase - M_PI / 2));
+  }
+  util::DiscreteDistribution bucket_dist(weights);
+
+  std::vector<Time> arrivals;
+  arrivals.reserve(config.total_requests);
+  for (std::uint64_t i = 0; i < config.total_requests; ++i) {
+    const auto bucket = bucket_dist.Sample(rng);
+    const Time start = static_cast<Time>(bucket) * bucket_width;
+    const Time end = std::min(start + bucket_width, config.duration);
+    arrivals.push_back(start + rng.NextInRange(0, end - start - 1));
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+  return arrivals;
+}
+
+}  // namespace
+
+Trace GenerateTrace(const WorkloadConfig& config) {
+  WEBCC_CHECK_MSG(config.duration > 0, "duration must be positive");
+  WEBCC_CHECK_MSG(config.num_documents > 0, "need documents");
+  WEBCC_CHECK_MSG(config.num_clients > 0, "need clients");
+
+  util::Rng rng(config.seed);
+  util::Rng size_rng = rng.Fork();
+  util::Rng arrival_rng = rng.Fork();
+  util::Rng pick_rng = rng.Fork();
+
+  Trace trace;
+  trace.name = config.name;
+  trace.duration = config.duration;
+
+  trace.documents.reserve(config.num_documents);
+  for (std::uint32_t d = 0; d < config.num_documents; ++d) {
+    char path[64];
+    std::snprintf(path, sizeof(path), "/docs/%05u.html", d);
+    const double raw = util::SampleLognormal(
+        size_rng, config.mean_file_size_bytes, config.file_size_sigma);
+    const auto size = static_cast<std::uint64_t>(
+        std::clamp(raw, static_cast<double>(config.min_file_size_bytes),
+                   static_cast<double>(config.max_file_size_bytes)));
+    trace.documents.push_back(DocumentInfo{path, size});
+  }
+
+  trace.clients.reserve(config.num_clients);
+  for (std::uint32_t c = 0; c < config.num_clients; ++c) {
+    // Dotted-quad style identifiers, mirroring the paper's preprocessing
+    // step of assigning IP addresses to trace clients.
+    char id[32];
+    std::snprintf(id, sizeof(id), "10.%u.%u.%u", (c >> 16) & 0xff,
+                  (c >> 8) & 0xff, c & 0xff);
+    trace.clients.push_back(id);
+  }
+
+  const util::ZipfDistribution doc_dist(config.num_documents,
+                                        config.doc_zipf_exponent);
+  const util::ZipfDistribution client_dist(config.num_clients,
+                                           config.client_zipf_exponent);
+
+  const std::vector<Time> arrivals = GenerateArrivals(config, arrival_rng);
+
+  // Zipf rank != document id: shuffle ranks onto ids so popularity is not
+  // correlated with the size distribution draw order.
+  std::vector<DocId> doc_by_rank(config.num_documents);
+  for (std::uint32_t d = 0; d < config.num_documents; ++d) doc_by_rank[d] = d;
+  for (std::uint32_t d = config.num_documents; d > 1; --d) {
+    std::swap(doc_by_rank[d - 1],
+              doc_by_rank[pick_rng.NextBelow(d)]);
+  }
+
+  // Hot-documents-are-smaller correlation (see WorkloadConfig).
+  if (config.size_rank_gamma > 0.0) {
+    const double n = static_cast<double>(config.num_documents);
+    for (std::uint32_t rank = 0; rank < config.num_documents; ++rank) {
+      DocumentInfo& doc = trace.documents[doc_by_rank[rank]];
+      const double multiplier =
+          std::pow((rank + 1.0) / n, config.size_rank_gamma) *
+          (1.0 + config.size_rank_gamma);
+      const auto scaled = static_cast<std::uint64_t>(
+          std::clamp(static_cast<double>(doc.size_bytes) * multiplier,
+                     static_cast<double>(config.min_file_size_bytes),
+                     static_cast<double>(config.max_file_size_bytes)));
+      doc.size_bytes = scaled;
+    }
+  }
+
+  std::vector<DocId> last_doc(config.num_clients, 0);
+  std::vector<bool> has_last(config.num_clients, false);
+  std::vector<double> revisit(config.num_clients, config.revisit_probability);
+  for (std::uint32_t c = 0; c < config.num_clients; ++c) {
+    if (pick_rng.NextBool(config.heavy_revisit_fraction)) {
+      revisit[c] = config.heavy_revisit_probability;
+    }
+  }
+
+  trace.records.reserve(arrivals.size());
+  for (const Time at : arrivals) {
+    const auto client = static_cast<ClientId>(client_dist.Sample(pick_rng));
+    DocId doc;
+    if (has_last[client] && pick_rng.NextBool(revisit[client])) {
+      doc = last_doc[client];
+    } else {
+      doc = doc_by_rank[doc_dist.Sample(pick_rng)];
+    }
+    last_doc[client] = doc;
+    has_last[client] = true;
+    trace.records.push_back(TraceRecord{at, client, doc});
+  }
+  return trace;
+}
+
+}  // namespace webcc::trace

@@ -1,0 +1,18 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace webcc::util {
+
+void CheckFailed(std::string_view expr, std::string_view file, int line,
+                 std::string_view msg) {
+  std::fprintf(stderr, "webcc: check failed: %.*s at %.*s:%d%s%.*s\n",
+               static_cast<int>(expr.size()), expr.data(),
+               static_cast<int>(file.size()), file.data(), line,
+               msg.empty() ? "" : ": ", static_cast<int>(msg.size()),
+               msg.data());
+  std::abort();
+}
+
+}  // namespace webcc::util

@@ -1,0 +1,35 @@
+// Lightweight runtime-check macros.
+//
+// WEBCC_CHECK fires in every build type (these guard protocol invariants,
+// not mere debugging aids); WEBCC_DCHECK compiles out in NDEBUG builds.
+#pragma once
+
+#include <string_view>
+
+namespace webcc::util {
+
+// Prints `expr` and `msg` with source location to stderr and aborts.
+[[noreturn]] void CheckFailed(std::string_view expr, std::string_view file,
+                              int line, std::string_view msg);
+
+}  // namespace webcc::util
+
+#define WEBCC_CHECK(cond)                                            \
+  do {                                                               \
+    if (!(cond)) [[unlikely]]                                        \
+      ::webcc::util::CheckFailed(#cond, __FILE__, __LINE__, "");     \
+  } while (false)
+
+#define WEBCC_CHECK_MSG(cond, msg)                                   \
+  do {                                                               \
+    if (!(cond)) [[unlikely]]                                        \
+      ::webcc::util::CheckFailed(#cond, __FILE__, __LINE__, (msg));  \
+  } while (false)
+
+#ifdef NDEBUG
+#define WEBCC_DCHECK(cond) \
+  do {                     \
+  } while (false)
+#else
+#define WEBCC_DCHECK(cond) WEBCC_CHECK(cond)
+#endif

@@ -1,0 +1,78 @@
+#include "util/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace webcc::util {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double exponent)
+    : exponent_(exponent) {
+  WEBCC_CHECK_MSG(n > 0, "Zipf needs at least one rank");
+  WEBCC_CHECK_MSG(exponent >= 0.0, "Zipf exponent must be non-negative");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(std::size_t rank) const {
+  WEBCC_CHECK(rank < cdf_.size());
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+double SampleExponential(Rng& rng, double mean) {
+  WEBCC_DCHECK(mean > 0.0);
+  // 1 - u avoids log(0); u in [0,1) so 1-u in (0,1].
+  return -mean * std::log1p(-rng.NextDouble());
+}
+
+double SampleStandardNormal(Rng& rng) {
+  // Box-Muller; draw u1 away from zero to keep log finite.
+  double u1;
+  do {
+    u1 = rng.NextDouble();
+  } while (u1 <= 0.0);
+  const double u2 = rng.NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double SampleLognormal(Rng& rng, double mean, double sigma) {
+  WEBCC_DCHECK(mean > 0.0);
+  // For LogNormal(mu, sigma), E[X] = exp(mu + sigma^2/2); solve for mu.
+  const double mu = std::log(mean) - sigma * sigma / 2.0;
+  return std::exp(mu + sigma * SampleStandardNormal(rng));
+}
+
+DiscreteDistribution::DiscreteDistribution(const std::vector<double>& weights) {
+  WEBCC_CHECK_MSG(!weights.empty(), "empty weight vector");
+  cdf_.resize(weights.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    WEBCC_CHECK_MSG(weights[i] >= 0.0, "negative weight");
+    total += weights[i];
+    cdf_[i] = total;
+  }
+  WEBCC_CHECK_MSG(total > 0.0, "all-zero weight vector");
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+std::size_t DiscreteDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace webcc::util

@@ -1,0 +1,59 @@
+// Samplers for the distributions the workload model needs.
+//
+// Web-trace modeling standardly uses Zipf-like document popularity,
+// heavy-tailed (lognormal body) file sizes and exponential inter-event gaps;
+// these samplers are deterministic functions of the supplied Rng.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace webcc::util {
+
+// Zipf(s) over ranks {0, .., n-1}: P(rank k) proportional to 1/(k+1)^s.
+// Sampling is by binary search over the precomputed CDF: O(n) setup,
+// O(log n) per draw, exact for any s >= 0 (s == 0 degenerates to uniform).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double exponent);
+
+  std::size_t Sample(Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+  double exponent() const { return exponent_; }
+
+  // Probability mass of a given rank; exposed for calibration and tests.
+  double Pmf(std::size_t rank) const;
+
+ private:
+  double exponent_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k), cdf_.back() == 1
+};
+
+// Exponential with the given mean. Used for inter-arrival and lifetime gaps.
+double SampleExponential(Rng& rng, double mean);
+
+// Lognormal parameterized directly by its mean and the sigma of the
+// underlying normal (mu is derived). Used for document sizes.
+double SampleLognormal(Rng& rng, double mean, double sigma);
+
+// Standard normal via Box-Muller (single value; the pair's twin is dropped
+// to keep the sampler stateless).
+double SampleStandardNormal(Rng& rng);
+
+// Weighted choice over arbitrary non-negative weights (O(log n) per draw).
+class DiscreteDistribution {
+ public:
+  explicit DiscreteDistribution(const std::vector<double>& weights);
+
+  std::size_t Sample(Rng& rng) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace webcc::util

@@ -1,0 +1,69 @@
+#include "util/format.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace webcc::util {
+
+std::string HumanBytes(std::uint64_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < std::size(kUnits)) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu%s",
+                  static_cast<unsigned long long>(bytes), kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3g%s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string HumanDuration(Time t) {
+  if (t < 0) return "-" + HumanDuration(-t);
+  if (t < kSecond) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3gms", ToMillis(t));
+    return buf;
+  }
+  std::string out;
+  const auto emit = [&out](Time value, const char* suffix) {
+    if (value > 0 || (!out.empty() && suffix[0] == '\0')) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld%s",
+                    static_cast<long long>(value), suffix);
+      out += buf;
+    }
+  };
+  emit(t / kDay, "d");
+  emit((t % kDay) / kHour, "h");
+  emit((t % kHour) / kMinute, "m");
+  emit((t % kMinute) / kSecond, "s");
+  if (out.empty()) out = "0s";
+  return out;
+}
+
+std::string Fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string WithCommas(std::int64_t value) {
+  const bool negative = value < 0;
+  std::string digits = std::to_string(negative ? -value : value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  const std::size_t first_group = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first_group) % 3 == 0 && i >= first_group) out += ',';
+    out += digits[i];
+  }
+  return negative ? "-" + out : out;
+}
+
+}  // namespace webcc::util

@@ -1,0 +1,23 @@
+// Small formatting helpers shared by benches, examples and logs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/time.h"
+
+namespace webcc::util {
+
+// 12345678 -> "11.8MB"; keeps three significant digits.
+std::string HumanBytes(std::uint64_t bytes);
+
+// 90061000000us -> "1d1h1m1s"; truncates below seconds unless sub-second.
+std::string HumanDuration(Time t);
+
+// Fixed-point with the given number of decimals, e.g. (3.14159, 2)->"3.14".
+std::string Fixed(double value, int decimals);
+
+// Thousands separators: 1234567 -> "1,234,567".
+std::string WithCommas(std::int64_t value);
+
+}  // namespace webcc::util

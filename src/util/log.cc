@@ -1,0 +1,43 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+
+namespace webcc::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+void Logf(LogLevel level, const char* format, ...) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  char buffer[2048];
+  int offset = std::snprintf(buffer, sizeof(buffer), "[webcc %s] ",
+                             LevelTag(level));
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer + offset, sizeof(buffer) - offset, format, args);
+  va_end(args);
+  std::fprintf(stderr, "%s\n", buffer);
+}
+
+}  // namespace webcc::util

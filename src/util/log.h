@@ -1,0 +1,30 @@
+// Minimal leveled logging to stderr.
+//
+// Default level is Warn so that library users see problems but replays stay
+// quiet; benches and examples raise it when narrating runs. Thread-safe:
+// each message is formatted into one buffer and written with a single call.
+#pragma once
+
+#include <string_view>
+
+namespace webcc::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style logging; no-op when `level` is below the configured level.
+void Logf(LogLevel level, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace webcc::util
+
+#define WEBCC_LOG_DEBUG(...) \
+  ::webcc::util::Logf(::webcc::util::LogLevel::kDebug, __VA_ARGS__)
+#define WEBCC_LOG_INFO(...) \
+  ::webcc::util::Logf(::webcc::util::LogLevel::kInfo, __VA_ARGS__)
+#define WEBCC_LOG_WARN(...) \
+  ::webcc::util::Logf(::webcc::util::LogLevel::kWarn, __VA_ARGS__)
+#define WEBCC_LOG_ERROR(...) \
+  ::webcc::util::Logf(::webcc::util::LogLevel::kError, __VA_ARGS__)

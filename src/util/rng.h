@@ -1,0 +1,94 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in webcc (trace synthesis, modifier schedules,
+// failure injection) draws from an explicitly seeded Rng so that a replay is
+// reproducible byte-for-byte from its seed. The generator is xoshiro256**,
+// which is fast, has a 256-bit state and passes BigCrush; we avoid
+// std::mt19937_64 mainly for its bulky state and avoid std::*_distribution
+// because their outputs are not portable across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/check.h"
+
+namespace webcc::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors, so that
+    // nearby seeds give uncorrelated streams.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  // Uniform in [0, 2^64).
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). `bound` must be positive. Uses Lemire's unbiased
+  // multiply-shift rejection method.
+  std::uint64_t NextBelow(std::uint64_t bound) {
+    WEBCC_DCHECK(bound > 0);
+    std::uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) {
+    WEBCC_DCHECK(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(NextBelow(span));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial.
+  bool NextBool(double probability_true) {
+    return NextDouble() < probability_true;
+  }
+
+  // Derives an independent child stream; used to give each component of a
+  // replay its own generator so adding draws in one component does not
+  // perturb another.
+  Rng Fork() { return Rng(NextU64()); }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace webcc::util

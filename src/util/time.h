@@ -1,0 +1,32 @@
+// Simulated-time primitives.
+//
+// All simulated timestamps and durations in webcc are int64 microseconds.
+// A plain integer (rather than std::chrono) keeps event-queue keys, wire
+// fields and trace records trivially comparable and serializable; the
+// helpers below keep call sites readable.
+#pragma once
+
+#include <cstdint>
+
+namespace webcc {
+
+// Absolute simulated time (microseconds since the start of a run) or a
+// duration, depending on context.
+using Time = std::int64_t;
+
+inline constexpr Time kMicrosecond = 1;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+inline constexpr Time kMinute = 60 * kSecond;
+inline constexpr Time kHour = 60 * kMinute;
+inline constexpr Time kDay = 24 * kHour;
+
+constexpr double ToSeconds(Time t) { return static_cast<double>(t) / kSecond; }
+constexpr double ToMillis(Time t) {
+  return static_cast<double>(t) / kMillisecond;
+}
+constexpr Time FromSeconds(double s) {
+  return static_cast<Time>(s * static_cast<double>(kSecond));
+}
+
+}  // namespace webcc

@@ -1,0 +1,275 @@
+// Tests for the Section 3 analytic model (Table 1): closed forms, exact
+// per-event simulations, and the properties binding them together.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/analysis.h"
+#include "util/rng.h"
+
+namespace webcc::core {
+namespace {
+
+// --- sequence parsing / shape -----------------------------------------------------
+
+TEST(Sequence, ParseAssignsIncreasingTimes) {
+  const auto events = ParseSequence("rmr", kMinute);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].at, kMinute);
+  EXPECT_TRUE(events[0].is_request);
+  EXPECT_EQ(events[1].at, 2 * kMinute);
+  EXPECT_FALSE(events[1].is_request);
+  EXPECT_EQ(events[2].at, 3 * kMinute);
+}
+
+TEST(Sequence, ParseIgnoresWhitespace) {
+  EXPECT_EQ(ParseSequence("r r m\nm r").size(), 5u);
+}
+
+TEST(Shape, PaperExample) {
+  // "r r r m m m r r m r r r m m r": the paper says RI = 4.
+  const auto events = ParseSequence("rrrmmmrrmrrrmmr");
+  const SequenceShape shape = AnalyzeSequence(events);
+  EXPECT_EQ(shape.requests, 9u);
+  EXPECT_EQ(shape.modifications, 6u);
+  EXPECT_EQ(shape.request_intervals, 4u);
+  EXPECT_EQ(shape.closed_intervals, 3u);  // the final run is still open
+}
+
+struct ShapeCase {
+  const char* name;
+  const char* sequence;
+  std::uint64_t requests;
+  std::uint64_t intervals;
+  std::uint64_t closed;
+};
+
+class ShapeTest : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(ShapeTest, CountsMatch) {
+  const auto& param = GetParam();
+  const SequenceShape shape = AnalyzeSequence(ParseSequence(param.sequence));
+  EXPECT_EQ(shape.requests, param.requests);
+  EXPECT_EQ(shape.request_intervals, param.intervals);
+  EXPECT_EQ(shape.closed_intervals, param.closed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShapeTest,
+    ::testing::Values(ShapeCase{"Empty", "", 0, 0, 0},
+                      ShapeCase{"OnlyRequests", "rrrr", 4, 1, 0},
+                      ShapeCase{"OnlyMods", "mmm", 0, 0, 0},
+                      ShapeCase{"Alternating", "rmrmrm", 3, 3, 3},
+                      ShapeCase{"ModsFirst", "mmrr", 2, 1, 0},
+                      ShapeCase{"EndsWithMod", "rrm", 2, 1, 1},
+                      ShapeCase{"DoubleModsBetween", "rmmr", 2, 2, 1}),
+    [](const ::testing::TestParamInfo<ShapeCase>& info) {
+      return info.param.name;
+    });
+
+// --- closed forms ---------------------------------------------------------------------
+
+TEST(Table1, PollingCounts) {
+  const SequenceShape shape =
+      AnalyzeSequence(ParseSequence("rrrmmmrrmrrrmmr"));
+  const MessageCounts counts = Table1Polling(shape);
+  // R = 9, RI = 4: one cold GET, 8 IMS, 4 transfers, 5 304s.
+  EXPECT_EQ(counts.gets, 1u);
+  EXPECT_EQ(counts.ims, 8u);
+  EXPECT_EQ(counts.replies_200, 4u);
+  EXPECT_EQ(counts.replies_304, 5u);
+  // Table 1's total control count: 2R - RI.
+  EXPECT_EQ(counts.control_messages(), 2 * 9u - 4u);
+}
+
+TEST(Table1, InvalidationCounts) {
+  const SequenceShape shape =
+      AnalyzeSequence(ParseSequence("rrrmmmrrmrrrmmr"));
+  const MessageCounts counts = Table1Invalidation(shape);
+  EXPECT_EQ(counts.gets, 4u);
+  EXPECT_EQ(counts.replies_200, 4u);
+  EXPECT_EQ(counts.invalidations, 3u);
+  EXPECT_EQ(counts.ims, 0u);
+  EXPECT_EQ(counts.replies_304, 0u);
+}
+
+TEST(Table1, MinimumTraffic) {
+  const SequenceShape shape = AnalyzeSequence(ParseSequence("rmrmr"));
+  const MessageCounts counts = Table1Minimum(shape);
+  EXPECT_EQ(counts.control_messages(), 3u);
+  EXPECT_EQ(counts.file_transfers(), 3u);
+}
+
+TEST(Table1, EmptySequenceAllZero) {
+  const SequenceShape shape{};
+  EXPECT_EQ(Table1Polling(shape).total_messages(), 0u);
+  EXPECT_EQ(Table1Invalidation(shape).total_messages(), 0u);
+}
+
+// --- exact simulations match closed forms ------------------------------------------------
+
+std::string RandomSequence(util::Rng& rng, std::size_t length,
+                           double request_probability) {
+  std::string sequence;
+  for (std::size_t i = 0; i < length; ++i) {
+    sequence += rng.NextBool(request_probability) ? 'r' : 'm';
+  }
+  return sequence;
+}
+
+class RandomSequenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSequenceTest, PollingSimulationMatchesClosedForm) {
+  util::Rng rng(GetParam());
+  const std::string sequence = RandomSequence(rng, 200, 0.7);
+  const auto events = ParseSequence(sequence);
+  const MessageCounts simulated = SimulatePollingSequence(events);
+  const MessageCounts closed = Table1Polling(AnalyzeSequence(events));
+  EXPECT_EQ(simulated.gets, closed.gets) << sequence;
+  EXPECT_EQ(simulated.ims, closed.ims) << sequence;
+  EXPECT_EQ(simulated.replies_200, closed.replies_200) << sequence;
+  EXPECT_EQ(simulated.replies_304, closed.replies_304) << sequence;
+  EXPECT_EQ(simulated.stale_hits, 0u);
+}
+
+TEST_P(RandomSequenceTest, InvalidationSimulationMatchesClosedForm) {
+  util::Rng rng(GetParam() + 1000);
+  const std::string sequence = RandomSequence(rng, 200, 0.6);
+  const auto events = ParseSequence(sequence);
+  const MessageCounts simulated = SimulateInvalidationSequence(events);
+  const MessageCounts closed = Table1Invalidation(AnalyzeSequence(events));
+  EXPECT_EQ(simulated.gets, closed.gets) << sequence;
+  EXPECT_EQ(simulated.replies_200, closed.replies_200) << sequence;
+  EXPECT_EQ(simulated.invalidations, closed.invalidations) << sequence;
+  EXPECT_EQ(simulated.stale_hits, 0u);
+}
+
+TEST_P(RandomSequenceTest, StrongSchemesTransferExactlyTheMinimum) {
+  util::Rng rng(GetParam() + 2000);
+  const std::string sequence = RandomSequence(rng, 300, 0.8);
+  const auto events = ParseSequence(sequence);
+  const SequenceShape shape = AnalyzeSequence(events);
+  EXPECT_EQ(SimulatePollingSequence(events).file_transfers(),
+            shape.request_intervals);
+  EXPECT_EQ(SimulateInvalidationSequence(events).file_transfers(),
+            shape.request_intervals);
+}
+
+TEST_P(RandomSequenceTest, InvalidationNeverExceedsTwiceMinimumControl) {
+  util::Rng rng(GetParam() + 3000);
+  const auto events = ParseSequence(RandomSequence(rng, 300, 0.5));
+  const SequenceShape shape = AnalyzeSequence(events);
+  const MessageCounts counts = SimulateInvalidationSequence(events);
+  EXPECT_LE(counts.control_messages(), 2 * shape.request_intervals);
+}
+
+TEST_P(RandomSequenceTest, AdaptiveTtlTransfersAtLeastMinimumWhenNoStaleHits) {
+  util::Rng rng(GetParam() + 4000);
+  const auto events = ParseSequence(RandomSequence(rng, 200, 0.7), kHour);
+  const SequenceShape shape = AnalyzeSequence(events);
+  AdaptiveTtlConfig config;
+  config.factor = 0.0;  // degenerates to validate-every-time
+  config.min_ttl = 0;
+  const MessageCounts counts =
+      SimulateAdaptiveTtlSequence(events, config, -30 * kDay);
+  // With factor 0 every hit validates: no stale hits, minimum transfers.
+  EXPECT_EQ(counts.stale_hits, 0u);
+  EXPECT_EQ(counts.file_transfers(), shape.request_intervals);
+}
+
+TEST_P(RandomSequenceTest, TtlSavesTransfersOnlyThroughStaleness) {
+  // The paper's key observation: adaptive TTL's transfer savings relative
+  // to the strong schemes are bounded by its stale serves.
+  util::Rng rng(GetParam() + 5000);
+  const auto events = ParseSequence(RandomSequence(rng, 300, 0.85), kHour);
+  const SequenceShape shape = AnalyzeSequence(events);
+  AdaptiveTtlConfig config;
+  config.factor = 1.0;  // aggressive caching: many stale serves
+  config.min_ttl = kMinute;
+  config.max_ttl = 365 * kDay;
+  const MessageCounts counts =
+      SimulateAdaptiveTtlSequence(events, config, -50 * kDay);
+  EXPECT_GE(counts.file_transfers() + counts.stale_hits,
+            shape.request_intervals);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSequenceTest, ::testing::Range(0, 25));
+
+// --- adaptive TTL trajectory specifics ---------------------------------------------------
+
+TEST(AdaptiveTtlSequence, ColdStartIsSingleGet) {
+  const auto events = ParseSequence("r");
+  AdaptiveTtlConfig config;
+  const MessageCounts counts = SimulateAdaptiveTtlSequence(events, config, 0);
+  EXPECT_EQ(counts.gets, 1u);
+  EXPECT_EQ(counts.replies_200, 1u);
+  EXPECT_EQ(counts.ims, 0u);
+}
+
+TEST(AdaptiveTtlSequence, OldDocumentServedLocallyWithinTtl) {
+  AdaptiveTtlConfig config;
+  config.factor = 0.5;
+  config.min_ttl = 0;
+  config.max_ttl = 365 * kDay;
+  // Document is 100 days old: TTL ~ 50 days; hourly re-requests all hit.
+  const auto events = ParseSequence("rrrrrrrr", kHour);
+  const MessageCounts counts =
+      SimulateAdaptiveTtlSequence(events, config, -100 * kDay);
+  EXPECT_EQ(counts.gets, 1u);
+  EXPECT_EQ(counts.ims, 0u);
+}
+
+TEST(AdaptiveTtlSequence, StaleHitThenEventualRefetch) {
+  AdaptiveTtlConfig config;
+  config.factor = 0.5;
+  config.min_ttl = 0;
+  config.max_ttl = 365 * kDay;
+  // Fetch, modify, re-request within TTL (stale hit), re-request after TTL
+  // expiry (refetch).
+  std::vector<SeqEvent> events = {
+      {kHour, true},            // GET; age 100d -> TTL 50d
+      {2 * kHour, false},       // modification
+      {3 * kHour, true},        // within TTL: stale hit
+      {100 * kDay, true},       // TTL expired: IMS -> 200
+  };
+  const MessageCounts counts =
+      SimulateAdaptiveTtlSequence(events, config, -100 * kDay);
+  EXPECT_EQ(counts.stale_hits, 1u);
+  EXPECT_EQ(counts.gets, 1u);
+  EXPECT_EQ(counts.ims, 1u);
+  EXPECT_EQ(counts.replies_200, 2u);
+  EXPECT_EQ(counts.replies_304, 0u);
+}
+
+TEST(AdaptiveTtlSequence, UnmodifiedExpiryCosts304) {
+  AdaptiveTtlConfig config;
+  config.factor = 0.001;
+  config.min_ttl = kMinute;
+  config.max_ttl = kMinute;
+  // TTL pinned to one minute; re-request an hour later: IMS -> 304.
+  const auto events = ParseSequence("rr", kHour);
+  const MessageCounts counts =
+      SimulateAdaptiveTtlSequence(events, config, -kDay);
+  EXPECT_EQ(counts.gets, 1u);
+  EXPECT_EQ(counts.ims, 1u);
+  EXPECT_EQ(counts.replies_304, 1u);
+  // Control messages: 2 * TTL-misses - misses-on-changed-docs = 2*1 - 0,
+  // plus the cold GET.
+  EXPECT_EQ(counts.control_messages(), 3u);
+}
+
+TEST(MessageCounts, Accessors) {
+  MessageCounts counts;
+  counts.gets = 1;
+  counts.ims = 2;
+  counts.replies_200 = 3;
+  counts.replies_304 = 4;
+  counts.invalidations = 5;
+  EXPECT_EQ(counts.control_messages(), 12u);
+  EXPECT_EQ(counts.file_transfers(), 3u);
+  EXPECT_EQ(counts.total_messages(), 15u);
+}
+
+}  // namespace
+}  // namespace webcc::core

@@ -1,0 +1,232 @@
+// Model-based property test: ProxyCache against a deliberately simple
+// reference implementation.
+//
+// The production cache combines an LRU list, a hash index, a URL index and
+// a lazy-deletion TTL heap; the reference below is a plain vector with
+// O(n) everything. Randomized operation sequences must keep the two in
+// lockstep — membership, byte accounting, LRU victims and expired-first
+// victims included.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "http/proxy_cache.h"
+#include "util/rng.h"
+
+namespace webcc::http {
+namespace {
+
+// The reference: exact semantics, no cleverness.
+class ReferenceCache {
+ public:
+  ReferenceCache(std::uint64_t capacity, ReplacementPolicy policy)
+      : capacity_(capacity), policy_(policy) {}
+
+  struct Entry {
+    std::string key;
+    std::string url;
+    std::uint64_t size = 0;
+    Time ttl_expires = kNeverExpires;
+    std::uint64_t stamp = 0;  // insertion order, for expiry tie-breaks
+  };
+
+  const Entry* Lookup(const std::string& key) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].key == key) {
+        // Promote to most recently used (front).
+        Entry entry = entries_[i];
+        entries_.erase(entries_.begin() + static_cast<long>(i));
+        entries_.insert(entries_.begin(), entry);
+        return &entries_.front();
+      }
+    }
+    return nullptr;
+  }
+
+  bool Contains(const std::string& key) const {
+    return std::any_of(entries_.begin(), entries_.end(),
+                       [&key](const Entry& e) { return e.key == key; });
+  }
+
+  void Insert(Entry entry, Time now) {
+    Erase(entry.key);
+    if (entry.size > capacity_) return;
+    while (bytes_ + entry.size > capacity_) EvictOne(now);
+    bytes_ += entry.size;
+    entry.stamp = next_stamp_++;
+    entries_.insert(entries_.begin(), std::move(entry));
+  }
+
+  bool Erase(const std::string& key) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].key == key) {
+        bytes_ -= entries_[i].size;
+        entries_.erase(entries_.begin() + static_cast<long>(i));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::size_t EraseByUrl(const std::string& url) {
+    std::size_t erased = 0;
+    for (std::size_t i = entries_.size(); i > 0; --i) {
+      if (entries_[i - 1].url == url) {
+        bytes_ -= entries_[i - 1].size;
+        entries_.erase(entries_.begin() + static_cast<long>(i - 1));
+        ++erased;
+      }
+    }
+    return erased;
+  }
+
+  std::uint64_t bytes() const { return bytes_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  void EvictOne(Time now) {
+    ASSERT_FALSE(entries_.empty());
+    if (policy_ == ReplacementPolicy::kExpiredFirstLru) {
+      // Evict the earliest-expiring expired entry, if any (the production
+      // heap pops by expiry order).
+      long victim = -1;
+      Time earliest = kNeverExpires;
+      std::uint64_t earliest_stamp = 0;
+      for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const Entry& entry = entries_[i];
+        if (entry.ttl_expires > now) continue;
+        if (victim < 0 || entry.ttl_expires < earliest ||
+            (entry.ttl_expires == earliest && entry.stamp < earliest_stamp)) {
+          earliest = entry.ttl_expires;
+          earliest_stamp = entry.stamp;
+          victim = static_cast<long>(i);
+        }
+      }
+      if (victim >= 0) {
+        bytes_ -= entries_[static_cast<std::size_t>(victim)].size;
+        entries_.erase(entries_.begin() + victim);
+        return;
+      }
+    }
+    bytes_ -= entries_.back().size;
+    entries_.pop_back();  // LRU tail
+  }
+
+  std::uint64_t capacity_;
+  ReplacementPolicy policy_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t next_stamp_ = 1;
+  std::vector<Entry> entries_;
+};
+
+CacheEntry MakeEntry(int doc, int owner, std::uint64_t size, Time ttl) {
+  CacheEntry entry;
+  entry.url = "/d" + std::to_string(doc);
+  entry.owner = "c" + std::to_string(owner);
+  entry.key = entry.url + "@" + entry.owner;
+  entry.size_bytes = size;
+  entry.version = 1;
+  entry.ttl_expires = ttl;
+  return entry;
+}
+
+struct ModelParams {
+  ReplacementPolicy policy;
+  std::uint64_t seed;
+};
+
+class CacheModelTest : public ::testing::TestWithParam<ModelParams> {};
+
+TEST_P(CacheModelTest, RandomOperationsStayInLockstep) {
+  const ModelParams params = GetParam();
+  constexpr std::uint64_t kCapacity = 2000;
+  ProxyCache cache(kCapacity, params.policy);
+  ReferenceCache reference(kCapacity, params.policy);
+  util::Rng rng(params.seed);
+
+  Time now = 0;
+  for (int step = 0; step < 4000; ++step) {
+    now += static_cast<Time>(rng.NextBelow(50));
+    const int doc = static_cast<int>(rng.NextBelow(12));
+    const int owner = static_cast<int>(rng.NextBelow(3));
+    const std::string key =
+        "/d" + std::to_string(doc) + "@c" + std::to_string(owner);
+
+    switch (rng.NextBelow(5)) {
+      case 0:
+      case 1: {  // insert
+        // Distinct sizes/TTLs exercise both eviction paths; TTLs near `now`
+        // flip between fresh and expired as time advances.
+        const std::uint64_t size = 100 + rng.NextBelow(400);
+        const Time ttl = rng.NextBool(0.3)
+                             ? kNeverExpires
+                             : now + static_cast<Time>(rng.NextBelow(120)) -
+                                   40;
+        cache.Insert(MakeEntry(doc, owner, size, ttl), now);
+        ReferenceCache::Entry entry;
+        entry.key = key;
+        entry.url = "/d" + std::to_string(doc);
+        entry.size = size;
+        entry.ttl_expires = ttl;
+        reference.Insert(entry, now);
+        break;
+      }
+      case 2: {  // lookup (promotes in both)
+        CacheEntry* got = cache.Lookup(key);
+        const auto* expected = reference.Lookup(key);
+        ASSERT_EQ(got != nullptr, expected != nullptr) << "step " << step;
+        if (got != nullptr) {
+          EXPECT_EQ(got->size_bytes, expected->size);
+          EXPECT_EQ(got->ttl_expires, expected->ttl_expires);
+        }
+        break;
+      }
+      case 3: {  // erase
+        EXPECT_EQ(cache.Erase(key), reference.Erase(key)) << "step " << step;
+        break;
+      }
+      case 4: {  // erase by url
+        const std::string url = "/d" + std::to_string(doc);
+        EXPECT_EQ(cache.EraseByUrl(url), reference.EraseByUrl(url))
+            << "step " << step;
+        break;
+      }
+    }
+
+    ASSERT_EQ(cache.bytes_used(), reference.bytes())
+        << "step " << step << " at now=" << now;
+    ASSERT_EQ(cache.entry_count(), reference.size()) << "step " << step;
+  }
+
+  // Final membership sweep.
+  for (int doc = 0; doc < 12; ++doc) {
+    for (int owner = 0; owner < 3; ++owner) {
+      const std::string key =
+          "/d" + std::to_string(doc) + "@c" + std::to_string(owner);
+      EXPECT_EQ(cache.Peek(key) != nullptr, reference.Contains(key)) << key;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CacheModelTest,
+    ::testing::Values(ModelParams{ReplacementPolicy::kLru, 1},
+                      ModelParams{ReplacementPolicy::kLru, 2},
+                      ModelParams{ReplacementPolicy::kLru, 3},
+                      ModelParams{ReplacementPolicy::kExpiredFirstLru, 4},
+                      ModelParams{ReplacementPolicy::kExpiredFirstLru, 5},
+                      ModelParams{ReplacementPolicy::kExpiredFirstLru, 6},
+                      ModelParams{ReplacementPolicy::kExpiredFirstLru, 7},
+                      ModelParams{ReplacementPolicy::kExpiredFirstLru, 8}),
+    [](const ::testing::TestParamInfo<ModelParams>& info) {
+      return std::string(info.param.policy == ReplacementPolicy::kLru
+                             ? "Lru"
+                             : "ExpiredFirst") +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace webcc::http

@@ -1,0 +1,42 @@
+// Death tests for the runtime-check macros: the engine relies on them to
+// guard protocol invariants, so their firing behaviour is part of the
+// contract.
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace webcc::util {
+namespace {
+
+TEST(CheckDeathTest, FiresOnFalseCondition) {
+  EXPECT_DEATH(WEBCC_CHECK(1 == 2), "check failed: 1 == 2");
+}
+
+TEST(CheckDeathTest, MessageIncludedInOutput) {
+  EXPECT_DEATH(WEBCC_CHECK_MSG(false, "the lease must be positive"),
+               "the lease must be positive");
+}
+
+TEST(CheckDeathTest, PassingConditionIsSilent) {
+  WEBCC_CHECK(2 + 2 == 4);
+  WEBCC_CHECK_MSG(true, "never printed");
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  WEBCC_CHECK([&] {
+    ++evaluations;
+    return true;
+  }());
+  EXPECT_EQ(evaluations, 1);
+}
+
+#ifndef NDEBUG
+TEST(CheckDeathTest, DcheckFiresInDebugBuilds) {
+  EXPECT_DEATH(WEBCC_DCHECK(false), "check failed");
+}
+#endif
+
+}  // namespace
+}  // namespace webcc::util

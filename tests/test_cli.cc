@@ -1,0 +1,267 @@
+// Tests for the webcc command-line tool: flag parsing and the subcommands
+// (driven through streams and temp files, no subprocesses).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.h"
+#include "cli/flags.h"
+
+namespace webcc::cli {
+namespace {
+
+Flags MakeFlags(std::vector<const char*> args) {
+  args.insert(args.begin(), "webcc");
+  std::string error;
+  const auto flags =
+      Flags::Parse(static_cast<int>(args.size()), args.data(), &error);
+  EXPECT_TRUE(flags.has_value()) << error;
+  return *flags;
+}
+
+// --- flag parsing --------------------------------------------------------------
+
+TEST(Flags, PositionalThenFlags) {
+  const Flags flags = MakeFlags({"replay", "--in", "x.log", "--two-tier"});
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "replay");
+  EXPECT_EQ(flags.GetString("in", ""), "x.log");
+  EXPECT_TRUE(flags.GetBool("two-tier"));
+  EXPECT_FALSE(flags.GetBool("multicast"));
+}
+
+TEST(Flags, EqualsSyntax) {
+  const Flags flags = MakeFlags({"generate", "--requests=500", "--zipf=0.9"});
+  EXPECT_EQ(flags.GetInt("requests", 0), 500);
+  EXPECT_DOUBLE_EQ(*flags.GetDouble("zipf", 0), 0.9);
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const Flags flags = MakeFlags({"generate"});
+  EXPECT_EQ(flags.GetInt("requests", 123), 123);
+  EXPECT_EQ(flags.GetString("out", "fallback"), "fallback");
+  EXPECT_DOUBLE_EQ(*flags.GetDouble("zipf", 1.5), 1.5);
+}
+
+TEST(Flags, UnparseableValueIsNullopt) {
+  const Flags flags = MakeFlags({"g", "--requests", "abc", "--zipf", "x"});
+  EXPECT_FALSE(flags.GetInt("requests", 0).has_value());
+  EXPECT_FALSE(flags.GetDouble("zipf", 0).has_value());
+}
+
+TEST(Flags, SwitchBeforeAnotherFlag) {
+  const Flags flags = MakeFlags({"replay", "--two-tier", "--multicast"});
+  EXPECT_TRUE(flags.GetBool("two-tier"));
+  EXPECT_TRUE(flags.GetBool("multicast"));
+}
+
+TEST(Flags, NegativeNumbersAsValues) {
+  const Flags flags = MakeFlags({"x", "--seed=-5"});
+  EXPECT_EQ(flags.GetInt("seed", 0), -5);
+}
+
+TEST(Flags, RejectsTripleDash) {
+  const char* args[] = {"webcc", "cmd", "---bad"};
+  std::string error;
+  EXPECT_FALSE(Flags::Parse(3, args, &error).has_value());
+  EXPECT_NE(error.find("---bad"), std::string::npos);
+}
+
+TEST(Flags, UnusedFlagsReported) {
+  const Flags flags = MakeFlags({"cmd", "--used", "1", "--typo", "2"});
+  (void)flags.GetInt("used", 0);
+  const auto unused = flags.UnusedFlags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+// --- ParseProtocol ---------------------------------------------------------------
+
+TEST(ParseProtocol, AllNamesAndAliases) {
+  EXPECT_EQ(ParseProtocol("ttl"), core::Protocol::kAdaptiveTtl);
+  EXPECT_EQ(ParseProtocol("adaptive-ttl"), core::Protocol::kAdaptiveTtl);
+  EXPECT_EQ(ParseProtocol("poll"), core::Protocol::kPollEveryTime);
+  EXPECT_EQ(ParseProtocol("polling"), core::Protocol::kPollEveryTime);
+  EXPECT_EQ(ParseProtocol("invalidation"), core::Protocol::kInvalidation);
+  EXPECT_EQ(ParseProtocol("inv"), core::Protocol::kInvalidation);
+  EXPECT_EQ(ParseProtocol("pcv"), core::Protocol::kPiggybackValidation);
+  EXPECT_EQ(ParseProtocol("psi"), core::Protocol::kPiggybackInvalidation);
+  EXPECT_FALSE(ParseProtocol("nfs").has_value());
+}
+
+// --- commands ----------------------------------------------------------------------
+
+class CliCommandTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char name[] = "/tmp/webcc_cli_XXXXXX";
+    const int fd = mkstemp(name);
+    ASSERT_GE(fd, 0);
+    close(fd);
+    path_ = name;
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  int Run(std::vector<const char*> args) {
+    out_.str("");
+    err_.str("");
+    return RunCli(MakeFlags(std::move(args)), out_, err_);
+  }
+
+  std::string path_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(CliCommandTest, NoCommandPrintsUsage) {
+  EXPECT_NE(Run({}), 0);
+  EXPECT_NE(err_.str().find("usage:"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, UnknownCommandFails) {
+  EXPECT_NE(Run({"frobnicate"}), 0);
+  EXPECT_NE(err_.str().find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, HelpSucceeds) {
+  EXPECT_EQ(Run({"help"}), 0);
+  EXPECT_NE(out_.str().find("generate"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, ProtocolsListsAllFive) {
+  EXPECT_EQ(Run({"protocols"}), 0);
+  EXPECT_NE(out_.str().find("Invalidation"), std::string::npos);
+  EXPECT_NE(out_.str().find("PCV"), std::string::npos);
+  EXPECT_NE(out_.str().find("PSI"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, GenerateWritesClf) {
+  ASSERT_EQ(Run({"generate", "--requests", "300", "--documents", "40",
+                 "--clients", "20", "--duration-hours", "1", "--out",
+                 path_.c_str()}),
+            0);
+  std::ifstream in(path_);
+  std::string line;
+  std::string last_line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    last_line = line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 300);
+  EXPECT_NE(last_line.find("GET"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, GenerateToStdout) {
+  ASSERT_EQ(Run({"generate", "--requests", "5", "--documents", "3",
+                 "--clients", "2", "--duration-hours", "1"}),
+            0);
+  EXPECT_NE(out_.str().find("HTTP/1.0"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, GenerateRejectsBadCounts) {
+  EXPECT_NE(Run({"generate", "--requests", "0"}), 0);
+  EXPECT_NE(Run({"generate", "--requests", "abc"}), 0);
+}
+
+TEST_F(CliCommandTest, GenerateRejectsUnknownPreset) {
+  EXPECT_NE(Run({"generate", "--preset", "MIT"}), 0);
+  EXPECT_NE(err_.str().find("unknown preset"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, GenerateRejectsTypoFlags) {
+  EXPECT_NE(Run({"generate", "--requets", "100"}), 0);
+  EXPECT_NE(err_.str().find("--requets"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, SummarizeRoundTrip) {
+  ASSERT_EQ(Run({"generate", "--requests", "400", "--documents", "50",
+                 "--clients", "25", "--duration-hours", "2", "--out",
+                 path_.c_str()}),
+            0);
+  ASSERT_EQ(Run({"summarize", "--in", path_.c_str()}), 0);
+  EXPECT_NE(out_.str().find("400"), std::string::npos);
+  EXPECT_NE(out_.str().find("Repeat-request fraction"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, SummarizeMissingFileFails) {
+  EXPECT_NE(Run({"summarize", "--in", "/nonexistent/x.log"}), 0);
+}
+
+TEST_F(CliCommandTest, SummarizeNeedsInput) {
+  EXPECT_NE(Run({"summarize"}), 0);
+  EXPECT_NE(err_.str().find("--preset NAME or --in FILE"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, FilterAbsorbsRepeats) {
+  ASSERT_EQ(Run({"generate", "--requests", "500", "--documents", "20",
+                 "--clients", "10", "--duration-hours", "1", "--out",
+                 path_.c_str()}),
+            0);
+  ASSERT_EQ(Run({"filter", "--in", path_.c_str(), "--browser-ttl-minutes",
+                 "120"}),
+            0);
+  EXPECT_NE(err_.str().find("absorbed"), std::string::npos);
+  // The filtered CLF goes to stdout and is strictly smaller.
+  int lines = 0;
+  std::istringstream filtered(out_.str());
+  std::string line;
+  while (std::getline(filtered, line)) ++lines;
+  EXPECT_GT(lines, 0);
+  EXPECT_LT(lines, 500);
+}
+
+TEST_F(CliCommandTest, ReplaySingleProtocol) {
+  ASSERT_EQ(Run({"generate", "--requests", "400", "--documents", "50",
+                 "--clients", "25", "--duration-hours", "2", "--out",
+                 path_.c_str()}),
+            0);
+  ASSERT_EQ(Run({"replay", "--in", path_.c_str(), "--protocol",
+                 "invalidation", "--lifetime-days", "1"}),
+            0);
+  EXPECT_NE(out_.str().find("Invalidation"), std::string::npos);
+  EXPECT_NE(out_.str().find("site lists"), std::string::npos);
+  EXPECT_NE(out_.str().find("violations=0"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, ReplayAllRunsThree) {
+  ASSERT_EQ(Run({"generate", "--requests", "300", "--documents", "40",
+                 "--clients", "20", "--duration-hours", "1", "--out",
+                 path_.c_str()}),
+            0);
+  ASSERT_EQ(Run({"replay", "--in", path_.c_str(), "--lifetime-days", "2"}),
+            0);
+  EXPECT_NE(out_.str().find("Adaptive TTL"), std::string::npos);
+  EXPECT_NE(out_.str().find("Poll-Every-Time"), std::string::npos);
+  EXPECT_NE(out_.str().find("Invalidation"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, ReplayTwoTierLease) {
+  ASSERT_EQ(Run({"generate", "--requests", "300", "--documents", "40",
+                 "--clients", "20", "--duration-hours", "1", "--out",
+                 path_.c_str()}),
+            0);
+  ASSERT_EQ(Run({"replay", "--in", path_.c_str(), "--protocol",
+                 "invalidation", "--two-tier", "--lifetime-days", "1"}),
+            0);
+}
+
+TEST_F(CliCommandTest, ReplayRejectsUnknownProtocol) {
+  ASSERT_EQ(Run({"generate", "--requests", "100", "--documents", "10",
+                 "--clients", "5", "--duration-hours", "1", "--out",
+                 path_.c_str()}),
+            0);
+  EXPECT_NE(Run({"replay", "--in", path_.c_str(), "--protocol", "afs"}), 0);
+}
+
+TEST_F(CliCommandTest, ReplayRejectsPresetAndInTogether) {
+  EXPECT_NE(Run({"replay", "--preset", "EPA", "--in", path_.c_str()}), 0);
+  EXPECT_NE(err_.str().find("mutually exclusive"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace webcc::cli

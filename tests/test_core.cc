@@ -1,0 +1,390 @@
+// Unit tests for core/: adaptive TTL, leases, invalidation table, site
+// registry, accelerator.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/accelerator.h"
+#include "core/adaptive_ttl.h"
+#include "core/invalidation_table.h"
+#include "core/lease.h"
+#include "core/site_registry.h"
+
+namespace webcc::core {
+namespace {
+
+// --- adaptive TTL -----------------------------------------------------------------
+
+TEST(AdaptiveTtl, FractionOfAge) {
+  AdaptiveTtlConfig config;
+  config.factor = 0.2;
+  config.min_ttl = 0;
+  config.max_ttl = 365 * kDay;
+  EXPECT_EQ(ComputeAdaptiveTtl(config, 100 * kDay, 0), 20 * kDay);
+}
+
+TEST(AdaptiveTtl, ClampsToMin) {
+  AdaptiveTtlConfig config;
+  config.factor = 0.2;
+  config.min_ttl = kHour;
+  // Age of 1 minute would give a 12 s TTL; min applies.
+  EXPECT_EQ(ComputeAdaptiveTtl(config, kMinute, 0), kHour);
+}
+
+TEST(AdaptiveTtl, ClampsToMax) {
+  AdaptiveTtlConfig config;
+  config.factor = 0.5;
+  config.max_ttl = 10 * kDay;
+  EXPECT_EQ(ComputeAdaptiveTtl(config, 1000 * kDay, 0), 10 * kDay);
+}
+
+TEST(AdaptiveTtl, NegativeAgeTreatedAsZero) {
+  AdaptiveTtlConfig config;
+  config.min_ttl = kMinute;
+  // Document "modified in the future" (lock-step skew): min TTL.
+  EXPECT_EQ(ComputeAdaptiveTtl(config, 0, kHour), kMinute);
+}
+
+TEST(AdaptiveTtl, ExpiryIsNowPlusTtl) {
+  AdaptiveTtlConfig config;
+  config.factor = 0.1;
+  config.min_ttl = 0;
+  config.max_ttl = 365 * kDay;
+  EXPECT_EQ(AdaptiveTtlExpiry(config, 10 * kDay, 0), 11 * kDay);
+}
+
+TEST(AdaptiveTtl, YoungDocumentsGetShortTtl) {
+  // The paper's SASK effect depends on recently modified documents getting
+  // conservative (short) lifetimes.
+  AdaptiveTtlConfig config;
+  const Time young = ComputeAdaptiveTtl(config, kDay, kDay - kHour);
+  const Time old_doc = ComputeAdaptiveTtl(config, kDay, -50 * kDay);
+  EXPECT_LT(young, old_doc);
+}
+
+// --- leases -----------------------------------------------------------------------
+
+TEST(Lease, NoneGrantsUnbounded) {
+  LeaseConfig config;
+  config.mode = LeaseMode::kNone;
+  EXPECT_EQ(GrantLease(config, net::MessageType::kGet, 100), net::kNoLease);
+  EXPECT_EQ(GrantLease(config, net::MessageType::kIfModifiedSince, 100),
+            net::kNoLease);
+}
+
+TEST(Lease, FixedGrantsDuration) {
+  LeaseConfig config;
+  config.mode = LeaseMode::kFixed;
+  config.duration = 3 * kDay;
+  EXPECT_EQ(GrantLease(config, net::MessageType::kGet, kDay), 4 * kDay);
+  EXPECT_EQ(GrantLease(config, net::MessageType::kIfModifiedSince, kDay),
+            4 * kDay);
+}
+
+TEST(Lease, TwoTierDiscriminatesByRequestType) {
+  LeaseConfig config;
+  config.mode = LeaseMode::kTwoTier;
+  config.duration = 3 * kDay;
+  config.short_duration = 0;
+  EXPECT_EQ(GrantLease(config, net::MessageType::kGet, kDay), kDay);
+  EXPECT_EQ(GrantLease(config, net::MessageType::kIfModifiedSince, kDay),
+            4 * kDay);
+}
+
+TEST(Lease, ActiveSemantics) {
+  EXPECT_TRUE(LeaseActive(net::kNoLease, 1000000));
+  EXPECT_TRUE(LeaseActive(100, 99));
+  EXPECT_FALSE(LeaseActive(100, 100));  // expires at its boundary
+  EXPECT_FALSE(LeaseActive(100, 101));
+}
+
+// --- invalidation table --------------------------------------------------------------
+
+TEST(InvalidationTable, RegisterAndTake) {
+  InvalidationTable table(LeaseConfig{});
+  table.Register("/a", "c1", net::MessageType::kGet, 0);
+  table.Register("/a", "c2", net::MessageType::kGet, 0);
+  table.Register("/b", "c1", net::MessageType::kGet, 0);
+  EXPECT_EQ(table.TotalEntries(), 3u);
+  EXPECT_EQ(table.ListLength("/a", 0), 2u);
+
+  const auto sites = table.TakeSitesForInvalidation("/a", 10);
+  EXPECT_EQ(sites, (std::vector<std::string>{"c1", "c2"}));
+  EXPECT_EQ(table.TotalEntries(), 1u);  // "/b" untouched
+  EXPECT_EQ(table.ListLength("/a", 10), 0u);
+}
+
+TEST(InvalidationTable, DuplicateRegistrationIsOneEntry) {
+  InvalidationTable table(LeaseConfig{});
+  table.Register("/a", "c1", net::MessageType::kGet, 0);
+  table.Register("/a", "c1", net::MessageType::kGet, 5);
+  EXPECT_EQ(table.TotalEntries(), 1u);
+}
+
+TEST(InvalidationTable, TakeOnUnknownUrlIsEmpty) {
+  InvalidationTable table(LeaseConfig{});
+  EXPECT_TRUE(table.TakeSitesForInvalidation("/none", 0).empty());
+}
+
+TEST(InvalidationTable, FixedLeaseExpiresEntries) {
+  LeaseConfig lease;
+  lease.mode = LeaseMode::kFixed;
+  lease.duration = kDay;
+  InvalidationTable table(lease);
+  table.Register("/a", "c1", net::MessageType::kGet, 0);
+  table.Register("/a", "c2", net::MessageType::kGet, 12 * kHour);
+  // At t=36h, c1's lease (expiry 24h) lapsed; c2's (36h) is borderline out.
+  EXPECT_EQ(table.ListLength("/a", 30 * kHour), 1u);
+  const auto sites = table.TakeSitesForInvalidation("/a", 30 * kHour);
+  EXPECT_EQ(sites, std::vector<std::string>{"c2"});
+}
+
+TEST(InvalidationTable, LeaseRefreshNeverShortens) {
+  LeaseConfig lease;
+  lease.mode = LeaseMode::kFixed;
+  lease.duration = kDay;
+  InvalidationTable table(lease);
+  table.Register("/a", "c1", net::MessageType::kGet, 10 * kHour);
+  // An earlier-time registration (out-of-order processing) must not pull
+  // the expiry back.
+  table.Register("/a", "c1", net::MessageType::kGet, kHour);
+  EXPECT_EQ(table.ListLength("/a", 30 * kHour), 1u);
+}
+
+TEST(InvalidationTable, TwoTierGetNotRemembered) {
+  LeaseConfig lease;
+  lease.mode = LeaseMode::kTwoTier;
+  lease.duration = 3 * kDay;
+  lease.short_duration = 0;
+  InvalidationTable table(lease);
+  table.Register("/a", "c1", net::MessageType::kGet, 100);
+  EXPECT_EQ(table.TotalEntries(), 0u);
+  table.Register("/a", "c1", net::MessageType::kIfModifiedSince, 200);
+  EXPECT_EQ(table.TotalEntries(), 1u);
+}
+
+TEST(InvalidationTable, PruneExpiredDropsOnlyDead) {
+  LeaseConfig lease;
+  lease.mode = LeaseMode::kFixed;
+  lease.duration = kDay;
+  InvalidationTable table(lease);
+  table.Register("/a", "c1", net::MessageType::kGet, 0);
+  table.Register("/b", "c2", net::MessageType::kGet, 20 * kHour);
+  EXPECT_EQ(table.PruneExpired(30 * kHour), 1u);
+  EXPECT_EQ(table.TotalEntries(), 1u);
+  EXPECT_EQ(table.ListLength("/b", 30 * kHour), 1u);
+}
+
+TEST(InvalidationTable, StorageGrowsWithEntries) {
+  InvalidationTable table(LeaseConfig{});
+  const auto before = table.StorageBytes();
+  for (int i = 0; i < 100; ++i) {
+    table.Register("/a", "client-" + std::to_string(i),
+                   net::MessageType::kGet, 0);
+  }
+  // The paper observes 20-30 bytes per request of site-list storage.
+  const auto per_entry = (table.StorageBytes() - before) / 100;
+  EXPECT_GE(per_entry, 20u);
+  EXPECT_LE(per_entry, 40u);
+}
+
+TEST(InvalidationTable, MaxListLength) {
+  InvalidationTable table(LeaseConfig{});
+  table.Register("/a", "c1", net::MessageType::kGet, 0);
+  table.Register("/a", "c2", net::MessageType::kGet, 0);
+  table.Register("/b", "c1", net::MessageType::kGet, 0);
+  EXPECT_EQ(table.MaxListLength(), 2u);
+}
+
+TEST(InvalidationTable, ClearDropsEverything) {
+  InvalidationTable table(LeaseConfig{});
+  table.Register("/a", "c1", net::MessageType::kGet, 0);
+  table.Clear();
+  EXPECT_EQ(table.TotalEntries(), 0u);
+  EXPECT_EQ(table.StorageBytes(), 0u);
+}
+
+TEST(InvalidationTable, FanOutOrderDeterministic) {
+  InvalidationTable table(LeaseConfig{});
+  table.Register("/a", "zeta", net::MessageType::kGet, 0);
+  table.Register("/a", "alpha", net::MessageType::kGet, 0);
+  table.Register("/a", "mid", net::MessageType::kGet, 0);
+  EXPECT_EQ(table.TakeSitesForInvalidation("/a", 0),
+            (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+// --- site registry ---------------------------------------------------------------------
+
+TEST(SiteRegistry, FirstSightingWritesDisk) {
+  SiteRegistry registry;
+  EXPECT_TRUE(registry.RecordSite("c1"));
+  EXPECT_FALSE(registry.RecordSite("c1"));
+  EXPECT_TRUE(registry.RecordSite("c2"));
+  EXPECT_EQ(registry.disk_writes(), 2u);
+  EXPECT_TRUE(registry.Contains("c1"));
+  EXPECT_FALSE(registry.Contains("c3"));
+}
+
+TEST(SiteRegistry, SaveAndLoadRoundTrip) {
+  SiteRegistry registry;
+  registry.RecordSite("alpha");
+  registry.RecordSite("beta");
+  char path[] = "/tmp/webcc_registry_XXXXXX";
+  const int fd = mkstemp(path);
+  ASSERT_GE(fd, 0);
+  close(fd);
+  ASSERT_TRUE(registry.SaveToFile(path));
+
+  SiteRegistry loaded;
+  loaded.RecordSite("gamma");
+  ASSERT_TRUE(loaded.LoadFromFile(path));
+  EXPECT_TRUE(loaded.Contains("alpha"));
+  EXPECT_TRUE(loaded.Contains("beta"));
+  EXPECT_TRUE(loaded.Contains("gamma"));  // merge, not replace
+  std::remove(path);
+}
+
+TEST(SiteRegistry, LoadMissingFileFails) {
+  SiteRegistry registry;
+  EXPECT_FALSE(registry.LoadFromFile("/nonexistent/webcc"));
+}
+
+// --- accelerator -----------------------------------------------------------------------
+
+class AcceleratorTest : public ::testing::Test {
+ protected:
+  AcceleratorTest() : accel_(docs_, LeaseConfig{}, "srv") {
+    docs_.Add("/a", 1000, 0);
+    docs_.Add("/b", 2000, 0);
+  }
+
+  net::Request Get(const std::string& url, const std::string& client) {
+    net::Request request;
+    request.type = net::MessageType::kGet;
+    request.url = url;
+    request.client_id = client;
+    return request;
+  }
+
+  http::DocumentStore docs_;
+  Accelerator accel_;
+};
+
+TEST_F(AcceleratorTest, RequestRegistersSite) {
+  const auto reply = accel_.HandleRequest(Get("/a", "c1"), 10);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, net::MessageType::kReply200);
+  EXPECT_EQ(accel_.table().ListLength("/a", 10), 1u);
+  EXPECT_TRUE(accel_.registry().Contains("c1"));
+}
+
+TEST_F(AcceleratorTest, UnknownUrlNotRegistered) {
+  EXPECT_FALSE(accel_.HandleRequest(Get("/zzz", "c1"), 0).has_value());
+  EXPECT_EQ(accel_.table().TotalEntries(), 0u);
+}
+
+TEST_F(AcceleratorTest, NotifyWithoutChangeProducesNothing) {
+  accel_.HandleRequest(Get("/a", "c1"), 0);
+  const auto invs = accel_.HandleNotify(net::Notify{"/a"}, 10);
+  EXPECT_TRUE(invs.empty());
+  EXPECT_EQ(accel_.stats().modifications_detected, 0u);
+}
+
+TEST_F(AcceleratorTest, NotifyAfterTouchInvalidatesRegisteredSites) {
+  accel_.HandleRequest(Get("/a", "c1"), 0);
+  accel_.HandleRequest(Get("/a", "c2"), 1);
+  accel_.HandleRequest(Get("/b", "c3"), 2);
+  docs_.Touch("/a", 100);
+  const auto invs = accel_.HandleNotify(net::Notify{"/a"}, 100);
+  ASSERT_EQ(invs.size(), 2u);
+  EXPECT_EQ(invs[0].type, net::MessageType::kInvalidateUrl);
+  EXPECT_EQ(invs[0].url, "/a");
+  EXPECT_EQ(invs[0].client_id, "c1");
+  EXPECT_EQ(invs[1].client_id, "c2");
+  // Sites are forgotten after invalidation.
+  EXPECT_EQ(accel_.table().ListLength("/a", 100), 0u);
+  EXPECT_EQ(accel_.stats().invalidations_generated, 2u);
+  EXPECT_EQ(accel_.stats().list_lengths_at_modification.size(), 1u);
+  EXPECT_EQ(accel_.stats().list_lengths_at_modification[0], 2u);
+}
+
+TEST_F(AcceleratorTest, SecondNotifySameVersionSilent) {
+  accel_.HandleRequest(Get("/a", "c1"), 0);
+  docs_.Touch("/a", 100);
+  EXPECT_EQ(accel_.HandleNotify(net::Notify{"/a"}, 100).size(), 1u);
+  EXPECT_TRUE(accel_.HandleNotify(net::Notify{"/a"}, 101).empty());
+}
+
+TEST_F(AcceleratorTest, FirstSightingViaNotifyDoesNotInvalidate) {
+  // Nothing requested "/a" yet; the accelerator has no baseline version and
+  // no one can hold a copy.
+  docs_.Touch("/a", 100);
+  EXPECT_TRUE(accel_.HandleNotify(net::Notify{"/a"}, 100).empty());
+}
+
+TEST_F(AcceleratorTest, BrowserBasedDetectionEquivalentToNotify) {
+  accel_.HandleRequest(Get("/a", "c1"), 0);
+  docs_.Touch("/a", 50);
+  const auto invs = accel_.CheckDocument("/a", 50);
+  ASSERT_EQ(invs.size(), 1u);
+  EXPECT_EQ(invs[0].client_id, "c1");
+}
+
+TEST_F(AcceleratorTest, ClientNotReInvalidatedWithoutReRequest) {
+  accel_.HandleRequest(Get("/a", "c1"), 0);
+  docs_.Touch("/a", 10);
+  EXPECT_EQ(accel_.HandleNotify(net::Notify{"/a"}, 10).size(), 1u);
+  docs_.Touch("/a", 20);
+  // c1 never re-requested: no further invalidations.
+  EXPECT_TRUE(accel_.HandleNotify(net::Notify{"/a"}, 20).empty());
+}
+
+TEST_F(AcceleratorTest, CrashLosesTableButNotRegistry) {
+  accel_.HandleRequest(Get("/a", "c1"), 0);
+  accel_.Crash();
+  EXPECT_EQ(accel_.table().TotalEntries(), 0u);
+  EXPECT_TRUE(accel_.registry().Contains("c1"));
+}
+
+TEST_F(AcceleratorTest, RecoverNotifiesEverySiteEverSeen) {
+  accel_.HandleRequest(Get("/a", "c1"), 0);
+  accel_.HandleRequest(Get("/b", "c2"), 0);
+  accel_.Crash();
+  const auto notices = accel_.Recover();
+  ASSERT_EQ(notices.size(), 2u);
+  EXPECT_EQ(notices[0].type, net::MessageType::kInvalidateServer);
+  EXPECT_EQ(notices[0].server, "srv");
+  EXPECT_EQ(notices[0].client_id, "c1");
+  EXPECT_EQ(notices[1].client_id, "c2");
+}
+
+TEST_F(AcceleratorTest, ModificationBeforeFirstRequestThenRequestThenTouch) {
+  docs_.Touch("/a", 5);  // never seen by the accelerator
+  accel_.HandleRequest(Get("/a", "c1"), 10);
+  docs_.Touch("/a", 20);
+  const auto invs = accel_.HandleNotify(net::Notify{"/a"}, 20);
+  ASSERT_EQ(invs.size(), 1u);  // baseline was pinned at request time
+}
+
+TEST_F(AcceleratorTest, TwoTierLeaseStampedIntoReply) {
+  LeaseConfig lease;
+  lease.mode = LeaseMode::kTwoTier;
+  lease.duration = 2 * kDay;
+  lease.short_duration = 0;
+  Accelerator accel(docs_, lease);
+  const auto get_reply = accel.HandleRequest(Get("/a", "c1"), kHour);
+  ASSERT_TRUE(get_reply.has_value());
+  EXPECT_EQ(get_reply->lease_until, kHour);  // zero-length lease
+  net::Request ims;
+  ims.type = net::MessageType::kIfModifiedSince;
+  ims.url = "/a";
+  ims.client_id = "c1";
+  ims.if_modified_since = 0;
+  const auto ims_reply = accel.HandleRequest(ims, kHour);
+  ASSERT_TRUE(ims_reply.has_value());
+  EXPECT_EQ(ims_reply->lease_until, kHour + 2 * kDay);
+}
+
+}  // namespace
+}  // namespace webcc::core

@@ -1,0 +1,293 @@
+// End-to-end tests for the live (real-TCP, loopback) prototype.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "live/live_proxy.h"
+#include "live/live_server.h"
+#include "live/socket.h"
+#include "net/wire.h"
+
+namespace webcc::live {
+namespace {
+
+using namespace std::chrono_literals;
+
+// The server pushes invalidations asynchronously; poll briefly for them.
+template <typename Predicate>
+bool WaitFor(Predicate predicate, std::chrono::milliseconds budget = 2000ms) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return predicate();
+}
+
+// --- client id helpers ------------------------------------------------------------
+
+TEST(ClientId, MakeAndParse) {
+  const std::string id = MakeClientId("alice", 4321);
+  EXPECT_EQ(id, "alice@4321");
+  const auto port = ParseClientPort(id);
+  ASSERT_TRUE(port.has_value());
+  EXPECT_EQ(*port, 4321);
+}
+
+TEST(ClientId, ParseRejectsMissingOrBadPort) {
+  EXPECT_FALSE(ParseClientPort("alice").has_value());
+  EXPECT_FALSE(ParseClientPort("alice@").has_value());
+  EXPECT_FALSE(ParseClientPort("alice@notaport").has_value());
+  EXPECT_FALSE(ParseClientPort("alice@99999999").has_value());
+}
+
+// --- raw sockets -------------------------------------------------------------------
+
+TEST(Socket, ListenerPicksEphemeralPort) {
+  TcpListener listener(0);
+  ASSERT_TRUE(listener.valid());
+  EXPECT_GT(listener.port(), 0);
+  listener.Shutdown();
+}
+
+TEST(Socket, ConnectToClosedPortFails) {
+  // Bind + immediately close to find a (very likely) dead port.
+  std::uint16_t dead_port;
+  {
+    TcpListener listener(0);
+    dead_port = listener.port();
+    listener.Shutdown();
+  }
+  EXPECT_FALSE(Connect(dead_port).valid());
+}
+
+TEST(Socket, EchoRoundTrip) {
+  TcpListener listener(0);
+  ASSERT_TRUE(listener.valid());
+  std::thread echo([&listener] {
+    TcpStream stream = listener.Accept();
+    if (!stream.valid()) return;
+    const auto line = stream.ReadLine();
+    if (line.has_value()) stream.WriteAll("echo:" + *line);
+  });
+  const auto reply = Exchange(listener.port(), "hello\n");
+  echo.join();
+  listener.Shutdown();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(*reply, "echo:hello\n");
+}
+
+// --- server + proxy fixtures ----------------------------------------------------------
+
+class LiveFixture : public ::testing::Test {
+ protected:
+  void StartAll(core::Protocol protocol, core::LeaseConfig lease = {}) {
+    LiveServer::Options server_options;
+    server_options.lease = lease;
+    server_ = std::make_unique<LiveServer>(server_options);
+    ASSERT_TRUE(server_->Start());
+    server_->AddDocument("/index.html", 4096);
+    server_->AddDocument("/data.bin", 1 << 20);
+
+    LiveProxy::Options proxy_options;
+    proxy_options.server_port = server_->port();
+    proxy_options.protocol = protocol;
+    proxy_ = std::make_unique<LiveProxy>(proxy_options);
+    ASSERT_TRUE(proxy_->Start());
+  }
+
+  void TearDown() override {
+    if (proxy_) proxy_->Stop();
+    if (server_) server_->Stop();
+  }
+
+  std::unique_ptr<LiveServer> server_;
+  std::unique_ptr<LiveProxy> proxy_;
+};
+
+TEST_F(LiveFixture, ColdFetchThenLocalHit) {
+  StartAll(core::Protocol::kInvalidation);
+  const auto first = proxy_->Fetch("alice", "/index.html");
+  EXPECT_TRUE(first.ok);
+  EXPECT_FALSE(first.local_hit);
+  EXPECT_EQ(first.size_bytes, 4096u);
+  EXPECT_EQ(first.version, 1u);
+
+  const auto second = proxy_->Fetch("alice", "/index.html");
+  EXPECT_TRUE(second.ok);
+  EXPECT_TRUE(second.local_hit);
+  EXPECT_EQ(server_->requests_served(), 1u);
+}
+
+TEST_F(LiveFixture, PerClientNamespacing) {
+  StartAll(core::Protocol::kInvalidation);
+  proxy_->Fetch("alice", "/index.html");
+  const auto bob = proxy_->Fetch("bob", "/index.html");
+  EXPECT_FALSE(bob.local_hit);  // bob's namespace is separate
+  EXPECT_EQ(server_->requests_served(), 2u);
+  EXPECT_EQ(proxy_->cached_entries(), 2u);
+}
+
+TEST_F(LiveFixture, UnknownUrlFails) {
+  StartAll(core::Protocol::kInvalidation);
+  EXPECT_FALSE(proxy_->Fetch("alice", "/missing").ok);
+}
+
+TEST_F(LiveFixture, TouchPushesInvalidationAndNextFetchRefetches) {
+  StartAll(core::Protocol::kInvalidation);
+  proxy_->Fetch("alice", "/index.html");
+  ASSERT_EQ(proxy_->cached_entries(), 1u);
+
+  EXPECT_EQ(server_->TouchDocument("/index.html"), 1u);
+  ASSERT_TRUE(WaitFor([&] { return proxy_->invalidations_received() == 1; }));
+  EXPECT_EQ(proxy_->cached_entries(), 0u);  // copy deleted, space freed
+
+  const auto refetch = proxy_->Fetch("alice", "/index.html");
+  EXPECT_TRUE(refetch.ok);
+  EXPECT_FALSE(refetch.local_hit);
+  EXPECT_EQ(refetch.version, 2u);
+}
+
+TEST_F(LiveFixture, SiteForgottenAfterInvalidation) {
+  StartAll(core::Protocol::kInvalidation);
+  proxy_->Fetch("alice", "/index.html");
+  server_->TouchDocument("/index.html");
+  ASSERT_TRUE(WaitFor([&] { return proxy_->invalidations_received() == 1; }));
+  // alice never re-requested: the second touch pushes nothing.
+  EXPECT_EQ(server_->TouchDocument("/index.html"), 0u);
+}
+
+TEST_F(LiveFixture, PollingValidatesEveryFetch) {
+  StartAll(core::Protocol::kPollEveryTime);
+  proxy_->Fetch("alice", "/index.html");
+  const auto second = proxy_->Fetch("alice", "/index.html");
+  EXPECT_TRUE(second.ok);
+  EXPECT_FALSE(second.local_hit);
+  EXPECT_TRUE(second.validated);  // 304, not a transfer
+  EXPECT_EQ(server_->requests_served(), 2u);
+}
+
+TEST_F(LiveFixture, PollingSeesNewVersionImmediately) {
+  StartAll(core::Protocol::kPollEveryTime);
+  proxy_->Fetch("alice", "/index.html");
+  server_->TouchDocument("/index.html");
+  const auto after = proxy_->Fetch("alice", "/index.html");
+  EXPECT_TRUE(after.ok);
+  EXPECT_FALSE(after.validated);  // changed: full 200
+  EXPECT_EQ(after.version, 2u);
+}
+
+TEST_F(LiveFixture, AdaptiveTtlServesLocallyWithinTtl) {
+  StartAll(core::Protocol::kAdaptiveTtl);
+  // Document created at server start: age is tiny, TTL = min_ttl (1 min),
+  // so an immediate re-fetch is a local hit.
+  proxy_->Fetch("alice", "/index.html");
+  const auto second = proxy_->Fetch("alice", "/index.html");
+  EXPECT_TRUE(second.local_hit);
+  // ...even after a modification: the weak protocol serves stale.
+  server_->TouchDocument("/index.html");
+  const auto stale = proxy_->Fetch("alice", "/index.html");
+  EXPECT_TRUE(stale.local_hit);
+  EXPECT_EQ(stale.version, 1u);  // stale!
+}
+
+TEST_F(LiveFixture, ServerCrashRecoveryMarksQuestionable) {
+  StartAll(core::Protocol::kInvalidation);
+  proxy_->Fetch("alice", "/index.html");
+  server_->CrashTables();
+  // A modification during the outage window goes unnoticed...
+  server_->TouchDocument("/index.html");
+  EXPECT_EQ(proxy_->invalidations_received(), 0u);
+  // ...until recovery broadcasts a server-address invalidation.
+  EXPECT_EQ(server_->Recover(), 1u);
+  ASSERT_TRUE(
+      WaitFor([&] { return proxy_->server_notices_received() == 1; }));
+  // The questionable copy revalidates and picks up the new version.
+  const auto after = proxy_->Fetch("alice", "/index.html");
+  EXPECT_TRUE(after.ok);
+  EXPECT_FALSE(after.local_hit);
+  EXPECT_EQ(after.version, 2u);
+}
+
+TEST_F(LiveFixture, ProxyRecoveryRevalidatesEverything) {
+  StartAll(core::Protocol::kInvalidation);
+  proxy_->Fetch("alice", "/index.html");
+  proxy_->SimulateRecovery();
+  const auto after = proxy_->Fetch("alice", "/index.html");
+  EXPECT_TRUE(after.ok);
+  EXPECT_FALSE(after.local_hit);
+  EXPECT_TRUE(after.validated);  // unchanged: 304 renewed it
+  const auto then = proxy_->Fetch("alice", "/index.html");
+  EXPECT_TRUE(then.local_hit);  // back to normal service
+}
+
+TEST_F(LiveFixture, TwoTierLeaseRegistersOnSecondRequest) {
+  core::LeaseConfig lease;
+  lease.mode = core::LeaseMode::kTwoTier;
+  lease.duration = kHour;
+  lease.short_duration = 0;
+  StartAll(core::Protocol::kInvalidation, lease);
+
+  proxy_->Fetch("alice", "/index.html");
+  // One-time viewer: the zero lease means no invalidation on modification.
+  EXPECT_EQ(server_->TouchDocument("/index.html"), 0u);
+
+  // Second request: IMS (lease expired) earns the regular lease.
+  const auto second = proxy_->Fetch("alice", "/index.html");
+  EXPECT_TRUE(second.ok);
+  EXPECT_FALSE(second.local_hit);
+  // Now alice is registered: the next touch invalidates her.
+  EXPECT_EQ(server_->TouchDocument("/index.html"), 1u);
+}
+
+TEST_F(LiveFixture, ManyClientsFanOut) {
+  StartAll(core::Protocol::kInvalidation);
+  for (int i = 0; i < 20; ++i) {
+    proxy_->Fetch("client-" + std::to_string(i), "/data.bin");
+  }
+  EXPECT_EQ(server_->TouchDocument("/data.bin"), 20u);
+  EXPECT_TRUE(WaitFor([&] { return proxy_->invalidations_received() == 20; }));
+  EXPECT_EQ(proxy_->cached_entries(), 0u);
+}
+
+TEST_F(LiveFixture, ConcurrentFetchesAreSafe) {
+  StartAll(core::Protocol::kInvalidation);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([this, t, &failures] {
+      for (int i = 0; i < 25; ++i) {
+        const auto result =
+            proxy_->Fetch("thread-" + std::to_string(t), "/index.html");
+        if (!result.ok) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(proxy_->cached_entries(), 8u);
+}
+
+TEST(LiveServerStandalone, MalformedLineGetsError) {
+  LiveServer server({});
+  ASSERT_TRUE(server.Start());
+  const auto reply = Exchange(server.port(), "GARBAGE\n");
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->rfind("ERR", 0), 0u);
+  server.Stop();
+}
+
+TEST(LiveServerStandalone, NotifyLineAnswersCount) {
+  LiveServer server({});
+  ASSERT_TRUE(server.Start());
+  server.AddDocument("/a", 10);
+  const auto reply =
+      Exchange(server.port(), net::EncodeLine(net::Notify{"/a"}));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->rfind("OK", 0), 0u);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace webcc::live

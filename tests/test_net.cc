@@ -1,0 +1,219 @@
+// Unit tests for net/: message model, wire sizes, codec round trips.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/message.h"
+#include "net/wire.h"
+
+namespace webcc::net {
+namespace {
+
+// --- wire sizes ----------------------------------------------------------------
+
+TEST(WireSize, ControlMessagesAreHeaderPlusFields) {
+  Request request;
+  request.url = "/a";
+  request.client_id = "c1";
+  EXPECT_EQ(WireSize(request), kControlHeaderBytes + 4);
+}
+
+TEST(WireSize, Reply200IncludesBody) {
+  Reply reply;
+  reply.type = MessageType::kReply200;
+  reply.url = "/a";
+  reply.body_bytes = 5000;
+  EXPECT_EQ(WireSize(reply), kControlHeaderBytes + 2 + 5000);
+}
+
+TEST(WireSize, Reply304HasNoBody) {
+  Reply reply;
+  reply.type = MessageType::kReply304;
+  reply.url = "/abc";
+  EXPECT_EQ(WireSize(reply), kControlHeaderBytes + 4);
+}
+
+TEST(WireSize, InvalidationCountsAllIdentifiers) {
+  Invalidation inv;
+  inv.url = "/x";
+  inv.client_id = "site";
+  EXPECT_EQ(WireSize(inv), kControlHeaderBytes + 6);
+}
+
+TEST(MessageTypeName, AllNamed) {
+  EXPECT_STREQ(MessageTypeName(MessageType::kGet), "GET");
+  EXPECT_STREQ(MessageTypeName(MessageType::kIfModifiedSince), "IMS");
+  EXPECT_STREQ(MessageTypeName(MessageType::kReply200), "200");
+  EXPECT_STREQ(MessageTypeName(MessageType::kReply304), "304");
+  EXPECT_STREQ(MessageTypeName(MessageType::kInvalidateUrl), "INV");
+  EXPECT_STREQ(MessageTypeName(MessageType::kInvalidateServer), "INVSRV");
+  EXPECT_STREQ(MessageTypeName(MessageType::kNotify), "NOTIFY");
+}
+
+// --- escaping ---------------------------------------------------------------------
+
+TEST(Escape, PassesPlainThrough) {
+  EXPECT_EQ(EscapeField("/docs/a.html"), "/docs/a.html");
+}
+
+TEST(Escape, EscapesSpacesAndPercent) {
+  EXPECT_EQ(EscapeField("a b%c"), "a%20b%25c");
+}
+
+TEST(Escape, EscapesControlBytes) {
+  EXPECT_EQ(EscapeField("a\nb"), "a%0Ab");
+}
+
+TEST(Escape, RoundTripsArbitraryBytes) {
+  std::string raw;
+  for (int c = 0; c < 256; ++c) raw += static_cast<char>(c);
+  const auto back = UnescapeField(EscapeField(raw));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, raw);
+}
+
+TEST(Escape, RejectsTruncatedEscape) {
+  EXPECT_FALSE(UnescapeField("abc%2").has_value());
+  EXPECT_FALSE(UnescapeField("abc%zz").has_value());
+}
+
+// --- codec round trips ---------------------------------------------------------------
+
+TEST(Wire, GetRoundTrip) {
+  Request request;
+  request.type = MessageType::kGet;
+  request.url = "/docs/00001.html";
+  request.client_id = "10.0.0.1";
+  const auto decoded = DecodeLine(EncodeLine(request));
+  ASSERT_TRUE(decoded.has_value());
+  const auto* back = std::get_if<Request>(&*decoded);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->type, MessageType::kGet);
+  EXPECT_EQ(back->url, request.url);
+  EXPECT_EQ(back->client_id, request.client_id);
+}
+
+TEST(Wire, ImsRoundTripKeepsTimestamp) {
+  Request request;
+  request.type = MessageType::kIfModifiedSince;
+  request.url = "/a";
+  request.client_id = "c";
+  request.if_modified_since = -123456789;
+  const auto decoded = DecodeLine(EncodeLine(request));
+  ASSERT_TRUE(decoded.has_value());
+  const auto* back = std::get_if<Request>(&*decoded);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->if_modified_since, -123456789);
+}
+
+TEST(Wire, Reply200RoundTrip) {
+  Reply reply;
+  reply.type = MessageType::kReply200;
+  reply.url = "/big file.bin";  // needs escaping
+  reply.body_bytes = 987654321;
+  reply.last_modified = 42;
+  reply.version = 7;
+  reply.lease_until = 999999;
+  const auto decoded = DecodeLine(EncodeLine(reply));
+  ASSERT_TRUE(decoded.has_value());
+  const auto* back = std::get_if<Reply>(&*decoded);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->type, MessageType::kReply200);
+  EXPECT_EQ(back->url, reply.url);
+  EXPECT_EQ(back->body_bytes, reply.body_bytes);
+  EXPECT_EQ(back->last_modified, 42);
+  EXPECT_EQ(back->version, 7u);
+  EXPECT_EQ(back->lease_until, 999999);
+}
+
+TEST(Wire, Reply304RoundTripWithNoLease) {
+  Reply reply;
+  reply.type = MessageType::kReply304;
+  reply.url = "/a";
+  reply.last_modified = 5;
+  reply.lease_until = kNoLease;
+  const auto decoded = DecodeLine(EncodeLine(reply));
+  ASSERT_TRUE(decoded.has_value());
+  const auto* back = std::get_if<Reply>(&*decoded);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->type, MessageType::kReply304);
+  EXPECT_EQ(back->lease_until, kNoLease);
+}
+
+TEST(Wire, InvalidationUrlRoundTrip) {
+  Invalidation inv;
+  inv.type = MessageType::kInvalidateUrl;
+  inv.url = "/x y";
+  inv.client_id = "alice@5000";
+  const auto decoded = DecodeLine(EncodeLine(inv));
+  ASSERT_TRUE(decoded.has_value());
+  const auto* back = std::get_if<Invalidation>(&*decoded);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->type, MessageType::kInvalidateUrl);
+  EXPECT_EQ(back->url, inv.url);
+  EXPECT_EQ(back->client_id, inv.client_id);
+}
+
+TEST(Wire, InvalidationServerRoundTrip) {
+  Invalidation inv;
+  inv.type = MessageType::kInvalidateServer;
+  inv.server = "origin-1";
+  const auto decoded = DecodeLine(EncodeLine(inv));
+  ASSERT_TRUE(decoded.has_value());
+  const auto* back = std::get_if<Invalidation>(&*decoded);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->type, MessageType::kInvalidateServer);
+  EXPECT_EQ(back->server, "origin-1");
+}
+
+TEST(Wire, NotifyRoundTrip) {
+  Notify notify{"/changed.html"};
+  const auto decoded = DecodeLine(EncodeLine(notify));
+  ASSERT_TRUE(decoded.has_value());
+  const auto* back = std::get_if<Notify>(&*decoded);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->url, "/changed.html");
+}
+
+TEST(Wire, DecodeToleratesCrlf) {
+  const auto decoded = DecodeLine("GET /a c\r\n");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_NE(std::get_if<Request>(&*decoded), nullptr);
+}
+
+// --- malformed inputs -----------------------------------------------------------------
+
+struct MalformedCase {
+  const char* name;
+  const char* line;
+};
+
+class WireMalformedTest : public ::testing::TestWithParam<MalformedCase> {};
+
+TEST_P(WireMalformedTest, Rejected) {
+  EXPECT_FALSE(DecodeLine(GetParam().line).has_value()) << GetParam().line;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, WireMalformedTest,
+    ::testing::Values(
+        MalformedCase{"Empty", ""},
+        MalformedCase{"UnknownVerb", "FROB /a b"},
+        MalformedCase{"GetMissingClient", "GET /a"},
+        MalformedCase{"GetExtraField", "GET /a b c"},
+        MalformedCase{"ImsMissingTimestamp", "IMS /a b"},
+        MalformedCase{"ImsBadTimestamp", "IMS /a b xyz"},
+        MalformedCase{"Reply200TooFewFields", "200 /a 1 2 3"},
+        MalformedCase{"Reply200BadNumber", "200 /a x 2 3 4"},
+        MalformedCase{"Reply304TooMany", "304 /a 1 2 3"},
+        MalformedCase{"InvMissingClient", "INV /a"},
+        MalformedCase{"InvSrvMissingServer", "INVSRV"},
+        MalformedCase{"NotifyExtra", "NOTIFY /a b"},
+        MalformedCase{"DoubleSpace", "GET  /a b"},
+        MalformedCase{"BadEscape", "GET /a%2 b"}),
+    [](const ::testing::TestParamInfo<MalformedCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace webcc::net

@@ -1,0 +1,18 @@
+// The `webcc` command-line tool: workload generation, trace summaries,
+// browser-cache filtering, and consistency-experiment replays. All logic
+// lives in src/cli (tested); this is only the dispatcher.
+#include <iostream>
+
+#include "cli/commands.h"
+#include "cli/flags.h"
+
+int main(int argc, char** argv) {
+  std::string error;
+  const auto flags = webcc::cli::Flags::Parse(argc, argv, &error);
+  if (!flags.has_value()) {
+    std::cerr << "error: " << error << "\n";
+    webcc::cli::PrintUsage(std::cerr);
+    return 2;
+  }
+  return webcc::cli::RunCli(*flags, std::cout, std::cerr);
+}
