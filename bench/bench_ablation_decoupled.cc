@@ -14,17 +14,29 @@ using namespace webcc;
 int main() {
   std::printf("=== Ablation: serialized vs decoupled invalidation sends ===\n\n");
 
-  stats::Table table({"Trace", "avg ser.", "avg dec.", "max ser.", "max dec.",
-                      "p99 ser.", "p99 dec."});
-  for (const replay::ExperimentSpec& spec : replay::AllTableExperiments()) {
-    const trace::Trace& trace = bench::TraceFor(spec.trace);
-    replay::ReplayConfig serialized =
-        replay::MakeReplayConfig(spec, core::Protocol::kInvalidation, trace);
+  // Twelve independent replays (six rows, two sender configs): generate
+  // traces serially, then farm the runs across the available cores.
+  const auto specs = replay::AllTableExperiments();
+  for (const replay::ExperimentSpec& spec : specs) bench::TraceFor(spec.trace);
+  std::vector<replay::ReplayConfig> configs;
+  configs.reserve(specs.size() * 2);
+  for (const replay::ExperimentSpec& spec : specs) {
+    replay::ReplayConfig serialized = replay::MakeReplayConfig(
+        spec, core::Protocol::kInvalidation, bench::TraceFor(spec.trace));
     replay::ReplayConfig decoupled = serialized;
     decoupled.serialized_invalidation = false;
+    configs.push_back(serialized);
+    configs.push_back(decoupled);
+  }
+  const std::vector<replay::ReplayMetrics> runs =
+      replay::Farm::RunAll(configs);
 
-    const replay::ReplayMetrics with_blocking = replay::RunReplay(serialized);
-    const replay::ReplayMetrics without_blocking = replay::RunReplay(decoupled);
+  stats::Table table({"Trace", "avg ser.", "avg dec.", "max ser.", "max dec.",
+                      "p99 ser.", "p99 dec."});
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const replay::ExperimentSpec& spec = specs[i];
+    const replay::ReplayMetrics& with_blocking = runs[2 * i];
+    const replay::ReplayMetrics& without_blocking = runs[2 * i + 1];
 
     table.AddRow({spec.id,
                   util::Fixed(with_blocking.latency_ms.mean(), 1) + "ms",

@@ -14,18 +14,30 @@ using namespace webcc;
 int main() {
   std::printf("=== Ablation: unicast vs multicast invalidation ===\n\n");
 
+  // Twelve independent replays (six rows, unicast + multicast): generate
+  // traces serially, then farm the runs across the available cores.
+  const auto specs = replay::AllTableExperiments();
+  for (const replay::ExperimentSpec& spec : specs) bench::TraceFor(spec.trace);
+  std::vector<replay::ReplayConfig> configs;
+  configs.reserve(specs.size() * 2);
+  for (const replay::ExperimentSpec& spec : specs) {
+    replay::ReplayConfig unicast = replay::MakeReplayConfig(
+        spec, core::Protocol::kInvalidation, bench::TraceFor(spec.trace));
+    replay::ReplayConfig multicast = unicast;
+    multicast.multicast_invalidation = true;
+    configs.push_back(unicast);
+    configs.push_back(multicast);
+  }
+  const std::vector<replay::ReplayMetrics> runs =
+      replay::Farm::RunAll(configs);
+
   stats::Table table({"Trace", "inv msgs uni", "inv msgs multi", "bytes uni",
                       "bytes multi", "max lat uni", "max lat multi",
                       "max inval uni", "max inval multi"});
-  for (const replay::ExperimentSpec& spec : replay::AllTableExperiments()) {
-    const trace::Trace& trace = bench::TraceFor(spec.trace);
-    replay::ReplayConfig unicast =
-        replay::MakeReplayConfig(spec, core::Protocol::kInvalidation, trace);
-    replay::ReplayConfig multicast = unicast;
-    multicast.multicast_invalidation = true;
-
-    const replay::ReplayMetrics uni = replay::RunReplay(unicast);
-    const replay::ReplayMetrics multi = replay::RunReplay(multicast);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const replay::ExperimentSpec& spec = specs[i];
+    const replay::ReplayMetrics& uni = runs[2 * i];
+    const replay::ReplayMetrics& multi = runs[2 * i + 1];
 
     table.AddRow(
         {spec.id,

@@ -9,6 +9,7 @@
 #include "core/policy.h"
 #include "replay/engine.h"
 #include "replay/experiments.h"
+#include "replay/farm.h"
 #include "stats/table.h"
 #include "trace/presets.h"
 #include "trace/summary.h"
@@ -129,15 +130,33 @@ inline void PrintReplayTable(const replay::ExperimentSpec& spec,
                   static_cast<double>(runs[0].total_messages()));
 }
 
+// Runs every (spec, protocol) cell through the replay farm and prints each
+// spec's table. Cells are independent deterministic replays, so the farmed
+// output is byte-identical to the serial loop this replaces — results come
+// back in submission order. `workers` = 0 uses the hardware concurrency.
 inline void RunAndPrintExperiments(
-    const std::vector<replay::ExperimentSpec>& specs) {
+    const std::vector<replay::ExperimentSpec>& specs, unsigned workers = 0) {
+  // TraceFor's cache is not thread-safe: generate (serially) before the
+  // farm starts, then share the parsed traces immutably across workers.
+  for (const replay::ExperimentSpec& spec : specs) TraceFor(spec.trace);
+
+  std::vector<replay::ReplayConfig> configs;
+  configs.reserve(specs.size() * PaperProtocolOrder().size());
   for (const replay::ExperimentSpec& spec : specs) {
-    std::vector<replay::ReplayMetrics> runs;
-    runs.reserve(PaperProtocolOrder().size());
     for (const core::Protocol protocol : PaperProtocolOrder()) {
-      runs.push_back(RunCell(spec, protocol));
+      configs.push_back(
+          replay::MakeReplayConfig(spec, protocol, TraceFor(spec.trace)));
     }
-    PrintReplayTable(spec, runs);
+  }
+  const std::vector<replay::ReplayMetrics> all =
+      replay::Farm::RunAll(configs, workers);
+
+  const std::size_t per_spec = PaperProtocolOrder().size();
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    const std::vector<replay::ReplayMetrics> runs(
+        all.begin() + static_cast<std::ptrdiff_t>(s * per_spec),
+        all.begin() + static_cast<std::ptrdiff_t>((s + 1) * per_spec));
+    PrintReplayTable(specs[s], runs);
   }
 }
 

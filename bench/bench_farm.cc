@@ -1,0 +1,137 @@
+// Measures the replay farm on the full Table 3+4 sweep (18 cells: six
+// experiment rows under three protocols) against the same sweep run on a
+// single worker, verifying along the way that the two produce identical
+// simulations. Emits one JSON line on stdout and writes it to
+// BENCH_farm.json:
+//
+//   {"bench": "farm", "workers": W, "cells": 18,
+//    "serial_wall_ms": ..., "farm_wall_ms": ..., "speedup": ...,
+//    "identical": true,
+//    "tables": [{"table": "table3", "wall_ms": ...,
+//                "events_per_second": ..., "requests_per_second": ...}, ...]}
+//
+// per-table rates aggregate the farmed batch: total simulator events (or
+// client requests) divided by the batch's wall-clock time.
+//
+// Flags: --workers N (default 0 = one per core).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "replay/farm.h"
+
+using namespace webcc;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+std::vector<replay::ReplayConfig> CellsFor(
+    const std::vector<replay::ExperimentSpec>& specs) {
+  std::vector<replay::ReplayConfig> configs;
+  configs.reserve(specs.size() * bench::PaperProtocolOrder().size());
+  for (const replay::ExperimentSpec& spec : specs) {
+    for (const core::Protocol protocol : bench::PaperProtocolOrder()) {
+      configs.push_back(
+          replay::MakeReplayConfig(spec, protocol, bench::TraceFor(spec.trace)));
+    }
+  }
+  return configs;
+}
+
+struct BatchRun {
+  double wall_ms = 0.0;
+  std::vector<replay::ReplayMetrics> metrics;
+
+  std::uint64_t TotalEvents() const {
+    std::uint64_t total = 0;
+    for (const replay::ReplayMetrics& m : metrics) total += m.sim_events_executed;
+    return total;
+  }
+  std::uint64_t TotalRequests() const {
+    std::uint64_t total = 0;
+    for (const replay::ReplayMetrics& m : metrics) total += m.requests_issued;
+    return total;
+  }
+};
+
+BatchRun RunBatch(const std::vector<replay::ReplayConfig>& configs,
+                  unsigned workers) {
+  BatchRun run;
+  const auto start = Clock::now();
+  run.metrics = replay::Farm::RunAll(configs, workers);
+  run.wall_ms = MillisSince(start);
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned workers = 0;  // one per core
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--workers") {
+      workers = static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+  }
+
+  const auto table3 = replay::Table3Experiments();
+  const auto table4 = replay::Table4Experiments();
+  const auto all_specs = replay::AllTableExperiments();
+  // Trace generation is shared, cached, and not thread-safe: do it before
+  // any farm starts (and outside every timed region).
+  for (const replay::ExperimentSpec& spec : all_specs) {
+    bench::TraceFor(spec.trace);
+  }
+
+  // Single-worker baseline over the full sweep, then the farmed run.
+  const auto all_cells = CellsFor(all_specs);
+  const BatchRun serial = RunBatch(all_cells, 1);
+  const BatchRun farmed = RunBatch(all_cells, workers);
+  const unsigned used_workers = [&] {
+    replay::Farm probe(workers);
+    return probe.workers();
+  }();
+
+  bool identical = serial.metrics.size() == farmed.metrics.size();
+  for (std::size_t i = 0; identical && i < serial.metrics.size(); ++i) {
+    identical = replay::SameSimulation(serial.metrics[i], farmed.metrics[i]);
+  }
+
+  // Per-table farmed batches for the per-table wall/rate numbers.
+  const BatchRun t3 = RunBatch(CellsFor(table3), workers);
+  const BatchRun t4 = RunBatch(CellsFor(table4), workers);
+
+  const double speedup =
+      farmed.wall_ms > 0.0 ? serial.wall_ms / farmed.wall_ms : 0.0;
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"bench\": \"farm\", \"workers\": %u, \"cells\": %zu, "
+      "\"serial_wall_ms\": %.1f, \"farm_wall_ms\": %.1f, "
+      "\"speedup\": %.2f, \"identical\": %s, \"tables\": ["
+      "{\"table\": \"table3\", \"wall_ms\": %.1f, "
+      "\"events_per_second\": %.0f, \"requests_per_second\": %.0f}, "
+      "{\"table\": \"table4\", \"wall_ms\": %.1f, "
+      "\"events_per_second\": %.0f, \"requests_per_second\": %.0f}]}",
+      used_workers, all_cells.size(), serial.wall_ms, farmed.wall_ms, speedup,
+      identical ? "true" : "false", t3.wall_ms,
+      static_cast<double>(t3.TotalEvents()) / (t3.wall_ms / 1000.0),
+      static_cast<double>(t3.TotalRequests()) / (t3.wall_ms / 1000.0),
+      t4.wall_ms, static_cast<double>(t4.TotalEvents()) / (t4.wall_ms / 1000.0),
+      static_cast<double>(t4.TotalRequests()) / (t4.wall_ms / 1000.0));
+
+  std::printf("%s\n", json);
+  std::ofstream out("BENCH_farm.json");
+  out << json << "\n";
+  return identical ? 0 : 1;
+}

@@ -7,11 +7,15 @@
 
 #include "core/accelerator.h"
 #include "core/analysis.h"
+#include "core/intern.h"
 #include "core/invalidation_table.h"
 #include "http/document_store.h"
 #include "http/proxy_cache.h"
 #include "net/wire.h"
+#include "replay/engine.h"
+#include "replay/experiments.h"
 #include "sim/simulator.h"
+#include "trace/presets.h"
 #include "trace/workload.h"
 #include "util/distributions.h"
 #include "util/rng.h"
@@ -113,6 +117,51 @@ void BM_SimulatorScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * events);
 }
 BENCHMARK(BM_SimulatorScheduleRun)->Arg(1024)->Arg(65536);
+
+// --- string interner --------------------------------------------------------------------
+
+void BM_InternerInternHit(benchmark::State& state) {
+  core::Interner interner;
+  std::vector<std::string> urls;
+  for (int i = 0; i < 4096; ++i) {
+    urls.push_back("/docs/" + std::to_string(i) + ".html");
+    interner.Intern(urls.back());
+  }
+  util::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interner.Intern(urls[rng.NextBelow(4096)]));
+  }
+}
+BENCHMARK(BM_InternerInternHit);
+
+// --- replay engine ----------------------------------------------------------------------
+
+void BM_ReplaySmallTrace(benchmark::State& state) {
+  // End-to-end replay of a miniature EPA row; counters report the hot
+  // loop's throughput (simulator events per host second) and its working
+  // set (the event queue's high-water mark).
+  const auto spec = replay::Table3Experiments()[0];
+  trace::WorkloadConfig small = trace::GetPreset(spec.trace).workload;
+  small.total_requests /= 50;
+  small.num_documents /= 10;
+  small.num_clients /= 10;
+  const trace::Trace trace = trace::GenerateTrace(small);
+  const replay::ReplayConfig config =
+      replay::MakeReplayConfig(spec, core::Protocol::kInvalidation, trace);
+
+  replay::ReplayMetrics last;
+  for (auto _ : state) {
+    last = replay::RunReplay(config);
+    benchmark::DoNotOptimize(last);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(last.sim_events_executed));
+  state.counters["events/s"] = last.events_per_second();
+  state.counters["requests/s"] = last.requests_per_second();
+  state.counters["peak_queue"] =
+      static_cast<double>(last.sim_peak_queue_depth);
+}
+BENCHMARK(BM_ReplaySmallTrace)->Unit(benchmark::kMillisecond);
 
 // --- wire codec ------------------------------------------------------------------------
 

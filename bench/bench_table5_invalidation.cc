@@ -11,11 +11,17 @@ int main() {
   std::printf("=== Table 5: invalidation costs ===\n\n");
 
   const auto specs = replay::AllTableExperiments();
-  std::vector<replay::ReplayMetrics> runs;
-  runs.reserve(specs.size());
+  // Generate traces serially (TraceFor caches), then farm the six
+  // independent invalidation replays across the available cores.
+  for (const replay::ExperimentSpec& spec : specs) bench::TraceFor(spec.trace);
+  std::vector<replay::ReplayConfig> configs;
+  configs.reserve(specs.size());
   for (const replay::ExperimentSpec& spec : specs) {
-    runs.push_back(bench::RunCell(spec, core::Protocol::kInvalidation));
+    configs.push_back(replay::MakeReplayConfig(
+        spec, core::Protocol::kInvalidation, bench::TraceFor(spec.trace)));
   }
+  const std::vector<replay::ReplayMetrics> runs =
+      replay::Farm::RunAll(configs);
 
   std::vector<std::string> headers{"Trace"};
   for (const replay::ExperimentSpec& spec : specs) headers.push_back(spec.id);

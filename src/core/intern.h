@@ -1,0 +1,59 @@
+// Dense string interning for the hot lookup structures.
+//
+// The replay's inner loops key three maps by strings — the proxy cache's
+// entry index (url@client), its per-URL index, and the accelerator's
+// invalidation table — so every request hashed and compared whole URLs
+// several times. An Interner maps each distinct string to a dense uint32
+// once; all secondary structures (TTL heaps, url->entries indices, site
+// lists) then key on the integer. Ids are never recycled: the table is
+// bounded by the number of distinct URLs/clients in a trace, and a stable
+// id lets heaps and logs refer to strings without owning them.
+//
+// Not thread-safe; each replay engine owns its interners (one simulation
+// per thread, no shared mutable state — see replay::Farm).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace webcc::core {
+
+// Dense id for an interned string. 32 bits bounds a single replay at ~4e9
+// distinct strings, far above any trace.
+using InternId = std::uint32_t;
+inline constexpr InternId kNoInternId = 0xffffffffu;
+
+class Interner {
+ public:
+  // Returns the id for `s`, interning it on first sight.
+  InternId Intern(std::string_view s) {
+    const auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+    names_.emplace_back(s);  // deque: addresses stable across growth
+    const InternId id = static_cast<InternId>(names_.size() - 1);
+    index_.emplace(names_.back(), id);
+    return id;
+  }
+
+  // Returns the id for `s` without interning, or kNoInternId when absent.
+  // Lookups of never-inserted keys (cache misses) must not grow the table.
+  InternId Find(std::string_view s) const {
+    const auto it = index_.find(s);
+    return it == index_.end() ? kNoInternId : it->second;
+  }
+
+  const std::string& NameOf(InternId id) const { return names_[id]; }
+
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  // Keys are views into names_; the deque never moves a stored string, so
+  // the views survive both index rehash and deque growth.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, InternId> index_;
+};
+
+}  // namespace webcc::core

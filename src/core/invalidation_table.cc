@@ -16,9 +16,9 @@ Time InvalidationTable::Register(std::string_view url, std::string_view client,
     // longer lease from an earlier request is left untouched.
     return lease_until;
   }
-  SiteList& list = lists_[std::string(url)];
-  auto [it, inserted] = list.lease_until.try_emplace(std::string(client),
-                                                     lease_until);
+  SiteList& list = lists_[urls_.Intern(url)];
+  auto [it, inserted] =
+      list.lease_until.try_emplace(clients_.Intern(client), lease_until);
   if (inserted) {
     ++total_entries_;
   } else {
@@ -34,11 +34,13 @@ Time InvalidationTable::Register(std::string_view url, std::string_view client,
 std::vector<std::string> InvalidationTable::TakeSitesForInvalidation(
     std::string_view url, Time now) {
   std::vector<std::string> sites;
-  const auto it = lists_.find(std::string(url));
+  const InternId url_id = urls_.Find(url);
+  if (url_id == kNoInternId) return sites;
+  const auto it = lists_.find(url_id);
   if (it == lists_.end()) return sites;
   sites.reserve(it->second.lease_until.size());
-  for (auto& [client, lease_until] : it->second.lease_until) {
-    if (LeaseActive(lease_until, now)) sites.push_back(client);
+  for (const auto& [client, lease_until] : it->second.lease_until) {
+    if (LeaseActive(lease_until, now)) sites.push_back(clients_.NameOf(client));
   }
   total_entries_ -= it->second.lease_until.size();
   lists_.erase(it);
@@ -48,7 +50,9 @@ std::vector<std::string> InvalidationTable::TakeSitesForInvalidation(
 
 std::size_t InvalidationTable::ListLength(std::string_view url,
                                           Time now) const {
-  const auto it = lists_.find(std::string(url));
+  const InternId url_id = urls_.Find(url);
+  if (url_id == kNoInternId) return 0;
+  const auto it = lists_.find(url_id);
   if (it == lists_.end()) return 0;
   std::size_t live = 0;
   for (const auto& [client, lease_until] : it->second.lease_until) {
@@ -86,15 +90,17 @@ std::size_t InvalidationTable::MaxListLength() const {
 std::uint64_t InvalidationTable::StorageBytes() const {
   std::uint64_t bytes = 0;
   for (const auto& [url, list] : lists_) {
-    bytes += url.size();
+    bytes += urls_.NameOf(url).size();
     for (const auto& [client, lease_until] : list.lease_until) {
-      bytes += client.size() + kPerEntryOverheadBytes;
+      bytes += clients_.NameOf(client).size() + kPerEntryOverheadBytes;
     }
   }
   return bytes;
 }
 
 void InvalidationTable::Clear() {
+  // The interners survive a crash on purpose: ids stay valid for the
+  // recovery path, and the tables are bounded by the trace's vocabulary.
   lists_.clear();
   total_entries_ = 0;
 }

@@ -10,6 +10,11 @@
 // its lease is in force, so list size is bounded by the requests of the last
 // lease window, and with two-tier leases a plain GET's near-zero lease keeps
 // one-time viewers out of the table entirely.
+//
+// URLs and client identifiers are interned to dense ids (core::Interner):
+// this table sits on the server's per-request hot path (Register on every
+// GET/IMS), so the site lists key on integers and each request hashes its
+// strings exactly once. The public interface stays string-based.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/intern.h"
 #include "core/policy.h"
 #include "net/message.h"
 #include "util/time.h"
@@ -66,13 +72,15 @@ class InvalidationTable {
 
  private:
   struct SiteList {
-    std::unordered_map<std::string, Time> lease_until;  // client -> expiry
+    std::unordered_map<InternId, Time> lease_until;  // client id -> expiry
   };
 
   static constexpr std::uint64_t kPerEntryOverheadBytes = 16;
 
   LeaseConfig lease_;
-  std::unordered_map<std::string, SiteList> lists_;
+  Interner urls_;
+  Interner clients_;
+  std::unordered_map<InternId, SiteList> lists_;  // by url id
   std::size_t total_entries_ = 0;
 };
 

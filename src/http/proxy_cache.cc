@@ -1,5 +1,6 @@
 #include "http/proxy_cache.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/check.h"
@@ -7,24 +8,31 @@
 namespace webcc::http {
 
 CacheEntry* ProxyCache::Lookup(const std::string& key) {
-  const auto it = index_.find(key);
+  const core::InternId id = keys_.Find(key);
+  if (id == core::kNoInternId) return nullptr;
+  const auto it = index_.find(id);
   if (it == index_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second);
   return &*it->second;
 }
 
 CacheEntry* ProxyCache::Peek(const std::string& key) {
-  const auto it = index_.find(key);
+  const core::InternId id = keys_.Find(key);
+  if (id == core::kNoInternId) return nullptr;
+  const auto it = index_.find(id);
   return it == index_.end() ? nullptr : &*it->second;
 }
 
 void ProxyCache::PushTtlItem(const CacheEntry& entry) {
   if (entry.ttl_expires == kNeverExpires) return;
-  ttl_heap_.push(TtlHeapItem{entry.ttl_expires, entry.heap_stamp_, entry.key});
+  ttl_heap_.push(
+      TtlHeapItem{entry.ttl_expires, entry.heap_stamp_, entry.key_id_});
 }
 
 void ProxyCache::Insert(CacheEntry entry, Time now) {
-  Erase(entry.key);  // replace semantics
+  entry.key_id_ = keys_.Intern(entry.key);
+  entry.url_id_ = urls_.Intern(entry.url);
+  EraseById(entry.key_id_);  // replace semantics
   if (entry.size_bytes > capacity_bytes_) return;  // uncacheable
   while (bytes_used_ + entry.size_bytes > capacity_bytes_) EvictOne(now);
 
@@ -32,13 +40,18 @@ void ProxyCache::Insert(CacheEntry entry, Time now) {
   bytes_used_ += entry.size_bytes;
   ++stats_.insertions;
   lru_.push_front(std::move(entry));
-  index_[lru_.front().key] = lru_.begin();
-  url_index_[lru_.front().url].insert(lru_.front().key);
+  index_[lru_.front().key_id_] = lru_.begin();
+  url_index_[lru_.front().url_id_].push_back(lru_.front().key_id_);
   PushTtlItem(lru_.front());
 }
 
 bool ProxyCache::Erase(const std::string& key) {
-  const auto it = index_.find(key);
+  const core::InternId id = keys_.Find(key);
+  return id != core::kNoInternId && EraseById(id);
+}
+
+bool ProxyCache::EraseById(core::InternId key_id) {
+  const auto it = index_.find(key_id);
   if (it == index_.end()) return false;
   ++stats_.erased;
   RemoveEntry(it->second);
@@ -47,24 +60,27 @@ bool ProxyCache::Erase(const std::string& key) {
 
 void ProxyCache::RemoveEntry(LruList::iterator it) {
   bytes_used_ -= it->size_bytes;
-  const auto url_it = url_index_.find(it->url);
+  const auto url_it = url_index_.find(it->url_id_);
   if (url_it != url_index_.end()) {
-    url_it->second.erase(it->key);
-    if (url_it->second.empty()) url_index_.erase(url_it);
+    std::vector<core::InternId>& keys = url_it->second;
+    keys.erase(std::find(keys.begin(), keys.end(), it->key_id_));
+    if (keys.empty()) url_index_.erase(url_it);
   }
-  index_.erase(it->key);
+  index_.erase(it->key_id_);
   lru_.erase(it);
   // Any TTL-heap items pointing at this key become stale and are skipped
   // lazily (their stamp no longer matches a live entry).
 }
 
 std::size_t ProxyCache::EraseByUrl(const std::string& url) {
-  const auto it = url_index_.find(url);
+  const core::InternId url_id = urls_.Find(url);
+  if (url_id == core::kNoInternId) return 0;
+  const auto it = url_index_.find(url_id);
   if (it == url_index_.end()) return 0;
-  // Copy out: Erase mutates the index we are iterating.
-  const std::vector<std::string> keys(it->second.begin(), it->second.end());
+  // Copy out: EraseById mutates the vector we are iterating.
+  const std::vector<core::InternId> keys = it->second;
   std::size_t erased = 0;
-  for (const std::string& key : keys) erased += Erase(key);
+  for (const core::InternId key_id : keys) erased += EraseById(key_id);
   return erased;
 }
 

@@ -15,6 +15,11 @@
 //
 // Consistency state (TTL expiry, lease expiry, questionable flag) lives on
 // the entry; the protocol logic that interprets it lives in core/.
+//
+// Internally every key and URL is interned to a dense integer id
+// (core::Interner): the entry index, the per-URL index, and the TTL heap
+// all key on ids, so a lookup hashes its string exactly once and the heap
+// never copies strings. The public interface stays string-keyed.
 #pragma once
 
 #include <cstdint>
@@ -24,9 +29,9 @@
 #include <queue>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "core/intern.h"
 #include "util/time.h"
 
 namespace webcc::http {
@@ -53,6 +58,8 @@ struct CacheEntry {
  private:
   friend class ProxyCache;
   std::uint64_t heap_stamp_ = 0;  // lazy-deletion marker for the TTL heap
+  core::InternId key_id_ = core::kNoInternId;
+  core::InternId url_id_ = core::kNoInternId;
 };
 
 struct ProxyCacheStats {
@@ -117,7 +124,7 @@ class ProxyCache {
   struct TtlHeapItem {
     Time expires;
     std::uint64_t stamp;
-    std::string key;
+    core::InternId key;
     // Ties on expiry break by stamp (insertion/update order), making the
     // expired-first victim deterministic.
     bool operator>(const TtlHeapItem& other) const {
@@ -128,6 +135,7 @@ class ProxyCache {
 
   using LruList = std::list<CacheEntry>;
 
+  bool EraseById(core::InternId key_id);
   void EvictOne(Time now);
   void RemoveEntry(LruList::iterator it);
   void PushTtlItem(const CacheEntry& entry);
@@ -137,10 +145,16 @@ class ProxyCache {
   std::uint64_t bytes_used_ = 0;
   std::uint64_t next_stamp_ = 1;
 
+  // Interned namespaces. Ids are dense and never recycled, so the tables
+  // are bounded by the distinct keys/URLs ever inserted, not residency.
+  core::Interner keys_;
+  core::Interner urls_;
+
   LruList lru_;  // front = most recently used
-  std::unordered_map<std::string, LruList::iterator> index_;
-  // url -> keys of the entries caching it (one per owner).
-  std::unordered_map<std::string, std::unordered_set<std::string>> url_index_;
+  std::unordered_map<core::InternId, LruList::iterator> index_;  // by key id
+  // url id -> key ids of the entries caching it (one per owner), in
+  // insertion order (keeps EraseByUrl deterministic).
+  std::unordered_map<core::InternId, std::vector<core::InternId>> url_index_;
   std::priority_queue<TtlHeapItem, std::vector<TtlHeapItem>,
                       std::greater<TtlHeapItem>>
       ttl_heap_;

@@ -1,6 +1,7 @@
 #include "replay/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -257,10 +258,22 @@ void Engine::Setup() {
     proxy_site_names_.push_back("proxy-" + std::to_string(i));
     pseudo_of_client_[proxy_site_names_.back()] = static_cast<int>(i);
   }
+  // Size each pseudo-client's slice exactly (a counting pass is cheaper
+  // than the doubling reallocations of tens of thousands of push_backs).
+  std::vector<std::size_t> slice_sizes(config_.num_pseudo_clients, 0);
+  for (const trace::TraceRecord& record : trace_.records) {
+    ++slice_sizes[record.client % config_.num_pseudo_clients];
+  }
+  for (std::uint32_t i = 0; i < config_.num_pseudo_clients; ++i) {
+    clients_[i].records.reserve(slice_sizes[i]);
+  }
   for (const trace::TraceRecord& record : trace_.records) {
     clients_[record.client % config_.num_pseudo_clients].records.push_back(
         record);
   }
+  // Pending events peak around a few per in-flight request (timeout guard,
+  // network hop, completion) plus invalidation fan-out bursts.
+  sim_.Reserve(static_cast<std::size_t>(config_.num_pseudo_clients) * 8 + 256);
 
   if (!config_.explicit_modifications.empty()) {
     modifications_ = config_.explicit_modifications;
@@ -304,6 +317,7 @@ void Engine::Setup() {
 }
 
 ReplayMetrics Engine::Run() {
+  const auto host_start = std::chrono::steady_clock::now();
   StartInterval();
   // Drain in-flight work after the last interval, but don't chase retry
   // loops forever if a partition is never healed.
@@ -311,6 +325,12 @@ ReplayMetrics Engine::Run() {
   while (sim_.Step()) {
     if (wall_end_ != 0 && sim_.now() > wall_end_ + kDrainGrace) break;
   }
+  metrics_.host_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    host_start)
+          .count();
+  metrics_.sim_events_executed = sim_.executed();
+  metrics_.sim_peak_queue_depth = sim_.peak_pending();
 
   metrics_.server_cpu_utilization =
       server_cpu_.utilization().BusyFraction(wall_end_);
@@ -921,7 +941,7 @@ void Engine::ModifierStep() {
     ParticipantDone();
     return;
   }
-  const trace::ModEvent event = modifications_[mod_cursor_++];
+  const trace::ModEvent& event = modifications_[mod_cursor_++];
   const std::string& url = DocPath(event.doc);
 
   // The touch registers in the file system immediately; for polling, this is

@@ -1,5 +1,7 @@
 #include "replay/experiments.h"
 
+#include <iterator>
+
 namespace webcc::replay {
 namespace {
 
@@ -44,9 +46,10 @@ std::vector<ExperimentSpec> Table4Experiments() {
 
 std::vector<ExperimentSpec> AllTableExperiments() {
   std::vector<ExperimentSpec> all = Table3Experiments();
-  for (ExperimentSpec& spec : Table4Experiments()) {
-    all.push_back(std::move(spec));
-  }
+  std::vector<ExperimentSpec> table4 = Table4Experiments();
+  all.reserve(all.size() + table4.size());
+  all.insert(all.end(), std::make_move_iterator(table4.begin()),
+             std::make_move_iterator(table4.end()));
   return all;
 }
 

@@ -1,0 +1,78 @@
+#include "replay/farm.h"
+
+#include <utility>
+
+namespace webcc::replay {
+
+Farm::Farm(unsigned workers) {
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Farm::~Farm() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::size_t Farm::Submit(ReplayConfig config) {
+  std::size_t index;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    index = submitted_++;
+    results_.emplace_back();
+    queue_.push_back(Job{index, std::move(config)});
+  }
+  work_cv_.notify_one();
+  return index;
+}
+
+std::vector<ReplayMetrics> Farm::Collect() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return completed_ == submitted_; });
+  std::vector<ReplayMetrics> out = std::move(results_);
+  results_.clear();
+  submitted_ = 0;
+  completed_ = 0;
+  return out;
+}
+
+void Farm::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain the queue even when stopping, so a destructor racing
+      // submitted work still leaves results_ complete.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    ReplayMetrics metrics = RunReplay(job.config);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      results_[job.index] = std::move(metrics);
+      ++completed_;
+      if (completed_ == submitted_) done_cv_.notify_all();
+    }
+  }
+}
+
+std::vector<ReplayMetrics> Farm::RunAll(
+    const std::vector<ReplayConfig>& configs, unsigned workers) {
+  Farm farm(workers);
+  for (const ReplayConfig& config : configs) farm.Submit(config);
+  return farm.Collect();
+}
+
+}  // namespace webcc::replay

@@ -1,0 +1,73 @@
+// Replay farm: a fixed pool of worker threads executing independent
+// replays concurrently.
+//
+// Parallelism lives strictly *across* replays. Each replay is the same
+// deterministic single-threaded simulation `RunReplay` always was — one
+// Engine, one Simulator, no shared mutable state between workers — so a
+// farmed run produces bit-identical ReplayMetrics regardless of worker
+// count or completion order (see SameSimulation). The only sharing is the
+// immutable inputs: configs reference their traces by pointer, so one
+// parsed trace feeds every cell of a table sweep.
+//
+// Callers must keep every submitted config's trace (and any other
+// referenced state) alive until Collect() returns.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "replay/config.h"
+#include "replay/engine.h"
+#include "replay/metrics.h"
+
+namespace webcc::replay {
+
+class Farm {
+ public:
+  // `workers` = 0 sizes the pool to the hardware concurrency (at least 1).
+  explicit Farm(unsigned workers = 0);
+  ~Farm();
+
+  Farm(const Farm&) = delete;
+  Farm& operator=(const Farm&) = delete;
+
+  // Enqueues one replay and returns its slot: Collect()'s result vector is
+  // ordered by submission, never by completion, so table output built from
+  // it is byte-identical to a serial run.
+  std::size_t Submit(ReplayConfig config);
+
+  // Blocks until every submitted replay has finished and returns their
+  // metrics in submission order. Resets the farm for reuse.
+  std::vector<ReplayMetrics> Collect();
+
+  unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+
+  // One-shot convenience: submit all configs, collect all results.
+  static std::vector<ReplayMetrics> RunAll(
+      const std::vector<ReplayConfig>& configs, unsigned workers = 0);
+
+ private:
+  struct Job {
+    std::size_t index = 0;
+    ReplayConfig config;
+  };
+
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait here for jobs
+  std::condition_variable done_cv_;  // Collect() waits here for completion
+  std::deque<Job> queue_;
+  std::vector<ReplayMetrics> results_;
+  std::size_t submitted_ = 0;
+  std::size_t completed_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace webcc::replay

@@ -25,4 +25,48 @@ std::string ReplayMetrics::Summary() const {
   return buf;
 }
 
+bool SameSimulation(const ReplayMetrics& a, const ReplayMetrics& b) {
+  return a.get_requests == b.get_requests &&
+         a.ims_requests == b.ims_requests && a.replies_200 == b.replies_200 &&
+         a.replies_304 == b.replies_304 &&
+         a.invalidations_sent == b.invalidations_sent &&
+         a.invsrv_sent == b.invsrv_sent &&
+         a.multicast_sends == b.multicast_sends &&
+         a.message_bytes == b.message_bytes && a.local_hits == b.local_hits &&
+         a.validated_hits == b.validated_hits &&
+         a.latency_ms.SameSamples(b.latency_ms) &&
+         a.server_cpu_utilization == b.server_cpu_utilization &&
+         a.disk_reads_per_second == b.disk_reads_per_second &&
+         a.disk_writes_per_second == b.disk_writes_per_second &&
+         a.wall_duration == b.wall_duration &&
+         a.stale_serves == b.stale_serves &&
+         a.stale_while_invalidation_in_flight ==
+             b.stale_while_invalidation_in_flight &&
+         a.strong_violations == b.strong_violations &&
+         a.sitelist_storage_bytes == b.sitelist_storage_bytes &&
+         a.sitelist_entries == b.sitelist_entries &&
+         a.sitelist_max_len_end == b.sitelist_max_len_end &&
+         a.sitelist_avg_len_at_mod == b.sitelist_avg_len_at_mod &&
+         a.sitelist_max_len_at_mod == b.sitelist_max_len_at_mod &&
+         a.invalidation_time_ms.SameSamples(b.invalidation_time_ms) &&
+         a.parent_hits == b.parent_hits &&
+         a.parent_fetches == b.parent_fetches &&
+         a.hierarchy_forwards == b.hierarchy_forwards &&
+         a.pcv_items_piggybacked == b.pcv_items_piggybacked &&
+         a.pcv_invalidated == b.pcv_invalidated &&
+         a.psi_notices == b.psi_notices &&
+         a.psi_entries_erased == b.psi_entries_erased &&
+         a.lease_renewal_ims == b.lease_renewal_ims &&
+         a.requests_issued == b.requests_issued &&
+         a.requests_skipped == b.requests_skipped &&
+         a.request_timeouts == b.request_timeouts &&
+         a.modifications_applied == b.modifications_applied &&
+         a.invalidations_delivered == b.invalidations_delivered &&
+         a.invalidations_refused == b.invalidations_refused &&
+         a.proxy_evictions == b.proxy_evictions &&
+         a.proxy_expired_evictions == b.proxy_expired_evictions &&
+         a.sim_events_executed == b.sim_events_executed &&
+         a.sim_peak_queue_depth == b.sim_peak_queue_depth;
+}
+
 }  // namespace webcc::replay

@@ -105,8 +105,35 @@ struct ReplayMetrics {
   std::uint64_t proxy_evictions = 0;
   std::uint64_t proxy_expired_evictions = 0;
 
+  // --- hot-loop observability -----------------------------------------------
+  // Simulator events executed and the event queue's high-water mark: the
+  // denominator and the working-set size of the replay's inner loop.
+  std::uint64_t sim_events_executed = 0;
+  std::uint64_t sim_peak_queue_depth = 0;
+  // Host (real) seconds this replay took; the only nondeterministic field,
+  // excluded from SameSimulation().
+  double host_seconds = 0.0;
+
+  double events_per_second() const {
+    return host_seconds > 0.0
+               ? static_cast<double>(sim_events_executed) / host_seconds
+               : 0.0;
+  }
+  double requests_per_second() const {
+    return host_seconds > 0.0
+               ? static_cast<double>(requests_issued) / host_seconds
+               : 0.0;
+  }
+
   // One-line sanity summary for logs/examples.
   std::string Summary() const;
 };
+
+// True when two runs produced the identical simulation: every deterministic
+// counter and latency aggregate matches bit-for-bit. Host timing
+// (host_seconds, and the rates derived from it) is deliberately excluded —
+// it is the one field that varies between an N=1 and an N=8 farm run of the
+// same config.
+bool SameSimulation(const ReplayMetrics& a, const ReplayMetrics& b);
 
 }  // namespace webcc::replay

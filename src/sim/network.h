@@ -54,7 +54,10 @@ class Network {
     kGaveUp,         // partition outlived the retry budget
   };
 
-  using DeliverFn = std::function<void()>;
+  // Delivery handlers are scheduled on the simulator queue; sim::Task keeps
+  // small captures inline. The done callback is invoked at the sender (not
+  // scheduled), so it stays a std::function.
+  using DeliverFn = Simulator::Action;
   using ReliableDoneFn = std::function<void(SendResult, Time /*done_at*/)>;
 
   Network(Simulator& sim, NetworkConfig config)

@@ -10,6 +10,7 @@ void Simulator::At(Time t, Action action) {
   WEBCC_CHECK_MSG(t >= now_, "cannot schedule into the past");
   WEBCC_CHECK_MSG(static_cast<bool>(action), "null action");
   queue_.push(Event{t, next_seq_++, std::move(action)});
+  if (queue_.size() > peak_pending_) peak_pending_ = queue_.size();
 }
 
 void Simulator::After(Time delay, Action action) {

@@ -5,20 +5,25 @@
 // Events at equal timestamps run in scheduling order (a monotone sequence
 // number breaks ties), which together with seeded RNGs makes whole replays
 // deterministic.
+//
+// The queue stores sim::Task actions (inline storage for small captures) so
+// scheduling the common event allocates nothing, and its backing vector can
+// be Reserve()d up front; peak_pending() reports the high-water mark so
+// replays can size it from measurement.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
+#include "sim/task.h"
 #include "util/time.h"
 
 namespace webcc::sim {
 
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  using Action = Task;
 
   Time now() const { return now_; }
 
@@ -38,14 +43,19 @@ class Simulator {
   // even if the queue still holds later events.
   void RunUntil(Time t);
 
+  // Pre-sizes the event queue's backing storage.
+  void Reserve(std::size_t events) { queue_.Reserve(events); }
+
   std::size_t pending() const { return queue_.size(); }
   std::uint64_t executed() const { return executed_; }
+  // Largest number of simultaneously pending events so far.
+  std::size_t peak_pending() const { return peak_pending_; }
 
  private:
   struct Event {
     Time at;
     std::uint64_t seq;
-    Action action;
+    Task action;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -53,11 +63,18 @@ class Simulator {
       return a.seq > b.seq;
     }
   };
+  // Thin subclass exposing the protected container for Reserve().
+  class EventQueue
+      : public std::priority_queue<Event, std::vector<Event>, Later> {
+   public:
+    void Reserve(std::size_t events) { c.reserve(events); }
+  };
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::size_t peak_pending_ = 0;
+  EventQueue queue_;
 };
 
 }  // namespace webcc::sim

@@ -7,7 +7,7 @@
 
 namespace webcc::sim {
 
-Time FifoStation::Enqueue(Time cost, std::function<void()> on_complete) {
+Time FifoStation::Enqueue(Time cost, Simulator::Action on_complete) {
   WEBCC_CHECK_MSG(cost >= 0, "negative service cost");
   const Time start = std::max(sim_.now(), busy_until_);
   busy_until_ = start + cost;

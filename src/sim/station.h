@@ -8,7 +8,6 @@
 // tables report.
 #pragma once
 
-#include <functional>
 #include <string>
 
 #include "sim/simulator.h"
@@ -26,7 +25,7 @@ class FifoStation {
 
   // Enqueues a job with the given service cost; `on_complete` (optional)
   // runs when the job finishes. Returns the completion time.
-  Time Enqueue(Time cost, std::function<void()> on_complete = nullptr);
+  Time Enqueue(Time cost, Simulator::Action on_complete = nullptr);
 
   // Earliest time a new job could start service.
   Time busy_until() const { return busy_until_; }

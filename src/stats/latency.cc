@@ -48,6 +48,22 @@ double LatencyStats::mean() const {
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
+bool LatencyStats::SameSamples(const LatencyStats& other) const {
+  if (count_ != other.count_ || sum_ != other.sum_ || min() != other.min() ||
+      max() != other.max() || samples_.size() != other.samples_.size()) {
+    return false;
+  }
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (!other.sorted_) {
+    std::sort(other.samples_.begin(), other.samples_.end());
+    other.sorted_ = true;
+  }
+  return samples_ == other.samples_;
+}
+
 double LatencyStats::Percentile(double p) const {
   WEBCC_CHECK(p >= 0.0 && p <= 100.0);
   if (samples_.empty()) return 0.0;

@@ -32,6 +32,11 @@ class LatencyStats {
   // empty. Sorts lazily, amortized across queries.
   double Percentile(double p) const;
 
+  // Bit-exact equality of the aggregates and the (sorted) sample sets.
+  // Sample order is normalized first, so two runs that recorded the same
+  // values compare equal regardless of when Percentile() was last called.
+  bool SameSamples(const LatencyStats& other) const;
+
  private:
   std::size_t max_samples_ = 0;
   std::size_t count_ = 0;

@@ -56,13 +56,49 @@ bool TakeInt(std::string_view s, std::size_t& pos, std::int64_t& out) {
   return true;
 }
 
+// Heterogeneous string_view lookups into the string-keyed indices, so the
+// per-line loop only materializes a std::string for first sightings.
+struct SvHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+struct SvEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const {
+    return a == b;
+  }
+};
+
+// Counts newlines ahead of the read position without consuming the stream;
+// returns 0 when the stream is not seekable (pipes). Sizes the record
+// vector's single reservation.
+std::size_t CountRemainingLines(std::istream& in) {
+  const std::istream::pos_type start = in.tellg();
+  if (start == std::istream::pos_type(-1)) return 0;
+  std::size_t lines = 0;
+  char buffer[1 << 16];
+  while (in.good()) {
+    in.read(buffer, sizeof(buffer));
+    const std::streamsize got = in.gcount();
+    for (std::streamsize i = 0; i < got; ++i) {
+      if (buffer[i] == '\n') ++lines;
+    }
+    if (got > 0 && in.eof()) ++lines;  // final line without a newline
+  }
+  in.clear();
+  in.seekg(start);
+  return lines;
+}
+
 }  // namespace
 
 bool ParseClfLine(std::string_view line, ClfLine& out) {
   // host ident authuser [date] "request" status bytes
   const std::size_t host_end = line.find(' ');
   if (host_end == std::string_view::npos || host_end == 0) return false;
-  out.host = std::string(line.substr(0, host_end));
+  out.host = line.substr(0, host_end);
 
   const std::size_t bracket_open = line.find('[', host_end);
   const std::size_t bracket_close =
@@ -108,11 +144,10 @@ bool ParseClfLine(std::string_view line, ClfLine& out) {
       line.substr(quote_open + 1, quote_close - quote_open - 1);
   const std::size_t method_end = request.find(' ');
   if (method_end == std::string_view::npos) return false;
-  out.method = std::string(request.substr(0, method_end));
+  out.method = request.substr(0, method_end);
   std::size_t path_end = request.find(' ', method_end + 1);
   if (path_end == std::string_view::npos) path_end = request.size();
-  out.path = std::string(request.substr(method_end + 1,
-                                        path_end - method_end - 1));
+  out.path = request.substr(method_end + 1, path_end - method_end - 1);
   if (out.path.empty()) return false;
 
   pos = quote_close + 1;
@@ -133,9 +168,13 @@ Trace ReadClf(std::istream& in, std::string trace_name, ClfParseStats* stats) {
   Trace trace;
   trace.name = std::move(trace_name);
 
-  std::unordered_map<std::string, DocId> doc_index;
-  std::unordered_map<std::string, ClientId> client_index;
+  std::unordered_map<std::string, DocId, SvHash, SvEq> doc_index;
+  std::unordered_map<std::string, ClientId, SvHash, SvEq> client_index;
   std::int64_t first_seconds = -1;
+
+  // One reservation sized from a newline-counting pre-pass (seekable
+  // streams only) instead of doubling growth across millions of records.
+  trace.records.reserve(CountRemainingLines(in));
 
   std::string line;
   ClfParseStats local;
@@ -155,11 +194,13 @@ Trace ReadClf(std::istream& in, std::string trace_name, ClfParseStats* stats) {
     ++local.accepted;
     if (first_seconds < 0) first_seconds = parsed.unix_seconds;
 
-    auto [doc_it, doc_inserted] =
-        doc_index.try_emplace(parsed.path,
-                              static_cast<DocId>(trace.documents.size()));
-    if (doc_inserted) {
-      trace.documents.push_back(DocumentInfo{parsed.path, 0});
+    auto doc_it = doc_index.find(parsed.path);
+    if (doc_it == doc_index.end()) {
+      doc_it = doc_index
+                   .emplace(std::string(parsed.path),
+                            static_cast<DocId>(trace.documents.size()))
+                   .first;
+      trace.documents.push_back(DocumentInfo{std::string(parsed.path), 0});
     }
     if (parsed.bytes > 0) {
       auto& size = trace.documents[doc_it->second].size_bytes;
@@ -167,9 +208,14 @@ Trace ReadClf(std::istream& in, std::string trace_name, ClfParseStats* stats) {
                                      static_cast<std::uint64_t>(parsed.bytes));
     }
 
-    auto [client_it, client_inserted] = client_index.try_emplace(
-        parsed.host, static_cast<ClientId>(trace.clients.size()));
-    if (client_inserted) trace.clients.push_back(parsed.host);
+    auto client_it = client_index.find(parsed.host);
+    if (client_it == client_index.end()) {
+      client_it = client_index
+                      .emplace(std::string(parsed.host),
+                               static_cast<ClientId>(trace.clients.size()))
+                      .first;
+      trace.clients.push_back(std::string(parsed.host));
+    }
 
     TraceRecord record;
     record.timestamp = (parsed.unix_seconds - first_seconds) * kSecond;

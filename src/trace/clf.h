@@ -37,12 +37,14 @@ void WriteClf(const Trace& trace, std::ostream& out,
               std::int64_t epoch_seconds = 804556800 /* 1995-07-01 */);
 
 // Parses one CLF line into its parts; exposed for tests. Returns false if
-// the line is malformed.
+// the line is malformed. The string fields are views into `line` — they are
+// valid only while the caller's line buffer is, which lets the reader's
+// per-line loop run without allocating temporaries.
 struct ClfLine {
-  std::string host;
+  std::string_view host;
   std::int64_t unix_seconds = 0;
-  std::string method;
-  std::string path;
+  std::string_view method;
+  std::string_view path;
   int status = 0;
   std::int64_t bytes = 0;  // -1 when the field is "-"
 };

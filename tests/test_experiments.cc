@@ -6,6 +6,7 @@
 
 #include "replay/engine.h"
 #include "replay/experiments.h"
+#include "replay/farm.h"
 #include "trace/presets.h"
 #include "trace/workload.h"
 
@@ -88,13 +89,19 @@ TEST(Experiments, ScaledDownRowRunsEndToEnd) {
   small.num_documents /= 10;
   small.num_clients /= 10;
   const trace::Trace trace = trace::GenerateTrace(small);
+  std::vector<ReplayConfig> configs;
   for (const core::Protocol protocol :
        {core::Protocol::kAdaptiveTtl, core::Protocol::kPollEveryTime,
         core::Protocol::kInvalidation}) {
-    const ReplayConfig config = MakeReplayConfig(spec, protocol, trace);
-    const ReplayMetrics metrics = RunReplay(config);
+    configs.push_back(MakeReplayConfig(spec, protocol, trace));
+  }
+  // The three protocol cells run concurrently through the replay farm,
+  // exactly as the bench binaries drive them.
+  for (const ReplayMetrics& metrics : Farm::RunAll(configs)) {
     EXPECT_EQ(metrics.requests_issued, trace.records.size());
     EXPECT_EQ(metrics.strong_violations, 0u);
+    EXPECT_GT(metrics.sim_events_executed, trace.records.size());
+    EXPECT_GT(metrics.sim_peak_queue_depth, 0u);
   }
 }
 
