@@ -2,9 +2,13 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "core/piggyback.h"
+#include "obs/metrics.h"
+#include "obs/trace_reader.h"
+#include "obs/trace_sink.h"
 #include "replay/engine.h"
 #include "replay/farm.h"
 #include "stats/table.h"
@@ -64,6 +68,24 @@ std::optional<trace::Trace> LoadTrace(const Flags& flags, std::ostream& err) {
   }
   err << "error: need --preset NAME or --in FILE\n";
   return std::nullopt;
+}
+
+// Short metric-key token per protocol (the display names in
+// core::ToString carry spaces and parentheses).
+const char* ProtocolToken(core::Protocol protocol) {
+  switch (protocol) {
+    case core::Protocol::kAdaptiveTtl:
+      return "ttl";
+    case core::Protocol::kPollEveryTime:
+      return "poll";
+    case core::Protocol::kInvalidation:
+      return "invalidation";
+    case core::Protocol::kPiggybackValidation:
+      return "pcv";
+    case core::Protocol::kPiggybackInvalidation:
+      return "psi";
+  }
+  return "unknown";
 }
 
 bool RejectUnusedFlags(const Flags& flags, std::ostream& err) {
@@ -259,19 +281,64 @@ int RunReplayCommand(const Flags& flags, std::ostream& out,
     err << "error: invalid --workers\n";
     return 2;
   }
+  const std::string trace_out = flags.GetString("trace-out", "");
+  const std::string metrics_out = flags.GetString("metrics-out", "");
   if (RejectUnusedFlags(flags, err)) return 2;
+
+  std::ofstream trace_file;
+  std::unique_ptr<obs::JsonlTraceSink> trace_sink;
+  if (!trace_out.empty()) {
+    trace_file.open(trace_out);
+    if (!trace_file) {
+      err << "error: cannot write " << trace_out << "\n";
+      return 1;
+    }
+    trace_sink = std::make_unique<obs::JsonlTraceSink>(trace_file);
+  }
 
   // A multi-protocol sweep is a set of independent deterministic replays
   // over one shared trace: farm them across cores, then print in protocol
-  // order (results arrive in submission order).
+  // order (results arrive in submission order). Per-run metric registries
+  // keep the farm race-free; they merge under protocol prefixes below.
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> registries;
   std::vector<replay::ReplayConfig> configs;
   configs.reserve(protocols.size());
   for (const core::Protocol protocol : protocols) {
     config.protocol = protocol;
+    if (!metrics_out.empty()) {
+      registries.push_back(std::make_unique<obs::MetricsRegistry>());
+      config.metrics = registries.back().get();
+    }
     configs.push_back(config);
   }
-  const std::vector<replay::ReplayMetrics> results =
-      replay::Farm::RunAll(configs, static_cast<unsigned>(*workers));
+  replay::Farm farm(static_cast<unsigned>(*workers));
+  // The farm's per-job buffers merge in submission order, so --trace-out is
+  // byte-identical for any --workers value.
+  if (trace_sink != nullptr) farm.set_merged_trace_sink(trace_sink.get());
+  for (const replay::ReplayConfig& c : configs) farm.Submit(c);
+  const std::vector<replay::ReplayMetrics> results = farm.Collect();
+
+  if (!metrics_out.empty()) {
+    std::ofstream metrics_file(metrics_out);
+    if (!metrics_file) {
+      err << "error: cannot write " << metrics_out << "\n";
+      return 1;
+    }
+    if (registries.size() == 1) {
+      registries.front()->WriteJson(metrics_file);
+    } else {
+      obs::MetricsRegistry merged;
+      for (std::size_t i = 0; i < registries.size(); ++i) {
+        merged.MergeFrom(*registries[i],
+                         std::string(ProtocolToken(protocols[i])) + ".");
+      }
+      merged.WriteJson(metrics_file);
+    }
+    err << "wrote metrics to " << metrics_out << "\n";
+  }
+  if (trace_sink != nullptr) {
+    err << "wrote trace events to " << trace_out << "\n";
+  }
 
   for (std::size_t i = 0; i < protocols.size(); ++i) {
     const core::Protocol protocol = protocols[i];
@@ -289,6 +356,30 @@ int RunReplayCommand(const Flags& flags, std::ostream& out,
     }
   }
   return 0;
+}
+
+int RunTraceCommand(const Flags& flags, std::ostream& out,
+                    std::ostream& err) {
+  if (flags.positional().size() < 2 || flags.positional()[1] != "summarize") {
+    err << "usage: webcc trace summarize --in FILE\n";
+    return 2;
+  }
+  const std::string in_path = flags.GetString("in", "");
+  if (RejectUnusedFlags(flags, err)) return 2;
+  if (in_path.empty()) {
+    err << "error: need --in FILE (a --trace-out JSONL stream)\n";
+    return 2;
+  }
+  std::ifstream in(in_path);
+  if (!in) {
+    err << "error: cannot open " << in_path << "\n";
+    return 1;
+  }
+  const obs::TraceSummary summary = obs::SummarizeTrace(in);
+  obs::WriteTraceSummary(out, summary);
+  // Malformed or structurally inconsistent streams exit nonzero so scripts
+  // can assert trace health.
+  return summary.malformed_lines == 0 && summary.undefined_ids == 0 ? 0 : 1;
 }
 
 int RunProtocols(std::ostream& out) {
@@ -324,6 +415,10 @@ void PrintUsage(std::ostream& out) {
          "             [--multicast] [--decoupled] [--cache-mb N]\n"
          "             [--workers N]  (0 = one per core; protocols of a\n"
          "             sweep run concurrently, output order is unchanged)\n"
+         "             [--trace-out FILE]    structured JSONL event trace\n"
+         "             [--metrics-out FILE]  full metric registry as JSON\n"
+         "  trace      inspect a --trace-out stream\n"
+         "             summarize --in FILE\n"
          "  protocols  list protocol names\n";
 }
 
@@ -337,6 +432,7 @@ int RunCli(const Flags& flags, std::ostream& out, std::ostream& err) {
   if (command == "summarize") return RunSummarize(flags, out, err);
   if (command == "filter") return RunFilter(flags, out, err);
   if (command == "replay") return RunReplayCommand(flags, out, err);
+  if (command == "trace") return RunTraceCommand(flags, out, err);
   if (command == "protocols") return RunProtocols(out);
   if (command == "help") {
     PrintUsage(out);

@@ -29,6 +29,8 @@ int RunGenerate(const Flags& flags, std::ostream& out, std::ostream& err);
 int RunSummarize(const Flags& flags, std::ostream& out, std::ostream& err);
 int RunFilter(const Flags& flags, std::ostream& out, std::ostream& err);
 int RunReplayCommand(const Flags& flags, std::ostream& out, std::ostream& err);
+// `webcc trace summarize --in FILE`: aggregates a --trace-out JSONL stream.
+int RunTraceCommand(const Flags& flags, std::ostream& out, std::ostream& err);
 int RunProtocols(std::ostream& out);
 
 // Dispatches on flags.positional()[0]; prints usage on errors.

@@ -21,6 +21,13 @@ std::optional<net::Reply> Accelerator::HandleRequest(
   // Pessimistic registration: any requester might cache the document.
   reply->lease_until =
       table_.Register(request.url, request.client_id, request.type, now);
+  if (reply->lease_until != net::kNoLease) {
+    obs::Emit(trace_sink_, {.type = obs::EventType::kLeaseGrant,
+                            .at = now,
+                            .url = request.url,
+                            .site = request.client_id,
+                            .detail = reply->lease_until});
+  }
   registry_.RecordSite(request.client_id);
   return reply;
 }
@@ -28,6 +35,8 @@ std::optional<net::Reply> Accelerator::HandleRequest(
 std::vector<net::Invalidation> Accelerator::HandleNotify(
     const net::Notify& notify, Time now) {
   ++stats_.notifies;
+  obs::Emit(trace_sink_,
+            {.type = obs::EventType::kNotify, .at = now, .url = notify.url});
   return DetectAndInvalidate(notify.url, now);
 }
 
@@ -58,6 +67,10 @@ std::vector<net::Invalidation> Accelerator::DetectAndInvalidate(
     inv.type = net::MessageType::kInvalidateUrl;
     inv.url = std::string(url);
     inv.client_id = std::move(site);
+    obs::Emit(trace_sink_, {.type = obs::EventType::kInvalidateGenerated,
+                            .at = now,
+                            .url = inv.url,
+                            .site = inv.client_id});
     out.push_back(std::move(inv));
   }
   stats_.invalidations_generated += out.size();
@@ -79,9 +92,33 @@ std::vector<net::Invalidation> Accelerator::Recover() {
     inv.type = net::MessageType::kInvalidateServer;
     inv.server = server_name_;
     inv.client_id = site;
+    obs::Emit(trace_sink_, {.type = obs::EventType::kInvalidateServer,
+                            .site = inv.client_id,
+                            .label = server_name_});
     out.push_back(std::move(inv));
   }
   return out;
+}
+
+void Accelerator::ExportMetrics(obs::MetricsRegistry& registry,
+                                std::string_view prefix) const {
+  const auto name = [&prefix](std::string_view leaf) {
+    std::string full(prefix);
+    full += leaf;
+    return full;
+  };
+  registry.SetCounter(name("requests"), stats_.requests);
+  registry.SetCounter(name("notifies"), stats_.notifies);
+  registry.SetCounter(name("modifications_detected"),
+                      stats_.modifications_detected);
+  registry.SetCounter(name("invalidations_generated"),
+                      stats_.invalidations_generated);
+  obs::Histogram* lists = registry.FindOrCreateHistogram(
+      name("site_list_length_at_modification"));
+  for (const std::size_t length : stats_.list_lengths_at_modification) {
+    lists->Record(static_cast<double>(length));
+  }
+  table_.ExportMetrics(registry, name("table."));
 }
 
 }  // namespace webcc::core

@@ -30,6 +30,8 @@
 #include "http/document_store.h"
 #include "http/origin.h"
 #include "net/message.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 
 namespace webcc::core {
 
@@ -86,6 +88,20 @@ class Accelerator {
   const AcceleratorStats& stats() const { return stats_; }
   const std::string& server_name() const { return server_name_; }
 
+  // Optional tracing: lease grants (kLeaseGrant, detail = expiry),
+  // modification detection (kInvalidateGenerated per INVALIDATE produced),
+  // check-ins (kNotify) and recovery broadcasts (kInvalidateServer). The
+  // sink also propagates to the invalidation table (lease expiries).
+  void set_trace_sink(obs::TraceSink* sink) {
+    trace_sink_ = sink;
+    table_.set_trace_sink(sink);
+  }
+
+  // Snapshots AcceleratorStats into `registry` under `prefix`; the nested
+  // invalidation table exports under "<prefix>table.".
+  void ExportMetrics(obs::MetricsRegistry& registry,
+                     std::string_view prefix) const;
+
  private:
   std::vector<net::Invalidation> DetectAndInvalidate(std::string_view url,
                                                      Time now);
@@ -99,6 +115,7 @@ class Accelerator {
   std::unordered_map<std::string, std::uint64_t> last_seen_version_;
   std::string server_name_;
   AcceleratorStats stats_;
+  obs::TraceSink* trace_sink_ = nullptr;
 };
 
 }  // namespace webcc::core

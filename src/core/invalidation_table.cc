@@ -67,6 +67,12 @@ std::size_t InvalidationTable::PruneExpired(Time now) {
     auto& entries = list_it->second.lease_until;
     for (auto it = entries.begin(); it != entries.end();) {
       if (!LeaseActive(it->second, now)) {
+        obs::Emit(trace_sink_,
+                  {.type = obs::EventType::kLeaseExpiry,
+                   .at = now,
+                   .url = urls_.NameOf(list_it->first),
+                   .site = clients_.NameOf(it->first),
+                   .detail = it->second});
         it = entries.erase(it);
         ++pruned;
         --total_entries_;
@@ -96,6 +102,19 @@ std::uint64_t InvalidationTable::StorageBytes() const {
     }
   }
   return bytes;
+}
+
+void InvalidationTable::ExportMetrics(obs::MetricsRegistry& registry,
+                                      std::string_view prefix) const {
+  const auto name = [&prefix](std::string_view leaf) {
+    std::string full(prefix);
+    full += leaf;
+    return full;
+  };
+  registry.SetCounter(name("entries"), total_entries_);
+  registry.SetCounter(name("max_list_length"), MaxListLength());
+  registry.SetCounter(name("storage_bytes"), StorageBytes());
+  registry.SetCounter(name("urls_tracked"), lists_.size());
 }
 
 void InvalidationTable::Clear() {

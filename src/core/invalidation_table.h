@@ -26,6 +26,8 @@
 #include "core/intern.h"
 #include "core/policy.h"
 #include "net/message.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 #include "util/time.h"
 
 namespace webcc::core {
@@ -70,6 +72,15 @@ class InvalidationTable {
   // Discards everything (server-site crash: the in-memory table dies).
   void Clear();
 
+  // Optional tracing: when set, every entry dropped by PruneExpired emits a
+  // kLeaseExpiry event (detail = the expiry that lapsed). nullptr disables.
+  void set_trace_sink(obs::TraceSink* sink) { trace_sink_ = sink; }
+
+  // Snapshots occupancy into `registry` under `prefix` (entries,
+  // max_list_length, storage_bytes, urls_tracked).
+  void ExportMetrics(obs::MetricsRegistry& registry,
+                     std::string_view prefix) const;
+
  private:
   struct SiteList {
     std::unordered_map<InternId, Time> lease_until;  // client id -> expiry
@@ -82,6 +93,7 @@ class InvalidationTable {
   Interner clients_;
   std::unordered_map<InternId, SiteList> lists_;  // by url id
   std::size_t total_entries_ = 0;
+  obs::TraceSink* trace_sink_ = nullptr;
 };
 
 }  // namespace webcc::core

@@ -15,6 +15,21 @@ Time GrantLease(const LeaseConfig& config, net::MessageType request_type,
 
 // True when a lease granted as `lease_until` is still in force at `now`.
 // kNoLease never expires.
+//
+// Boundary semantics: a lease covers the HALF-OPEN interval
+// [grant, lease_until) — at the exact expiry instant (now == lease_until)
+// the lease is already dead. Both sides of the protocol must agree on this:
+// the proxy stops serving locally and falls back to If-Modified-Since at
+// that instant, and the server's invalidation table prunes the site at
+// that same instant (it no longer owes an INVALIDATE). Agreeing on a
+// half-open interval is what keeps the boundary safe for strong
+// consistency: there is no instant where the proxy still trusts a copy
+// the server has stopped promising to invalidate. Every expiry comparison
+// goes through this predicate (engine, live proxy, invalidation table) —
+// do not hand-roll `<=` / `<` checks at call sites.
+//
+// http::kNeverExpires (int64 max) also reads as active here via the `>`
+// comparison, so proxy-side entries can use this predicate directly.
 bool LeaseActive(Time lease_until, Time now);
 
 }  // namespace webcc::core

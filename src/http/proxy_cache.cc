@@ -121,6 +121,12 @@ void ProxyCache::EvictOne(Time now) {
       if (top.expires <= now) {
         ++stats_.evictions;
         ++stats_.expired_evictions;
+        obs::Emit(trace_sink_,
+                  {.type = obs::EventType::kEviction,
+                   .at = now,
+                   .url = it->second->url,
+                   .site = it->second->owner,
+                   .detail = 1});
         RemoveEntry(it->second);
         ttl_heap_.pop();
         return;
@@ -130,7 +136,27 @@ void ProxyCache::EvictOne(Time now) {
   }
 
   ++stats_.evictions;
-  RemoveEntry(std::prev(lru_.end()));
+  const auto victim = std::prev(lru_.end());
+  obs::Emit(trace_sink_, {.type = obs::EventType::kEviction,
+                          .at = now,
+                          .url = victim->url,
+                          .site = victim->owner});
+  RemoveEntry(victim);
+}
+
+void ProxyCache::ExportMetrics(obs::MetricsRegistry& registry,
+                               std::string_view prefix) const {
+  const auto name = [&prefix](std::string_view leaf) {
+    std::string full(prefix);
+    full += leaf;
+    return full;
+  };
+  registry.SetCounter(name("insertions"), stats_.insertions);
+  registry.SetCounter(name("evictions"), stats_.evictions);
+  registry.SetCounter(name("expired_evictions"), stats_.expired_evictions);
+  registry.SetCounter(name("erased"), stats_.erased);
+  registry.SetCounter(name("bytes_used"), bytes_used_);
+  registry.SetCounter(name("entries"), lru_.size());
 }
 
 void ProxyCache::MarkAllQuestionable() {

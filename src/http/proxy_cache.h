@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "core/intern.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 #include "util/time.h"
 
 namespace webcc::http {
@@ -120,6 +122,16 @@ class ProxyCache {
   std::size_t entry_count() const { return lru_.size(); }
   const ProxyCacheStats& stats() const { return stats_; }
 
+  // Optional tracing: when set, every eviction emits a kEviction event
+  // stamped with the `now` the mutating call received (detail = 1 when the
+  // expired-first rule chose the victim). nullptr (the default) disables.
+  void set_trace_sink(obs::TraceSink* sink) { trace_sink_ = sink; }
+
+  // Snapshots the cache's counters and occupancy into `registry`, prefixing
+  // every metric name (e.g. prefix "proxy_cache." -> "proxy_cache.evictions").
+  void ExportMetrics(obs::MetricsRegistry& registry,
+                     std::string_view prefix) const;
+
  private:
   struct TtlHeapItem {
     Time expires;
@@ -159,6 +171,7 @@ class ProxyCache {
                       std::greater<TtlHeapItem>>
       ttl_heap_;
   ProxyCacheStats stats_;
+  obs::TraceSink* trace_sink_ = nullptr;
 };
 
 }  // namespace webcc::http

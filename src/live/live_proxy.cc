@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/adaptive_ttl.h"
+#include "core/lease.h"
 #include "live/live_server.h"
 #include "net/wire.h"
 #include "util/log.h"
@@ -19,6 +20,7 @@ bool LiveProxy::Start() {
   if (!listener_->valid()) return false;
   port_ = listener_->port();
   cache_.emplace(options_.cache_bytes, options_.replacement);
+  cache_->set_trace_sink(options_.trace_sink);  // eviction events
   running_.store(true);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return true;
@@ -72,12 +74,18 @@ LiveProxy::FetchResult LiveProxy::Fetch(const std::string& client_name,
           serve_local = false;
           break;
         case core::Protocol::kInvalidation:
+          // Half-open [grant, expiry): an exact-expiry fetch revalidates.
           serve_local = !entry->questionable &&
-                        (entry->lease_expires == http::kNeverExpires ||
-                         now < entry->lease_expires);
+                        core::LeaseActive(entry->lease_expires, now);
           break;
       }
       if (serve_local) {
+        obs::Emit(options_.trace_sink,
+                  {.type = obs::EventType::kRequestServed,
+                   .at = now,
+                   .url = url,
+                   .site = client_id,
+                   .detail = static_cast<std::int64_t>(obs::ServeKind::kLocalHit)});
         FetchResult result;
         result.ok = true;
         result.local_hit = true;
@@ -101,6 +109,16 @@ LiveProxy::FetchResult LiveProxy::Fetch(const std::string& client_name,
   FetchResult result;
   result.ok = true;
   result.version = reply->version;
+
+  obs::Emit(options_.trace_sink,
+            {.type = obs::EventType::kRequestServed,
+             .at = now,
+             .url = url,
+             .site = client_id,
+             .detail = static_cast<std::int64_t>(
+                 reply->type == net::MessageType::kReply200
+                     ? obs::ServeKind::kTransfer
+                     : obs::ServeKind::kValidated)});
 
   const std::scoped_lock lock(mutex_);
   if (reply->type == net::MessageType::kReply200) {

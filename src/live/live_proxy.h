@@ -18,6 +18,7 @@
 #include "core/policy.h"
 #include "http/proxy_cache.h"
 #include "live/socket.h"
+#include "obs/trace_sink.h"
 #include "util/time.h"
 
 namespace webcc::live {
@@ -32,6 +33,10 @@ class LiveProxy {
     std::uint64_t cache_bytes = 64ull * 1024 * 1024;
     http::ReplacementPolicy replacement =
         http::ReplacementPolicy::kExpiredFirstLru;
+    // Optional structured-event sink (not owned; must outlive the proxy).
+    // Must be internally synchronized: Fetch() callers and the accept loop
+    // emit concurrently.
+    obs::TraceSink* trace_sink = nullptr;
   };
 
   explicit LiveProxy(Options options);

@@ -30,7 +30,11 @@ std::optional<std::uint16_t> ParseClientPort(std::string_view client_id) {
 
 LiveServer::LiveServer(Options options)
     : options_(std::move(options)),
-      accel_(docs_, options_.lease, options_.server_name) {}
+      accel_(docs_, options_.lease, options_.server_name) {
+  // The accelerator emits lease_grant / notify / invalidate_generated /
+  // invalidate_server events itself once it has the sink.
+  accel_.set_trace_sink(options_.trace_sink);
+}
 
 LiveServer::~LiveServer() { Stop(); }
 
@@ -99,6 +103,17 @@ std::size_t LiveServer::PushInvalidations(
     if (SendOneWay(*port, net::EncodeLine(invalidation))) {
       ++pushed;
       invalidations_pushed_.fetch_add(1);
+      obs::Emit(options_.trace_sink,
+                {.type = obs::EventType::kInvalidateDelivered,
+                 .at = Now(),
+                 .url = invalidation.url,
+                 .site = invalidation.client_id});
+    } else {
+      obs::Emit(options_.trace_sink,
+                {.type = obs::EventType::kInvalidateGaveUp,
+                 .at = Now(),
+                 .url = invalidation.url,
+                 .site = invalidation.client_id});
     }
     // A refused connection means the proxy is down; its recovery path
     // (mark-all-questionable) covers consistency, so no retry — exactly the

@@ -23,6 +23,7 @@
 #include "core/policy.h"
 #include "http/document_store.h"
 #include "live/socket.h"
+#include "obs/trace_sink.h"
 #include "util/time.h"
 
 namespace webcc::live {
@@ -38,6 +39,11 @@ class LiveServer {
     std::uint16_t port = 0;  // 0 = pick an ephemeral port
     core::LeaseConfig lease;
     std::string server_name = "origin";
+    // Optional structured-event sink (not owned; must outlive the server).
+    // Live timestamps are wall-clock microseconds from Now(), and the sink
+    // must be internally synchronized (JsonlTraceSink is) because handler
+    // and admin threads emit concurrently.
+    obs::TraceSink* trace_sink = nullptr;
   };
 
   explicit LiveServer(Options options);

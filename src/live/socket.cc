@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -28,34 +29,93 @@ void Fd::Close() {
   }
 }
 
+std::string_view IoErrorName(IoError error) {
+  switch (error) {
+    case IoError::kNone:
+      return "none";
+    case IoError::kPeerReset:
+      return "peer_reset";
+    case IoError::kTimeout:
+      return "timeout";
+    case IoError::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+namespace {
+
+IoError ClassifyErrno(int err) {
+  if (err == EPIPE || err == ECONNRESET) return IoError::kPeerReset;
+  if (err == EAGAIN || err == EWOULDBLOCK) return IoError::kTimeout;
+  return IoError::kOther;
+}
+
+// How long WriteAll waits for POLLOUT after an EAGAIN from a non-blocking
+// fd before giving up. SO_SNDTIMEO expiries fail immediately instead — the
+// kernel already waited the configured time.
+constexpr int kWritePollMs = 5000;
+
+}  // namespace
+
 bool TcpStream::WriteAll(std::string_view data) {
-  if (!fd_.valid()) return false;
+  if (!fd_.valid()) {
+    last_error_ = IoError::kOther;
+    return false;
+  }
   std::size_t written = 0;
   while (written < data.size()) {
     const ssize_t n = ::send(fd_.get(), data.data() + written,
                              data.size() - written, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // A write timeout means the kernel already blocked for the
+        // configured period with the send buffer full: the peer stalled.
+        if (write_timeout_set_) {
+          last_error_ = IoError::kTimeout;
+          return false;
+        }
+        // Non-blocking fd: wait for buffer space, then resume the frame.
+        pollfd pfd{};
+        pfd.fd = fd_.get();
+        pfd.events = POLLOUT;
+        const int ready = ::poll(&pfd, 1, kWritePollMs);
+        if (ready < 0 && errno == EINTR) continue;
+        if (ready <= 0) {
+          last_error_ = ready == 0 ? IoError::kTimeout : IoError::kOther;
+          return false;
+        }
+        continue;
+      }
+      last_error_ = ClassifyErrno(errno);
       return false;
     }
     written += static_cast<std::size_t>(n);
   }
+  last_error_ = IoError::kNone;
   return true;
 }
 
 std::optional<std::string> TcpStream::ReadLine() {
-  if (!fd_.valid()) return std::nullopt;
+  if (!fd_.valid()) {
+    last_error_ = IoError::kOther;
+    return std::nullopt;
+  }
   while (true) {
     const std::size_t newline = buffer_.find('\n');
     if (newline != std::string::npos) {
       std::string line = buffer_.substr(0, newline + 1);
       buffer_.erase(0, newline + 1);
+      last_error_ = IoError::kNone;
       return line;
     }
     char chunk[4096];
     const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) {
+      // n == 0 is an orderly EOF, not an error.
+      last_error_ = n == 0 ? IoError::kNone : ClassifyErrno(errno);
       if (!buffer_.empty()) {
         std::string line = std::move(buffer_);
         buffer_.clear();
@@ -73,6 +133,16 @@ void TcpStream::SetReadTimeout(int milliseconds) {
   tv.tv_sec = milliseconds / 1000;
   tv.tv_usec = (milliseconds % 1000) * 1000;
   ::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void TcpStream::SetWriteTimeout(int milliseconds) {
+  if (!fd_.valid()) return;
+  timeval tv{};
+  tv.tv_sec = milliseconds / 1000;
+  tv.tv_usec = (milliseconds % 1000) * 1000;
+  if (::setsockopt(fd_.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) == 0) {
+    write_timeout_set_ = true;
+  }
 }
 
 TcpListener::TcpListener(std::uint16_t port) {
@@ -105,10 +175,11 @@ TcpStream TcpListener::Accept() {
 }
 
 void TcpListener::Shutdown() {
-  if (fd_.valid()) {
-    ::shutdown(fd_.get(), SHUT_RDWR);
-    fd_.Close();
-  }
+  // shutdown() only — it unblocks a concurrent Accept() without rewriting
+  // fd_, which the accept thread may be reading right now. The close (and
+  // the fd_ = -1 store) waits for the destructor, which callers run after
+  // joining their accept thread.
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
 }
 
 TcpStream Connect(std::uint16_t port) {

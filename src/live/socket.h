@@ -34,6 +34,20 @@ class Fd {
   int fd_ = -1;
 };
 
+// Why the last stream operation failed. Handlers branch on this to tell a
+// peer that vanished (reset: drop the connection silently, the paper's
+// proxies do the same for crashed clients) from a stall (timeout: the peer
+// is alive but slow — worth logging) from everything else.
+enum class IoError {
+  kNone,       // last operation succeeded
+  kPeerReset,  // EPIPE / ECONNRESET: the peer closed or vanished
+  kTimeout,    // SO_SNDTIMEO / SO_RCVTIMEO expired, or poll() timed out
+  kOther,      // any other errno
+};
+
+// Printable name for logs ("none" / "peer_reset" / "timeout" / "other").
+std::string_view IoErrorName(IoError error);
+
 // A connected TCP stream with line-oriented helpers.
 class TcpStream {
  public:
@@ -41,7 +55,12 @@ class TcpStream {
 
   bool valid() const { return fd_.valid(); }
 
-  // Writes the whole buffer; false on error.
+  // Writes the whole buffer, looping over short writes. send() on a socket
+  // may accept fewer bytes than asked (full send buffer) or fail with
+  // EAGAIN (non-blocking fd, or SO_SNDTIMEO expired); both are resumed —
+  // EAGAIN by poll()ing for POLLOUT — so a frame is never silently
+  // truncated mid-line. Returns false on error with last_error() set;
+  // a false return means the peer got a prefix of the frame at most.
   bool WriteAll(std::string_view data);
 
   // Reads up to (and including) the next '\n'. std::nullopt on EOF/error
@@ -51,9 +70,19 @@ class TcpStream {
   // Sets SO_RCVTIMEO so a dead peer cannot hang a handler thread.
   void SetReadTimeout(int milliseconds);
 
+  // Sets SO_SNDTIMEO, bounding how long WriteAll blocks on a peer that
+  // stopped draining; expiry surfaces as IoError::kTimeout.
+  void SetWriteTimeout(int milliseconds);
+
+  // Classification of the most recent WriteAll/ReadLine failure;
+  // IoError::kNone after a success.
+  IoError last_error() const { return last_error_; }
+
  private:
   Fd fd_;
   std::string buffer_;  // bytes read past the last returned line
+  IoError last_error_ = IoError::kNone;
+  bool write_timeout_set_ = false;  // SO_SNDTIMEO active on this fd
 };
 
 // Listening socket bound to 127.0.0.1.
@@ -69,7 +98,9 @@ class TcpListener {
   // the listener being closed from another thread — the shutdown path).
   TcpStream Accept();
 
-  // Unblocks Accept() from another thread.
+  // Unblocks Accept() from another thread. The socket stays open (and the
+  // port bound) until the listener is destroyed; destroy it only after
+  // joining the thread that calls Accept().
   void Shutdown();
 
  private:

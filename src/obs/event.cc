@@ -1,0 +1,55 @@
+#include "obs/event.h"
+
+namespace webcc::obs {
+namespace {
+
+struct NameEntry {
+  EventType type;
+  std::string_view name;
+};
+
+// The wire vocabulary. Append-only: readers of old traces depend on it.
+constexpr NameEntry kNames[] = {
+    {EventType::kRunBegin, "run_begin"},
+    {EventType::kRunEnd, "run_end"},
+    {EventType::kGetSent, "get_sent"},
+    {EventType::kImsSent, "ims_sent"},
+    {EventType::kRequestServed, "request_served"},
+    {EventType::kRequestTimeout, "request_timeout"},
+    {EventType::kReply200, "reply_200"},
+    {EventType::kReply304, "reply_304"},
+    {EventType::kStaleHit, "stale_hit"},
+    {EventType::kLeaseGrant, "lease_grant"},
+    {EventType::kLeaseExpiry, "lease_expiry"},
+    {EventType::kInvalidateGenerated, "invalidate_generated"},
+    {EventType::kInvalidateDelivered, "invalidate_delivered"},
+    {EventType::kInvalidateRefused, "invalidate_refused"},
+    {EventType::kInvalidateGaveUp, "invalidate_gave_up"},
+    {EventType::kInvalidateServer, "invalidate_server"},
+    {EventType::kEviction, "eviction"},
+    {EventType::kModification, "modification"},
+    {EventType::kNotify, "notify"},
+    {EventType::kPartition, "partition"},
+    {EventType::kPartitionHeal, "partition_heal"},
+};
+
+}  // namespace
+
+std::string_view EventTypeName(EventType type) {
+  for (const NameEntry& entry : kNames) {
+    if (entry.type == type) return entry.name;
+  }
+  return "unknown";
+}
+
+bool ParseEventTypeName(std::string_view name, EventType& out) {
+  for (const NameEntry& entry : kNames) {
+    if (entry.name == name) {
+      out = entry.type;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace webcc::obs

@@ -1,0 +1,152 @@
+#include "obs/metrics.h"
+
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace webcc::obs {
+namespace {
+
+// Doubles print with %.17g: round-trippable and locale-independent, so the
+// dump is byte-stable across runs and platforms.
+void AppendDouble(std::string& out, double v) {
+  std::array<char, 40> buf{};
+  const int n = std::snprintf(buf.data(), buf.size(), "%.17g", v);
+  if (n > 0) out.append(buf.data(), static_cast<std::size_t>(n));
+}
+
+void AppendQuoted(std::string& out, std::string_view name) {
+  out += '"';
+  // Metric names are code-chosen identifiers (dotted ASCII); no escaping
+  // beyond the quote is needed, but guard against it anyway.
+  for (const char c : name) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::FindOrCreateCounter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return &it->second;
+  return &counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Histogram* MetricsRegistry::FindOrCreateHistogram(std::string_view name) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return &it->second;
+  return &histograms_.emplace(std::string(name), Histogram{}).first->second;
+}
+
+Gauge* MetricsRegistry::FindOrCreateGauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return &it->second;
+  return &gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+void MetricsRegistry::SetCounter(std::string_view name, std::uint64_t value) {
+  FindOrCreateCounter(name)->value = value;
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double value) {
+  FindOrCreateGauge(name)->value = value;
+}
+
+std::uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second.value : 0;
+}
+
+double MetricsRegistry::GaugeValue(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second.value : 0.0;
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other,
+                                std::string_view prefix) {
+  std::string name;
+  const auto prefixed = [&name, &prefix](const std::string& leaf) -> const std::string& {
+    name.assign(prefix);
+    name += leaf;
+    return name;
+  };
+  for (const auto& [leaf, counter] : other.counters_) {
+    FindOrCreateCounter(prefixed(leaf))->value += counter.value;
+  }
+  for (const auto& [leaf, histogram] : other.histograms_) {
+    FindOrCreateHistogram(prefixed(leaf))->samples.Merge(histogram.samples);
+  }
+  for (const auto& [leaf, gauge] : other.gauges_) {
+    FindOrCreateGauge(prefixed(leaf))->value = gauge.value;
+  }
+}
+
+void MetricsRegistry::WriteJson(std::ostream& out) const {
+  // Merge the three sorted maps by key so the object's keys are globally
+  // sorted regardless of metric kind.
+  std::string body = "{\n";
+  auto ci = counters_.begin();
+  auto hi = histograms_.begin();
+  auto gi = gauges_.begin();
+  bool first = true;
+  while (ci != counters_.end() || hi != histograms_.end() ||
+         gi != gauges_.end()) {
+    // Pick the lexicographically smallest pending key.
+    enum { kCounter, kHistogram, kGauge } which = kCounter;
+    const std::string* key = nullptr;
+    if (ci != counters_.end()) {
+      key = &ci->first;
+      which = kCounter;
+    }
+    if (hi != histograms_.end() && (key == nullptr || hi->first < *key)) {
+      key = &hi->first;
+      which = kHistogram;
+    }
+    if (gi != gauges_.end() && (key == nullptr || gi->first < *key)) {
+      key = &gi->first;
+      which = kGauge;
+    }
+    if (!first) body += ",\n";
+    first = false;
+    body += "  ";
+    AppendQuoted(body, *key);
+    body += ": ";
+    switch (which) {
+      case kCounter:
+        body += std::to_string(ci->second.value);
+        ++ci;
+        break;
+      case kGauge:
+        AppendDouble(body, gi->second.value);
+        ++gi;
+        break;
+      case kHistogram: {
+        const stats::LatencyStats& s = hi->second.samples;
+        body += "{\"count\":";
+        body += std::to_string(s.count());
+        body += ",\"mean\":";
+        AppendDouble(body, s.mean());
+        body += ",\"min\":";
+        AppendDouble(body, s.min());
+        body += ",\"max\":";
+        AppendDouble(body, s.max());
+        body += ",\"p50\":";
+        AppendDouble(body, s.Percentile(50));
+        body += ",\"p95\":";
+        AppendDouble(body, s.Percentile(95));
+        body += ",\"p99\":";
+        AppendDouble(body, s.Percentile(99));
+        body += '}';
+        ++hi;
+        break;
+      }
+    }
+  }
+  body += "\n}\n";
+  out << body;
+}
+
+}  // namespace webcc::obs

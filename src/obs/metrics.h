@@ -1,0 +1,94 @@
+// MetricsRegistry: a flat namespace of named counters and histograms.
+//
+// Components expose their measurements by registering into a registry
+// (ProxyCache, Accelerator, InvalidationTable and sim::Network each provide
+// an ExportMetrics(registry, prefix)), and the replay engine exports the
+// full ReplayMetrics superset under "replay.". The registry is the
+// machine-readable face of a run: `webcc replay --metrics-out` dumps it as
+// one JSON object whose keys sort deterministically, so two bit-identical
+// simulations produce byte-identical metric dumps — except for the
+// explicitly host-timing gauge `replay.host_seconds` (the same exclusion
+// replay::SameSimulation makes).
+//
+// The paper tables keep being rendered from ReplayMetrics itself — the
+// registry carries a superset of those fields, never a substitute, which is
+// how the regenerated Tables 3/4/5 stay byte-identical.
+//
+// Counters hand out stable pointers, so hot loops may grab a Counter once
+// and bump `->value` with no further lookups. Not thread-safe: one registry
+// per run (the farm gives every submitted replay its own).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "stats/latency.h"
+
+namespace webcc::obs {
+
+struct Counter {
+  std::uint64_t value = 0;
+  void Add(std::uint64_t delta = 1) { value += delta; }
+};
+
+// Scalar distribution: count/sum/min/max/percentiles via stats::LatencyStats.
+struct Histogram {
+  stats::LatencyStats samples;
+  void Record(double value) { samples.Record(value); }
+};
+
+// A gauge for values that are snapshots, not accumulations (bytes used,
+// utilization); stored as double to cover both.
+struct Gauge {
+  double value = 0.0;
+  void Set(double v) { value = v; }
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create; returned pointers stay valid for the registry lifetime.
+  Counter* FindOrCreateCounter(std::string_view name);
+  Histogram* FindOrCreateHistogram(std::string_view name);
+  Gauge* FindOrCreateGauge(std::string_view name);
+
+  // Snapshot setters for export paths.
+  void SetCounter(std::string_view name, std::uint64_t value);
+  void SetGauge(std::string_view name, double value);
+
+  // Reads a counter's value; 0 when absent.
+  std::uint64_t CounterValue(std::string_view name) const;
+  // Reads a gauge's value; 0.0 when absent.
+  double GaugeValue(std::string_view name) const;
+
+  std::size_t size() const {
+    return counters_.size() + histograms_.size() + gauges_.size();
+  }
+
+  // Copies every metric of `other` into this registry with `prefix`
+  // prepended to its name (counters add, histograms merge samples, gauges
+  // overwrite). Lets a sweep combine its per-run registries into one dump:
+  // merged.MergeFrom(run_registry, "invalidation.").
+  void MergeFrom(const MetricsRegistry& other, std::string_view prefix);
+
+  // One JSON object, keys sorted lexicographically. Counters serialize as
+  // integers, gauges as doubles, histograms as
+  // {"count":..,"mean":..,"min":..,"max":..,"p50":..,"p95":..,"p99":..}.
+  void WriteJson(std::ostream& out) const;
+
+ private:
+  // std::map: deterministic iteration order for WriteJson; entry addresses
+  // are stable across inserts, so the hot-path pointers stay valid.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+};
+
+}  // namespace webcc::obs

@@ -20,6 +20,8 @@
 #include "http/origin.h"
 #include "http/proxy_cache.h"
 #include "net/message.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 #include "sim/network.h"
 #include "trace/modifier.h"
 #include "trace/record.h"
@@ -129,6 +131,19 @@ struct ReplayConfig {
   // from the exponential (used by tests that need the TTL trajectory to be
   // predictable).
   Time fixed_initial_age = -1;
+
+  // --- observability (webcc::obs) -----------------------------------------
+  // Structured trace sink, threaded through the engine, caches, accelerator
+  // and network. Non-owning; nullptr (the default) disables tracing with one
+  // untaken branch per event site. Protocol decisions never read the sink,
+  // so enabling tracing cannot change a simulation.
+  obs::TraceSink* trace_sink = nullptr;
+
+  // When set, Engine::Run() snapshots the full metric superset (ReplayMetrics
+  // plus component-level counters) into this registry at end of run.
+  // Non-owning; use one registry per run (the farm runs configs
+  // concurrently).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 }  // namespace webcc::replay

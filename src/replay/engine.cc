@@ -1,6 +1,7 @@
 #include "replay/engine.h"
 
 #include <algorithm>
+#include <charconv>
 #include <chrono>
 #include <memory>
 #include <unordered_map>
@@ -16,6 +17,8 @@
 #include "http/origin.h"
 #include "http/proxy_cache.h"
 #include "net/message.h"
+#include "obs/event.h"
+#include "obs/trace_sink.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "sim/station.h"
@@ -225,9 +228,17 @@ class Engine {
 
   Time wall_end_ = 0;
   ReplayMetrics metrics_;
+  // Structured tracing (nullptr = off). Every emit site below sits exactly
+  // at the increment of the ReplayMetrics counter it mirrors, so JSONL event
+  // counts reconcile with the paper tables (see DESIGN.md).
+  obs::TraceSink* sink_ = nullptr;
 };
 
 void Engine::Setup() {
+  sink_ = config_.trace_sink;
+  net_.set_trace_sink(sink_);
+  accel_.set_trace_sink(sink_);  // propagates to the invalidation table
+
   // Document store with pre-trace ages so adaptive TTL sees a realistic age
   // distribution at t = 0 (files on a real server predate the log).
   util::Rng rng(config_.seed);
@@ -248,6 +259,7 @@ void Engine::Setup() {
     pc.node = static_cast<sim::NodeId>(i);
     pc.cache = std::make_unique<http::ProxyCache>(config_.proxy_cache_bytes,
                                                   config_.replacement);
+    pc.cache->set_trace_sink(sink_);
   }
   psi_last_contact_.assign(config_.num_pseudo_clients, 0);
   for (std::size_t c = 0; c < trace_.clients.size(); ++c) {
@@ -310,14 +322,24 @@ void Engine::Setup() {
                     "protocol only");
     parent_cache_ = std::make_unique<http::ProxyCache>(
         config_.proxy_cache_bytes * 4, config_.replacement);
+    parent_cache_->set_trace_sink(sink_);
     parent_table_ = std::make_unique<core::InvalidationTable>(
         core::LeaseConfig{});
+    parent_table_->set_trace_sink(sink_);
     parent_cpu_ = std::make_unique<sim::FifoStation>(sim_, "parent-cpu");
   }
 }
 
 ReplayMetrics Engine::Run() {
   const auto host_start = std::chrono::steady_clock::now();
+  if (sink_ != nullptr) {
+    std::string label(core::ToString(config_.protocol));
+    label += " clients=";
+    label += std::to_string(config_.num_pseudo_clients);
+    label += " records=";
+    label += std::to_string(trace_.records.size());
+    sink_->Emit({.type = obs::EventType::kRunBegin, .label = label});
+  }
   StartInterval();
   // Drain in-flight work after the last interval, but don't chase retry
   // loops forever if a partition is never healed.
@@ -358,6 +380,28 @@ ReplayMetrics Engine::Run() {
   for (const PseudoClient& pc : clients_) {
     metrics_.proxy_evictions += pc.cache->stats().evictions;
     metrics_.proxy_expired_evictions += pc.cache->stats().expired_evictions;
+  }
+
+  if (sink_ != nullptr) {
+    sink_->Emit({.type = obs::EventType::kRunEnd,
+                 .at = wall_end_,
+                 .label = metrics_.Summary()});
+  }
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& registry = *config_.metrics;
+    metrics_.ExportTo(registry);
+    accel_.ExportMetrics(registry, "accelerator.");
+    net_.ExportMetrics(registry, "network.");
+    for (const PseudoClient& pc : clients_) {
+      pc.cache->ExportMetrics(
+          registry, "proxy." + std::to_string(pc.index) + ".cache.");
+    }
+    if (parent_cache_ != nullptr) {
+      parent_cache_->ExportMetrics(registry, "parent.cache.");
+    }
+    if (parent_table_ != nullptr) {
+      parent_table_->ExportMetrics(registry, "parent.table.");
+    }
   }
   return metrics_;
 }
@@ -488,9 +532,10 @@ void Engine::IssueNext(PseudoClient& pc) {
         validate = true;
         break;
       case Protocol::kInvalidation: {
+        // Half-open [grant, expiry): at the exact expiry instant the copy
+        // must be revalidated (see core::LeaseActive).
         const bool lease_ok =
-            entry->lease_expires == http::kNeverExpires ||
-            trace_time < entry->lease_expires;
+            core::LeaseActive(entry->lease_expires, trace_time);
         if (!entry->questionable && lease_ok) {
           LocalServe(pc, *entry, trace_time);
           return;
@@ -523,24 +568,41 @@ void Engine::CheckStaleness(const PseudoClient& pc,
                             const http::CacheEntry& entry, Time trace_time) {
   if (!StaleInTraceOrder(entry, trace_time)) return;
   ++metrics_.stale_serves;
-  if (config_.protocol != Protocol::kInvalidation) return;
-  const auto it = writes_in_progress_.find(entry.url);
-  if (write_gap_active_ ||
-      (it != writes_in_progress_.end() && it->second > 0)) {
-    // The write has not completed (invalidations still in flight): a stale
-    // read here is within the strong-consistency contract.
-    ++metrics_.stale_while_invalidation_in_flight;
-  } else {
-    ++metrics_.strong_violations;
-    WEBCC_LOG_WARN(
-        "strong-consistency violation: %s served stale at client %s (proxy %d)",
-        entry.url.c_str(), entry.owner.c_str(), pc.index);
+  obs::StaleKind kind = obs::StaleKind::kWeakProtocol;
+  if (config_.protocol == Protocol::kInvalidation) {
+    const auto it = writes_in_progress_.find(entry.url);
+    if (write_gap_active_ ||
+        (it != writes_in_progress_.end() && it->second > 0)) {
+      // The write has not completed (invalidations still in flight): a stale
+      // read here is within the strong-consistency contract.
+      ++metrics_.stale_while_invalidation_in_flight;
+      kind = obs::StaleKind::kInvalidationInFlight;
+    } else {
+      ++metrics_.strong_violations;
+      kind = obs::StaleKind::kStrongViolation;
+      WEBCC_LOG_WARN(
+          "strong-consistency violation: %s served stale at client %s (proxy %d)",
+          entry.url.c_str(), entry.owner.c_str(), pc.index);
+    }
   }
+  obs::Emit(sink_, {.type = obs::EventType::kStaleHit,
+                    .at = sim_.now(),
+                    .trace_time = trace_time,
+                    .url = entry.url,
+                    .site = entry.owner,
+                    .detail = static_cast<std::int64_t>(kind)});
 }
 
 void Engine::LocalServe(PseudoClient& pc, http::CacheEntry& entry,
                         Time trace_time) {
   ++metrics_.local_hits;
+  obs::Emit(sink_,
+            {.type = obs::EventType::kRequestServed,
+             .at = sim_.now(),
+             .trace_time = trace_time,
+             .url = entry.url,
+             .site = entry.owner,
+             .detail = static_cast<std::int64_t>(obs::ServeKind::kLocalHit)});
   CheckStaleness(pc, entry, trace_time);
   FinishRequest(pc, config_.client_costs.proxy_hit_time);
 }
@@ -553,9 +615,20 @@ void Engine::SendToServer(PseudoClient& pc, net::Request request,
 
   if (request.type == net::MessageType::kGet) {
     ++metrics_.get_requests;
+    obs::Emit(sink_, {.type = obs::EventType::kGetSent,
+                      .at = sim_.now(),
+                      .trace_time = trace_time,
+                      .url = request.url,
+                      .site = request.client_id});
   } else {
     ++metrics_.ims_requests;
     if (lease_renewal) ++metrics_.lease_renewal_ims;
+    obs::Emit(sink_, {.type = obs::EventType::kImsSent,
+                      .at = sim_.now(),
+                      .trace_time = trace_time,
+                      .url = request.url,
+                      .site = request.client_id,
+                      .detail = lease_renewal ? 1 : 0});
   }
 
   // PCV: since we are contacting the server anyway, piggyback a batch of
@@ -586,6 +659,9 @@ void Engine::SendToServer(PseudoClient& pc, net::Request request,
     pc.outstanding = 0;
     pcv_in_flight_.erase(seq);
     ++metrics_.request_timeouts;
+    obs::Emit(sink_, {.type = obs::EventType::kRequestTimeout,
+                      .at = sim_.now(),
+                      .detail = static_cast<std::int64_t>(seq)});
     FinishRequest(pc, config_.client_costs.request_timeout);
   });
 
@@ -627,6 +703,11 @@ void Engine::ParentHandle(const net::Request& request, int client_index,
     reply.last_modified = entry->last_modified;
     reply.version = entry->version;
     ++metrics_.replies_200;
+    obs::Emit(sink_, {.type = obs::EventType::kReply200,
+                      .at = sim_.now(),
+                      .trace_time = trace_time,
+                      .url = reply.url,
+                      .site = request.client_id});
     metrics_.message_bytes += net::WireSize(reply);
     const auto scaled_body = static_cast<std::uint64_t>(
         static_cast<double>(reply.body_bytes) / config_.size_scale);
@@ -761,6 +842,13 @@ void Engine::ParentReceiveReply(net::Reply reply, int client_index,
   } else {
     ++metrics_.replies_304;
   }
+  obs::Emit(sink_, {.type = reply.type == net::MessageType::kReply200
+                                ? obs::EventType::kReply200
+                                : obs::EventType::kReply304,
+                    .at = sim_.now(),
+                    .trace_time = trace_time,
+                    .url = reply.url,
+                    .site = owner});
   metrics_.message_bytes += net::WireSize(reply);
   const auto scaled_body = static_cast<std::uint64_t>(
       static_cast<double>(reply.body_bytes) / config_.size_scale);
@@ -829,6 +917,12 @@ void Engine::ServerHandle(const net::Request& request, int client_index,
   } else {
     ++metrics_.replies_304;
   }
+  obs::Emit(sink_, {.type = transfer ? obs::EventType::kReply200
+                                     : obs::EventType::kReply304,
+                    .at = sim_.now(),
+                    .trace_time = trace_time,
+                    .url = reply->url,
+                    .site = request.client_id});
   const std::uint64_t piggyback_bytes =
       core::PcvReplyExtraBytes(verdicts) + core::PsiReplyExtraBytes(psi_urls);
   metrics_.message_bytes += net::WireSize(*reply) + piggyback_bytes;
@@ -911,10 +1005,26 @@ void Engine::DeliverReply(int client_index, std::uint64_t seq,
   pc.outstanding = 0;
 
   if (reply.type == net::MessageType::kReply200) {
+    obs::Emit(
+        sink_,
+        {.type = obs::EventType::kRequestServed,
+         .at = sim_.now(),
+         .trace_time = trace_time,
+         .url = reply.url,
+         .site = owner,
+         .detail = static_cast<std::int64_t>(obs::ServeKind::kTransfer)});
     pc.cache->Insert(BuildEntry(reply, owner, trace_time), trace_time);
   } else {
     // 304: the cached copy is certified fresh as of this validation.
     ++metrics_.validated_hits;
+    obs::Emit(
+        sink_,
+        {.type = obs::EventType::kRequestServed,
+         .at = sim_.now(),
+         .trace_time = trace_time,
+         .url = reply.url,
+         .site = owner,
+         .detail = static_cast<std::int64_t>(obs::ServeKind::kValidated)});
     http::CacheEntry* entry = pc.cache->Peek(CacheKey(reply.url, owner));
     if (entry != nullptr) {
       entry->questionable = false;
@@ -951,6 +1061,10 @@ void Engine::ModifierStep() {
   mod_times_[url].push_back(event.at);
   mod_log_.Record(event.at, url);
   ++metrics_.modifications_applied;
+  obs::Emit(sink_, {.type = obs::EventType::kModification,
+                    .at = sim_.now(),
+                    .trace_time = event.at,
+                    .url = url});
   if (InvalidationMode() && !server_down_) ++writes_in_progress_[url];
 
   if (server_down_) {
@@ -1074,10 +1188,17 @@ void Engine::SendInvalidation(net::Invalidation invalidation,
         }
       },
       [this, invalidation, mod_id,
-       gate_released](sim::Network::SendResult result, Time) {
+       gate_released](sim::Network::SendResult result, Time done_at) {
         if (result == sim::Network::SendResult::kDelivered) return;
         if (!gate_released) ResolveFirstAttempt(mod_id);
         ++metrics_.invalidations_refused;
+        obs::Emit(sink_,
+                  {.type = result == sim::Network::SendResult::kGaveUp
+                               ? obs::EventType::kInvalidateGaveUp
+                               : obs::EventType::kInvalidateRefused,
+                   .at = done_at,
+                   .url = invalidation.url,
+                   .site = invalidation.client_id});
         if (invalidation.type == net::MessageType::kInvalidateServer) {
           FinishRecoveryNotice();
         } else {
@@ -1091,6 +1212,10 @@ void Engine::ParentDeliverInvalidation(const std::string& url,
                                        std::uint64_t mod_id) {
   parent_cache_->EraseByUrl(url);
   ++metrics_.invalidations_delivered;
+  obs::Emit(sink_, {.type = obs::EventType::kInvalidateDelivered,
+                    .at = sim_.now(),
+                    .url = url,
+                    .site = "parent"});
 
   // Forward to the leaf proxies that fetched this document since the last
   // invalidation; the write completes when they have all been reached.
@@ -1101,7 +1226,13 @@ void Engine::ParentDeliverInvalidation(const std::string& url,
     pending->second.remaining += static_cast<int>(leaves.size());
   }
   for (const std::string& leaf : leaves) {
-    const int index = std::stoi(leaf.substr(5));  // "leaf-<i>"
+    // The interest table only ever holds names this engine registered, so a
+    // parse failure means the table (not the trace) is corrupt.
+    int index = -1;
+    WEBCC_CHECK_MSG(ParseLeafIndex(leaf, index),
+                    "malformed hierarchy site name: " + leaf);
+    WEBCC_CHECK_MSG(index >= 0 && index < static_cast<int>(clients_.size()),
+                    "hierarchy site name out of range: " + leaf);
     ++metrics_.hierarchy_forwards;
     net::Invalidation forward;
     forward.type = net::MessageType::kInvalidateUrl;
@@ -1113,11 +1244,23 @@ void Engine::ParentDeliverInvalidation(const std::string& url,
         [this, url, index, mod_id, forward] {
           clients_[index].cache->EraseByUrl(url);
           ++metrics_.invalidations_delivered;
+          obs::Emit(sink_, {.type = obs::EventType::kInvalidateDelivered,
+                            .at = sim_.now(),
+                            .url = url,
+                            .site = forward.client_id});
           FinishInvalidationTarget(forward, mod_id);
         },
-        [this, forward, mod_id](sim::Network::SendResult result, Time) {
+        [this, forward, mod_id](sim::Network::SendResult result,
+                                Time done_at) {
           if (result == sim::Network::SendResult::kDelivered) return;
           ++metrics_.invalidations_refused;
+          obs::Emit(sink_,
+                    {.type = result == sim::Network::SendResult::kGaveUp
+                                 ? obs::EventType::kInvalidateGaveUp
+                                 : obs::EventType::kInvalidateRefused,
+                     .at = done_at,
+                     .url = forward.url,
+                     .site = forward.client_id});
           FinishInvalidationTarget(forward, mod_id);
         },
         /*max_retries=*/-1);
@@ -1151,6 +1294,10 @@ void Engine::DeliverInvalidation(const net::Invalidation& invalidation,
     // the cache-utilization benefit the paper credits invalidation with.
     pc.cache->Erase(CacheKey(invalidation.url, invalidation.client_id));
     ++metrics_.invalidations_delivered;
+    obs::Emit(sink_, {.type = obs::EventType::kInvalidateDelivered,
+                      .at = sim_.now(),
+                      .url = invalidation.url,
+                      .site = invalidation.client_id});
     FinishInvalidationTarget(invalidation, mod_id);
   } else {
     // Server-address invalidation: every entry this real client holds from
@@ -1216,6 +1363,23 @@ void Engine::ServerRecover() {
 }
 
 }  // namespace
+
+bool ParseLeafIndex(std::string_view site, int& index) {
+  constexpr std::string_view kPrefix = "leaf-";
+  if (site.substr(0, kPrefix.size()) != kPrefix) return false;
+  const std::string_view digits = site.substr(kPrefix.size());
+  if (digits.empty()) return false;
+  int parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), parsed);
+  // from_chars accepts a leading '-'; site indices are non-negative, and the
+  // whole suffix must be consumed (no "leaf-3x").
+  if (ec != std::errc() || ptr != digits.data() + digits.size() || parsed < 0) {
+    return false;
+  }
+  index = parsed;
+  return true;
+}
 
 ReplayMetrics RunReplay(const ReplayConfig& config) {
   Engine engine(config);

@@ -30,6 +30,14 @@ std::size_t Farm::Submit(ReplayConfig config) {
     std::lock_guard<std::mutex> lock(mu_);
     index = submitted_++;
     results_.emplace_back();
+    if (merged_sink_ != nullptr) {
+      // A private buffer per replay: workers write concurrently without
+      // contending, and Collect() concatenates by submission index.
+      job_sinks_.push_back(std::make_unique<obs::BufferTraceSink>());
+      config.trace_sink = job_sinks_.back().get();
+    } else {
+      job_sinks_.push_back(nullptr);
+    }
     queue_.push_back(Job{index, std::move(config)});
   }
   work_cv_.notify_one();
@@ -39,6 +47,12 @@ std::size_t Farm::Submit(ReplayConfig config) {
 std::vector<ReplayMetrics> Farm::Collect() {
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return completed_ == submitted_; });
+  if (merged_sink_ != nullptr) {
+    for (std::unique_ptr<obs::BufferTraceSink>& sink : job_sinks_) {
+      if (sink != nullptr) merged_sink_->WriteRaw(sink->TakeText());
+    }
+  }
+  job_sinks_.clear();
   std::vector<ReplayMetrics> out = std::move(results_);
   results_.clear();
   submitted_ = 0;

@@ -16,10 +16,12 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "obs/trace_sink.h"
 #include "replay/config.h"
 #include "replay/engine.h"
 #include "replay/metrics.h"
@@ -44,6 +46,15 @@ class Farm {
   // metrics in submission order. Resets the farm for reuse.
   std::vector<ReplayMetrics> Collect();
 
+  // Routes every subsequently submitted replay's trace through a private
+  // per-job BufferTraceSink; Collect() then appends the buffers to `sink`
+  // in submission order. Because each run's JSONL stream is self-contained
+  // (intern ids restart at run_begin), the merged stream is byte-identical
+  // for any worker count — the same guarantee SameSimulation gives for
+  // metrics. Overrides any trace_sink already set on a submitted config.
+  // nullptr turns merging off. `sink` must outlive the next Collect().
+  void set_merged_trace_sink(obs::TraceSink* sink) { merged_sink_ = sink; }
+
   unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
 
   // One-shot convenience: submit all configs, collect all results.
@@ -65,6 +76,9 @@ class Farm {
   std::condition_variable done_cv_;  // Collect() waits here for completion
   std::deque<Job> queue_;
   std::vector<ReplayMetrics> results_;
+  // Per-job trace buffers, indexed like results_; merged at Collect().
+  std::vector<std::unique_ptr<obs::BufferTraceSink>> job_sinks_;
+  obs::TraceSink* merged_sink_ = nullptr;
   std::size_t submitted_ = 0;
   std::size_t completed_ = 0;
   bool stop_ = false;

@@ -25,6 +25,69 @@ std::string ReplayMetrics::Summary() const {
   return buf;
 }
 
+void ReplayMetrics::ExportTo(obs::MetricsRegistry& registry) const {
+  // Counters: every Tables 3/4/5 column plus the exact staleness accounting.
+  registry.SetCounter("replay.get_requests", get_requests);
+  registry.SetCounter("replay.ims_requests", ims_requests);
+  registry.SetCounter("replay.replies_200", replies_200);
+  registry.SetCounter("replay.replies_304", replies_304);
+  registry.SetCounter("replay.invalidations_sent", invalidations_sent);
+  registry.SetCounter("replay.invsrv_sent", invsrv_sent);
+  registry.SetCounter("replay.multicast_sends", multicast_sends);
+  registry.SetCounter("replay.message_bytes", message_bytes);
+  registry.SetCounter("replay.local_hits", local_hits);
+  registry.SetCounter("replay.validated_hits", validated_hits);
+  registry.SetCounter("replay.cache_hits", cache_hits());
+  registry.SetCounter("replay.invalidation_messages",
+                      invalidation_messages());
+  registry.SetCounter("replay.total_messages", total_messages());
+  registry.SetCounter("replay.stale_serves", stale_serves);
+  registry.SetCounter("replay.stale_while_invalidation_in_flight",
+                      stale_while_invalidation_in_flight);
+  registry.SetCounter("replay.strong_violations", strong_violations);
+  registry.SetCounter("replay.sitelist_storage_bytes", sitelist_storage_bytes);
+  registry.SetCounter("replay.sitelist_entries", sitelist_entries);
+  registry.SetCounter("replay.sitelist_max_len_end", sitelist_max_len_end);
+  registry.SetCounter("replay.sitelist_max_len_at_mod",
+                      sitelist_max_len_at_mod);
+  registry.SetCounter("replay.parent_hits", parent_hits);
+  registry.SetCounter("replay.parent_fetches", parent_fetches);
+  registry.SetCounter("replay.hierarchy_forwards", hierarchy_forwards);
+  registry.SetCounter("replay.pcv_items_piggybacked", pcv_items_piggybacked);
+  registry.SetCounter("replay.pcv_invalidated", pcv_invalidated);
+  registry.SetCounter("replay.psi_notices", psi_notices);
+  registry.SetCounter("replay.psi_entries_erased", psi_entries_erased);
+  registry.SetCounter("replay.lease_renewal_ims", lease_renewal_ims);
+  registry.SetCounter("replay.requests_issued", requests_issued);
+  registry.SetCounter("replay.requests_skipped", requests_skipped);
+  registry.SetCounter("replay.request_timeouts", request_timeouts);
+  registry.SetCounter("replay.modifications_applied", modifications_applied);
+  registry.SetCounter("replay.invalidations_delivered",
+                      invalidations_delivered);
+  registry.SetCounter("replay.invalidations_refused", invalidations_refused);
+  registry.SetCounter("replay.proxy_evictions", proxy_evictions);
+  registry.SetCounter("replay.proxy_expired_evictions",
+                      proxy_expired_evictions);
+  registry.SetCounter("replay.sim_events_executed", sim_events_executed);
+  registry.SetCounter("replay.sim_peak_queue_depth", sim_peak_queue_depth);
+
+  // Gauges: ratios, utilizations and the host-time rates (the only
+  // nondeterministic entries, mirroring SameSimulation's exclusions).
+  registry.SetGauge("replay.server_cpu_utilization", server_cpu_utilization);
+  registry.SetGauge("replay.disk_reads_per_second", disk_reads_per_second);
+  registry.SetGauge("replay.disk_writes_per_second", disk_writes_per_second);
+  registry.SetGauge("replay.wall_duration_us",
+                    static_cast<double>(wall_duration));
+  registry.SetGauge("replay.sitelist_avg_len_at_mod", sitelist_avg_len_at_mod);
+  registry.SetGauge("replay.host_seconds", host_seconds);
+
+  // Distributions.
+  registry.FindOrCreateHistogram("replay.latency_ms")->samples.Merge(
+      latency_ms);
+  registry.FindOrCreateHistogram("replay.invalidation_time_ms")
+      ->samples.Merge(invalidation_time_ms);
+}
+
 bool SameSimulation(const ReplayMetrics& a, const ReplayMetrics& b) {
   return a.get_requests == b.get_requests &&
          a.ims_requests == b.ims_requests && a.replies_200 == b.replies_200 &&

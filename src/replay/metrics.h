@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
 #include "stats/latency.h"
 #include "util/time.h"
 
@@ -127,6 +128,12 @@ struct ReplayMetrics {
 
   // One-line sanity summary for logs/examples.
   std::string Summary() const;
+
+  // Snapshots every field (and the derived totals) into `registry` under
+  // "replay.". The paper tables are still rendered from this struct directly
+  // — the registry is the machine-readable superset, so adding metrics can
+  // never perturb the table formatting.
+  void ExportTo(obs::MetricsRegistry& registry) const;
 };
 
 // True when two runs produced the identical simulation: every deterministic

@@ -9,10 +9,22 @@ namespace webcc::sim {
 
 void Network::Partition(NodeId a, NodeId b) {
   WEBCC_CHECK(a != b);
-  partitions_.insert(Ordered(a, b));
+  const auto [lo, hi] = Ordered(a, b);
+  partitions_.insert({lo, hi});
+  obs::Emit(trace_sink_, {.type = obs::EventType::kPartition,
+                          .at = sim_.now(),
+                          .detail = static_cast<std::int64_t>(lo) * 1000 + hi});
 }
 
-void Network::Heal(NodeId a, NodeId b) { partitions_.erase(Ordered(a, b)); }
+void Network::Heal(NodeId a, NodeId b) {
+  const auto [lo, hi] = Ordered(a, b);
+  if (partitions_.erase({lo, hi}) > 0) {
+    obs::Emit(trace_sink_,
+              {.type = obs::EventType::kPartitionHeal,
+               .at = sim_.now(),
+               .detail = static_cast<std::int64_t>(lo) * 1000 + hi});
+  }
+}
 
 bool Network::IsPartitioned(NodeId a, NodeId b) const {
   return partitions_.count(Ordered(a, b)) != 0;
@@ -96,6 +108,20 @@ void Network::TryReliable(NodeId from, NodeId to, std::uint64_t bytes,
   const Time delivery = sim_.now() + TransferDelay(bytes);
   sim_.At(delivery, std::move(on_deliver));
   if (done) done(SendResult::kDelivered, delivery);
+}
+
+void Network::ExportMetrics(obs::MetricsRegistry& registry,
+                            std::string_view prefix) const {
+  const auto name = [&prefix](std::string_view leaf) {
+    std::string full(prefix);
+    full += leaf;
+    return full;
+  };
+  registry.SetCounter(name("messages_delivered"), messages_delivered_);
+  registry.SetCounter(name("bytes_delivered"), bytes_delivered_);
+  registry.SetCounter(name("messages_dropped"), messages_dropped_);
+  registry.SetCounter(name("retries"), retries_);
+  registry.SetCounter(name("partitions_active"), partitions_.size());
 }
 
 }  // namespace webcc::sim

@@ -14,6 +14,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 #include "sim/simulator.h"
 #include "util/time.h"
 
@@ -103,6 +105,14 @@ class Network {
   std::uint64_t messages_dropped() const { return messages_dropped_; }
   std::uint64_t retries() const { return retries_; }
 
+  // Optional tracing: Partition/Heal emit kPartition/kPartitionHeal stamped
+  // with the simulator clock (detail = the ordered node pair, a*1000+b).
+  void set_trace_sink(obs::TraceSink* sink) { trace_sink_ = sink; }
+
+  // Snapshots the delivery counters into `registry` under `prefix`.
+  void ExportMetrics(obs::MetricsRegistry& registry,
+                     std::string_view prefix) const;
+
  private:
   static std::pair<NodeId, NodeId> Ordered(NodeId a, NodeId b) {
     return a < b ? std::pair{a, b} : std::pair{b, a};
@@ -120,6 +130,7 @@ class Network {
   std::uint64_t bytes_delivered_ = 0;
   std::uint64_t messages_dropped_ = 0;
   std::uint64_t retries_ = 0;
+  obs::TraceSink* trace_sink_ = nullptr;
 };
 
 }  // namespace webcc::sim

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <unordered_map>
 
@@ -39,6 +40,9 @@ std::int64_t DaysSinceEpoch(int year, int month, int day) {
 }
 
 // Parses a decimal integer from [pos, end-of-digits); advances pos.
+// A value that does not fit in int64 is a parse failure, not UB: real logs
+// never hold such numbers, so an overflowing field means a corrupt line
+// and the caller should skip-and-count it.
 bool TakeInt(std::string_view s, std::size_t& pos, std::int64_t& out) {
   std::size_t start = pos;
   bool negative = false;
@@ -46,9 +50,12 @@ bool TakeInt(std::string_view s, std::size_t& pos, std::int64_t& out) {
     negative = true;
     ++pos;
   }
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
   std::int64_t value = 0;
   while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
-    value = value * 10 + (s[pos] - '0');
+    const std::int64_t digit = s[pos] - '0';
+    if (value > (kMax - digit) / 10) return false;  // would overflow
+    value = value * 10 + digit;
     ++pos;
   }
   if (pos == start + (negative ? 1 : 0)) return false;
@@ -127,6 +134,15 @@ bool ParseClfLine(std::string_view line, ClfLine& out) {
   if (!TakeInt(date, pos, minute) || date[pos] != ':') return false;
   ++pos;
   if (!TakeInt(date, pos, second)) return false;
+  // Bound every date field: this rejects negative components (a leading '-'
+  // that happens to line up with the '/' separators), pre-epoch or absurd
+  // years (which would also make DaysSinceEpoch spin), and keeps
+  // unix_seconds nonnegative — which the first_seconds < 0 sentinel in
+  // ReadClf relies on.
+  if (day < 1 || day > 31 || year < 1970 || year > 9999 || hour < 0 ||
+      hour > 23 || minute < 0 || minute > 59 || second < 0 || second > 60) {
+    return false;
+  }
   // The timezone offset is deliberately ignored: a server log has one fixed
   // zone, and the replay only needs offsets from the trace start.
   out.unix_seconds =
@@ -154,6 +170,7 @@ bool ParseClfLine(std::string_view line, ClfLine& out) {
   while (pos < line.size() && line[pos] == ' ') ++pos;
   std::int64_t status = 0;
   if (!TakeInt(line, pos, status)) return false;
+  if (status < 100 || status > 999) return false;  // not an HTTP status
   out.status = static_cast<int>(status);
   while (pos < line.size() && line[pos] == ' ') ++pos;
   if (pos < line.size() && line[pos] == '-') {

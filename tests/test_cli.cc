@@ -263,5 +263,59 @@ TEST_F(CliCommandTest, ReplayRejectsPresetAndInTogether) {
   EXPECT_NE(err_.str().find("mutually exclusive"), std::string::npos);
 }
 
+TEST_F(CliCommandTest, ReplayTraceOutThenSummarize) {
+  ASSERT_EQ(Run({"generate", "--requests", "400", "--documents", "50",
+                 "--clients", "25", "--duration-hours", "2", "--out",
+                 path_.c_str()}),
+            0);
+  const std::string trace_path = path_ + ".jsonl";
+  ASSERT_EQ(Run({"replay", "--in", path_.c_str(), "--protocol",
+                 "invalidation", "--lifetime-days", "1", "--trace-out",
+                 trace_path.c_str()}),
+            0);
+  // The stream summarizes clean (exit 0 == no malformed lines, every
+  // referenced id interned) and the counts show the protocol ran.
+  EXPECT_EQ(Run({"trace", "summarize", "--in", trace_path.c_str()}), 0);
+  EXPECT_NE(out_.str().find("runs:      1"), std::string::npos);
+  EXPECT_NE(out_.str().find("get_sent"), std::string::npos);
+  std::remove(trace_path.c_str());
+}
+
+TEST_F(CliCommandTest, ReplayMetricsOutMergesProtocols) {
+  ASSERT_EQ(Run({"generate", "--requests", "300", "--documents", "40",
+                 "--clients", "20", "--duration-hours", "1", "--out",
+                 path_.c_str()}),
+            0);
+  const std::string metrics_path = path_ + ".json";
+  // No --protocol: all three run, so the dump is prefixed per protocol.
+  ASSERT_EQ(Run({"replay", "--in", path_.c_str(), "--lifetime-days", "2",
+                 "--metrics-out", metrics_path.c_str()}),
+            0);
+  std::ifstream in(metrics_path);
+  std::stringstream json;
+  json << in.rdbuf();
+  EXPECT_NE(json.str().find("\"ttl.replay.requests_issued\""),
+            std::string::npos);
+  EXPECT_NE(json.str().find("\"poll.replay.requests_issued\""),
+            std::string::npos);
+  EXPECT_NE(json.str().find("\"invalidation.replay.requests_issued\""),
+            std::string::npos);
+  std::remove(metrics_path.c_str());
+}
+
+TEST_F(CliCommandTest, TraceSummarizeFlagsBadStreams) {
+  {
+    std::ofstream bad(path_);
+    bad << "{\"t\":0,\"e\":\"run_begin\"}\n"
+        << "not json at all\n";
+  }
+  EXPECT_NE(Run({"trace", "summarize", "--in", path_.c_str()}), 0);
+}
+
+TEST_F(CliCommandTest, TraceRequiresSummarizeVerb) {
+  EXPECT_NE(Run({"trace"}), 0);
+  EXPECT_NE(Run({"trace", "frobnicate", "--in", path_.c_str()}), 0);
+}
+
 }  // namespace
 }  // namespace webcc::cli

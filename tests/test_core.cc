@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 #include <string>
 
 #include "core/accelerator.h"
@@ -97,6 +98,56 @@ TEST(Lease, ActiveSemantics) {
   EXPECT_TRUE(LeaseActive(100, 99));
   EXPECT_FALSE(LeaseActive(100, 100));  // expires at its boundary
   EXPECT_FALSE(LeaseActive(100, 101));
+}
+
+TEST(Lease, BoundaryIsHalfOpen) {
+  // A lease covers [grant, expiry): the instant before expiry it is alive,
+  // at expiry it is dead. Both the proxy's serve-local check and the
+  // server's table pruning use this predicate, so at the boundary instant
+  // the proxy revalidates exactly when the server stops owing INVALIDATEs.
+  LeaseConfig config;
+  config.mode = LeaseMode::kFixed;
+  config.duration = kHour;
+  const Time expiry = GrantLease(config, net::MessageType::kGet, 0);
+  ASSERT_EQ(expiry, kHour);
+  EXPECT_TRUE(LeaseActive(expiry, expiry - 1));
+  EXPECT_FALSE(LeaseActive(expiry, expiry));
+  // http::kNeverExpires (int64 max) reads as active through the same
+  // predicate, so proxy cache entries need no special-casing.
+  EXPECT_TRUE(LeaseActive(std::numeric_limits<Time>::max(), expiry));
+}
+
+TEST(InvalidationTable, ExactExpiryExcludedFromFanOut) {
+  // Boundary check on the server side: a site whose lease expires at T is
+  // not invalidated by a modification processed at exactly T.
+  LeaseConfig lease;
+  lease.mode = LeaseMode::kFixed;
+  lease.duration = kHour;
+  InvalidationTable table(lease);
+  table.Register("/a", "c1", net::MessageType::kGet, 0);  // expiry: kHour
+  EXPECT_EQ(table.ListLength("/a", kHour - 1), 1u);
+  EXPECT_EQ(table.ListLength("/a", kHour), 0u);
+  EXPECT_TRUE(table.TakeSitesForInvalidation("/a", kHour).empty());
+}
+
+TEST(InvalidationTable, TwoTierExactExpiryBoundary) {
+  // The two-tier scheme's short GET lease obeys the same half-open rule:
+  // at exactly grant+short_duration the one-time viewer is already gone,
+  // one tick earlier it still gets the INVALIDATE.
+  LeaseConfig lease;
+  lease.mode = LeaseMode::kTwoTier;
+  lease.duration = 3 * kDay;
+  lease.short_duration = kMinute;
+  InvalidationTable table(lease);
+  table.Register("/a", "c1", net::MessageType::kGet, 0);  // expiry: kMinute
+  EXPECT_EQ(table.TakeSitesForInvalidation("/a", kMinute - 1),
+            std::vector<std::string>{"c1"});
+  table.Register("/a", "c1", net::MessageType::kGet, 0);
+  EXPECT_TRUE(table.TakeSitesForInvalidation("/a", kMinute).empty());
+  // The IMS tier gets the long lease; same boundary rule at its expiry.
+  table.Register("/a", "c1", net::MessageType::kIfModifiedSince, 0);
+  EXPECT_EQ(table.ListLength("/a", 3 * kDay - 1), 1u);
+  EXPECT_EQ(table.ListLength("/a", 3 * kDay), 0u);
 }
 
 // --- invalidation table --------------------------------------------------------------

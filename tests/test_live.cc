@@ -2,12 +2,15 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <sstream>
 #include <thread>
 
 #include "live/live_proxy.h"
 #include "live/live_server.h"
 #include "live/socket.h"
 #include "net/wire.h"
+#include "obs/trace_reader.h"
+#include "obs/trace_sink.h"
 
 namespace webcc::live {
 namespace {
@@ -76,6 +79,75 @@ TEST(Socket, EchoRoundTrip) {
   listener.Shutdown();
   ASSERT_TRUE(reply.has_value());
   EXPECT_EQ(*reply, "echo:hello\n");
+}
+
+TEST(Socket, IoErrorNames) {
+  EXPECT_EQ(IoErrorName(IoError::kNone), "none");
+  EXPECT_EQ(IoErrorName(IoError::kPeerReset), "peer_reset");
+  EXPECT_EQ(IoErrorName(IoError::kTimeout), "timeout");
+  EXPECT_EQ(IoErrorName(IoError::kOther), "other");
+}
+
+TEST(Socket, WriteAllCompletesLargeFrameAcrossShortWrites) {
+  // A frame much larger than the socket buffers forces send() to accept it
+  // in pieces; WriteAll must deliver every byte of the frame anyway.
+  TcpListener listener(0);
+  ASSERT_TRUE(listener.valid());
+  std::size_t received = 0;
+  std::thread reader([&listener, &received] {
+    TcpStream stream = listener.Accept();
+    if (!stream.valid()) return;
+    const auto line = stream.ReadLine();  // one 16 MB "line"
+    if (line.has_value()) received = line->size();
+  });
+  TcpStream writer = Connect(listener.port());
+  ASSERT_TRUE(writer.valid());
+  std::string frame(16u << 20, 'x');
+  frame.back() = '\n';
+  EXPECT_TRUE(writer.WriteAll(frame));
+  EXPECT_EQ(writer.last_error(), IoError::kNone);
+  reader.join();
+  listener.Shutdown();
+  EXPECT_EQ(received, frame.size());
+}
+
+TEST(Socket, WriteTimeoutSurfacesAsTimeout) {
+  // The peer accepts but never drains: once both socket buffers fill, the
+  // configured SO_SNDTIMEO expires and WriteAll reports a timeout instead
+  // of blocking the handler thread forever.
+  TcpListener listener(0);
+  ASSERT_TRUE(listener.valid());
+  TcpStream writer = Connect(listener.port());
+  ASSERT_TRUE(writer.valid());
+  TcpStream idle = listener.Accept();
+  ASSERT_TRUE(idle.valid());
+  writer.SetWriteTimeout(100);
+  const std::string frame(64u << 20, 'x');
+  EXPECT_FALSE(writer.WriteAll(frame));
+  EXPECT_EQ(writer.last_error(), IoError::kTimeout);
+  listener.Shutdown();
+}
+
+TEST(Socket, PeerResetSurfacesAsPeerReset) {
+  // The peer closes without reading; continuing to write must surface the
+  // reset (EPIPE/ECONNRESET) rather than a generic failure, so callers can
+  // tell a vanished proxy from a stalled one.
+  TcpListener listener(0);
+  ASSERT_TRUE(listener.valid());
+  TcpStream writer = Connect(listener.port());
+  ASSERT_TRUE(writer.valid());
+  {
+    TcpStream victim = listener.Accept();  // accepted, then dropped
+  }
+  std::string frame(64u << 10, 'x');
+  frame.back() = '\n';
+  bool ok = true;
+  // The first write may land in the kernel buffer before the RST arrives;
+  // keep writing until the failure shows.
+  for (int i = 0; i < 1000 && ok; ++i) ok = writer.WriteAll(frame);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(writer.last_error(), IoError::kPeerReset);
+  listener.Shutdown();
 }
 
 // --- server + proxy fixtures ----------------------------------------------------------
@@ -267,6 +339,39 @@ TEST_F(LiveFixture, ConcurrentFetchesAreSafe) {
   for (std::thread& thread : threads) thread.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(proxy_->cached_entries(), 8u);
+}
+
+TEST(LiveTracing, EmitsServeAndInvalidationEvents) {
+  // One sink shared by both ends (they are in-process here); handler
+  // threads emit concurrently, which JsonlTraceSink's lock absorbs.
+  obs::BufferTraceSink sink;
+  LiveServer::Options server_options;
+  server_options.trace_sink = &sink;
+  LiveServer server(server_options);
+  ASSERT_TRUE(server.Start());
+  server.AddDocument("/a", 10);
+
+  LiveProxy::Options proxy_options;
+  proxy_options.server_port = server.port();
+  proxy_options.protocol = core::Protocol::kInvalidation;
+  proxy_options.trace_sink = &sink;
+  LiveProxy proxy(proxy_options);
+  ASSERT_TRUE(proxy.Start());
+
+  EXPECT_TRUE(proxy.Fetch("alice", "/a").ok);            // transfer
+  EXPECT_TRUE(proxy.Fetch("alice", "/a").local_hit);     // local hit
+  EXPECT_EQ(server.TouchDocument("/a"), 1u);
+  ASSERT_TRUE(WaitFor([&] { return proxy.invalidations_received() == 1; }));
+  proxy.Stop();
+  server.Stop();
+
+  std::istringstream stream(sink.Text());
+  const obs::TraceSummary summary = obs::SummarizeTrace(stream);
+  EXPECT_EQ(summary.malformed_lines, 0u);
+  EXPECT_EQ(summary.CountOf(obs::EventType::kRequestServed), 2u);
+  EXPECT_EQ(summary.CountOf(obs::EventType::kNotify), 1u);
+  EXPECT_EQ(summary.CountOf(obs::EventType::kInvalidateGenerated), 1u);
+  EXPECT_EQ(summary.CountOf(obs::EventType::kInvalidateDelivered), 1u);
 }
 
 TEST(LiveServerStandalone, MalformedLineGetsError) {

@@ -216,6 +216,90 @@ TEST(Clf, RejectsGarbage) {
                             parsed));
 }
 
+TEST(Clf, RejectsOverflowingNumbers) {
+  // Fields that do not fit in int64 are malformed lines, not UB (TakeInt
+  // used to wrap on signed overflow).
+  ClfLine parsed;
+  EXPECT_FALSE(ParseClfLine(
+      "h - - [01/Jul/1995:00:00:01 -0400] \"GET /a HTTP/1.0\" 200 "
+      "99999999999999999999999999999999999999",
+      parsed));
+  EXPECT_FALSE(ParseClfLine(
+      "h - - [01/Jul/1995:00:00:01 -0400] \"GET /a HTTP/1.0\" "
+      "92233720368547758079223372036854775807 1",
+      parsed));
+}
+
+TEST(Clf, RejectsOutOfRangeDateFields) {
+  ClfLine parsed;
+  // Day 32, hour 24, minute 60: shaped like a date, but not one.
+  EXPECT_FALSE(ParseClfLine(
+      "h - - [32/Jul/1995:00:00:01 -0400] \"GET /a HTTP/1.0\" 200 1", parsed));
+  EXPECT_FALSE(ParseClfLine(
+      "h - - [01/Jul/1995:24:00:01 -0400] \"GET /a HTTP/1.0\" 200 1", parsed));
+  EXPECT_FALSE(ParseClfLine(
+      "h - - [01/Jul/1995:00:60:01 -0400] \"GET /a HTTP/1.0\" 200 1", parsed));
+  // A negative day lines up with the '/' separators but must not produce a
+  // negative timestamp (ReadClf's first-record sentinel relies on >= 0).
+  EXPECT_FALSE(ParseClfLine(
+      "h - - [-1/Jul/1995:00:00:01 -0400] \"GET /a HTTP/1.0\" 200 1", parsed));
+  // Pre-epoch and five-digit years are corrupt, not slow to compute.
+  EXPECT_FALSE(ParseClfLine(
+      "h - - [01/Jul/1969:00:00:01 -0400] \"GET /a HTTP/1.0\" 200 1", parsed));
+  EXPECT_FALSE(ParseClfLine(
+      "h - - [01/Jul/19999:00:00:01 -0400] \"GET /a HTTP/1.0\" 200 1",
+      parsed));
+  // Status fields outside 100..999 are not HTTP statuses.
+  EXPECT_FALSE(ParseClfLine(
+      "h - - [01/Jul/1995:00:00:01 -0400] \"GET /a HTTP/1.0\" 0 1", parsed));
+  EXPECT_FALSE(ParseClfLine(
+      "h - - [01/Jul/1995:00:00:01 -0400] \"GET /a HTTP/1.0\" 2000 1",
+      parsed));
+}
+
+TEST(Clf, TruncationFuzz) {
+  // Every prefix of a canonical line must either be cleanly rejected or
+  // parse to sane field values — never crash or read out of bounds.
+  const std::string canonical =
+      "ppp-mia-30.shadow.net - - [01/Jul/1995:00:00:01 -0400] "
+      "\"GET /history/apollo/ HTTP/1.0\" 200 6245";
+  for (std::size_t len = 0; len <= canonical.size(); ++len) {
+    ClfLine parsed;
+    if (ParseClfLine(std::string_view(canonical).substr(0, len), parsed)) {
+      EXPECT_GE(parsed.status, 100);
+      EXPECT_LE(parsed.status, 999);
+      EXPECT_GE(parsed.bytes, -1);
+      EXPECT_FALSE(parsed.path.empty());
+      EXPECT_GE(parsed.unix_seconds, 0);
+    }
+  }
+}
+
+TEST(Clf, ReadSkipsAndCountsMalformedLines) {
+  // A stream sprinkled with the fuzz corpus: truncated lines, missing
+  // fields, huge sizes. Parsing must skip-and-count every bad line and
+  // still accept the good ones.
+  std::istringstream in(
+      "good1 - - [01/Jul/1995:00:00:00 +0000] \"GET /a HTTP/1.0\" 200 100\n"
+      "trunc - - [01/Jul/1995:00:00:01\n"
+      "nofields\n"
+      "missing-req - - [01/Jul/1995:00:00:02 +0000] 200 100\n"
+      "huge - - [01/Jul/1995:00:00:03 +0000] \"GET /b HTTP/1.0\" 200 "
+      "999999999999999999999999999999\n"
+      "baddate - - [99/Jul/1995:00:00:04 +0000] \"GET /c HTTP/1.0\" 200 1\n"
+      "nopath - - [01/Jul/1995:00:00:05 +0000] \"GET  HTTP/1.0\" 200 1\n"
+      "good2 - - [01/Jul/1995:00:00:06 +0000] \"GET /a HTTP/1.0\" 304 -\n");
+  ClfParseStats stats;
+  const Trace trace = ReadClf(in, "fuzz", &stats);
+  EXPECT_EQ(stats.lines, 8u);
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.malformed, 6u);
+  EXPECT_EQ(stats.skipped, 0u);
+  ASSERT_EQ(trace.records.size(), 2u);
+  EXPECT_EQ(trace.records[1].timestamp, 6 * kSecond);
+  EXPECT_EQ(trace.Validate(), "");
+}
+
 TEST(Clf, LeapYearDateMath) {
   ClfLine parsed;
   ASSERT_TRUE(ParseClfLine(
