@@ -1,11 +1,16 @@
 // Shared plumbing for the table-regeneration benches.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <iterator>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/consistency/policy.h"
+#include "core/lease.h"
 #include "core/policy.h"
 #include "replay/engine.h"
 #include "replay/experiments.h"
@@ -158,6 +163,84 @@ inline void RunAndPrintExperiments(
         all.begin() + static_cast<std::ptrdiff_t>((s + 1) * per_spec));
     PrintReplayTable(specs[s], runs);
   }
+}
+
+// --- kernel-dispatch comparison ----------------------------------------------
+//
+// The consistency refactor replaced engine.cc's inlined per-protocol
+// switches with one virtual call into core::consistency. InlinedOnHit
+// replicates the pre-refactor hit decision exactly (same branches, same
+// results), so timing it against ConsistencyPolicy::OnHit isolates the cost
+// of the strategy indirection on the replay hot path.
+
+inline core::consistency::HitDecision InlinedOnHit(
+    core::Protocol protocol, const core::consistency::EntryMeta& entry,
+    Time now) {
+  using core::consistency::HitAction;
+  switch (protocol) {
+    case core::Protocol::kAdaptiveTtl:
+    case core::Protocol::kPiggybackValidation:
+    case core::Protocol::kPiggybackInvalidation:
+      if (!entry.questionable && now < entry.ttl_expires) {
+        return {HitAction::kServeLocal, false};
+      }
+      return {HitAction::kValidate, false};
+    case core::Protocol::kPollEveryTime:
+      return {HitAction::kValidate, false};
+    case core::Protocol::kInvalidation: {
+      const bool lease_ok = core::LeaseActive(entry.lease_expires, now);
+      if (!entry.questionable && lease_ok) {
+        return {HitAction::kServeLocal, false};
+      }
+      return {HitAction::kValidate, !entry.questionable && !lease_ok};
+    }
+  }
+  return {};
+}
+
+// A deterministic stream of hit decisions with a realistic mix of fresh,
+// TTL-expired, lease-lapsed, and questionable entries across all five
+// protocols.
+struct DispatchWorkload {
+  std::vector<core::consistency::EntryMeta> entries;
+  std::vector<core::Protocol> protocols;
+  std::vector<const core::consistency::ConsistencyPolicy*> policies;
+  std::vector<std::unique_ptr<const core::consistency::ConsistencyPolicy>>
+      owned;
+};
+
+inline DispatchWorkload MakeDispatchWorkload(std::size_t size) {
+  static constexpr core::Protocol kProtocols[] = {
+      core::Protocol::kAdaptiveTtl, core::Protocol::kPollEveryTime,
+      core::Protocol::kInvalidation, core::Protocol::kPiggybackValidation,
+      core::Protocol::kPiggybackInvalidation};
+  DispatchWorkload workload;
+  for (const core::Protocol protocol : kProtocols) {
+    workload.owned.push_back(
+        core::consistency::MakePolicy(protocol, core::AdaptiveTtlConfig{}));
+  }
+  workload.entries.reserve(size);
+  workload.protocols.reserve(size);
+  workload.policies.reserve(size);
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;  // splitmix64 stream
+  for (std::size_t i = 0; i < size; ++i) {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    core::consistency::EntryMeta entry;
+    entry.ttl_expires = (z & 1) != 0 ? core::consistency::kNeverExpires
+                                     : static_cast<Time>(z % kHour);
+    entry.lease_expires = (z & 2) != 0 ? core::consistency::kNeverExpires
+                                       : static_cast<Time>(z % kDay);
+    entry.questionable = (z & 4) == 0 && (z & 8) == 0;
+    workload.entries.push_back(entry);
+    const std::size_t p = static_cast<std::size_t>(z >> 8) % std::size(kProtocols);
+    workload.protocols.push_back(kProtocols[p]);
+    workload.policies.push_back(workload.owned[p].get());
+  }
+  return workload;
 }
 
 }  // namespace webcc::bench

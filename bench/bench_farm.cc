@@ -8,10 +8,17 @@
 //    "serial_wall_ms": ..., "farm_wall_ms": ..., "speedup": ...,
 //    "identical": true,
 //    "tables": [{"table": "table3", "wall_ms": ...,
-//                "events_per_second": ..., "requests_per_second": ...}, ...]}
+//                "events_per_second": ..., "requests_per_second": ...}, ...],
+//    "kernel_dispatch": {"inlined_ns_per_op": ..., "kernel_ns_per_op": ...,
+//                        "replay_ns_per_request": ...,
+//                        "hot_path_overhead_percent": ...,
+//                        "decisions_identical": true}}
 //
 // per-table rates aggregate the farmed batch: total simulator events (or
-// client requests) divided by the batch's wall-clock time.
+// client requests) divided by the batch's wall-clock time. kernel_dispatch
+// compares the consistency kernel's virtual call against a replica of the
+// pre-refactor inlined switch over one decision stream; the exit code fails
+// if the per-request overhead exceeds 1%.
 //
 // Flags: --workers N (default 0 = one per core).
 #include <chrono>
@@ -73,6 +80,50 @@ BatchRun RunBatch(const std::vector<replay::ReplayConfig>& configs,
   return run;
 }
 
+// Times one hit-decision stream through the pre-refactor inlined switch and
+// through the kernel's virtual dispatch; the checksums double as a
+// dead-code-elimination barrier and as a semantic-equivalence check.
+struct DispatchTiming {
+  double inlined_ns_per_op = 0.0;
+  double kernel_ns_per_op = 0.0;
+  bool identical = false;
+};
+
+DispatchTiming MeasureKernelDispatch() {
+  constexpr std::size_t kEntries = 1 << 16;
+  constexpr std::size_t kOps = std::size_t{1} << 24;
+  const bench::DispatchWorkload workload =
+      bench::MakeDispatchWorkload(kEntries);
+  const std::size_t mask = kEntries - 1;
+
+  std::uint64_t inlined_sum = 0;
+  auto start = Clock::now();
+  for (std::size_t i = 0; i < kOps; ++i) {
+    const std::size_t j = i & mask;
+    const auto decision =
+        bench::InlinedOnHit(workload.protocols[j], workload.entries[j], 1);
+    inlined_sum += static_cast<std::uint64_t>(decision.action) * 2 +
+                   (decision.lease_renewal ? 1 : 0);
+  }
+  const double inlined_ms = MillisSince(start);
+
+  std::uint64_t kernel_sum = 0;
+  start = Clock::now();
+  for (std::size_t i = 0; i < kOps; ++i) {
+    const std::size_t j = i & mask;
+    const auto decision = workload.policies[j]->OnHit(workload.entries[j], 1);
+    kernel_sum += static_cast<std::uint64_t>(decision.action) * 2 +
+                  (decision.lease_renewal ? 1 : 0);
+  }
+  const double kernel_ms = MillisSince(start);
+
+  DispatchTiming timing;
+  timing.inlined_ns_per_op = inlined_ms * 1e6 / static_cast<double>(kOps);
+  timing.kernel_ns_per_op = kernel_ms * 1e6 / static_cast<double>(kOps);
+  timing.identical = inlined_sum == kernel_sum;
+  return timing;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -113,7 +164,20 @@ int main(int argc, char** argv) {
   const double speedup =
       farmed.wall_ms > 0.0 ? serial.wall_ms / farmed.wall_ms : 0.0;
 
-  char json[1024];
+  // Kernel-dispatch overhead: the per-decision delta between the inlined
+  // switch and the virtual call, expressed against the replay hot path's
+  // per-request cost (from the single-worker sweep). The refactor's
+  // acceptance bar is <= 1%.
+  const DispatchTiming dispatch = MeasureKernelDispatch();
+  const double ns_per_request =
+      serial.wall_ms * 1e6 / static_cast<double>(serial.TotalRequests());
+  const double dispatch_delta_ns =
+      dispatch.kernel_ns_per_op - dispatch.inlined_ns_per_op;
+  const double hot_path_overhead_percent =
+      100.0 * (dispatch_delta_ns > 0.0 ? dispatch_delta_ns : 0.0) /
+      ns_per_request;
+
+  char json[2048];
   std::snprintf(
       json, sizeof(json),
       "{\"bench\": \"farm\", \"workers\": %u, \"cells\": %zu, "
@@ -122,16 +186,23 @@ int main(int argc, char** argv) {
       "{\"table\": \"table3\", \"wall_ms\": %.1f, "
       "\"events_per_second\": %.0f, \"requests_per_second\": %.0f}, "
       "{\"table\": \"table4\", \"wall_ms\": %.1f, "
-      "\"events_per_second\": %.0f, \"requests_per_second\": %.0f}]}",
+      "\"events_per_second\": %.0f, \"requests_per_second\": %.0f}], "
+      "\"kernel_dispatch\": {\"inlined_ns_per_op\": %.2f, "
+      "\"kernel_ns_per_op\": %.2f, \"replay_ns_per_request\": %.0f, "
+      "\"hot_path_overhead_percent\": %.4f, \"decisions_identical\": %s}}",
       used_workers, all_cells.size(), serial.wall_ms, farmed.wall_ms, speedup,
       identical ? "true" : "false", t3.wall_ms,
       static_cast<double>(t3.TotalEvents()) / (t3.wall_ms / 1000.0),
       static_cast<double>(t3.TotalRequests()) / (t3.wall_ms / 1000.0),
       t4.wall_ms, static_cast<double>(t4.TotalEvents()) / (t4.wall_ms / 1000.0),
-      static_cast<double>(t4.TotalRequests()) / (t4.wall_ms / 1000.0));
+      static_cast<double>(t4.TotalRequests()) / (t4.wall_ms / 1000.0),
+      dispatch.inlined_ns_per_op, dispatch.kernel_ns_per_op, ns_per_request,
+      hot_path_overhead_percent, dispatch.identical ? "true" : "false");
 
   std::printf("%s\n", json);
   std::ofstream out("BENCH_farm.json");
   out << json << "\n";
-  return identical ? 0 : 1;
+  return identical && dispatch.identical && hot_path_overhead_percent <= 1.0
+             ? 0
+             : 1;
 }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/accelerator.h"
 #include "core/analysis.h"
 #include "core/intern.h"
@@ -230,6 +231,38 @@ void BM_SequenceSimulation(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10000);
 }
 BENCHMARK(BM_SequenceSimulation);
+
+// --- consistency-kernel dispatch -----------------------------------------------------------
+
+// The same hit-decision stream through the pre-refactor inlined switch
+// (bench::InlinedOnHit) and through the kernel's virtual dispatch. The
+// absolute delta is a few ns/op; BENCH_farm.json (bench_farm) records it as
+// a fraction of the replay hot path's per-request cost, which is the ≤1%
+// acceptance bar for the refactor.
+
+void BM_ConsistencyOnHitInlinedSwitch(benchmark::State& state) {
+  const bench::DispatchWorkload workload = bench::MakeDispatchWorkload(1 << 16);
+  std::size_t i = 0;
+  const std::size_t mask = workload.entries.size() - 1;
+  for (auto _ : state) {
+    const std::size_t j = i++ & mask;
+    benchmark::DoNotOptimize(
+        bench::InlinedOnHit(workload.protocols[j], workload.entries[j], 1));
+  }
+}
+BENCHMARK(BM_ConsistencyOnHitInlinedSwitch);
+
+void BM_ConsistencyOnHitKernelDispatch(benchmark::State& state) {
+  const bench::DispatchWorkload workload = bench::MakeDispatchWorkload(1 << 16);
+  std::size_t i = 0;
+  const std::size_t mask = workload.entries.size() - 1;
+  for (auto _ : state) {
+    const std::size_t j = i++ & mask;
+    benchmark::DoNotOptimize(
+        workload.policies[j]->OnHit(workload.entries[j], 1));
+  }
+}
+BENCHMARK(BM_ConsistencyOnHitKernelDispatch);
 
 // --- accelerator end-to-end ----------------------------------------------------------------
 

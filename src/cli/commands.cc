@@ -124,20 +124,34 @@ void PrintSummary(const trace::Trace& trace, std::ostream& out) {
 }  // namespace
 
 std::optional<core::Protocol> ParseProtocol(const std::string& name) {
-  if (name == "ttl" || name == "adaptive-ttl") {
+  // Accept the display names from core::ToString too, so that
+  // ParseProtocol(ToString(p)) == p round-trips.
+  if (name == "ttl" || name == "adaptive-ttl" || name == "Adaptive TTL") {
     return core::Protocol::kAdaptiveTtl;
   }
-  if (name == "poll" || name == "polling" || name == "poll-every-time") {
+  if (name == "poll" || name == "polling" || name == "poll-every-time" ||
+      name == "Poll-Every-Time") {
     return core::Protocol::kPollEveryTime;
   }
-  if (name == "invalidation" || name == "inv") {
+  if (name == "invalidation" || name == "inv" || name == "Invalidation") {
     return core::Protocol::kInvalidation;
   }
-  if (name == "pcv" || name == "piggyback-validation") {
+  if (name == "pcv" || name == "piggyback-validation" ||
+      name == "Piggyback Validation (PCV)") {
     return core::Protocol::kPiggybackValidation;
   }
-  if (name == "psi" || name == "piggyback-invalidation") {
+  if (name == "psi" || name == "piggyback-invalidation" ||
+      name == "Piggyback Invalidation (PSI)") {
     return core::Protocol::kPiggybackInvalidation;
+  }
+  return std::nullopt;
+}
+
+std::optional<core::LeaseMode> ParseLeaseMode(const std::string& name) {
+  if (name == "none") return core::LeaseMode::kNone;
+  if (name == "fixed") return core::LeaseMode::kFixed;
+  if (name == "two-tier" || name == "twotier" || name == "two_tier") {
+    return core::LeaseMode::kTwoTier;
   }
   return std::nullopt;
 }
@@ -266,7 +280,26 @@ int RunReplayCommand(const Flags& flags, std::ostream& out,
   }
   config.mean_lifetime = FromSeconds(*lifetime_days * 86400);
   config.proxy_cache_bytes = static_cast<std::uint64_t>(*cache_mb) << 20;
-  if (flags.GetBool("two-tier")) {
+  const std::string lease_name = flags.GetString("lease", "");
+  const bool two_tier_switch = flags.GetBool("two-tier");
+  if (!lease_name.empty()) {
+    // Explicit lease mode; --lease-days still sets the duration.
+    const auto lease_mode = ParseLeaseMode(lease_name);
+    if (!lease_mode.has_value()) {
+      err << "error: unknown lease mode '" << lease_name
+          << "' (valid: none, fixed, two-tier)\n";
+      return 2;
+    }
+    if (two_tier_switch) {
+      err << "error: --lease and --two-tier are mutually exclusive\n";
+      return 2;
+    }
+    config.lease.mode = *lease_mode;
+    if (*lease_mode != core::LeaseMode::kNone) {
+      config.lease.duration =
+          *lease_days > 0 ? FromSeconds(*lease_days * 86400) : trace->duration;
+    }
+  } else if (two_tier_switch) {
     config.lease.mode = core::LeaseMode::kTwoTier;
     config.lease.duration =
         *lease_days > 0 ? FromSeconds(*lease_days * 86400) : trace->duration;
@@ -411,7 +444,8 @@ void PrintUsage(std::ostream& out) {
          "  replay     run the consistency experiment on a trace\n"
          "             --in FILE | --preset NAME\n"
          "             [--protocol ttl|poll|invalidation|pcv|psi|all]\n"
-         "             [--lifetime-days D] [--lease-days L] [--two-tier]\n"
+         "             [--lifetime-days D] [--lease-days L]\n"
+         "             [--lease none|fixed|two-tier] [--two-tier]\n"
          "             [--multicast] [--decoupled] [--cache-mb N]\n"
          "             [--workers N]  (0 = one per core; protocols of a\n"
          "             sweep run concurrently, output order is unchanged)\n"

@@ -10,7 +10,8 @@
 //   webcc summarize --in access.log
 //   webcc filter    --in client.log --out server.log --browser-ttl-minutes 60
 //   webcc replay    --in access.log --protocol invalidation \
-//                   --lifetime-days 14 [--lease-days 3] [--two-tier]
+//                   --lifetime-days 14 [--lease-days 3]
+//                   [--lease none|fixed|two-tier] [--two-tier]
 //                   [--multicast] [--decoupled] [--cache-mb 128]
 //   webcc protocols                      # list protocol names
 #pragma once
@@ -22,8 +23,13 @@
 
 namespace webcc::cli {
 
-// Maps "ttl" / "poll" / "invalidation" / "pcv" / "psi" (and long aliases).
+// Maps "ttl" / "poll" / "invalidation" / "pcv" / "psi" (plus long aliases
+// and the core::ToString display names, so parse → ToString → parse
+// round-trips).
 std::optional<core::Protocol> ParseProtocol(const std::string& name);
+
+// Maps "none" / "fixed" / "two-tier" (and the core::ToString names).
+std::optional<core::LeaseMode> ParseLeaseMode(const std::string& name);
 
 int RunGenerate(const Flags& flags, std::ostream& out, std::ostream& err);
 int RunSummarize(const Flags& flags, std::ostream& out, std::ostream& err);

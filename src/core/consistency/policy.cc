@@ -1,0 +1,201 @@
+#include "core/consistency/policy.h"
+
+#include "core/adaptive_ttl.h"
+#include "core/lease.h"
+#include "http/proxy_cache.h"
+#include "util/check.h"
+
+namespace webcc::core::consistency {
+
+// EntryMeta fields are copied straight from http::CacheEntry; the sentinels
+// must agree so no translation layer is needed.
+static_assert(kNeverExpires == http::kNeverExpires,
+              "consistency kernel and proxy cache disagree on the "
+              "never-expires sentinel");
+
+Time ConsistencyPolicy::OnPcvValid(const EntryMeta&, Time) const {
+  // Policies without piggyback validation never see PCV verdicts.
+  WEBCC_CHECK_MSG(false, "OnPcvValid on a non-PCV policy");
+  return kNeverExpires;
+}
+
+namespace {
+
+// Replies carry net::kNoLease when the server granted no lease (TTL-family
+// origins, or the invalidation protocol with leases off, whose promise to
+// invalidate is unbounded). Cached entries store that as "never expires".
+Time LeaseExpiryFromReply(Time lease_until) {
+  return lease_until == net::kNoLease ? kNeverExpires : lease_until;
+}
+
+// --- the adaptive-TTL family (Alex protocol §3.1; PCV/PSI ride on it) --------
+
+class TtlFamilyPolicy : public ConsistencyPolicy {
+ public:
+  explicit TtlFamilyPolicy(const AdaptiveTtlConfig& ttl) : ttl_(ttl) {}
+
+  HitDecision OnHit(const EntryMeta& entry, Time now) const override {
+    if (!entry.questionable && now < entry.ttl_expires) {
+      return {HitAction::kServeLocal, false};
+    }
+    return {HitAction::kValidate, false};
+  }
+
+  InsertDecision OnMissReply(const ReplyMeta& reply, Time now) const override {
+    return {AdaptiveTtlExpiry(ttl_, now, reply.last_modified),
+            LeaseExpiryFromReply(reply.lease_until)};
+  }
+
+  ValidateDecision OnValidateReply(const ReplyMeta& reply,
+                                   Time now) const override {
+    ValidateDecision decision;
+    decision.set_ttl = true;
+    decision.ttl_expires = AdaptiveTtlExpiry(ttl_, now, reply.last_modified);
+    // A TTL-family origin grants no leases; the branch exists so a lease a
+    // server does stamp (e.g. a shared deployment) is not silently dropped.
+    if (reply.lease_until != net::kNoLease) {
+      decision.set_lease = true;
+      decision.lease_expires = reply.lease_until;
+    }
+    return decision;
+  }
+
+  WriteDecision OnWrite() const override { return {}; }
+
+ protected:
+  const AdaptiveTtlConfig ttl_;
+};
+
+class AdaptiveTtlPolicy final : public TtlFamilyPolicy {
+ public:
+  using TtlFamilyPolicy::TtlFamilyPolicy;
+  Protocol protocol() const override { return Protocol::kAdaptiveTtl; }
+  const Traits& traits() const override {
+    static constexpr Traits kTraits{.ttl_based = true};
+    return kTraits;
+  }
+};
+
+class PiggybackValidationPolicy final : public TtlFamilyPolicy {
+ public:
+  using TtlFamilyPolicy::TtlFamilyPolicy;
+  Protocol protocol() const override {
+    return Protocol::kPiggybackValidation;
+  }
+  const Traits& traits() const override {
+    static constexpr Traits kTraits{.piggyback_validation = true,
+                                    .ttl_based = true};
+    return kTraits;
+  }
+  Time OnPcvValid(const EntryMeta& entry, Time now) const override {
+    // A bulk validation is as good as a 304: the TTL clock restarts from
+    // the entry's (unchanged) last-modified age.
+    return AdaptiveTtlExpiry(ttl_, now, entry.last_modified);
+  }
+};
+
+class PiggybackInvalidationPolicy final : public TtlFamilyPolicy {
+ public:
+  using TtlFamilyPolicy::TtlFamilyPolicy;
+  Protocol protocol() const override {
+    return Protocol::kPiggybackInvalidation;
+  }
+  const Traits& traits() const override {
+    static constexpr Traits kTraits{.piggyback_invalidation = true,
+                                    .ttl_based = true};
+    return kTraits;
+  }
+};
+
+// --- poll-every-time (§3.2) --------------------------------------------------
+
+class PollEveryTimePolicy final : public ConsistencyPolicy {
+ public:
+  Protocol protocol() const override { return Protocol::kPollEveryTime; }
+  const Traits& traits() const override {
+    static constexpr Traits kTraits{};
+    return kTraits;
+  }
+
+  HitDecision OnHit(const EntryMeta&, Time) const override {
+    // Strong consistency by brute force: every hit validates.
+    return {HitAction::kValidate, false};
+  }
+
+  InsertDecision OnMissReply(const ReplyMeta& reply, Time) const override {
+    return {kNeverExpires, LeaseExpiryFromReply(reply.lease_until)};
+  }
+
+  ValidateDecision OnValidateReply(const ReplyMeta& reply,
+                                   Time) const override {
+    ValidateDecision decision;
+    if (reply.lease_until != net::kNoLease) {
+      decision.set_lease = true;
+      decision.lease_expires = reply.lease_until;
+    }
+    return decision;
+  }
+
+  WriteDecision OnWrite() const override { return {}; }
+};
+
+// --- invalidation (§3.3, leases §6) ------------------------------------------
+
+class InvalidationPolicy final : public ConsistencyPolicy {
+ public:
+  Protocol protocol() const override { return Protocol::kInvalidation; }
+  const Traits& traits() const override {
+    static constexpr Traits kTraits{.invalidation_callbacks = true};
+    return kTraits;
+  }
+
+  HitDecision OnHit(const EntryMeta& entry, Time now) const override {
+    // Half-open [grant, expiry): at the exact expiry instant the copy must
+    // be revalidated (see core::LeaseActive).
+    const bool lease_ok = LeaseActive(entry.lease_expires, now);
+    if (!entry.questionable && lease_ok) {
+      return {HitAction::kServeLocal, false};
+    }
+    return {HitAction::kValidate, !entry.questionable && !lease_ok};
+  }
+
+  InsertDecision OnMissReply(const ReplyMeta& reply, Time) const override {
+    return {kNeverExpires, LeaseExpiryFromReply(reply.lease_until)};
+  }
+
+  ValidateDecision OnValidateReply(const ReplyMeta& reply,
+                                   Time) const override {
+    ValidateDecision decision;
+    decision.set_lease = true;
+    // kNoLease means leases are off: the server promises an INVALIDATE
+    // forever, so the renewed copy never lapses on its own.
+    decision.lease_expires = LeaseExpiryFromReply(reply.lease_until);
+    return decision;
+  }
+
+  WriteDecision OnWrite() const override {
+    return {.fan_out_invalidations = true};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<const ConsistencyPolicy> MakePolicy(
+    Protocol protocol, const AdaptiveTtlConfig& ttl) {
+  switch (protocol) {
+    case Protocol::kAdaptiveTtl:
+      return std::make_unique<AdaptiveTtlPolicy>(ttl);
+    case Protocol::kPollEveryTime:
+      return std::make_unique<PollEveryTimePolicy>();
+    case Protocol::kInvalidation:
+      return std::make_unique<InvalidationPolicy>();
+    case Protocol::kPiggybackValidation:
+      return std::make_unique<PiggybackValidationPolicy>(ttl);
+    case Protocol::kPiggybackInvalidation:
+      return std::make_unique<PiggybackInvalidationPolicy>(ttl);
+  }
+  WEBCC_CHECK_MSG(false, "unknown protocol");
+  return nullptr;
+}
+
+}  // namespace webcc::core::consistency

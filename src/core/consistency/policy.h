@@ -1,0 +1,63 @@
+// The consistency kernel: one strategy class per protocol, shared by the
+// replay engine and the live (real-TCP) stack.
+//
+// Decision table (see DESIGN.md "Consistency kernel" for the paper mapping):
+//
+//   protocol        OnHit serves locally when          OnWrite
+//   --------------  --------------------------------  -------------------
+//   adaptive TTL    !questionable && now < ttl        nothing (weak)
+//   poll-every-time never (IMS on every hit)          nothing (write done
+//                                                     at file-system touch)
+//   invalidation    !questionable && LeaseActive      fan out INVALIDATEs
+//   PCV             as adaptive TTL                   nothing (validation
+//                                                     rides on requests)
+//   PSI             as adaptive TTL                   nothing (notices ride
+//                                                     on replies)
+//
+// Policies are immutable after construction and hold no per-entry state;
+// all state lives in the caches (EntryMeta snapshots in, Decisions out).
+#pragma once
+
+#include <memory>
+
+#include "core/consistency/types.h"
+#include "core/policy.h"
+
+namespace webcc::core::consistency {
+
+class ConsistencyPolicy {
+ public:
+  virtual ~ConsistencyPolicy() = default;
+
+  virtual Protocol protocol() const = 0;
+  virtual const Traits& traits() const = 0;
+
+  // A request found a cached copy `entry` at protocol time `now`: serve it
+  // locally or validate first?
+  virtual HitDecision OnHit(const EntryMeta& entry, Time now) const = 0;
+
+  // A 200 arrived for a miss (or an expired copy): the consistency state
+  // the new entry starts with.
+  virtual InsertDecision OnMissReply(const ReplyMeta& reply,
+                                     Time now) const = 0;
+
+  // A 304 certified the cached copy fresh: how to refresh its state.
+  virtual ValidateDecision OnValidateReply(const ReplyMeta& reply,
+                                           Time now) const = 0;
+
+  // The server detected a document modification.
+  virtual WriteDecision OnWrite() const = 0;
+
+  // PCV: a piggybacked validation came back "still valid" — the absolute
+  // TTL expiry the re-armed entry gets. Only meaningful for policies with
+  // traits().piggyback_validation.
+  virtual Time OnPcvValid(const EntryMeta& entry, Time now) const;
+};
+
+// Builds the strategy for `protocol`. `ttl` parameterizes the TTL-based
+// family (adaptive TTL, PCV, PSI); the returned policy is self-contained
+// and safe to share across threads.
+std::unique_ptr<const ConsistencyPolicy> MakePolicy(
+    Protocol protocol, const AdaptiveTtlConfig& ttl);
+
+}  // namespace webcc::core::consistency

@@ -25,6 +25,18 @@ bool LeaseActive(Time lease_until, Time now) {
   return lease_until == net::kNoLease || lease_until > now;
 }
 
+const char* ToString(LeaseMode mode) {
+  switch (mode) {
+    case LeaseMode::kNone:
+      return "none";
+    case LeaseMode::kFixed:
+      return "fixed";
+    case LeaseMode::kTwoTier:
+      return "two-tier";
+  }
+  return "?";
+}
+
 const char* ToString(Protocol protocol) {
   switch (protocol) {
     case Protocol::kAdaptiveTtl:

@@ -14,7 +14,8 @@ std::vector<PcvVerdict> ValidatePiggyback(const http::DocumentStore& store,
   for (const PcvItem& item : items) {
     const http::Document* doc = store.Find(item.url);
     PcvVerdict verdict;
-    verdict.key = item.key;
+    verdict.url = item.url;
+    verdict.owner = item.owner;
     // Unknown documents (deleted at the origin) are invalid by definition.
     verdict.invalid = doc == nullptr || doc->last_modified > item.last_modified;
     verdicts.push_back(std::move(verdict));
@@ -36,10 +37,11 @@ std::uint64_t PcvRequestExtraBytes(const std::vector<PcvItem>& items) {
 }
 
 std::uint64_t PcvReplyExtraBytes(const std::vector<PcvVerdict>& verdicts) {
-  // The reply lists only the invalid keys; valid entries are implied.
+  // The reply lists only the invalid copies (url, owner, separator); valid
+  // entries are implied.
   std::uint64_t bytes = 0;
   for (const PcvVerdict& verdict : verdicts) {
-    if (verdict.invalid) bytes += verdict.key.size() + 2;
+    if (verdict.invalid) bytes += verdict.url.size() + verdict.owner.size() + 3;
   }
   return bytes;
 }

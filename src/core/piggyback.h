@@ -41,16 +41,19 @@ struct PiggybackConfig {
 
 // --- PCV ---------------------------------------------------------------------
 
-// One piggybacked validation candidate: a cached entry identified by its
-// cache key, with the metadata the server needs to validate it.
+// One piggybacked validation candidate: a cached copy identified by its
+// (url, owner) pair, with the metadata the server needs to validate it.
+// Proxy-local cache keys never cross the wire; the proxy recomposes them
+// from the verdict (http::ComposeCacheKey).
 struct PcvItem {
-  std::string key;  // url@client at the proxy
   std::string url;
+  std::string owner;  // the real client whose namespaced copy this is
   Time last_modified = 0;
 };
 
 struct PcvVerdict {
-  std::string key;
+  std::string url;
+  std::string owner;
   bool invalid = false;  // document changed since the entry's last_modified
 };
 

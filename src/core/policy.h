@@ -33,6 +33,8 @@ enum class LeaseMode {
   kTwoTier,  // GET earns `short_duration`, IMS earns `duration` (Section 6)
 };
 
+const char* ToString(LeaseMode mode);
+
 struct LeaseConfig {
   LeaseMode mode = LeaseMode::kNone;
   Time duration = 3 * kDay;

@@ -1,0 +1,30 @@
+// Composite cache-key construction, shared by every component that
+// namespaces cached copies per real client (the replay engine's pseudo
+// clients and the live proxy).
+//
+// Keys were historically built as `url + "@" + owner`, which collides as
+// soon as either part contains '@' — and live client ids are "name@port"
+// by construction. The length prefix makes the encoding injective: two
+// (url, owner) pairs map to the same key iff they are equal, regardless of
+// the bytes either contains.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace webcc::http {
+
+// Returns the canonical cache key for `owner`'s copy of `url`.
+inline std::string ComposeCacheKey(std::string_view url,
+                                   std::string_view owner) {
+  std::string key;
+  key.reserve(url.size() + owner.size() + 24);
+  key.append(std::to_string(url.size()));
+  key.push_back(':');
+  key.append(url);
+  key.push_back('@');
+  key.append(owner);
+  return key;
+}
+
+}  // namespace webcc::http

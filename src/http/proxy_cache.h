@@ -1,8 +1,8 @@
 // Client-side proxy cache in the style of Harvest "cached".
 //
-// Entries are namespaced per real client (the replay inserts keys of the
-// form url@clientid exactly as the paper does, so one proxy process hosts
-// many independent per-client caches). Two replacement policies are
+// Entries are namespaced per real client (the replay inserts composite
+// url+client keys built by http::ComposeCacheKey, so one proxy process
+// hosts many independent per-client caches exactly as the paper does). Two replacement policies are
 // provided:
 //
 //  * kLru             — plain least-recently-used.
@@ -44,7 +44,7 @@ inline constexpr Time kNeverExpires = std::numeric_limits<Time>::max();
 enum class ReplacementPolicy { kLru, kExpiredFirstLru };
 
 struct CacheEntry {
-  std::string key;  // url@client
+  std::string key;  // http::ComposeCacheKey(url, owner)
   std::string url;
   std::string owner;  // the real client this namespaced entry belongs to
   std::uint64_t size_bytes = 0;

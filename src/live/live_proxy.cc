@@ -1,17 +1,40 @@
 #include "live/live_proxy.h"
 
 #include <chrono>
+#include <unordered_set>
 #include <utility>
 
-#include "core/adaptive_ttl.h"
-#include "core/lease.h"
+#include "http/cache_key.h"
 #include "live/live_server.h"
 #include "net/wire.h"
 #include "util/log.h"
 
 namespace webcc::live {
+namespace {
 
-LiveProxy::LiveProxy(Options options) : options_(std::move(options)) {}
+// Snapshot of a cached copy's consistency state for the kernel.
+core::consistency::EntryMeta MetaOf(const http::CacheEntry& entry) {
+  core::consistency::EntryMeta meta;
+  meta.last_modified = entry.last_modified;
+  meta.fetched_at = entry.fetched_at;
+  meta.ttl_expires = entry.ttl_expires;
+  meta.lease_expires = entry.lease_expires;
+  meta.questionable = entry.questionable;
+  return meta;
+}
+
+core::consistency::ReplyMeta MetaOf(const net::Reply& reply) {
+  core::consistency::ReplyMeta meta;
+  meta.last_modified = reply.last_modified;
+  meta.lease_until = reply.lease_until;
+  return meta;
+}
+
+}  // namespace
+
+LiveProxy::LiveProxy(Options options)
+    : options_(std::move(options)),
+      policy_(core::consistency::MakePolicy(options_.protocol, options_.ttl)) {}
 
 LiveProxy::~LiveProxy() { Stop(); }
 
@@ -53,33 +76,23 @@ void LiveProxy::SimulateRecovery() {
 LiveProxy::FetchResult LiveProxy::Fetch(const std::string& client_name,
                                         const std::string& url) {
   const std::string client_id = MakeClientId(client_name, port_);
-  const std::string key = url + "@" + client_id;
+  const std::string key = http::ComposeCacheKey(url, client_id);
   const Time now = Now();
+  const core::consistency::Traits& traits = policy_->traits();
 
   net::Request request;
   request.url = url;
   request.client_id = client_id;
   request.type = net::MessageType::kGet;
+  bool lease_renewal = false;
 
   {
     const std::scoped_lock lock(mutex_);
     http::CacheEntry* entry = cache_->Lookup(key);
     if (entry != nullptr) {
-      bool serve_local = false;
-      switch (options_.protocol) {
-        case core::Protocol::kAdaptiveTtl:
-          serve_local = !entry->questionable && now < entry->ttl_expires;
-          break;
-        case core::Protocol::kPollEveryTime:
-          serve_local = false;
-          break;
-        case core::Protocol::kInvalidation:
-          // Half-open [grant, expiry): an exact-expiry fetch revalidates.
-          serve_local = !entry->questionable &&
-                        core::LeaseActive(entry->lease_expires, now);
-          break;
-      }
-      if (serve_local) {
+      const core::consistency::HitDecision decision =
+          policy_->OnHit(MetaOf(*entry), now);
+      if (decision.action == core::consistency::HitAction::kServeLocal) {
         obs::Emit(options_.trace_sink,
                   {.type = obs::EventType::kRequestServed,
                    .at = now,
@@ -93,10 +106,38 @@ LiveProxy::FetchResult LiveProxy::Fetch(const std::string& client_name,
         result.size_bytes = entry->size_bytes;
         return result;
       }
+      lease_renewal = decision.lease_renewal;
       request.type = net::MessageType::kIfModifiedSince;
       request.if_modified_since = entry->last_modified;
     }
+
+    // PCV: since we are contacting the server anyway, piggyback a batch of
+    // this proxy's TTL-expired entries for bulk validation.
+    if (traits.piggyback_validation) {
+      for (http::CacheEntry* expired : cache_->TakeExpired(
+               now, options_.piggyback.max_validations_per_request)) {
+        if (expired->key == key) {
+          // The request itself validates this entry; leave it indexed.
+          cache_->SetTtlExpiry(*expired, expired->ttl_expires);
+          continue;
+        }
+        request.pcv_queries.push_back(net::PcvQuery{
+            expired->url, expired->owner, expired->last_modified});
+      }
+    }
   }
+
+  obs::Emit(options_.trace_sink,
+            request.type == net::MessageType::kGet
+                ? obs::TraceEvent{.type = obs::EventType::kGetSent,
+                                  .at = now,
+                                  .url = url,
+                                  .site = client_id}
+                : obs::TraceEvent{.type = obs::EventType::kImsSent,
+                                  .at = now,
+                                  .url = url,
+                                  .site = client_id,
+                                  .detail = lease_renewal ? 1 : 0});
 
   const std::optional<std::string> reply_line =
       Exchange(options_.server_port, net::EncodeLine(request));
@@ -121,7 +162,35 @@ LiveProxy::FetchResult LiveProxy::Fetch(const std::string& client_name,
                      : obs::ServeKind::kValidated)});
 
   const std::scoped_lock lock(mutex_);
+
+  // Apply the reply's piggyback freshness information first, so a
+  // just-fetched body is inserted after any purge of its URL (the replay's
+  // ApplyPiggyback runs before DeliverReply for the same reason).
+  if (!reply->pcv_invalid.empty() || !request.pcv_queries.empty()) {
+    std::unordered_set<std::string> invalid_keys;
+    for (const net::PcvStale& stale : reply->pcv_invalid) {
+      const std::string stale_key =
+          http::ComposeCacheKey(stale.url, stale.owner);
+      if (cache_->Erase(stale_key)) pcv_invalidated_.fetch_add(1);
+      invalid_keys.insert(stale_key);
+    }
+    // Entries the server did not flag are certified valid: re-arm their TTL.
+    for (const net::PcvQuery& query : request.pcv_queries) {
+      const std::string query_key =
+          http::ComposeCacheKey(query.url, query.owner);
+      if (invalid_keys.count(query_key) != 0) continue;
+      http::CacheEntry* entry = cache_->Peek(query_key);
+      if (entry == nullptr) continue;  // evicted while we were on the wire
+      cache_->SetTtlExpiry(*entry, policy_->OnPcvValid(MetaOf(*entry), now));
+    }
+  }
+  for (const std::string& modified : reply->psi_modified) {
+    psi_purged_.fetch_add(cache_->EraseByUrl(modified));
+  }
+
   if (reply->type == net::MessageType::kReply200) {
+    const core::consistency::InsertDecision decision =
+        policy_->OnMissReply(MetaOf(*reply), now);
     http::CacheEntry entry;
     entry.key = key;
     entry.url = url;
@@ -130,32 +199,21 @@ LiveProxy::FetchResult LiveProxy::Fetch(const std::string& client_name,
     entry.last_modified = reply->last_modified;
     entry.version = reply->version;
     entry.fetched_at = now;
-    if (options_.protocol == core::Protocol::kAdaptiveTtl) {
-      entry.ttl_expires =
-          core::AdaptiveTtlExpiry(options_.ttl, now, reply->last_modified);
-    }
-    entry.lease_expires = reply->lease_until == net::kNoLease
-                              ? http::kNeverExpires
-                              : reply->lease_until;
+    entry.ttl_expires = decision.ttl_expires;
+    entry.lease_expires = decision.lease_expires;
     result.size_bytes = entry.size_bytes;
     cache_->Insert(std::move(entry), now);
   } else {
     result.validated = true;
     http::CacheEntry* entry = cache_->Peek(key);
     if (entry != nullptr) {
-      entry->questionable = false;
+      const core::consistency::ValidateDecision decision =
+          policy_->OnValidateReply(MetaOf(*reply), now);
+      if (decision.clear_questionable) entry->questionable = false;
+      if (decision.set_ttl) cache_->SetTtlExpiry(*entry, decision.ttl_expires);
+      if (decision.set_lease) entry->lease_expires = decision.lease_expires;
       result.size_bytes = entry->size_bytes;
       result.version = entry->version;
-      if (options_.protocol == core::Protocol::kAdaptiveTtl) {
-        cache_->SetTtlExpiry(
-            *entry, core::AdaptiveTtlExpiry(options_.ttl, now,
-                                            reply->last_modified));
-      }
-      if (reply->lease_until != net::kNoLease) {
-        entry->lease_expires = reply->lease_until;
-      } else if (options_.protocol == core::Protocol::kInvalidation) {
-        entry->lease_expires = http::kNeverExpires;
-      }
     }
   }
   return result;
@@ -175,14 +233,21 @@ void LiveProxy::AcceptLoop() {
     if (!message.has_value()) continue;
     const auto* invalidation = std::get_if<net::Invalidation>(&*message);
     if (invalidation == nullptr) continue;
-    // A TTL or polling proxy predates the INVALIDATE extension and ignores
-    // such messages, as the paper's weak-consistency baselines do.
-    if (options_.protocol != core::Protocol::kInvalidation) continue;
+    // A proxy running a protocol without invalidation callbacks predates
+    // the INVALIDATE extension and ignores such messages, as the paper's
+    // weak-consistency baselines do.
+    if (!policy_->traits().invalidation_callbacks) continue;
 
     const std::scoped_lock lock(mutex_);
     if (invalidation->type == net::MessageType::kInvalidateUrl) {
-      cache_->Erase(invalidation->url + "@" + invalidation->client_id);
+      cache_->Erase(
+          http::ComposeCacheKey(invalidation->url, invalidation->client_id));
       invalidations_received_.fetch_add(1);
+      obs::Emit(options_.trace_sink,
+                {.type = obs::EventType::kInvalidateDelivered,
+                 .at = Now(),
+                 .url = invalidation->url,
+                 .site = invalidation->client_id});
     } else {
       // Server-address invalidation: the recovering server cannot know what
       // changed while it was down, so every copy of its documents at this

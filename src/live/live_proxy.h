@@ -2,19 +2,26 @@
 // pseudo-client proxies (Harvest "cached").
 //
 // Serves Fetch() calls on behalf of named real clients (entries are
-// namespaced url@name, as in the paper's replay), forwards misses and
-// validations to the live server, and runs a listener for the server's
-// INVALIDATE pushes. Supports all three consistency protocols so the live
-// demo can show their behavioral differences end to end.
+// namespaced by http::ComposeCacheKey(url, client), as in the paper's
+// replay), forwards misses and validations to the live server, and runs a
+// listener for the server's INVALIDATE pushes. Every consistency decision —
+// serve-local vs validate, TTL/lease state on insert and on a 304 — comes
+// from the same core/consistency kernel the replay engine dispatches
+// through, so all five protocols (adaptive TTL, poll-every-time,
+// invalidation, PCV, PSI) and the lease modes behave identically in
+// simulation and deployment (tests/test_differential.cc asserts this).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 
+#include "core/consistency/policy.h"
+#include "core/piggyback.h"
 #include "core/policy.h"
 #include "http/proxy_cache.h"
 #include "live/socket.h"
@@ -30,6 +37,7 @@ class LiveProxy {
     std::uint16_t server_port = 0;
     core::Protocol protocol = core::Protocol::kInvalidation;
     core::AdaptiveTtlConfig ttl;
+    core::PiggybackConfig piggyback;
     std::uint64_t cache_bytes = 64ull * 1024 * 1024;
     http::ReplacementPolicy replacement =
         http::ReplacementPolicy::kExpiredFirstLru;
@@ -72,6 +80,10 @@ class LiveProxy {
   std::uint64_t server_notices_received() const {
     return server_notices_received_.load();
   }
+  // PCV: piggybacked entries the server found invalid (and we dropped).
+  std::uint64_t pcv_invalidated() const { return pcv_invalidated_.load(); }
+  // PSI: cache entries purged by piggybacked server notices.
+  std::uint64_t psi_purged() const { return psi_purged_.load(); }
   std::size_t cached_entries() const;
 
  private:
@@ -79,6 +91,7 @@ class LiveProxy {
   Time Now() const;
 
   Options options_;
+  std::unique_ptr<const core::consistency::ConsistencyPolicy> policy_;
   std::uint16_t port_ = 0;
 
   mutable std::mutex mutex_;  // guards cache_
@@ -89,6 +102,8 @@ class LiveProxy {
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> invalidations_received_{0};
   std::atomic<std::uint64_t> server_notices_received_{0};
+  std::atomic<std::uint64_t> pcv_invalidated_{0};
+  std::atomic<std::uint64_t> psi_purged_{0};
 };
 
 }  // namespace webcc::live

@@ -30,7 +30,10 @@ std::optional<std::uint16_t> ParseClientPort(std::string_view client_id) {
 
 LiveServer::LiveServer(Options options)
     : options_(std::move(options)),
-      accel_(docs_, options_.lease, options_.server_name) {
+      policy_(core::consistency::MakePolicy(options_.protocol,
+                                            core::AdaptiveTtlConfig{})),
+      accel_(docs_, options_.lease, options_.server_name),
+      origin_(docs_) {
   // The accelerator emits lease_grant / notify / invalidate_generated /
   // invalidate_server events itself once it has the sink.
   accel_.set_trace_sink(options_.trace_sink);
@@ -67,11 +70,18 @@ void LiveServer::AddDocument(std::string path, std::uint64_t size_bytes) {
 }
 
 std::size_t LiveServer::TouchDocument(const std::string& path) {
+  const bool fan_out = policy_->OnWrite().fan_out_invalidations;
   std::vector<net::Invalidation> invalidations;
   {
     const std::scoped_lock lock(mutex_);
-    if (!docs_.Touch(path, Now())) return 0;
-    invalidations = accel_.HandleNotify(net::Notify{path}, Now());
+    const Time now = Now();
+    if (!docs_.Touch(path, now)) return 0;
+    mod_log_.Record(now, path);
+    obs::Emit(options_.trace_sink,
+              {.type = obs::EventType::kModification, .at = now, .url = path});
+    if (fan_out) {
+      invalidations = accel_.HandleNotify(net::Notify{path}, now);
+    }
   }
   return PushInvalidations(invalidations);
 }
@@ -101,13 +111,10 @@ std::size_t LiveServer::PushInvalidations(
       continue;
     }
     if (SendOneWay(*port, net::EncodeLine(invalidation))) {
+      // Delivery is traced at the proxy when it applies the message (the
+      // replay emits kInvalidateDelivered at the cache, not the sender).
       ++pushed;
       invalidations_pushed_.fetch_add(1);
-      obs::Emit(options_.trace_sink,
-                {.type = obs::EventType::kInvalidateDelivered,
-                 .at = Now(),
-                 .url = invalidation.url,
-                 .site = invalidation.client_id});
     } else {
       obs::Emit(options_.trace_sink,
                 {.type = obs::EventType::kInvalidateGaveUp,
@@ -142,27 +149,73 @@ void LiveServer::HandleConnection(TcpStream stream) {
     stream.WriteAll("ERR malformed\n");
     return;
   }
+  const core::consistency::Traits& traits = policy_->traits();
 
   if (const auto* request = std::get_if<net::Request>(&*message)) {
     std::optional<net::Reply> reply;
     {
       const std::scoped_lock lock(mutex_);
-      reply = accel_.HandleRequest(*request, Now());
+      const Time now = Now();
+      // Protocols without invalidation callbacks run no accelerator: no
+      // site registration, no leases — the origin answers directly, as in
+      // the replay's non-invalidation routing.
+      reply = traits.invalidation_callbacks
+                  ? accel_.HandleRequest(*request, now)
+                  : origin_.Handle(*request, now);
+      if (reply.has_value()) {
+        // PCV: bulk-validate the piggybacked batch against the file
+        // system; only the invalid entries are echoed back.
+        if (traits.piggyback_validation && !request->pcv_queries.empty()) {
+          std::vector<core::PcvItem> items;
+          items.reserve(request->pcv_queries.size());
+          for (const net::PcvQuery& query : request->pcv_queries) {
+            items.push_back(
+                core::PcvItem{query.url, query.owner, query.last_modified});
+          }
+          for (core::PcvVerdict& verdict :
+               core::ValidatePiggyback(docs_, items)) {
+            if (!verdict.invalid) continue;
+            reply->pcv_invalid.push_back(net::PcvStale{
+                std::move(verdict.url), std::move(verdict.owner)});
+          }
+        }
+        // PSI: attach the documents modified since this proxy's previous
+        // contact and advance its cursor (keyed by the callback port that
+        // identifies the proxy, like the replay's per-pseudo-client
+        // cursors).
+        if (traits.piggyback_invalidation) {
+          const std::uint16_t proxy =
+              ParseClientPort(request->client_id).value_or(0);
+          Time& cursor = psi_cursor_[proxy];
+          core::ModificationLog::Window window = mod_log_.CollectSince(
+              cursor, now, options_.piggyback.max_invalidations_per_reply);
+          cursor = std::max(cursor, window.advanced_to);
+          reply->psi_modified = std::move(window.urls);
+        }
+      }
     }
     if (!reply.has_value()) {
       stream.WriteAll("ERR notfound\n");
       return;
     }
     requests_served_.fetch_add(1);
+    obs::Emit(options_.trace_sink,
+              {.type = reply->type == net::MessageType::kReply200
+                           ? obs::EventType::kReply200
+                           : obs::EventType::kReply304,
+               .at = Now(),
+               .url = reply->url,
+               .site = request->client_id});
     stream.WriteAll(net::EncodeLine(*reply));
     return;
   }
 
   if (const auto* notify = std::get_if<net::Notify>(&*message)) {
     // Out-of-band check-in (the replay drives TouchDocument directly; a
-    // remote modifier can also announce an already-applied edit).
+    // remote modifier can also announce an already-applied edit). Weak
+    // protocols owe no fan-out — the check-in is acknowledged and dropped.
     std::vector<net::Invalidation> invalidations;
-    {
+    if (policy_->OnWrite().fan_out_invalidations) {
       const std::scoped_lock lock(mutex_);
       invalidations = accel_.HandleNotify(*notify, Now());
     }

@@ -1,27 +1,37 @@
 // Real-TCP origin server + accelerator, the live counterpart of the
 // replay's pseudo-server.
 //
-// Mirrors the paper's deployment: the accelerator fronts the origin,
-// registers every requesting site, and pushes INVALIDATE messages over TCP
-// when a document is touched and checked in. One request per connection;
-// the wire format is net/wire.h.
+// Mirrors the paper's deployment: the origin answers GET/IMS, and — when
+// the configured protocol's traits call for invalidation callbacks — the
+// accelerator fronts it, registers every requesting site, and pushes
+// INVALIDATE messages over TCP when a document is touched and checked in.
+// Which machinery runs is the consistency kernel's decision
+// (core/consistency): the same traits and OnWrite() calls that drive the
+// replay engine drive this server, so simulated and deployed behavior match
+// by construction. One request per connection; the wire format is
+// net/wire.h (including the optional PCV/PSI piggyback sections).
 //
 // Invalidations must reach the requesting proxy's listener, so live client
 // identifiers embed the proxy's callback port: "name@port" (see
 // MakeClientId). This plays the role of the IP address the paper's
-// accelerator records per site.
+// accelerator records per site; PSI contact cursors key on the same port.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "core/accelerator.h"
+#include "core/consistency/policy.h"
+#include "core/piggyback.h"
 #include "core/policy.h"
 #include "http/document_store.h"
+#include "http/origin.h"
 #include "live/socket.h"
 #include "obs/trace_sink.h"
 #include "util/time.h"
@@ -37,7 +47,9 @@ class LiveServer {
  public:
   struct Options {
     std::uint16_t port = 0;  // 0 = pick an ephemeral port
+    core::Protocol protocol = core::Protocol::kInvalidation;
     core::LeaseConfig lease;
+    core::PiggybackConfig piggyback;
     std::string server_name = "origin";
     // Optional structured-event sink (not owned; must outlive the server).
     // Live timestamps are wall-clock microseconds from Now(), and the sink
@@ -60,9 +72,10 @@ class LiveServer {
 
   // --- document administration (thread-safe) -------------------------------
   void AddDocument(std::string path, std::uint64_t size_bytes);
-  // Simulates an edit plus check-in: bumps the version and runs the
-  // accelerator's detection, pushing invalidations to registered proxies.
-  // Returns the number of INVALIDATE messages pushed.
+  // Simulates an edit plus check-in: bumps the version and, when the
+  // protocol's OnWrite decision owes a fan-out, runs the accelerator's
+  // detection and pushes invalidations to registered proxies. Returns the
+  // number of INVALIDATE messages pushed.
   std::size_t TouchDocument(const std::string& path);
 
   // --- failure drill --------------------------------------------------------
@@ -87,11 +100,19 @@ class LiveServer {
       const std::vector<net::Invalidation>& invalidations);
 
   Options options_;
+  std::unique_ptr<const core::consistency::ConsistencyPolicy> policy_;
   std::uint16_t port_ = 0;
 
-  mutable std::mutex mutex_;  // guards docs_ and accel_
+  mutable std::mutex mutex_;  // guards docs_, accel_, origin_, PSI state
   http::DocumentStore docs_;
   core::Accelerator accel_;
+  // Plain origin service for the protocols whose traits run no accelerator
+  // (TTL, polling, PCV, PSI) — the replay routes these the same way.
+  http::OriginServer origin_;
+  // PSI server state: every modification in arrival order, plus each
+  // proxy's last-contact cursor (keyed by its callback port).
+  core::ModificationLog mod_log_;
+  std::unordered_map<std::uint16_t, Time> psi_cursor_;
 
   std::optional<TcpListener> listener_;
   std::thread accept_thread_;

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/time.h"
 
@@ -32,6 +33,22 @@ inline constexpr Time kNoLease = -1;
 
 const char* MessageTypeName(MessageType type);
 
+// PCV: one piggybacked validation candidate — a cached copy the proxy asks
+// the server to bulk-validate while it is contacted anyway. Identified by
+// (url, owner); proxy-local cache keys never cross the wire.
+struct PcvQuery {
+  std::string url;
+  std::string owner;
+  Time last_modified = 0;
+};
+
+// PCV reply: an invalid copy the proxy must drop. Valid candidates are
+// implied (the proxy knows what it piggybacked) and are not echoed back.
+struct PcvStale {
+  std::string url;
+  std::string owner;
+};
+
 struct Request {
   MessageType type = MessageType::kGet;  // kGet or kIfModifiedSince
   std::string url;
@@ -40,6 +57,8 @@ struct Request {
   std::string client_id;
   // If-Modified-Since timestamp; ignored for kGet.
   Time if_modified_since = 0;
+  // PCV piggyback batch; empty for every other protocol.
+  std::vector<PcvQuery> pcv_queries;
 };
 
 struct Reply {
@@ -53,6 +72,11 @@ struct Reply {
   std::uint64_t version = 0;
   // Absolute expiry of the lease granted with this reply, or kNoLease.
   Time lease_until = kNoLease;
+  // PCV: piggybacked candidates found invalid (subset of the request's
+  // pcv_queries). Empty for every other protocol.
+  std::vector<PcvStale> pcv_invalid;
+  // PSI: documents modified since this proxy's previous server contact.
+  std::vector<std::string> psi_modified;
 };
 
 struct Invalidation {
@@ -73,6 +97,9 @@ struct Notify {
 // --- wire-size accounting --------------------------------------------------
 // Sizes used for the byte columns of Tables 3/4: a typical HTTP header
 // footprint plus variable parts, with 200 replies adding their body.
+// Piggyback sections are deliberately NOT included here: the replay
+// accounts for them via core::Pcv*/PsiReplyExtraBytes, keeping the paper's
+// byte columns stable.
 
 inline constexpr std::uint64_t kControlHeaderBytes = 180;
 

@@ -40,6 +40,111 @@ std::optional<std::string> ParseField(std::string_view field) {
   return UnescapeField(field);
 }
 
+// --- optional piggyback sections ---------------------------------------------
+// Requests may end with   PCV <n> (<url> <owner> <last_modified>)*n
+// Replies may end with    PCVINV <n> (<url> <owner>)*n  then
+//                         PSI <n> (<url>)*n
+// Messages without piggyback data keep their historical fixed field counts,
+// so pre-extension peers interoperate for every non-piggyback protocol.
+
+void AppendPcvSection(std::string& out, const std::vector<PcvQuery>& queries) {
+  if (queries.empty()) return;
+  char buf[32];
+  out += " PCV ";
+  out += std::to_string(queries.size());
+  for (const PcvQuery& query : queries) {
+    std::snprintf(buf, sizeof(buf), " %lld",
+                  static_cast<long long>(query.last_modified));
+    out += " " + EscapeField(query.url) + " " + EscapeField(query.owner) + buf;
+  }
+}
+
+void AppendReplySections(std::string& out, const Reply& reply) {
+  if (!reply.pcv_invalid.empty()) {
+    out += " PCVINV ";
+    out += std::to_string(reply.pcv_invalid.size());
+    for (const PcvStale& stale : reply.pcv_invalid) {
+      out += " " + EscapeField(stale.url) + " " + EscapeField(stale.owner);
+    }
+  }
+  if (!reply.psi_modified.empty()) {
+    out += " PSI ";
+    out += std::to_string(reply.psi_modified.size());
+    for (const std::string& url : reply.psi_modified) {
+      out += " " + EscapeField(url);
+    }
+  }
+}
+
+// Parses a piggyback section starting at fields[cursor] (the marker), with
+// `arity` fields per item; calls `consume` per item. False on malformed
+// counts.
+template <typename Consume>
+bool ParseSection(const std::vector<std::string_view>& fields,
+                  std::size_t& cursor, std::size_t arity, Consume&& consume) {
+  ++cursor;  // the marker itself
+  if (cursor >= fields.size()) return false;
+  std::size_t count = 0;
+  if (!ParseInt(fields[cursor], count)) return false;
+  ++cursor;
+  // Division form avoids overflow on a hostile count.
+  if (count > (fields.size() - cursor) / arity) return false;
+  for (std::size_t i = 0; i < count; ++i, cursor += arity) {
+    if (!consume(&fields[cursor])) return false;
+  }
+  return true;
+}
+
+bool ParseRequestPcv(const std::vector<std::string_view>& fields,
+                     std::size_t cursor, Request& request) {
+  if (cursor == fields.size()) return true;  // no section: fine
+  if (fields[cursor] != "PCV") return false;
+  if (!ParseSection(fields, cursor, 3, [&request](const std::string_view* f) {
+        PcvQuery query;
+        auto url = ParseField(f[0]);
+        auto owner = ParseField(f[1]);
+        if (!url || !owner || !ParseInt(f[2], query.last_modified)) {
+          return false;
+        }
+        query.url = std::move(*url);
+        query.owner = std::move(*owner);
+        request.pcv_queries.push_back(std::move(query));
+        return true;
+      })) {
+    return false;
+  }
+  return cursor == fields.size();
+}
+
+bool ParseReplySections(const std::vector<std::string_view>& fields,
+                        std::size_t cursor, Reply& reply) {
+  if (cursor < fields.size() && fields[cursor] == "PCVINV") {
+    if (!ParseSection(fields, cursor, 2, [&reply](const std::string_view* f) {
+          PcvStale stale;
+          auto url = ParseField(f[0]);
+          auto owner = ParseField(f[1]);
+          if (!url || !owner) return false;
+          stale.url = std::move(*url);
+          stale.owner = std::move(*owner);
+          reply.pcv_invalid.push_back(std::move(stale));
+          return true;
+        })) {
+      return false;
+    }
+  }
+  if (cursor < fields.size() && fields[cursor] == "PSI") {
+    if (!ParseSection(fields, cursor, 1, [&reply](const std::string_view* f) {
+          auto url = ParseField(f[0]);
+          if (!url) return false;
+          reply.psi_modified.push_back(std::move(*url));
+          return true;
+        })) {
+      return false;
+    }
+  }
+  return cursor == fields.size();
+}
+
 }  // namespace
 
 std::string EscapeField(std::string_view raw) {
@@ -95,6 +200,7 @@ std::string EncodeLine(const Message& message) {
       out = "IMS " + EscapeField(request->url) + " " +
             EscapeField(request->client_id) + buf;
     }
+    AppendPcvSection(out, request->pcv_queries);
   } else if (const auto* reply = std::get_if<Reply>(&message)) {
     if (reply->type == MessageType::kReply200) {
       std::snprintf(buf, sizeof(buf), " %llu %lld %llu %lld",
@@ -109,6 +215,7 @@ std::string EncodeLine(const Message& message) {
                     static_cast<long long>(reply->lease_until));
       out = "304 " + EscapeField(reply->url) + buf;
     }
+    AppendReplySections(out, *reply);
   } else if (const auto* inv = std::get_if<Invalidation>(&message)) {
     if (inv->type == MessageType::kInvalidateUrl) {
       out = "INV " + EscapeField(inv->url) + " " + EscapeField(inv->client_id);
@@ -131,7 +238,8 @@ std::optional<Message> DecodeLine(std::string_view line) {
     Request request;
     request.type =
         verb == "GET" ? MessageType::kGet : MessageType::kIfModifiedSince;
-    if (fields.size() != (verb == "GET" ? 3u : 4u)) return std::nullopt;
+    const std::size_t fixed = verb == "GET" ? 3u : 4u;
+    if (fields.size() < fixed) return std::nullopt;
     auto url = ParseField(fields[1]);
     auto client = ParseField(fields[2]);
     if (!url || !client) return std::nullopt;
@@ -140,11 +248,12 @@ std::optional<Message> DecodeLine(std::string_view line) {
     if (verb == "IMS" && !ParseInt(fields[3], request.if_modified_since)) {
       return std::nullopt;
     }
+    if (!ParseRequestPcv(fields, fixed, request)) return std::nullopt;
     return request;
   }
 
   if (verb == "200") {
-    if (fields.size() != 6) return std::nullopt;
+    if (fields.size() < 6) return std::nullopt;
     Reply reply;
     reply.type = MessageType::kReply200;
     auto url = ParseField(fields[1]);
@@ -155,11 +264,12 @@ std::optional<Message> DecodeLine(std::string_view line) {
       return std::nullopt;
     }
     reply.url = std::move(*url);
+    if (!ParseReplySections(fields, 6, reply)) return std::nullopt;
     return reply;
   }
 
   if (verb == "304") {
-    if (fields.size() != 4) return std::nullopt;
+    if (fields.size() < 4) return std::nullopt;
     Reply reply;
     reply.type = MessageType::kReply304;
     auto url = ParseField(fields[1]);
@@ -168,6 +278,7 @@ std::optional<Message> DecodeLine(std::string_view line) {
       return std::nullopt;
     }
     reply.url = std::move(*url);
+    if (!ParseReplySections(fields, 4, reply)) return std::nullopt;
     return reply;
   }
 

@@ -12,6 +12,14 @@
 //   INVSRV <server>
 //   NOTIFY <url>
 //
+// Requests and replies may carry optional piggyback sections after the
+// fixed fields (the PCV/PSI schemes from the follow-on literature):
+//
+//   GET/IMS ...  PCV <n> (<url> <owner> <last_modified_us>)*n
+//   200/304 ...  PCVINV <n> (<url> <owner>)*n  PSI <n> (<url>)*n
+//
+// Messages without piggyback data keep the historical fixed field counts.
+//
 // A 200 line is followed by exactly <body_bytes> bytes of body on the
 // stream; framing of the body is the caller's job (the codec deals in
 // header lines only).

@@ -4,235 +4,21 @@
 #include <charconv>
 #include <chrono>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
-#include "core/accelerator.h"
-#include "core/adaptive_ttl.h"
 #include "core/lease.h"
-#include "core/piggyback.h"
-#include "http/document_store.h"
-#include "http/origin.h"
-#include "http/proxy_cache.h"
-#include "net/message.h"
+#include "http/cache_key.h"
 #include "obs/event.h"
-#include "obs/trace_sink.h"
-#include "sim/network.h"
-#include "sim/simulator.h"
-#include "sim/station.h"
-#include "util/check.h"
+#include "replay/engine_impl.h"
 #include "util/distributions.h"
 #include "util/log.h"
 #include "util/rng.h"
 
 namespace webcc::replay {
-namespace {
+namespace detail {
 
-using core::Protocol;
-
-class Engine {
- public:
-  explicit Engine(const ReplayConfig& config)
-      : config_(config),
-        trace_(*config.trace),
-        net_(sim_, config.network),
-        server_cpu_(sim_, "server-cpu"),
-        server_disk_(sim_, "server-disk"),
-        inval_sender_(sim_, "invalidation-sender"),
-        accel_(docs_, config.lease) {
-    WEBCC_CHECK_MSG(config.trace != nullptr, "replay needs a trace");
-    WEBCC_CHECK_MSG(config.num_pseudo_clients > 0, "need pseudo-clients");
-    Setup();
-  }
-
-  ReplayMetrics Run();
-
- private:
-  struct PseudoClient {
-    int index = 0;
-    sim::NodeId node = 0;
-    std::unique_ptr<http::ProxyCache> cache;
-    std::vector<trace::TraceRecord> records;
-    std::size_t cursor = 0;        // next record to issue
-    std::size_t window_end = 0;    // bound for the current interval
-    bool down = false;
-    std::uint64_t outstanding = 0;  // seq of the in-flight request; 0 = none
-    Time request_start = 0;         // wall time the in-flight request began
-  };
-
-  sim::NodeId ServerNode() const {
-    return static_cast<sim::NodeId>(clients_.size());
-  }
-  sim::NodeId ParentNode() const {
-    return static_cast<sim::NodeId>(clients_.size() + 1);
-  }
-  bool InvalidationMode() const {
-    return config_.protocol == Protocol::kInvalidation;
-  }
-  // Protocols whose local-serve decision is the adaptive TTL.
-  bool TtlBased() const {
-    return config_.protocol == Protocol::kAdaptiveTtl ||
-           config_.protocol == Protocol::kPiggybackValidation ||
-           config_.protocol == Protocol::kPiggybackInvalidation;
-  }
-
-  // --- setup ---------------------------------------------------------------
-  void Setup();
-
-  // --- lock-step coordinator -----------------------------------------------
-  void StartInterval();
-  void ParticipantDone();
-  void ApplyFailure(const FailureEvent& event);
-
-  // --- pseudo-client request loop -------------------------------------------
-  void IssueNext(PseudoClient& pc);
-  void FinishRequest(PseudoClient& pc, Time latency);
-  void LocalServe(PseudoClient& pc, http::CacheEntry& entry, Time trace_time);
-  void SendToServer(PseudoClient& pc, net::Request request, Time trace_time,
-                    bool lease_renewal);
-  void ServerHandle(const net::Request& request, int client_index,
-                    std::uint64_t seq, Time trace_time);
-  void DeliverReply(int client_index, std::uint64_t seq, net::Reply reply,
-                    std::string owner, Time trace_time);
-
-  // --- hierarchy (parent proxy) ----------------------------------------------
-  void ParentHandle(const net::Request& request, int client_index,
-                    std::uint64_t seq, Time trace_time);
-  void ServerHandleForParent(net::Request request, int client_index,
-                             std::uint64_t seq, std::string owner,
-                             bool leaf_wanted_body, Time trace_time);
-  void ParentReceiveReply(net::Reply reply, int client_index,
-                          std::uint64_t seq, std::string owner,
-                          bool leaf_wanted_body, Time trace_time);
-  void ParentDeliverInvalidation(const std::string& url, std::uint64_t mod_id);
-  void ParentDeliverServerNotice(const net::Invalidation& notice);
-  void ApplyPiggyback(int client_index,
-                      const std::vector<core::PcvVerdict>& verdicts,
-                      const std::vector<std::string>& psi_urls,
-                      Time trace_time);
-
-  // --- modifier / invalidation path -----------------------------------------
-  void ModifierStep();
-  // Fans out the invalidations for one modification. `on_complete` runs when
-  // the modifier may proceed: in serialized mode after every message is
-  // delivered (the paper's check-in blocks until the accelerator finishes
-  // sending), in decoupled mode immediately.
-  void FanOutInvalidations(std::vector<net::Invalidation> invalidations,
-                           const std::string& url,
-                           std::function<void()> on_complete);
-  void SendInvalidation(net::Invalidation invalidation, std::uint64_t mod_id);
-  void DeliverInvalidation(const net::Invalidation& invalidation,
-                           std::uint64_t mod_id);
-  void FinishInvalidationTarget(const net::Invalidation& invalidation,
-                                std::uint64_t mod_id);
-  void ResolveFirstAttempt(std::uint64_t mod_id);
-  void CompleteWrite(const std::string& url);
-  void FinishRecoveryNotice();
-  void ServerRecover();
-
-  // --- helpers ---------------------------------------------------------------
-  const std::string& DocPath(trace::DocId doc) const {
-    return trace_.documents[doc].path;
-  }
-  // True when serving `entry` at trace time `trace_now` returns outdated
-  // data *in trace order*: version v became obsolete at the trace time of
-  // the modification that produced v+1. Lock-step compression can process a
-  // modification in wall time before a request that precedes it in trace
-  // time; such a read linearizes before the write and is fresh.
-  bool StaleInTraceOrder(const http::CacheEntry& entry, Time trace_now) const {
-    const auto it = mod_times_.find(entry.url);
-    if (it == mod_times_.end()) return false;
-    const std::vector<Time>& times = it->second;
-    WEBCC_DCHECK(entry.version >= 1);
-    const std::size_t obsolete_index = entry.version - 1;
-    return obsolete_index < times.size() && times[obsolete_index] <= trace_now;
-  }
-  static std::string CacheKey(const std::string& url,
-                              const std::string& owner) {
-    return url + "@" + owner;
-  }
-  void CheckStaleness(const PseudoClient& pc, const http::CacheEntry& entry,
-                      Time trace_time);
-  http::CacheEntry BuildEntry(const net::Reply& reply,
-                              const std::string& owner, Time trace_time) const;
-
-  const ReplayConfig& config_;
-  const trace::Trace& trace_;
-
-  sim::Simulator sim_;
-  sim::Network net_;
-  http::DocumentStore docs_;
-  sim::FifoStation server_cpu_;
-  sim::FifoStation server_disk_;
-  sim::FifoStation inval_sender_;  // used when sends are decoupled
-  core::Accelerator accel_;
-  std::unique_ptr<http::OriginServer> origin_;
-
-  std::vector<PseudoClient> clients_;
-  std::unordered_map<std::string, int> pseudo_of_client_;
-  std::vector<std::string> proxy_site_names_;  // shared-proxy site identities
-
-  // Hierarchical mode: the parent proxy's shared cache, its per-document
-  // leaf-interest lists, and its CPU station.
-  std::unique_ptr<http::ProxyCache> parent_cache_;
-  std::unique_ptr<core::InvalidationTable> parent_table_;
-  std::unique_ptr<sim::FifoStation> parent_cpu_;
-
-  std::vector<trace::ModEvent> modifications_;
-  std::size_t mod_cursor_ = 0;
-  std::size_t mod_window_end_ = 0;
-
-  std::vector<FailureEvent> failures_;  // sorted by trace_time
-  std::size_t failure_cursor_ = 0;
-
-  std::size_t interval_index_ = 0;
-  std::size_t num_intervals_ = 0;
-  int participants_ = 0;
-  bool server_down_ = false;
-  // True from a server-site crash until the recovery broadcast finishes:
-  // modifications in this window cannot complete (their invalidations reach
-  // clients only as the recovery INVSRV notices), so stale serves are still
-  // within the strong-consistency contract.
-  bool write_gap_active_ = false;
-  int recovery_notices_pending_ = 0;
-
-  std::uint64_t next_seq_ = 1;
-  std::uint64_t next_mod_id_ = 1;
-  // Writes (modifications) whose invalidation fan-out has not finished;
-  // stale serves are legitimate only while the document has one in
-  // progress.
-  std::unordered_map<std::string, int> writes_in_progress_;
-  // Trace times at which each document version became obsolete:
-  // mod_times_[url][v-1] is the modification that superseded version v.
-  std::unordered_map<std::string, std::vector<Time>> mod_times_;
-  // PSI server state: the modification log and each proxy's contact cursor.
-  core::ModificationLog mod_log_;
-  std::vector<Time> psi_last_contact_;
-  // PCV piggyback batches in flight, keyed by request sequence number.
-  std::unordered_map<std::uint64_t, std::vector<core::PcvItem>>
-      pcv_in_flight_;
-  struct PendingMod {
-    std::string url;
-    // Undelivered invalidations: the write completes when this drains.
-    int remaining = 0;
-    // Unresolved first transmission attempts: the blocking check-in (the
-    // modifier's gate) waits only for these — a send that hits a partition
-    // moves to background retry and stops gating the modifier, exactly like
-    // a failed TCP send being queued for periodic retry.
-    int first_pending = 0;
-    std::function<void()> on_complete;  // modifier continuation (serialized)
-  };
-  std::unordered_map<std::uint64_t, PendingMod> pending_mod_targets_;
-
-  Time wall_end_ = 0;
-  ReplayMetrics metrics_;
-  // Structured tracing (nullptr = off). Every emit site below sits exactly
-  // at the increment of the ReplayMetrics counter it mirrors, so JSONL event
-  // counts reconcile with the paper tables (see DESIGN.md).
-  obs::TraceSink* sink_ = nullptr;
-};
+using core::consistency::HitAction;
 
 void Engine::Setup() {
   sink_ = config_.trace_sink;
@@ -511,40 +297,19 @@ void Engine::IssueNext(PseudoClient& pc) {
                                  ? proxy_site_names_[pc.index]
                                  : trace_.clients[record.client];
   const Time trace_time = record.timestamp;
-  http::CacheEntry* entry = pc.cache->Lookup(CacheKey(url, owner));
+  http::CacheEntry* entry = pc.cache->Lookup(http::ComposeCacheKey(url, owner));
 
-  bool validate = false;        // IMS instead of a full GET
-  bool lease_renewal = false;   // the IMS exists only because a lease lapsed
+  bool validate = false;       // IMS instead of a full GET
+  bool lease_renewal = false;  // the IMS exists only because a lease lapsed
   if (entry != nullptr) {
-    switch (config_.protocol) {
-      case Protocol::kAdaptiveTtl:
-      case Protocol::kPiggybackValidation:
-      case Protocol::kPiggybackInvalidation:
-        // The piggyback schemes serve by TTL exactly as adaptive TTL does;
-        // their freshness exchange rides on the server round-trips below.
-        if (!entry->questionable && trace_time < entry->ttl_expires) {
-          LocalServe(pc, *entry, trace_time);
-          return;
-        }
-        validate = true;
-        break;
-      case Protocol::kPollEveryTime:
-        validate = true;
-        break;
-      case Protocol::kInvalidation: {
-        // Half-open [grant, expiry): at the exact expiry instant the copy
-        // must be revalidated (see core::LeaseActive).
-        const bool lease_ok =
-            core::LeaseActive(entry->lease_expires, trace_time);
-        if (!entry->questionable && lease_ok) {
-          LocalServe(pc, *entry, trace_time);
-          return;
-        }
-        validate = true;
-        lease_renewal = !entry->questionable && !lease_ok;
-        break;
-      }
+    const core::consistency::HitDecision decision =
+        policy_->OnHit(MetaOf(*entry), trace_time);
+    if (decision.action == HitAction::kServeLocal) {
+      LocalServe(pc, *entry, trace_time);
+      return;
     }
+    validate = true;
+    lease_renewal = decision.lease_renewal;
   }
 
   net::Request request;
@@ -569,7 +334,7 @@ void Engine::CheckStaleness(const PseudoClient& pc,
   if (!StaleInTraceOrder(entry, trace_time)) return;
   ++metrics_.stale_serves;
   obs::StaleKind kind = obs::StaleKind::kWeakProtocol;
-  if (config_.protocol == Protocol::kInvalidation) {
+  if (Traits().invalidation_callbacks) {
     const auto it = writes_in_progress_.find(entry.url);
     if (write_gap_active_ ||
         (it != writes_in_progress_.end() && it->second > 0)) {
@@ -634,9 +399,10 @@ void Engine::SendToServer(PseudoClient& pc, net::Request request,
   // PCV: since we are contacting the server anyway, piggyback a batch of
   // this proxy's TTL-expired entries for bulk validation.
   std::uint64_t piggyback_bytes = 0;
-  if (config_.protocol == Protocol::kPiggybackValidation) {
+  if (Traits().piggyback_validation) {
     std::vector<core::PcvItem> items;
-    const std::string requested_key = CacheKey(request.url, request.client_id);
+    const std::string requested_key =
+        http::ComposeCacheKey(request.url, request.client_id);
     for (http::CacheEntry* expired : pc.cache->TakeExpired(
              trace_time, config_.piggyback.max_validations_per_request)) {
       if (expired->key == requested_key) {
@@ -644,7 +410,7 @@ void Engine::SendToServer(PseudoClient& pc, net::Request request,
         pc.cache->SetTtlExpiry(*expired, expired->ttl_expires);
         continue;
       }
-      items.push_back(core::PcvItem{expired->key, expired->url,
+      items.push_back(core::PcvItem{expired->url, expired->owner,
                                     expired->last_modified});
     }
     metrics_.pcv_items_piggybacked += items.size();
@@ -684,189 +450,6 @@ void Engine::SendToServer(PseudoClient& pc, net::Request request,
              });
 }
 
-void Engine::ParentHandle(const net::Request& request, int client_index,
-                          std::uint64_t seq, Time trace_time) {
-  // Remember this leaf's interest so an invalidation can be forwarded.
-  parent_table_->Register(request.url, "leaf-" + std::to_string(client_index),
-                          net::MessageType::kGet, trace_time);
-
-  http::CacheEntry* entry =
-      parent_cache_->Lookup(CacheKey(request.url, "parent"));
-  if (entry != nullptr && !entry->questionable &&
-      request.type == net::MessageType::kGet) {
-    // Served from the parent's shared cache: no server involvement.
-    ++metrics_.parent_hits;
-    net::Reply reply;
-    reply.type = net::MessageType::kReply200;
-    reply.url = request.url;
-    reply.body_bytes = entry->size_bytes;
-    reply.last_modified = entry->last_modified;
-    reply.version = entry->version;
-    ++metrics_.replies_200;
-    obs::Emit(sink_, {.type = obs::EventType::kReply200,
-                      .at = sim_.now(),
-                      .trace_time = trace_time,
-                      .url = reply.url,
-                      .site = request.client_id});
-    metrics_.message_bytes += net::WireSize(reply);
-    const auto scaled_body = static_cast<std::uint64_t>(
-        static_cast<double>(reply.body_bytes) / config_.size_scale);
-    const std::uint64_t wire_bytes =
-        net::kControlHeaderBytes + reply.url.size() + scaled_body;
-    const Time ready =
-        parent_cpu_->Enqueue(config_.client_costs.proxy_hit_time);
-    sim_.At(ready, [this, client_index, seq, reply = std::move(reply),
-                    owner = request.client_id, trace_time,
-                    wire_bytes]() mutable {
-      net_.Send(ParentNode(), clients_[client_index].node, wire_bytes,
-                [this, client_index, seq, reply = std::move(reply),
-                 owner = std::move(owner), trace_time]() mutable {
-                  DeliverReply(client_index, seq, std::move(reply),
-                               std::move(owner), trace_time);
-                });
-    });
-    return;
-  }
-
-  // Miss (or a validation): fetch through to the server as "parent".
-  ++metrics_.parent_fetches;
-  const bool leaf_wanted_body = request.type == net::MessageType::kGet;
-  net::Request upstream = request;
-  std::string owner = request.client_id;
-  upstream.client_id = "parent";
-  if (entry != nullptr && request.type == net::MessageType::kGet) {
-    // Questionable parent copy revalidates rather than refetching.
-    upstream.type = net::MessageType::kIfModifiedSince;
-    upstream.if_modified_since = entry->last_modified;
-  }
-  const std::uint64_t wire = net::WireSize(upstream);
-  metrics_.message_bytes += wire;
-  net_.Send(ParentNode(), ServerNode(), wire,
-            [this, upstream = std::move(upstream), client_index, seq,
-             owner = std::move(owner), leaf_wanted_body,
-             trace_time]() mutable {
-              ServerHandleForParent(std::move(upstream), client_index, seq,
-                                    std::move(owner), leaf_wanted_body,
-                                    trace_time);
-            });
-}
-
-void Engine::ServerHandleForParent(net::Request request, int client_index,
-                                   std::uint64_t seq, std::string owner,
-                                   bool leaf_wanted_body, Time trace_time) {
-  std::optional<net::Reply> reply = accel_.HandleRequest(request, trace_time);
-  WEBCC_CHECK_MSG(reply.has_value(), "trace referenced an unknown document");
-
-  const bool transfer = reply->type == net::MessageType::kReply200;
-  const http::ServerCosts& costs = config_.server_costs;
-  server_disk_.utilization().AddWrite();
-  server_disk_.Enqueue(costs.disk_op);
-  Time ready = server_cpu_.Enqueue(transfer ? costs.request_cpu_200
-                                            : costs.request_cpu_304);
-  if (transfer) {
-    server_disk_.utilization().AddRead();
-    ready = std::max(ready, server_disk_.Enqueue(costs.disk_op));
-  }
-  // Hop-2 replies are counted via parent_fetches; bytes are real traffic.
-  metrics_.message_bytes += net::WireSize(*reply);
-  const auto scaled_body = static_cast<std::uint64_t>(
-      static_cast<double>(reply->body_bytes) / config_.size_scale);
-  const std::uint64_t wire_bytes =
-      net::kControlHeaderBytes + reply->url.size() + scaled_body;
-
-  sim_.At(ready, [this, client_index, seq, reply = std::move(*reply),
-                  owner = std::move(owner), leaf_wanted_body, trace_time,
-                  wire_bytes]() mutable {
-    net_.Send(ServerNode(), ParentNode(), wire_bytes,
-              [this, client_index, seq, reply = std::move(reply),
-               owner = std::move(owner), leaf_wanted_body,
-               trace_time]() mutable {
-                ParentReceiveReply(std::move(reply), client_index, seq,
-                                   std::move(owner), leaf_wanted_body,
-                                   trace_time);
-              });
-  });
-}
-
-void Engine::ParentReceiveReply(net::Reply reply, int client_index,
-                                std::uint64_t seq, std::string owner,
-                                bool leaf_wanted_body, Time trace_time) {
-  const std::string parent_key = CacheKey(reply.url, "parent");
-  if (reply.type == net::MessageType::kReply200) {
-    http::CacheEntry entry;
-    entry.key = parent_key;
-    entry.url = reply.url;
-    entry.owner = "parent";
-    entry.size_bytes = reply.body_bytes;
-    entry.last_modified = reply.last_modified;
-    entry.version = reply.version;
-    entry.fetched_at = trace_time;
-    parent_cache_->Insert(std::move(entry), trace_time);
-  } else {
-    http::CacheEntry* entry = parent_cache_->Peek(parent_key);
-    if (entry == nullptr && leaf_wanted_body) {
-      // The parent's copy was evicted while this validation was in flight:
-      // the 304 certifies a copy that no longer exists. Refetch it so the
-      // leaf's GET is answered with a body.
-      ++metrics_.parent_fetches;
-      net::Request refetch;
-      refetch.type = net::MessageType::kGet;
-      refetch.url = reply.url;
-      refetch.client_id = "parent";
-      const std::uint64_t wire = net::WireSize(refetch);
-      metrics_.message_bytes += wire;
-      net_.Send(ParentNode(), ServerNode(), wire,
-                [this, refetch = std::move(refetch), client_index, seq,
-                 owner = std::move(owner), trace_time]() mutable {
-                  ServerHandleForParent(std::move(refetch), client_index, seq,
-                                        std::move(owner),
-                                        /*leaf_wanted_body=*/true, trace_time);
-                });
-      return;
-    }
-    if (entry != nullptr) {
-      entry->questionable = false;
-      if (leaf_wanted_body) {
-        // The leaf asked for a body but the server certified the parent's
-        // copy fresh: serve the revalidated copy as a 200.
-        reply.type = net::MessageType::kReply200;
-        reply.body_bytes = entry->size_bytes;
-        reply.version = entry->version;
-      }
-    }
-  }
-
-  // Forward to the leaf (this is the leaf-facing reply).
-  if (reply.type == net::MessageType::kReply200) {
-    ++metrics_.replies_200;
-  } else {
-    ++metrics_.replies_304;
-  }
-  obs::Emit(sink_, {.type = reply.type == net::MessageType::kReply200
-                                ? obs::EventType::kReply200
-                                : obs::EventType::kReply304,
-                    .at = sim_.now(),
-                    .trace_time = trace_time,
-                    .url = reply.url,
-                    .site = owner});
-  metrics_.message_bytes += net::WireSize(reply);
-  const auto scaled_body = static_cast<std::uint64_t>(
-      static_cast<double>(reply.body_bytes) / config_.size_scale);
-  const std::uint64_t wire_bytes =
-      net::kControlHeaderBytes + reply.url.size() + scaled_body;
-  const Time ready = parent_cpu_->Enqueue(config_.client_costs.proxy_hit_time);
-  sim_.At(ready, [this, client_index, seq, reply = std::move(reply),
-                  owner = std::move(owner), trace_time,
-                  wire_bytes]() mutable {
-    net_.Send(ParentNode(), clients_[client_index].node, wire_bytes,
-              [this, client_index, seq, reply = std::move(reply),
-               owner = std::move(owner), trace_time]() mutable {
-                DeliverReply(client_index, seq, std::move(reply),
-                             std::move(owner), trace_time);
-              });
-  });
-}
-
 void Engine::ServerHandle(const net::Request& request, int client_index,
                           std::uint64_t seq, Time trace_time) {
   std::optional<net::Reply> reply =
@@ -876,7 +459,6 @@ void Engine::ServerHandle(const net::Request& request, int client_index,
 
   const bool transfer = reply->type == net::MessageType::kReply200;
   const http::ServerCosts& costs = config_.server_costs;
-
   // PCV: bulk-validate the piggybacked batch against the file system.
   std::vector<core::PcvVerdict> verdicts;
   if (const auto it = pcv_in_flight_.find(seq); it != pcv_in_flight_.end()) {
@@ -887,7 +469,7 @@ void Engine::ServerHandle(const net::Request& request, int client_index,
   // PSI: attach the documents modified since this proxy's last contact and
   // advance its cursor.
   std::vector<std::string> psi_urls;
-  if (config_.protocol == Protocol::kPiggybackInvalidation) {
+  if (Traits().piggyback_invalidation) {
     Time& cursor = psi_last_contact_[client_index];
     core::ModificationLog::Window window = mod_log_.CollectSince(
         cursor, trace_time, config_.piggyback.max_invalidations_per_reply);
@@ -959,15 +541,16 @@ void Engine::ApplyPiggyback(int client_index,
                             Time trace_time) {
   PseudoClient& pc = clients_[client_index];
   for (const core::PcvVerdict& verdict : verdicts) {
-    http::CacheEntry* entry = pc.cache->Peek(verdict.key);
+    const std::string key =
+        http::ComposeCacheKey(verdict.url, verdict.owner);
+    http::CacheEntry* entry = pc.cache->Peek(key);
     if (entry == nullptr) continue;
     if (verdict.invalid) {
-      pc.cache->Erase(verdict.key);
+      pc.cache->Erase(key);
       ++metrics_.pcv_invalidated;
     } else {
-      pc.cache->SetTtlExpiry(
-          *entry, core::AdaptiveTtlExpiry(config_.ttl, trace_time,
-                                          entry->last_modified));
+      pc.cache->SetTtlExpiry(*entry,
+                             policy_->OnPcvValid(MetaOf(*entry), trace_time));
     }
   }
   for (const std::string& url : psi_urls) {
@@ -980,20 +563,17 @@ http::CacheEntry Engine::BuildEntry(const net::Reply& reply,
                                     const std::string& owner,
                                     Time trace_time) const {
   http::CacheEntry entry;
-  entry.key = CacheKey(reply.url, owner);
+  entry.key = http::ComposeCacheKey(reply.url, owner);
   entry.url = reply.url;
   entry.owner = owner;
   entry.size_bytes = reply.body_bytes;
   entry.last_modified = reply.last_modified;
   entry.version = reply.version;
   entry.fetched_at = trace_time;
-  if (TtlBased()) {
-    entry.ttl_expires =
-        core::AdaptiveTtlExpiry(config_.ttl, trace_time, reply.last_modified);
-  }
-  entry.lease_expires = reply.lease_until == net::kNoLease
-                            ? http::kNeverExpires
-                            : reply.lease_until;
+  const core::consistency::InsertDecision decision =
+      policy_->OnMissReply(MetaOf(reply), trace_time);
+  entry.ttl_expires = decision.ttl_expires;
+  entry.lease_expires = decision.lease_expires;
   return entry;
 }
 
@@ -1025,344 +605,22 @@ void Engine::DeliverReply(int client_index, std::uint64_t seq,
          .url = reply.url,
          .site = owner,
          .detail = static_cast<std::int64_t>(obs::ServeKind::kValidated)});
-    http::CacheEntry* entry = pc.cache->Peek(CacheKey(reply.url, owner));
+    http::CacheEntry* entry =
+        pc.cache->Peek(http::ComposeCacheKey(reply.url, owner));
     if (entry != nullptr) {
-      entry->questionable = false;
-      if (TtlBased()) {
-        pc.cache->SetTtlExpiry(*entry,
-                               core::AdaptiveTtlExpiry(config_.ttl, trace_time,
-                                                       reply.last_modified));
+      const core::consistency::ValidateDecision decision =
+          policy_->OnValidateReply(MetaOf(reply), trace_time);
+      if (decision.clear_questionable) entry->questionable = false;
+      if (decision.set_ttl) {
+        pc.cache->SetTtlExpiry(*entry, decision.ttl_expires);
       }
-      if (reply.lease_until != net::kNoLease) {
-        entry->lease_expires = reply.lease_until;
-      } else if (config_.protocol == Protocol::kInvalidation &&
-                 accel_.table().lease_config().mode == core::LeaseMode::kNone) {
-        entry->lease_expires = http::kNeverExpires;
-      }
+      if (decision.set_lease) entry->lease_expires = decision.lease_expires;
     }
   }
   FinishRequest(pc, sim_.now() - pc.request_start);
 }
 
-// --- modifier / invalidation path ---------------------------------------------
-
-void Engine::ModifierStep() {
-  if (mod_cursor_ >= mod_window_end_) {
-    ParticipantDone();
-    return;
-  }
-  const trace::ModEvent& event = modifications_[mod_cursor_++];
-  const std::string& url = DocPath(event.doc);
-
-  // The touch registers in the file system immediately; for polling, this is
-  // the point at which the write is complete. For invalidation the write is
-  // in progress from this instant until the fan-out is delivered.
-  docs_.Touch(url, event.at);
-  mod_times_[url].push_back(event.at);
-  mod_log_.Record(event.at, url);
-  ++metrics_.modifications_applied;
-  obs::Emit(sink_, {.type = obs::EventType::kModification,
-                    .at = sim_.now(),
-                    .trace_time = event.at,
-                    .url = url});
-  if (InvalidationMode() && !server_down_) ++writes_in_progress_[url];
-
-  if (server_down_) {
-    // The accelerator is dead: the modification goes unnoticed until the
-    // recovery broadcast. The touch itself persists (the file system
-    // survives the crash).
-    sim_.After(0, [this] { ModifierStep(); });
-    return;
-  }
-
-  // The check-in utility notifies the accelerator; detection happens when
-  // the notify is processed.
-  server_cpu_.Enqueue(config_.server_costs.notify_cpu,
-                      [this, url, at = event.at] {
-                        if (InvalidationMode()) {
-                          net::Notify notify{url};
-                          FanOutInvalidations(accel_.HandleNotify(notify, at),
-                                              url,
-                                              [this] { ModifierStep(); });
-                        } else {
-                          ModifierStep();
-                        }
-                      });
-}
-
-void Engine::FanOutInvalidations(std::vector<net::Invalidation> invalidations,
-                                 const std::string& url,
-                                 std::function<void()> on_complete) {
-  WEBCC_CHECK(static_cast<bool>(on_complete));
-  if (invalidations.empty()) {
-    // No site holds a live-leased copy: the write is trivially complete.
-    CompleteWrite(url);
-    sim_.After(0, std::move(on_complete));
-    return;
-  }
-
-  const std::uint64_t mod_id = next_mod_id_++;
-  PendingMod& pending = pending_mod_targets_[mod_id];
-  pending.url = url;
-  pending.remaining = static_cast<int>(invalidations.size());
-  pending.first_pending = pending.remaining;
-  if (config_.serialized_invalidation) {
-    // The check-in blocks until the fan-out lands (the paper's prototype);
-    // the modifier resumes only once this write has completed.
-    pending.on_complete = std::move(on_complete);
-  }
-
-  sim::FifoStation& sender =
-      config_.serialized_invalidation ? server_cpu_ : inval_sender_;
-  const Time fanout_start = sim_.now();
-  Time last_send_done = fanout_start;
-  if (config_.multicast_invalidation) {
-    // One group send regardless of list length: one CPU charge, one
-    // message's bytes; the network fans the copies out.
-    ++metrics_.multicast_sends;
-    metrics_.invalidations_sent += invalidations.size();
-    metrics_.message_bytes += net::WireSize(invalidations.front());
-    last_send_done = sender.Enqueue(
-        config_.server_costs.invalidation_send_cpu,
-        [this, invalidations = std::move(invalidations), mod_id]() mutable {
-          for (net::Invalidation& invalidation : invalidations) {
-            SendInvalidation(std::move(invalidation), mod_id);
-          }
-        });
-  } else {
-    for (net::Invalidation& invalidation : invalidations) {
-      ++metrics_.invalidations_sent;
-      metrics_.message_bytes += net::WireSize(invalidation);
-      last_send_done = sender.Enqueue(
-          config_.server_costs.invalidation_send_cpu,
-          [this, invalidation = std::move(invalidation), mod_id]() mutable {
-            SendInvalidation(std::move(invalidation), mod_id);
-          });
-    }
-  }
-  metrics_.invalidation_time_ms.Record(ToMillis(last_send_done - fanout_start));
-  if (!config_.serialized_invalidation) sim_.After(0, std::move(on_complete));
-}
-
-void Engine::SendInvalidation(net::Invalidation invalidation,
-                              std::uint64_t mod_id) {
-  sim::NodeId target;
-  const bool to_parent =
-      config_.hierarchical && invalidation.client_id == "parent";
-  if (to_parent) {
-    target = ParentNode();
-  } else {
-    const auto it = pseudo_of_client_.find(invalidation.client_id);
-    WEBCC_CHECK_MSG(it != pseudo_of_client_.end(),
-                    "invalidation for an unknown client");
-    target = clients_[it->second].node;
-  }
-  const std::uint64_t wire = net::WireSize(invalidation);
-
-  // A send that hits a partition is queued for periodic background retry;
-  // the blocking check-in does not wait for it. A reachable target gates
-  // the check-in until the message actually arrives (a successful TCP send
-  // means the peer acknowledged the bytes).
-  bool gate_released = false;
-  if (!net_.Reachable(ServerNode(), target) && net_.IsNodeUp(target) &&
-      net_.IsNodeUp(ServerNode())) {
-    gate_released = true;
-    ResolveFirstAttempt(mod_id);
-  }
-
-  // TCP with periodic retry across partitions (Section 4's failure
-  // handling); a down proxy refuses the connection and is dropped — its
-  // recovery path revalidates everything.
-  net_.SendReliable(
-      ServerNode(), target, wire,
-      [this, invalidation, mod_id, gate_released, to_parent] {
-        if (!gate_released) ResolveFirstAttempt(mod_id);
-        if (to_parent) {
-          if (invalidation.type == net::MessageType::kInvalidateUrl) {
-            ParentDeliverInvalidation(invalidation.url, mod_id);
-          } else {
-            ParentDeliverServerNotice(invalidation);
-          }
-        } else {
-          DeliverInvalidation(invalidation, mod_id);
-        }
-      },
-      [this, invalidation, mod_id,
-       gate_released](sim::Network::SendResult result, Time done_at) {
-        if (result == sim::Network::SendResult::kDelivered) return;
-        if (!gate_released) ResolveFirstAttempt(mod_id);
-        ++metrics_.invalidations_refused;
-        obs::Emit(sink_,
-                  {.type = result == sim::Network::SendResult::kGaveUp
-                               ? obs::EventType::kInvalidateGaveUp
-                               : obs::EventType::kInvalidateRefused,
-                   .at = done_at,
-                   .url = invalidation.url,
-                   .site = invalidation.client_id});
-        if (invalidation.type == net::MessageType::kInvalidateServer) {
-          FinishRecoveryNotice();
-        } else {
-          FinishInvalidationTarget(invalidation, mod_id);
-        }
-      },
-      /*max_retries=*/-1);
-}
-
-void Engine::ParentDeliverInvalidation(const std::string& url,
-                                       std::uint64_t mod_id) {
-  parent_cache_->EraseByUrl(url);
-  ++metrics_.invalidations_delivered;
-  obs::Emit(sink_, {.type = obs::EventType::kInvalidateDelivered,
-                    .at = sim_.now(),
-                    .url = url,
-                    .site = "parent"});
-
-  // Forward to the leaf proxies that fetched this document since the last
-  // invalidation; the write completes when they have all been reached.
-  std::vector<std::string> leaves =
-      parent_table_->TakeSitesForInvalidation(url, sim_.now());
-  const auto pending = pending_mod_targets_.find(mod_id);
-  if (pending != pending_mod_targets_.end()) {
-    pending->second.remaining += static_cast<int>(leaves.size());
-  }
-  for (const std::string& leaf : leaves) {
-    // The interest table only ever holds names this engine registered, so a
-    // parse failure means the table (not the trace) is corrupt.
-    int index = -1;
-    WEBCC_CHECK_MSG(ParseLeafIndex(leaf, index),
-                    "malformed hierarchy site name: " + leaf);
-    WEBCC_CHECK_MSG(index >= 0 && index < static_cast<int>(clients_.size()),
-                    "hierarchy site name out of range: " + leaf);
-    ++metrics_.hierarchy_forwards;
-    net::Invalidation forward;
-    forward.type = net::MessageType::kInvalidateUrl;
-    forward.url = url;
-    forward.client_id = leaf;
-    metrics_.message_bytes += net::WireSize(forward);
-    net_.SendReliable(
-        ParentNode(), clients_[index].node, net::WireSize(forward),
-        [this, url, index, mod_id, forward] {
-          clients_[index].cache->EraseByUrl(url);
-          ++metrics_.invalidations_delivered;
-          obs::Emit(sink_, {.type = obs::EventType::kInvalidateDelivered,
-                            .at = sim_.now(),
-                            .url = url,
-                            .site = forward.client_id});
-          FinishInvalidationTarget(forward, mod_id);
-        },
-        [this, forward, mod_id](sim::Network::SendResult result,
-                                Time done_at) {
-          if (result == sim::Network::SendResult::kDelivered) return;
-          ++metrics_.invalidations_refused;
-          obs::Emit(sink_,
-                    {.type = result == sim::Network::SendResult::kGaveUp
-                                 ? obs::EventType::kInvalidateGaveUp
-                                 : obs::EventType::kInvalidateRefused,
-                     .at = done_at,
-                     .url = forward.url,
-                     .site = forward.client_id});
-          FinishInvalidationTarget(forward, mod_id);
-        },
-        /*max_retries=*/-1);
-  }
-
-  net::Invalidation parent_slot;
-  parent_slot.url = url;
-  FinishInvalidationTarget(parent_slot, mod_id);
-}
-
-void Engine::ParentDeliverServerNotice(const net::Invalidation& notice) {
-  // Server-site recovery reaches the parent, which must assume everything
-  // below it may be stale: its own cache and every leaf's become
-  // questionable.
-  parent_cache_->MarkAllQuestionable();
-  for (PseudoClient& pc : clients_) {
-    ++metrics_.hierarchy_forwards;
-    metrics_.message_bytes += net::WireSize(notice);
-    net_.Send(ParentNode(), pc.node, net::WireSize(notice),
-              [&pc] { pc.cache->MarkAllQuestionable(); });
-  }
-  FinishRecoveryNotice();
-}
-
-void Engine::DeliverInvalidation(const net::Invalidation& invalidation,
-                                 std::uint64_t mod_id) {
-  const int index = pseudo_of_client_.at(invalidation.client_id);
-  PseudoClient& pc = clients_[index];
-  if (invalidation.type == net::MessageType::kInvalidateUrl) {
-    // Deleting (rather than marking) frees cache space for fresh documents —
-    // the cache-utilization benefit the paper credits invalidation with.
-    pc.cache->Erase(CacheKey(invalidation.url, invalidation.client_id));
-    ++metrics_.invalidations_delivered;
-    obs::Emit(sink_, {.type = obs::EventType::kInvalidateDelivered,
-                      .at = sim_.now(),
-                      .url = invalidation.url,
-                      .site = invalidation.client_id});
-    FinishInvalidationTarget(invalidation, mod_id);
-  } else {
-    // Server-address invalidation: every entry this real client holds from
-    // that server becomes questionable.
-    pc.cache->MarkQuestionableWhere(
-        [&invalidation](const http::CacheEntry& entry) {
-          return entry.owner == invalidation.client_id;
-        });
-    FinishRecoveryNotice();
-  }
-}
-
-void Engine::FinishRecoveryNotice() {
-  if (recovery_notices_pending_ > 0 && --recovery_notices_pending_ == 0) {
-    // Every ever-seen site has been told (or is dead and will revalidate on
-    // its own recovery): the downtime writes are as complete as they get.
-    write_gap_active_ = false;
-  }
-}
-
-void Engine::ResolveFirstAttempt(std::uint64_t mod_id) {
-  const auto it = pending_mod_targets_.find(mod_id);
-  if (it == pending_mod_targets_.end()) return;
-  if (--it->second.first_pending > 0) return;
-  std::function<void()> on_complete = std::move(it->second.on_complete);
-  it->second.on_complete = nullptr;
-  if (it->second.remaining <= 0) pending_mod_targets_.erase(it);
-  if (on_complete) on_complete();
-}
-
-void Engine::FinishInvalidationTarget(const net::Invalidation& invalidation,
-                                      std::uint64_t mod_id) {
-  (void)invalidation;
-  const auto it = pending_mod_targets_.find(mod_id);
-  if (it == pending_mod_targets_.end()) return;
-  if (--it->second.remaining > 0) return;
-  // Write complete: all invalidations delivered (or their targets dead).
-  CompleteWrite(it->second.url);
-  if (it->second.first_pending <= 0) pending_mod_targets_.erase(it);
-}
-
-void Engine::CompleteWrite(const std::string& url) {
-  const auto it = writes_in_progress_.find(url);
-  if (it != writes_in_progress_.end() && --it->second <= 0) {
-    writes_in_progress_.erase(it);
-  }
-}
-
-void Engine::ServerRecover() {
-  std::vector<net::Invalidation> notices = accel_.Recover();
-  recovery_notices_pending_ = static_cast<int>(notices.size());
-  if (notices.empty()) write_gap_active_ = false;
-  sim::FifoStation& sender =
-      config_.serialized_invalidation ? server_cpu_ : inval_sender_;
-  for (net::Invalidation& notice : notices) {
-    ++metrics_.invsrv_sent;
-    metrics_.message_bytes += net::WireSize(notice);
-    sender.Enqueue(config_.server_costs.invalidation_send_cpu,
-                   [this, notice = std::move(notice)]() mutable {
-                     SendInvalidation(std::move(notice), 0);
-                   });
-  }
-}
-
-}  // namespace
+}  // namespace detail
 
 bool ParseLeafIndex(std::string_view site, int& index) {
   constexpr std::string_view kPrefix = "leaf-";
@@ -1382,7 +640,7 @@ bool ParseLeafIndex(std::string_view site, int& index) {
 }
 
 ReplayMetrics RunReplay(const ReplayConfig& config) {
-  Engine engine(config);
+  detail::Engine engine(config);
   return engine.Run();
 }
 

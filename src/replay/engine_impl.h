@@ -1,0 +1,244 @@
+// Internal definition of the replay engine, shared by its translation
+// units (engine.cc: setup/coordinator/client loop, engine_invalidation.cc:
+// modifier + invalidation fan-out, engine_hierarchy.cc: parent proxy).
+// Not part of the public replay interface — include replay/engine.h.
+//
+// All protocol policy decisions (serve-local vs validate, TTL/lease state
+// for new and revalidated entries, write fan-out) are delegated to the
+// core::consistency kernel; this class only executes the returned
+// decisions against the simulated caches and network.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/accelerator.h"
+#include "core/consistency/policy.h"
+#include "core/piggyback.h"
+#include "http/document_store.h"
+#include "http/origin.h"
+#include "http/proxy_cache.h"
+#include "net/message.h"
+#include "obs/trace_sink.h"
+#include "replay/config.h"
+#include "replay/metrics.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sim/station.h"
+#include "util/check.h"
+
+namespace webcc::replay::detail {
+
+class Engine {
+ public:
+  explicit Engine(const ReplayConfig& config)
+      : config_(config),
+        trace_(*config.trace),
+        net_(sim_, config.network),
+        server_cpu_(sim_, "server-cpu"),
+        server_disk_(sim_, "server-disk"),
+        inval_sender_(sim_, "invalidation-sender"),
+        accel_(docs_, config.lease),
+        policy_(core::consistency::MakePolicy(config.protocol, config.ttl)) {
+    WEBCC_CHECK_MSG(config.trace != nullptr, "replay needs a trace");
+    WEBCC_CHECK_MSG(config.num_pseudo_clients > 0, "need pseudo-clients");
+    Setup();
+  }
+
+  ReplayMetrics Run();
+
+ private:
+  struct PseudoClient {
+    int index = 0;
+    sim::NodeId node = 0;
+    std::unique_ptr<http::ProxyCache> cache;
+    std::vector<trace::TraceRecord> records;
+    std::size_t cursor = 0;        // next record to issue
+    std::size_t window_end = 0;    // bound for the current interval
+    bool down = false;
+    std::uint64_t outstanding = 0;  // seq of the in-flight request; 0 = none
+    Time request_start = 0;         // wall time the in-flight request began
+  };
+
+  sim::NodeId ServerNode() const {
+    return static_cast<sim::NodeId>(clients_.size());
+  }
+  sim::NodeId ParentNode() const {
+    return static_cast<sim::NodeId>(clients_.size() + 1);
+  }
+  // Static protocol capabilities, from the consistency kernel.
+  const core::consistency::Traits& Traits() const {
+    return policy_->traits();
+  }
+  bool InvalidationMode() const { return Traits().invalidation_callbacks; }
+
+  static core::consistency::EntryMeta MetaOf(const http::CacheEntry& entry) {
+    return {.last_modified = entry.last_modified,
+            .fetched_at = entry.fetched_at,
+            .ttl_expires = entry.ttl_expires,
+            .lease_expires = entry.lease_expires,
+            .questionable = entry.questionable};
+  }
+  static core::consistency::ReplyMeta MetaOf(const net::Reply& reply) {
+    return {.last_modified = reply.last_modified,
+            .lease_until = reply.lease_until};
+  }
+
+  // --- setup (engine.cc) -----------------------------------------------------
+  void Setup();
+
+  // --- lock-step coordinator (engine.cc) -------------------------------------
+  void StartInterval();
+  void ParticipantDone();
+  void ApplyFailure(const FailureEvent& event);
+
+  // --- pseudo-client request loop (engine.cc) ---------------------------------
+  void IssueNext(PseudoClient& pc);
+  void FinishRequest(PseudoClient& pc, Time latency);
+  void LocalServe(PseudoClient& pc, http::CacheEntry& entry, Time trace_time);
+  void SendToServer(PseudoClient& pc, net::Request request, Time trace_time,
+                    bool lease_renewal);
+  void ServerHandle(const net::Request& request, int client_index,
+                    std::uint64_t seq, Time trace_time);
+  void DeliverReply(int client_index, std::uint64_t seq, net::Reply reply,
+                    std::string owner, Time trace_time);
+  void ApplyPiggyback(int client_index,
+                      const std::vector<core::PcvVerdict>& verdicts,
+                      const std::vector<std::string>& psi_urls,
+                      Time trace_time);
+
+  // --- hierarchy: parent proxy (engine_hierarchy.cc) ---------------------------
+  void ParentHandle(const net::Request& request, int client_index,
+                    std::uint64_t seq, Time trace_time);
+  void ServerHandleForParent(net::Request request, int client_index,
+                             std::uint64_t seq, std::string owner,
+                             bool leaf_wanted_body, Time trace_time);
+  void ParentReceiveReply(net::Reply reply, int client_index,
+                          std::uint64_t seq, std::string owner,
+                          bool leaf_wanted_body, Time trace_time);
+  void ParentDeliverInvalidation(const std::string& url, std::uint64_t mod_id);
+  void ParentDeliverServerNotice(const net::Invalidation& notice);
+
+  // --- modifier / invalidation path (engine_invalidation.cc) -------------------
+  void ModifierStep();
+  // Fans out the invalidations for one modification. `on_complete` runs when
+  // the modifier may proceed: in serialized mode after every message is
+  // delivered (the paper's check-in blocks until the accelerator finishes
+  // sending), in decoupled mode immediately.
+  void FanOutInvalidations(std::vector<net::Invalidation> invalidations,
+                           const std::string& url,
+                           std::function<void()> on_complete);
+  void SendInvalidation(net::Invalidation invalidation, std::uint64_t mod_id);
+  void DeliverInvalidation(const net::Invalidation& invalidation,
+                           std::uint64_t mod_id);
+  void FinishInvalidationTarget(const net::Invalidation& invalidation,
+                                std::uint64_t mod_id);
+  void ResolveFirstAttempt(std::uint64_t mod_id);
+  void CompleteWrite(const std::string& url);
+  void FinishRecoveryNotice();
+  void ServerRecover();
+
+  // --- helpers ----------------------------------------------------------------
+  const std::string& DocPath(trace::DocId doc) const {
+    return trace_.documents[doc].path;
+  }
+  // True when serving `entry` at trace time `trace_now` returns outdated
+  // data *in trace order*: version v became obsolete at the trace time of
+  // the modification that produced v+1. Lock-step compression can process a
+  // modification in wall time before a request that precedes it in trace
+  // time; such a read linearizes before the write and is fresh.
+  bool StaleInTraceOrder(const http::CacheEntry& entry, Time trace_now) const {
+    const auto it = mod_times_.find(entry.url);
+    if (it == mod_times_.end()) return false;
+    const std::vector<Time>& times = it->second;
+    WEBCC_DCHECK(entry.version >= 1);
+    const std::size_t obsolete_index = entry.version - 1;
+    return obsolete_index < times.size() && times[obsolete_index] <= trace_now;
+  }
+  void CheckStaleness(const PseudoClient& pc, const http::CacheEntry& entry,
+                      Time trace_time);
+  http::CacheEntry BuildEntry(const net::Reply& reply,
+                              const std::string& owner, Time trace_time) const;
+
+  const ReplayConfig& config_;
+  const trace::Trace& trace_;
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  http::DocumentStore docs_;
+  sim::FifoStation server_cpu_;
+  sim::FifoStation server_disk_;
+  sim::FifoStation inval_sender_;  // used when sends are decoupled
+  core::Accelerator accel_;
+  std::unique_ptr<const core::consistency::ConsistencyPolicy> policy_;
+  std::unique_ptr<http::OriginServer> origin_;
+
+  std::vector<PseudoClient> clients_;
+  std::unordered_map<std::string, int> pseudo_of_client_;
+  std::vector<std::string> proxy_site_names_;  // shared-proxy site identities
+
+  // Hierarchical mode: the parent proxy's shared cache, its per-document
+  // leaf-interest lists, and its CPU station.
+  std::unique_ptr<http::ProxyCache> parent_cache_;
+  std::unique_ptr<core::InvalidationTable> parent_table_;
+  std::unique_ptr<sim::FifoStation> parent_cpu_;
+
+  std::vector<trace::ModEvent> modifications_;
+  std::size_t mod_cursor_ = 0;
+  std::size_t mod_window_end_ = 0;
+
+  std::vector<FailureEvent> failures_;  // sorted by trace_time
+  std::size_t failure_cursor_ = 0;
+
+  std::size_t interval_index_ = 0;
+  std::size_t num_intervals_ = 0;
+  int participants_ = 0;
+  bool server_down_ = false;
+  // True from a server-site crash until the recovery broadcast finishes:
+  // modifications in this window cannot complete (their invalidations reach
+  // clients only as the recovery INVSRV notices), so stale serves are still
+  // within the strong-consistency contract.
+  bool write_gap_active_ = false;
+  int recovery_notices_pending_ = 0;
+
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_mod_id_ = 1;
+  // Writes (modifications) whose invalidation fan-out has not finished;
+  // stale serves are legitimate only while the document has one in
+  // progress.
+  std::unordered_map<std::string, int> writes_in_progress_;
+  // Trace times at which each document version became obsolete:
+  // mod_times_[url][v-1] is the modification that superseded version v.
+  std::unordered_map<std::string, std::vector<Time>> mod_times_;
+  // PSI server state: the modification log and each proxy's contact cursor.
+  core::ModificationLog mod_log_;
+  std::vector<Time> psi_last_contact_;
+  // PCV piggyback batches in flight, keyed by request sequence number.
+  std::unordered_map<std::uint64_t, std::vector<core::PcvItem>>
+      pcv_in_flight_;
+  struct PendingMod {
+    std::string url;
+    // Undelivered invalidations: the write completes when this drains.
+    int remaining = 0;
+    // Unresolved first transmission attempts: the blocking check-in (the
+    // modifier's gate) waits only for these — a send that hits a partition
+    // moves to background retry and stops gating the modifier, exactly like
+    // a failed TCP send being queued for periodic retry.
+    int first_pending = 0;
+    std::function<void()> on_complete;  // modifier continuation (serialized)
+  };
+  std::unordered_map<std::uint64_t, PendingMod> pending_mod_targets_;
+
+  Time wall_end_ = 0;
+  ReplayMetrics metrics_;
+  // Structured tracing (nullptr = off). Every emit site below sits exactly
+  // at the increment of the ReplayMetrics counter it mirrors, so JSONL event
+  // counts reconcile with the paper tables (see DESIGN.md).
+  obs::TraceSink* sink_ = nullptr;
+};
+
+}  // namespace webcc::replay::detail

@@ -1,0 +1,253 @@
+// Modifier process and server-driven invalidation fan-out: the write path
+// of the invalidation protocol (Section 3.3), its serialized/decoupled and
+// multicast send variants (Section 5.3), and the crash-recovery broadcast
+// (Section 4). Whether a write owes a fan-out at all is the kernel's
+// OnWrite decision; everything here is mechanism.
+#include "http/cache_key.h"
+#include "obs/event.h"
+#include "replay/engine_impl.h"
+
+namespace webcc::replay::detail {
+
+void Engine::ModifierStep() {
+  if (mod_cursor_ >= mod_window_end_) {
+    ParticipantDone();
+    return;
+  }
+  const trace::ModEvent& event = modifications_[mod_cursor_++];
+  const std::string& url = DocPath(event.doc);
+
+  // The touch registers in the file system immediately; for polling, this is
+  // the point at which the write is complete. For invalidation the write is
+  // in progress from this instant until the fan-out is delivered.
+  docs_.Touch(url, event.at);
+  mod_times_[url].push_back(event.at);
+  mod_log_.Record(event.at, url);
+  ++metrics_.modifications_applied;
+  obs::Emit(sink_, {.type = obs::EventType::kModification,
+                    .at = sim_.now(),
+                    .trace_time = event.at,
+                    .url = url});
+  const bool fan_out = policy_->OnWrite().fan_out_invalidations;
+  if (fan_out && !server_down_) ++writes_in_progress_[url];
+
+  if (server_down_) {
+    // The accelerator is dead: the modification goes unnoticed until the
+    // recovery broadcast. The touch itself persists (the file system
+    // survives the crash).
+    sim_.After(0, [this] { ModifierStep(); });
+    return;
+  }
+
+  // The check-in utility notifies the accelerator; detection happens when
+  // the notify is processed.
+  server_cpu_.Enqueue(config_.server_costs.notify_cpu,
+                      [this, fan_out, url, at = event.at] {
+                        if (fan_out) {
+                          net::Notify notify{url};
+                          FanOutInvalidations(accel_.HandleNotify(notify, at),
+                                              url,
+                                              [this] { ModifierStep(); });
+                        } else {
+                          ModifierStep();
+                        }
+                      });
+}
+
+void Engine::FanOutInvalidations(std::vector<net::Invalidation> invalidations,
+                                 const std::string& url,
+                                 std::function<void()> on_complete) {
+  WEBCC_CHECK(static_cast<bool>(on_complete));
+  if (invalidations.empty()) {
+    // No site holds a live-leased copy: the write is trivially complete.
+    CompleteWrite(url);
+    sim_.After(0, std::move(on_complete));
+    return;
+  }
+
+  const std::uint64_t mod_id = next_mod_id_++;
+  PendingMod& pending = pending_mod_targets_[mod_id];
+  pending.url = url;
+  pending.remaining = static_cast<int>(invalidations.size());
+  pending.first_pending = pending.remaining;
+  if (config_.serialized_invalidation) {
+    // The check-in blocks until the fan-out lands (the paper's prototype);
+    // the modifier resumes only once this write has completed.
+    pending.on_complete = std::move(on_complete);
+  }
+
+  sim::FifoStation& sender =
+      config_.serialized_invalidation ? server_cpu_ : inval_sender_;
+  const Time fanout_start = sim_.now();
+  Time last_send_done = fanout_start;
+  if (config_.multicast_invalidation) {
+    // One group send regardless of list length: one CPU charge, one
+    // message's bytes; the network fans the copies out.
+    ++metrics_.multicast_sends;
+    metrics_.invalidations_sent += invalidations.size();
+    metrics_.message_bytes += net::WireSize(invalidations.front());
+    last_send_done = sender.Enqueue(
+        config_.server_costs.invalidation_send_cpu,
+        [this, invalidations = std::move(invalidations), mod_id]() mutable {
+          for (net::Invalidation& invalidation : invalidations) {
+            SendInvalidation(std::move(invalidation), mod_id);
+          }
+        });
+  } else {
+    for (net::Invalidation& invalidation : invalidations) {
+      ++metrics_.invalidations_sent;
+      metrics_.message_bytes += net::WireSize(invalidation);
+      last_send_done = sender.Enqueue(
+          config_.server_costs.invalidation_send_cpu,
+          [this, invalidation = std::move(invalidation), mod_id]() mutable {
+            SendInvalidation(std::move(invalidation), mod_id);
+          });
+    }
+  }
+  metrics_.invalidation_time_ms.Record(ToMillis(last_send_done - fanout_start));
+  if (!config_.serialized_invalidation) sim_.After(0, std::move(on_complete));
+}
+
+void Engine::SendInvalidation(net::Invalidation invalidation,
+                              std::uint64_t mod_id) {
+  sim::NodeId target;
+  const bool to_parent =
+      config_.hierarchical && invalidation.client_id == "parent";
+  if (to_parent) {
+    target = ParentNode();
+  } else {
+    const auto it = pseudo_of_client_.find(invalidation.client_id);
+    WEBCC_CHECK_MSG(it != pseudo_of_client_.end(),
+                    "invalidation for an unknown client");
+    target = clients_[it->second].node;
+  }
+  const std::uint64_t wire = net::WireSize(invalidation);
+
+  // A send that hits a partition is queued for periodic background retry;
+  // the blocking check-in does not wait for it. A reachable target gates
+  // the check-in until the message actually arrives (a successful TCP send
+  // means the peer acknowledged the bytes).
+  bool gate_released = false;
+  if (!net_.Reachable(ServerNode(), target) && net_.IsNodeUp(target) &&
+      net_.IsNodeUp(ServerNode())) {
+    gate_released = true;
+    ResolveFirstAttempt(mod_id);
+  }
+
+  // TCP with periodic retry across partitions (Section 4's failure
+  // handling); a down proxy refuses the connection and is dropped — its
+  // recovery path revalidates everything.
+  net_.SendReliable(
+      ServerNode(), target, wire,
+      [this, invalidation, mod_id, gate_released, to_parent] {
+        if (!gate_released) ResolveFirstAttempt(mod_id);
+        if (to_parent) {
+          if (invalidation.type == net::MessageType::kInvalidateUrl) {
+            ParentDeliverInvalidation(invalidation.url, mod_id);
+          } else {
+            ParentDeliverServerNotice(invalidation);
+          }
+        } else {
+          DeliverInvalidation(invalidation, mod_id);
+        }
+      },
+      [this, invalidation, mod_id,
+       gate_released](sim::Network::SendResult result, Time done_at) {
+        if (result == sim::Network::SendResult::kDelivered) return;
+        if (!gate_released) ResolveFirstAttempt(mod_id);
+        ++metrics_.invalidations_refused;
+        obs::Emit(sink_,
+                  {.type = result == sim::Network::SendResult::kGaveUp
+                               ? obs::EventType::kInvalidateGaveUp
+                               : obs::EventType::kInvalidateRefused,
+                   .at = done_at,
+                   .url = invalidation.url,
+                   .site = invalidation.client_id});
+        if (invalidation.type == net::MessageType::kInvalidateServer) {
+          FinishRecoveryNotice();
+        } else {
+          FinishInvalidationTarget(invalidation, mod_id);
+        }
+      },
+      /*max_retries=*/-1);
+}
+
+void Engine::DeliverInvalidation(const net::Invalidation& invalidation,
+                                 std::uint64_t mod_id) {
+  const int index = pseudo_of_client_.at(invalidation.client_id);
+  PseudoClient& pc = clients_[index];
+  if (invalidation.type == net::MessageType::kInvalidateUrl) {
+    // Deleting (rather than marking) frees cache space for fresh documents —
+    // the cache-utilization benefit the paper credits invalidation with.
+    pc.cache->Erase(
+        http::ComposeCacheKey(invalidation.url, invalidation.client_id));
+    ++metrics_.invalidations_delivered;
+    obs::Emit(sink_, {.type = obs::EventType::kInvalidateDelivered,
+                      .at = sim_.now(),
+                      .url = invalidation.url,
+                      .site = invalidation.client_id});
+    FinishInvalidationTarget(invalidation, mod_id);
+  } else {
+    // Server-address invalidation: every entry this real client holds from
+    // that server becomes questionable.
+    pc.cache->MarkQuestionableWhere(
+        [&invalidation](const http::CacheEntry& entry) {
+          return entry.owner == invalidation.client_id;
+        });
+    FinishRecoveryNotice();
+  }
+}
+
+void Engine::FinishRecoveryNotice() {
+  if (recovery_notices_pending_ > 0 && --recovery_notices_pending_ == 0) {
+    // Every ever-seen site has been told (or is dead and will revalidate on
+    // its own recovery): the downtime writes are as complete as they get.
+    write_gap_active_ = false;
+  }
+}
+
+void Engine::ResolveFirstAttempt(std::uint64_t mod_id) {
+  const auto it = pending_mod_targets_.find(mod_id);
+  if (it == pending_mod_targets_.end()) return;
+  if (--it->second.first_pending > 0) return;
+  std::function<void()> on_complete = std::move(it->second.on_complete);
+  it->second.on_complete = nullptr;
+  if (it->second.remaining <= 0) pending_mod_targets_.erase(it);
+  if (on_complete) on_complete();
+}
+
+void Engine::FinishInvalidationTarget(const net::Invalidation& invalidation,
+                                      std::uint64_t mod_id) {
+  (void)invalidation;
+  const auto it = pending_mod_targets_.find(mod_id);
+  if (it == pending_mod_targets_.end()) return;
+  if (--it->second.remaining > 0) return;
+  // Write complete: all invalidations delivered (or their targets dead).
+  CompleteWrite(it->second.url);
+  if (it->second.first_pending <= 0) pending_mod_targets_.erase(it);
+}
+
+void Engine::CompleteWrite(const std::string& url) {
+  const auto it = writes_in_progress_.find(url);
+  if (it != writes_in_progress_.end() && --it->second <= 0) {
+    writes_in_progress_.erase(it);
+  }
+}
+
+void Engine::ServerRecover() {
+  std::vector<net::Invalidation> notices = accel_.Recover();
+  recovery_notices_pending_ = static_cast<int>(notices.size());
+  if (notices.empty()) write_gap_active_ = false;
+  sim::FifoStation& sender =
+      config_.serialized_invalidation ? server_cpu_ : inval_sender_;
+  for (net::Invalidation& notice : notices) {
+    ++metrics_.invsrv_sent;
+    metrics_.message_bytes += net::WireSize(notice);
+    sender.Enqueue(config_.server_costs.invalidation_send_cpu,
+                   [this, notice = std::move(notice)]() mutable {
+                     SendInvalidation(std::move(notice), 0);
+                   });
+  }
+}
+
+}  // namespace webcc::replay::detail

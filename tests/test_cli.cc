@@ -93,6 +93,37 @@ TEST(ParseProtocol, AllNamesAndAliases) {
   EXPECT_FALSE(ParseProtocol("nfs").has_value());
 }
 
+TEST(ParseProtocol, RoundTripsThroughToString) {
+  constexpr core::Protocol kAll[] = {
+      core::Protocol::kAdaptiveTtl, core::Protocol::kPollEveryTime,
+      core::Protocol::kInvalidation, core::Protocol::kPiggybackValidation,
+      core::Protocol::kPiggybackInvalidation};
+  for (const core::Protocol protocol : kAll) {
+    EXPECT_EQ(ParseProtocol(core::ToString(protocol)), protocol)
+        << core::ToString(protocol);
+  }
+}
+
+TEST(ParseLeaseMode, AllNamesAndAliases) {
+  EXPECT_EQ(ParseLeaseMode("none"), core::LeaseMode::kNone);
+  EXPECT_EQ(ParseLeaseMode("fixed"), core::LeaseMode::kFixed);
+  EXPECT_EQ(ParseLeaseMode("two-tier"), core::LeaseMode::kTwoTier);
+  EXPECT_EQ(ParseLeaseMode("twotier"), core::LeaseMode::kTwoTier);
+  EXPECT_EQ(ParseLeaseMode("two_tier"), core::LeaseMode::kTwoTier);
+  EXPECT_FALSE(ParseLeaseMode("volume").has_value());
+  EXPECT_FALSE(ParseLeaseMode("").has_value());
+}
+
+TEST(ParseLeaseMode, RoundTripsThroughToString) {
+  constexpr core::LeaseMode kAll[] = {
+      core::LeaseMode::kNone, core::LeaseMode::kFixed,
+      core::LeaseMode::kTwoTier};
+  for (const core::LeaseMode mode : kAll) {
+    EXPECT_EQ(ParseLeaseMode(core::ToString(mode)), mode)
+        << core::ToString(mode);
+  }
+}
+
 // --- commands ----------------------------------------------------------------------
 
 class CliCommandTest : public ::testing::Test {
@@ -256,6 +287,50 @@ TEST_F(CliCommandTest, ReplayRejectsUnknownProtocol) {
                  path_.c_str()}),
             0);
   EXPECT_NE(Run({"replay", "--in", path_.c_str(), "--protocol", "afs"}), 0);
+  // The error must teach the valid spellings.
+  for (const char* token : {"ttl", "poll", "invalidation", "pcv", "psi"}) {
+    EXPECT_NE(err_.str().find(token), std::string::npos) << err_.str();
+  }
+}
+
+TEST_F(CliCommandTest, ReplayLeaseFlagSelectsMode) {
+  ASSERT_EQ(Run({"generate", "--requests", "300", "--documents", "40",
+                 "--clients", "20", "--duration-hours", "1", "--out",
+                 path_.c_str()}),
+            0);
+  ASSERT_EQ(Run({"replay", "--in", path_.c_str(), "--protocol",
+                 "invalidation", "--lease", "two-tier", "--lifetime-days",
+                 "1"}),
+            0);
+  ASSERT_EQ(Run({"replay", "--in", path_.c_str(), "--protocol",
+                 "invalidation", "--lease", "fixed", "--lease-days", "1",
+                 "--lifetime-days", "1"}),
+            0);
+  ASSERT_EQ(Run({"replay", "--in", path_.c_str(), "--protocol",
+                 "invalidation", "--lease", "none", "--lifetime-days", "1"}),
+            0);
+}
+
+TEST_F(CliCommandTest, ReplayRejectsUnknownLease) {
+  ASSERT_EQ(Run({"generate", "--requests", "100", "--documents", "10",
+                 "--clients", "5", "--duration-hours", "1", "--out",
+                 path_.c_str()}),
+            0);
+  EXPECT_NE(Run({"replay", "--in", path_.c_str(), "--lease", "volume"}), 0);
+  for (const char* token : {"none", "fixed", "two-tier"}) {
+    EXPECT_NE(err_.str().find(token), std::string::npos) << err_.str();
+  }
+}
+
+TEST_F(CliCommandTest, ReplayRejectsLeaseFlagPlusTwoTierSwitch) {
+  ASSERT_EQ(Run({"generate", "--requests", "100", "--documents", "10",
+                 "--clients", "5", "--duration-hours", "1", "--out",
+                 path_.c_str()}),
+            0);
+  EXPECT_NE(
+      Run({"replay", "--in", path_.c_str(), "--lease", "fixed", "--two-tier"}),
+      0);
+  EXPECT_NE(err_.str().find("mutually exclusive"), std::string::npos);
 }
 
 TEST_F(CliCommandTest, ReplayRejectsPresetAndInTogether) {

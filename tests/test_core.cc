@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <iterator>
 #include <limits>
+#include <set>
 #include <string>
 
 #include "core/accelerator.h"
@@ -435,6 +437,36 @@ TEST_F(AcceleratorTest, TwoTierLeaseStampedIntoReply) {
   const auto ims_reply = accel.HandleRequest(ims, kHour);
   ASSERT_TRUE(ims_reply.has_value());
   EXPECT_EQ(ims_reply->lease_until, kHour + 2 * kDay);
+}
+
+// --- enum names -------------------------------------------------------------------
+
+// Every enumerator must map to a real display name: "?" is the
+// switch-fell-through sentinel, and duplicates would make CLI output and
+// metric prefixes ambiguous.
+TEST(PolicyNames, ProtocolToStringIsExhaustiveAndDistinct) {
+  constexpr Protocol kAll[] = {
+      Protocol::kAdaptiveTtl, Protocol::kPollEveryTime, Protocol::kInvalidation,
+      Protocol::kPiggybackValidation, Protocol::kPiggybackInvalidation};
+  std::set<std::string> names;
+  for (const Protocol protocol : kAll) {
+    const char* name = ToString(protocol);
+    EXPECT_STRNE(name, "?") << static_cast<int>(protocol);
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), std::size(kAll));
+}
+
+TEST(PolicyNames, LeaseModeToStringIsExhaustiveAndDistinct) {
+  constexpr LeaseMode kAll[] = {LeaseMode::kNone, LeaseMode::kFixed,
+                                LeaseMode::kTwoTier};
+  std::set<std::string> names;
+  for (const LeaseMode mode : kAll) {
+    const char* name = ToString(mode);
+    EXPECT_STRNE(name, "?") << static_cast<int>(mode);
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), std::size(kAll));
 }
 
 }  // namespace

@@ -154,8 +154,10 @@ TEST(Socket, PeerResetSurfacesAsPeerReset) {
 
 class LiveFixture : public ::testing::Test {
  protected:
-  void StartAll(core::Protocol protocol, core::LeaseConfig lease = {}) {
+  void StartAll(core::Protocol protocol, core::LeaseConfig lease = {},
+                core::AdaptiveTtlConfig ttl = {}) {
     LiveServer::Options server_options;
+    server_options.protocol = protocol;
     server_options.lease = lease;
     server_ = std::make_unique<LiveServer>(server_options);
     ASSERT_TRUE(server_->Start());
@@ -165,6 +167,7 @@ class LiveFixture : public ::testing::Test {
     LiveProxy::Options proxy_options;
     proxy_options.server_port = server_->port();
     proxy_options.protocol = protocol;
+    proxy_options.ttl = ttl;
     proxy_ = std::make_unique<LiveProxy>(proxy_options);
     ASSERT_TRUE(proxy_->Start());
   }
@@ -339,6 +342,75 @@ TEST_F(LiveFixture, ConcurrentFetchesAreSafe) {
   for (std::thread& thread : threads) thread.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(proxy_->cached_entries(), 8u);
+}
+
+TEST_F(LiveFixture, PcvPiggybackDropsInvalidCopies) {
+  // Zero TTL: every cached entry is immediately a piggyback candidate.
+  core::AdaptiveTtlConfig ttl;
+  ttl.factor = 0.0;
+  ttl.min_ttl = 0;
+  StartAll(core::Protocol::kPiggybackValidation, {}, ttl);
+
+  proxy_->Fetch("alice", "/index.html");
+  server_->TouchDocument("/index.html");  // weak: no push happens
+  EXPECT_EQ(proxy_->invalidations_received(), 0u);
+  ASSERT_EQ(proxy_->cached_entries(), 1u);
+
+  // The unrelated fetch piggybacks the expired /index.html entry; the
+  // server's bulk validation finds it invalid and the proxy drops it.
+  const auto other = proxy_->Fetch("alice", "/data.bin");
+  EXPECT_TRUE(other.ok);
+  EXPECT_EQ(proxy_->pcv_invalidated(), 1u);
+  EXPECT_EQ(proxy_->cached_entries(), 1u);  // only /data.bin remains
+
+  const auto refetch = proxy_->Fetch("alice", "/index.html");
+  EXPECT_TRUE(refetch.ok);
+  EXPECT_FALSE(refetch.local_hit);
+  EXPECT_EQ(refetch.version, 2u);
+}
+
+TEST_F(LiveFixture, PcvPiggybackRearmsValidCopies) {
+  core::AdaptiveTtlConfig ttl;
+  ttl.factor = 0.0;
+  ttl.min_ttl = 0;
+  StartAll(core::Protocol::kPiggybackValidation, {}, ttl);
+
+  proxy_->Fetch("alice", "/index.html");
+  // Not modified: the piggybacked validation certifies the copy and re-arms
+  // its TTL (still zero here, but the copy survives).
+  proxy_->Fetch("alice", "/data.bin");
+  EXPECT_EQ(proxy_->pcv_invalidated(), 0u);
+  EXPECT_EQ(proxy_->cached_entries(), 2u);
+}
+
+TEST_F(LiveFixture, PsiPiggybackPurgesModifiedCopies) {
+  StartAll(core::Protocol::kPiggybackInvalidation);
+
+  proxy_->Fetch("alice", "/index.html");
+  server_->TouchDocument("/index.html");  // weak: no push happens
+  ASSERT_EQ(proxy_->cached_entries(), 1u);
+
+  // The next server contact carries the change list; the stale copy is
+  // purged proxy-wide even though the reply is for another document.
+  const auto other = proxy_->Fetch("alice", "/data.bin");
+  EXPECT_TRUE(other.ok);
+  EXPECT_EQ(proxy_->psi_purged(), 1u);
+  EXPECT_EQ(proxy_->cached_entries(), 1u);
+
+  const auto refetch = proxy_->Fetch("alice", "/index.html");
+  EXPECT_FALSE(refetch.local_hit);
+  EXPECT_EQ(refetch.version, 2u);
+}
+
+TEST_F(LiveFixture, PsiCursorAdvancesPerContact) {
+  StartAll(core::Protocol::kPiggybackInvalidation);
+  proxy_->Fetch("alice", "/index.html");
+  server_->TouchDocument("/index.html");
+  proxy_->Fetch("alice", "/data.bin");  // consumes the notice
+  EXPECT_EQ(proxy_->psi_purged(), 1u);
+  // The cursor advanced: the same modification is not re-announced.
+  proxy_->Fetch("alice", "/data.bin");
+  EXPECT_EQ(proxy_->psi_purged(), 1u);
 }
 
 TEST(LiveTracing, EmitsServeAndInvalidationEvents) {

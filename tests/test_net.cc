@@ -181,6 +181,95 @@ TEST(Wire, DecodeToleratesCrlf) {
   EXPECT_NE(std::get_if<Request>(&*decoded), nullptr);
 }
 
+// --- piggyback sections -----------------------------------------------------------------
+
+TEST(Wire, GetWithPcvSectionRoundTrip) {
+  Request request;
+  request.type = MessageType::kGet;
+  request.url = "/a";
+  request.client_id = "c";
+  request.pcv_queries.push_back({"/old one.html", "site a", 17});
+  request.pcv_queries.push_back({"/two", "s2", -5});
+  const auto decoded = DecodeLine(EncodeLine(request));
+  ASSERT_TRUE(decoded.has_value());
+  const auto* back = std::get_if<Request>(&*decoded);
+  ASSERT_NE(back, nullptr);
+  ASSERT_EQ(back->pcv_queries.size(), 2u);
+  EXPECT_EQ(back->pcv_queries[0].url, "/old one.html");
+  EXPECT_EQ(back->pcv_queries[0].owner, "site a");
+  EXPECT_EQ(back->pcv_queries[0].last_modified, 17);
+  EXPECT_EQ(back->pcv_queries[1].url, "/two");
+  EXPECT_EQ(back->pcv_queries[1].owner, "s2");
+  EXPECT_EQ(back->pcv_queries[1].last_modified, -5);
+}
+
+TEST(Wire, ImsWithPcvSectionRoundTrip) {
+  Request request;
+  request.type = MessageType::kIfModifiedSince;
+  request.url = "/a";
+  request.client_id = "c";
+  request.if_modified_since = 99;
+  request.pcv_queries.push_back({"/b", "o", 3});
+  const auto decoded = DecodeLine(EncodeLine(request));
+  ASSERT_TRUE(decoded.has_value());
+  const auto* back = std::get_if<Request>(&*decoded);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->if_modified_since, 99);
+  ASSERT_EQ(back->pcv_queries.size(), 1u);
+  EXPECT_EQ(back->pcv_queries[0].url, "/b");
+}
+
+TEST(Wire, Reply200WithPcvInvAndPsiRoundTrip) {
+  Reply reply;
+  reply.type = MessageType::kReply200;
+  reply.url = "/a";
+  reply.body_bytes = 10;
+  reply.pcv_invalid.push_back({"/stale", "owner 1"});
+  reply.pcv_invalid.push_back({"/also stale", "o2"});
+  reply.psi_modified = {"/m1", "/m 2"};
+  const auto decoded = DecodeLine(EncodeLine(reply));
+  ASSERT_TRUE(decoded.has_value());
+  const auto* back = std::get_if<Reply>(&*decoded);
+  ASSERT_NE(back, nullptr);
+  ASSERT_EQ(back->pcv_invalid.size(), 2u);
+  EXPECT_EQ(back->pcv_invalid[0].url, "/stale");
+  EXPECT_EQ(back->pcv_invalid[0].owner, "owner 1");
+  EXPECT_EQ(back->pcv_invalid[1].url, "/also stale");
+  ASSERT_EQ(back->psi_modified.size(), 2u);
+  EXPECT_EQ(back->psi_modified[1], "/m 2");
+}
+
+TEST(Wire, Reply304WithPsiOnlyRoundTrip) {
+  Reply reply;
+  reply.type = MessageType::kReply304;
+  reply.url = "/a";
+  reply.lease_until = kNoLease;
+  reply.psi_modified = {"/changed"};
+  const auto decoded = DecodeLine(EncodeLine(reply));
+  ASSERT_TRUE(decoded.has_value());
+  const auto* back = std::get_if<Reply>(&*decoded);
+  ASSERT_NE(back, nullptr);
+  EXPECT_TRUE(back->pcv_invalid.empty());
+  ASSERT_EQ(back->psi_modified.size(), 1u);
+  EXPECT_EQ(back->psi_modified[0], "/changed");
+}
+
+TEST(Wire, EmptyPiggybackKeepsHistoricalEncoding) {
+  // Messages without piggyback data must stay byte-identical to the
+  // pre-extension codec so older peers interoperate.
+  Request request;
+  request.type = MessageType::kGet;
+  request.url = "/a";
+  request.client_id = "c";
+  EXPECT_EQ(EncodeLine(request), "GET /a c\n");
+  Reply reply;
+  reply.type = MessageType::kReply304;
+  reply.url = "/a";
+  reply.last_modified = 1;
+  reply.lease_until = 2;
+  EXPECT_EQ(EncodeLine(reply), "304 /a 1 2\n");
+}
+
 // --- malformed inputs -----------------------------------------------------------------
 
 struct MalformedCase {
@@ -210,7 +299,21 @@ INSTANTIATE_TEST_SUITE_P(
         MalformedCase{"InvSrvMissingServer", "INVSRV"},
         MalformedCase{"NotifyExtra", "NOTIFY /a b"},
         MalformedCase{"DoubleSpace", "GET  /a b"},
-        MalformedCase{"BadEscape", "GET /a%2 b"}),
+        MalformedCase{"BadEscape", "GET /a%2 b"},
+        MalformedCase{"PcvMissingCount", "GET /a c PCV"},
+        MalformedCase{"PcvBadCount", "GET /a c PCV x /u o 1"},
+        MalformedCase{"PcvCountOverclaims", "GET /a c PCV 2 /u o 1"},
+        MalformedCase{"PcvHostileHugeCount",
+                      "GET /a c PCV 18446744073709551615 /u o 1"},
+        MalformedCase{"PcvTruncatedItem", "GET /a c PCV 1 /u o"},
+        MalformedCase{"PcvBadTimestamp", "GET /a c PCV 1 /u o zz"},
+        MalformedCase{"PcvTrailingGarbage", "GET /a c PCV 1 /u o 1 junk"},
+        MalformedCase{"PcvWrongMarker", "GET /a c PSI 1 /u"},
+        MalformedCase{"PcvOnReply", "304 /a 1 2 PCV 1 /u o 1"},
+        MalformedCase{"PcvInvTruncated", "200 /a 1 2 3 4 PCVINV 1 /u"},
+        MalformedCase{"PsiCountOverclaims", "304 /a 1 2 PSI 3 /u"},
+        MalformedCase{"PsiBeforePcvInv",
+                      "304 /a 1 2 PSI 1 /u PCVINV 1 /v o"}),
     [](const ::testing::TestParamInfo<MalformedCase>& info) {
       return info.param.name;
     });

@@ -22,16 +22,17 @@ TEST(PcvValidate, SplitsFreshFromChanged) {
   store.Touch("/changed", 50);
 
   std::vector<core::PcvItem> items = {
-      {"/fresh@c", "/fresh", 10},
-      {"/changed@c", "/changed", 10},
-      {"/gone@c", "/gone", 10},
+      {"/fresh", "c", 10},
+      {"/changed", "c", 10},
+      {"/gone", "c", 10},
   };
   const auto verdicts = core::ValidatePiggyback(store, items);
   ASSERT_EQ(verdicts.size(), 3u);
   EXPECT_FALSE(verdicts[0].invalid);
   EXPECT_TRUE(verdicts[1].invalid);
   EXPECT_TRUE(verdicts[2].invalid);  // deleted at origin => invalid
-  EXPECT_EQ(verdicts[0].key, "/fresh@c");
+  EXPECT_EQ(verdicts[0].url, "/fresh");
+  EXPECT_EQ(verdicts[0].owner, "c");
 }
 
 TEST(PcvValidate, EmptyBatch) {
@@ -40,15 +41,18 @@ TEST(PcvValidate, EmptyBatch) {
 }
 
 TEST(PcvBytes, RequestScalesWithItems) {
-  std::vector<core::PcvItem> items = {{"/a@c", "/a", 0}, {"/bb@c", "/bb", 0}};
+  std::vector<core::PcvItem> items = {{"/a", "c", 0}, {"/bb", "c", 0}};
   const auto bytes = core::PcvRequestExtraBytes(items);
   EXPECT_GT(bytes, items[0].url.size() + items[1].url.size());
   EXPECT_EQ(core::PcvRequestExtraBytes({}), 0u);
 }
 
 TEST(PcvBytes, ReplyCountsOnlyInvalid) {
-  std::vector<core::PcvVerdict> verdicts = {{"/a@c", false}, {"/bb@c", true}};
-  EXPECT_EQ(core::PcvReplyExtraBytes(verdicts), std::string("/bb@c").size() + 2);
+  std::vector<core::PcvVerdict> verdicts = {{"/a", "c", false},
+                                            {"/bb", "c", true}};
+  // The accounting matches the historical url@owner key framing.
+  EXPECT_EQ(core::PcvReplyExtraBytes(verdicts),
+            std::string("/bb@c").size() + 2);
 }
 
 // --- ModificationLog --------------------------------------------------------------
