@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "core/piggyback.h"
+#include "fault/plan.h"
 #include "obs/metrics.h"
 #include "obs/trace_reader.h"
 #include "obs/trace_sink.h"
@@ -309,6 +310,44 @@ int RunReplayCommand(const Flags& flags, std::ostream& out,
   }
   config.multicast_invalidation = flags.GetBool("multicast");
   config.serialized_invalidation = !flags.GetBool("decoupled");
+  config.journaled_recovery = !flags.GetBool("no-journal");
+
+  // Deterministic fault injection: --fault-plan loads a JSON scenario;
+  // --fault-seed alone generates a random plan (the same plan every run for
+  // a given seed and trace). The plan object must outlive the farm run.
+  fault::FaultPlanFile plan_file;
+  const std::string fault_plan_path = flags.GetString("fault-plan", "");
+  const auto fault_seed = flags.GetInt("fault-seed", 0);
+  if (!fault_seed || *fault_seed < 0) {
+    err << "error: invalid --fault-seed\n";
+    return 2;
+  }
+  config.fault_seed = static_cast<std::uint64_t>(*fault_seed);
+  if (!fault_plan_path.empty()) {
+    std::ifstream plan_in(fault_plan_path);
+    if (!plan_in) {
+      err << "error: cannot open " << fault_plan_path << "\n";
+      return 2;
+    }
+    std::ostringstream plan_text;
+    plan_text << plan_in.rdbuf();
+    std::string parse_error;
+    if (!fault::ParseFaultPlanFile(plan_text.str(), plan_file, parse_error)) {
+      err << "error: " << fault_plan_path << ": " << parse_error << "\n";
+      return 2;
+    }
+    config.fault_plan = &plan_file.plan;
+  } else if (*fault_seed > 0) {
+    fault::RandomPlanConfig random_config;
+    random_config.horizon = trace->duration;
+    random_config.clients = config.num_pseudo_clients;
+    plan_file.plan =
+        fault::Random(random_config, static_cast<std::uint64_t>(*fault_seed));
+    config.fault_plan = &plan_file.plan;
+    err << "generated fault plan '" << plan_file.plan.name << "' ("
+        << plan_file.plan.events.size() << " events)\n";
+  }
+
   const auto workers = flags.GetInt("workers", 0);
   if (!workers || *workers < 0) {
     err << "error: invalid --workers\n";
@@ -447,6 +486,11 @@ void PrintUsage(std::ostream& out) {
          "             [--lifetime-days D] [--lease-days L]\n"
          "             [--lease none|fixed|two-tier] [--two-tier]\n"
          "             [--multicast] [--decoupled] [--cache-mb N]\n"
+         "             [--fault-plan FILE]  JSON crash/partition/link-fault\n"
+         "             scenario; [--fault-seed S] replays it (or, without\n"
+         "             a file, generates a random plan) deterministically\n"
+         "             [--no-journal]  blanket INVSRV recovery broadcast\n"
+         "             instead of the write-ahead journal rebuild\n"
          "             [--workers N]  (0 = one per core; protocols of a\n"
          "             sweep run concurrently, output order is unchanged)\n"
          "             [--trace-out FILE]    structured JSONL event trace\n"

@@ -1,7 +1,9 @@
 #include "core/accelerator.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "core/lease.h"
 #include "util/check.h"
 
 namespace webcc::core {
@@ -16,7 +18,19 @@ std::optional<net::Reply> Accelerator::HandleRequest(
   // notify can tell "changed since last invalidation" from "never seen".
   const http::Document* doc = store_->Find(request.url);
   WEBCC_DCHECK(doc != nullptr);
-  last_seen_version_.try_emplace(request.url, doc->version);
+  const bool first_sighting =
+      last_seen_version_.try_emplace(request.url, doc->version).second;
+  if (journal_enabled_) {
+    // Append-before-act: the journal records the registration before the
+    // table mutates, so a torn tail can only describe an entry that was
+    // never created. GrantLease is pure, so computing it here and again
+    // inside Register cannot disagree.
+    if (first_sighting) journal_.AppendVersion(request.url, doc->version);
+    const Time lease = GrantLease(table_.lease_config(), request.type, now);
+    if (LeaseActive(lease, now)) {
+      journal_.AppendRegister(request.url, request.client_id, lease);
+    }
+  }
 
   // Pessimistic registration: any requester might cache the document.
   reply->lease_until =
@@ -54,19 +68,29 @@ std::vector<net::Invalidation> Accelerator::DetectAndInvalidate(
   auto [it, first_sighting] =
       last_seen_version_.try_emplace(std::string(url), doc->version);
   if (first_sighting || doc->version == it->second) {
+    if (first_sighting && journal_enabled_) {
+      journal_.AppendVersion(url, doc->version);
+    }
     return out;  // unchanged (or nothing could have cached it yet)
   }
   it->second = doc->version;
   ++stats_.modifications_detected;
+  if (journal_enabled_) {
+    // Journal the new baseline and the list wipe before taking the list.
+    journal_.AppendVersion(url, doc->version);
+    journal_.AppendInvalidate(url);
+  }
 
-  std::vector<std::string> sites = table_.TakeSitesForInvalidation(url, now);
+  std::vector<InvalidationTable::TakenSite> sites =
+      table_.TakeSitesWithLeases(url, now);
   stats_.list_lengths_at_modification.push_back(sites.size());
   out.reserve(sites.size());
-  for (std::string& site : sites) {
+  for (InvalidationTable::TakenSite& taken : sites) {
     net::Invalidation inv;
     inv.type = net::MessageType::kInvalidateUrl;
     inv.url = std::string(url);
-    inv.client_id = std::move(site);
+    inv.client_id = std::move(taken.site);
+    inv.lease_until = taken.lease_until;
     obs::Emit(trace_sink_, {.type = obs::EventType::kInvalidateGenerated,
                             .at = now,
                             .url = inv.url,
@@ -92,12 +116,77 @@ std::vector<net::Invalidation> Accelerator::Recover() {
     inv.type = net::MessageType::kInvalidateServer;
     inv.server = server_name_;
     inv.client_id = site;
+    inv.recovery = true;
     obs::Emit(trace_sink_, {.type = obs::EventType::kInvalidateServer,
                             .site = inv.client_id,
                             .label = server_name_});
     out.push_back(std::move(inv));
   }
   return out;
+}
+
+Accelerator::RecoveryOutcome Accelerator::RecoverFromJournal(Time now) {
+  RecoveryOutcome outcome;
+  const SiteJournal::ReplayResult replayed = journal_.Replay();
+  outcome.journal_damaged = replayed.damaged;
+  outcome.records_applied = replayed.records_applied;
+  outcome.records_rejected = replayed.records_rejected;
+
+  // Replay the valid prefix. When the journal is damaged this restores a
+  // conservative superset: dropping trailing 'I' records can only leave
+  // *extra* site-list entries (invalidate-more), never missing ones.
+  for (const SiteJournal::Entry& entry : replayed.entries) {
+    switch (entry.kind) {
+      case 'R':
+        table_.Restore(entry.url, entry.site, entry.lease_until);
+        break;
+      case 'I':
+        (void)table_.TakeSitesForInvalidation(entry.url, now);
+        break;
+      case 'V':
+        last_seen_version_[entry.url] = entry.version;
+        break;
+      default:
+        break;  // Replay never yields other kinds
+    }
+  }
+
+  // Compact: the history is now embodied in the table, so rewrite the
+  // journal as a snapshot of the restored state (version pins first, then
+  // live registrations, both in sorted order for determinism).
+  journal_.Clear();
+  std::vector<std::string> urls;
+  urls.reserve(last_seen_version_.size());
+  for (const auto& [url, version] : last_seen_version_) urls.push_back(url);
+  std::sort(urls.begin(), urls.end());
+  for (const std::string& url : urls) {
+    journal_.AppendVersion(url, last_seen_version_.at(url));
+  }
+  std::vector<InvalidationTable::Snapshot> entries = table_.SnapshotEntries();
+  outcome.entries_restored = entries.size();
+  for (const InvalidationTable::Snapshot& entry : entries) {
+    journal_.AppendRegister(entry.url, entry.site, entry.lease_until);
+  }
+
+  if (outcome.journal_damaged) {
+    // History after the damage point is unknowable; fall back to the
+    // paper's blanket recovery broadcast (mark everything questionable).
+    outcome.invalidations = Recover();
+    return outcome;
+  }
+
+  // Intact journal: only documents whose store version advanced while the
+  // server was down need (targeted) invalidations.
+  for (const std::string& url : urls) {
+    const http::Document* doc = store_->Find(url);
+    if (doc == nullptr || doc->version == last_seen_version_.at(url)) continue;
+    std::vector<net::Invalidation> changed = DetectAndInvalidate(url, now);
+    for (net::Invalidation& inv : changed) {
+      inv.recovery = true;
+      outcome.invalidations.push_back(std::move(inv));
+    }
+  }
+  return outcome;
 }
 
 void Accelerator::ExportMetrics(obs::MetricsRegistry& registry,

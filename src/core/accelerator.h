@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/invalidation_table.h"
+#include "core/journal.h"
 #include "core/policy.h"
 #include "core/site_registry.h"
 #include "http/document_store.h"
@@ -75,12 +76,44 @@ class Accelerator {
 
   // --- failure handling ----------------------------------------------------
   // Server-site crash: the in-memory invalidation table is lost; the
-  // on-disk site registry survives.
+  // on-disk site registry and write-ahead journal survive.
   void Crash();
 
   // Recovery: one server-address INVALIDATE per site ever seen, telling each
-  // to mark this server's documents questionable.
+  // to mark this server's documents questionable. The pre-journal fallback,
+  // and what journal recovery degrades to when the journal is damaged.
   std::vector<net::Invalidation> Recover();
+
+  // --- write-ahead journal (Section 4's persistent site lists) -------------
+  // When enabled, every registration / invalidation / version pin is
+  // journaled append-before-act, so RecoverFromJournal can rebuild the
+  // exact table instead of broadcasting.
+  void EnableJournal(bool enabled) { journal_enabled_ = enabled; }
+  bool journal_enabled() const { return journal_enabled_; }
+  SiteJournal& journal() { return journal_; }
+  const SiteJournal& journal() const { return journal_; }
+
+  struct RecoveryOutcome {
+    // What to send: targeted kInvalidateUrl messages for documents that
+    // changed while the server was down (journal intact), or the kRecover
+    // style kInvalidateServer broadcast (journal damaged). All carry
+    // recovery = true.
+    std::vector<net::Invalidation> invalidations;
+    bool journal_damaged = false;
+    std::size_t records_applied = 0;
+    std::size_t records_rejected = 0;
+    std::size_t entries_restored = 0;  // live site-list entries rebuilt
+  };
+
+  // Rebuilds the invalidation table and version baselines from the journal
+  // (call after Crash()). Intact journal: the table is restored exactly and
+  // only documents whose store version advanced past the journaled baseline
+  // produce (targeted) invalidations. Damaged journal: the valid prefix is
+  // restored — a conservative superset, since replaying fewer 'I' records
+  // can only leave extra entries — and the outcome carries the full
+  // server-address broadcast. Finally the journal is compacted to a
+  // snapshot of the restored state.
+  RecoveryOutcome RecoverFromJournal(Time now);
 
   InvalidationTable& table() { return table_; }
   const InvalidationTable& table() const { return table_; }
@@ -115,6 +148,8 @@ class Accelerator {
   std::unordered_map<std::string, std::uint64_t> last_seen_version_;
   std::string server_name_;
   AcceleratorStats stats_;
+  SiteJournal journal_;
+  bool journal_enabled_ = false;
   obs::TraceSink* trace_sink_ = nullptr;
 };
 

@@ -34,18 +34,45 @@ Time InvalidationTable::Register(std::string_view url, std::string_view client,
 std::vector<std::string> InvalidationTable::TakeSitesForInvalidation(
     std::string_view url, Time now) {
   std::vector<std::string> sites;
+  for (TakenSite& taken : TakeSitesWithLeases(url, now)) {
+    sites.push_back(std::move(taken.site));
+  }
+  return sites;
+}
+
+std::vector<InvalidationTable::TakenSite>
+InvalidationTable::TakeSitesWithLeases(std::string_view url, Time now) {
+  std::vector<TakenSite> sites;
   const InternId url_id = urls_.Find(url);
   if (url_id == kNoInternId) return sites;
   const auto it = lists_.find(url_id);
   if (it == lists_.end()) return sites;
   sites.reserve(it->second.lease_until.size());
   for (const auto& [client, lease_until] : it->second.lease_until) {
-    if (LeaseActive(lease_until, now)) sites.push_back(clients_.NameOf(client));
+    if (LeaseActive(lease_until, now)) {
+      sites.push_back({std::string(clients_.NameOf(client)), lease_until});
+    }
   }
   total_entries_ -= it->second.lease_until.size();
   lists_.erase(it);
-  std::sort(sites.begin(), sites.end());  // deterministic fan-out order
+  std::sort(sites.begin(), sites.end(),  // deterministic fan-out order
+            [](const TakenSite& a, const TakenSite& b) {
+              return a.site < b.site;
+            });
   return sites;
+}
+
+void InvalidationTable::Restore(std::string_view url, std::string_view client,
+                                Time lease_until) {
+  SiteList& list = lists_[urls_.Intern(url)];
+  auto [it, inserted] =
+      list.lease_until.try_emplace(clients_.Intern(client), lease_until);
+  if (inserted) {
+    ++total_entries_;
+  } else if (it->second != net::kNoLease &&
+             (lease_until == net::kNoLease || lease_until > it->second)) {
+    it->second = lease_until;
+  }
 }
 
 std::size_t InvalidationTable::ListLength(std::string_view url,
@@ -83,6 +110,23 @@ std::size_t InvalidationTable::PruneExpired(Time now) {
     list_it = entries.empty() ? lists_.erase(list_it) : std::next(list_it);
   }
   return pruned;
+}
+
+std::vector<InvalidationTable::Snapshot> InvalidationTable::SnapshotEntries()
+    const {
+  std::vector<Snapshot> out;
+  out.reserve(total_entries_);
+  for (const auto& [url, list] : lists_) {
+    for (const auto& [client, lease_until] : list.lease_until) {
+      out.push_back({std::string(urls_.NameOf(url)),
+                     std::string(clients_.NameOf(client)), lease_until});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Snapshot& a, const Snapshot& b) {
+    if (a.url != b.url) return a.url < b.url;
+    return a.site < b.site;
+  });
+  return out;
 }
 
 std::size_t InvalidationTable::MaxListLength() const {

@@ -49,6 +49,30 @@ class InvalidationTable {
   std::vector<std::string> TakeSitesForInvalidation(std::string_view url,
                                                     Time now);
 
+  // Like TakeSitesForInvalidation, but keeps each site's lease expiry — the
+  // delivery-state machine needs it to decide when a straggler's lease
+  // lapses and the write may complete without its ack (Section 6 bound).
+  struct TakenSite {
+    std::string site;
+    Time lease_until = net::kNoLease;
+  };
+  std::vector<TakenSite> TakeSitesWithLeases(std::string_view url, Time now);
+
+  // Re-inserts one entry verbatim (journal recovery: rebuilding the table
+  // the crash destroyed). Expired entries are dropped by the next prune.
+  void Restore(std::string_view url, std::string_view client,
+               Time lease_until);
+
+  // Full, deterministic (url, site)-sorted dump of the live table. Used to
+  // snapshot-compact the journal after recovery and by the fault tests to
+  // prove the rebuilt table is a superset of what the crash destroyed.
+  struct Snapshot {
+    std::string url;
+    std::string site;
+    Time lease_until = net::kNoLease;
+  };
+  std::vector<Snapshot> SnapshotEntries() const;
+
   // Number of live (unexpired) entries for one URL.
   std::size_t ListLength(std::string_view url, Time now) const;
 

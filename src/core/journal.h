@@ -1,0 +1,84 @@
+// Write-ahead journal for the accelerator's invalidation state.
+//
+// The paper (Section 4) has the server persist per-document site lists so a
+// crash does not silently orphan cached copies. webcc models that disk as a
+// checksummed, line-oriented journal that the accelerator appends to
+// *before* acting (append-before-act): a record that never reached the
+// journal describes an action that never happened, so a cleanly truncated
+// tail is recovered exactly. A record that is present but damaged
+// (checksum or format failure) means history after that point is
+// untrustworthy — recovery then falls back to the conservative superset:
+// replay the valid prefix and broadcast server-wide invalidations, which
+// can only invalidate more than necessary, never less.
+//
+// Record grammar, one record per '\n'-terminated line:
+//   <fnv1a64-hex16> R <url> <site> <lease_until>   site registered
+//   <fnv1a64-hex16> I <url>                        site list invalidated
+//   <fnv1a64-hex16> V <url> <version>              version baseline pinned
+// The checksum covers the body after the separating space. URLs and client
+// ids in webcc traces never contain spaces, which keeps the format
+// splittable; AppendRegister checks that invariant.
+//
+// The journal is held in memory (the simulator has no disk); tests and the
+// live stack can persist/corrupt the text at will via text()/SetText().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/time.h"
+
+namespace webcc::core {
+
+class SiteJournal {
+ public:
+  // --- writing (append-before-act) -----------------------------------------
+  void AppendRegister(std::string_view url, std::string_view site,
+                      Time lease_until);
+  void AppendInvalidate(std::string_view url);
+  void AppendVersion(std::string_view url, std::uint64_t version);
+
+  const std::string& text() const { return text_; }
+  std::uint64_t appends() const { return appends_; }
+  bool empty() const { return text_.empty(); }
+
+  // Replaces the journal wholesale (loading a persisted journal, or a test
+  // injecting a corrupted one). Does not validate; Replay does.
+  void SetText(std::string text) { text_ = std::move(text); }
+  void Clear() { text_.clear(); }
+
+  // --- reading --------------------------------------------------------------
+  struct Entry {
+    char kind = '?';  // 'R', 'I', or 'V'
+    std::string url;
+    std::string site;                // R only
+    Time lease_until = 0;            // R only
+    std::uint64_t version = 0;       // V only
+  };
+
+  struct ReplayResult {
+    std::vector<Entry> entries;        // the valid prefix, in append order
+    bool damaged = false;              // checksum/format failure encountered
+    bool truncated_tail = false;       // final line had no '\n' (clean tear)
+    std::size_t records_applied = 0;   // == entries.size()
+    std::size_t records_rejected = 0;  // lines at/after the damage point
+  };
+
+  // Parses `text` into its longest valid prefix. A missing trailing newline
+  // drops only the torn final record (append-before-act makes that exact);
+  // any other malformed or checksum-failing line marks the result damaged
+  // and rejects everything from that line on.
+  static ReplayResult Replay(std::string_view text);
+
+  ReplayResult Replay() const { return Replay(text_); }
+
+ private:
+  void AppendLine(std::string_view body);
+
+  std::string text_;
+  std::uint64_t appends_ = 0;
+};
+
+}  // namespace webcc::core

@@ -1,0 +1,76 @@
+#include "fault/clock.h"
+
+namespace webcc::fault {
+
+FaultClock::FaultClock(const FaultPlan& plan, std::uint64_t seed)
+    : rng_(seed) {
+  FaultPlan canonical = plan;
+  Canonicalize(canonical);
+  for (const FaultEvent& event : canonical.events) {
+    if (event.kind != FaultKind::kLinkFault) continue;
+    Window window;
+    window.begin = event.at;
+    window.end = event.at + event.duration;
+    window.target = event.target;
+    window.drop = event.drop;
+    window.duplicate = event.duplicate;
+    window.extra_delay = event.extra_delay;
+    windows_.push_back(window);
+  }
+}
+
+void FaultClock::BindNodes(sim::NodeId server,
+                           std::vector<sim::NodeId> client_nodes) {
+  server_node_ = server;
+  client_nodes_ = std::move(client_nodes);
+}
+
+void FaultClock::Advance(Time window_begin, Time window_end) {
+  active_.clear();
+  for (const Window& window : windows_) {
+    if (window.begin < window_end && window_begin < window.end) {
+      active_.push_back(&window);
+    }
+  }
+}
+
+bool FaultClock::Matches(const Window& window, sim::NodeId from,
+                         sim::NodeId to) const {
+  if (window.target < 0) return true;
+  const std::size_t index = static_cast<std::size_t>(window.target);
+  if (index >= client_nodes_.size()) return false;
+  const sim::NodeId node = client_nodes_[index];
+  return from == node || to == node;
+}
+
+sim::Perturbation FaultClock::Perturb(sim::NodeId from, sim::NodeId to) {
+  sim::Perturbation result;
+  if (active_.empty()) return result;  // zero RNG draws outside windows
+  double pass = 1.0;       // P(message survives every matching window)
+  double no_dup = 1.0;     // P(no matching window duplicates it)
+  Time extra_delay = 0;
+  bool matched = false;
+  for (const Window* window : active_) {
+    if (!Matches(*window, from, to)) continue;
+    matched = true;
+    pass *= 1.0 - window->drop;
+    no_dup *= 1.0 - window->duplicate;
+    extra_delay += window->extra_delay;
+  }
+  if (!matched) return result;  // still zero draws: message untouched
+  // Fixed draw order — drop first (early out), then duplication — so the
+  // decision sequence is a pure function of (plan, seed, call order).
+  const double drop_p = 1.0 - pass;
+  if (drop_p > 0.0 && rng_.NextDouble() < drop_p) {
+    result.drop = true;
+    return result;
+  }
+  const double dup_p = 1.0 - no_dup;
+  if (dup_p > 0.0 && rng_.NextDouble() < dup_p) {
+    result.duplicate = true;
+  }
+  result.extra_delay = extra_delay;
+  return result;
+}
+
+}  // namespace webcc::fault

@@ -1,0 +1,70 @@
+// FaultClock: the runtime half of the fault layer — turns a FaultPlan's
+// link-fault windows into per-message Perturbation decisions behind
+// sim::LinkFaultInjector.
+//
+// Determinism contract: the clock draws from its seeded RNG only while at
+// least one link-fault window is active AND the message touches a targeted
+// node. A run whose plan has no link faults therefore makes zero draws and
+// is byte-identical to a run with no injector at all; and because the sim
+// is single-threaded and calls Perturb in event order, the same (plan,
+// seed) always yields the same decision sequence.
+//
+// The engine advances the clock at lock-step interval boundaries (trace
+// time), which matches how the rest of the replay applies failures: a
+// window is active for every message sent during intervals that overlap it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/plan.h"
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace webcc::fault {
+
+class FaultClock : public sim::LinkFaultInjector {
+ public:
+  FaultClock(const FaultPlan& plan, std::uint64_t seed);
+
+  // Binds plan targets (proxy indices) to simulator node ids. `server` is
+  // the pseudo-server's node; `client_nodes[i]` is proxy i's node. Messages
+  // touching unlisted nodes (e.g. the hierarchy parent) are matched only by
+  // target -1 windows.
+  void BindNodes(sim::NodeId server, std::vector<sim::NodeId> client_nodes);
+
+  // Latches which link-fault windows overlap the half-open trace-time
+  // interval [window_begin, window_end). Called by the engine at every
+  // lock-step boundary; overlap (not point-in-window) semantics mean a
+  // fault window shorter than the lock-step interval still takes effect,
+  // mirroring how the engine applies crash/partition failures.
+  void Advance(Time window_begin, Time window_end);
+
+  // sim::LinkFaultInjector. Combines all active windows that match the
+  // (from, to) pair: loss/duplication probabilities compose as independent
+  // events, extra delays add.
+  sim::Perturbation Perturb(sim::NodeId from, sim::NodeId to) override;
+
+  // Number of windows currently latched active (for tests).
+  int active_windows() const { return static_cast<int>(active_.size()); }
+
+ private:
+  struct Window {
+    Time begin = 0;
+    Time end = 0;  // half-open [begin, end)
+    int target = -1;
+    double drop = 0.0;
+    double duplicate = 0.0;
+    Time extra_delay = 0;
+  };
+
+  bool Matches(const Window& window, sim::NodeId from, sim::NodeId to) const;
+
+  std::vector<Window> windows_;  // all kLinkFault events, canonical order
+  std::vector<const Window*> active_;
+  sim::NodeId server_node_ = -1;
+  std::vector<sim::NodeId> client_nodes_;
+  util::Rng rng_;
+};
+
+}  // namespace webcc::fault

@@ -1,0 +1,369 @@
+#include "fault/plan.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/rng.h"
+
+namespace webcc::fault {
+namespace {
+
+struct KindName {
+  FaultKind kind;
+  std::string_view name;
+};
+
+constexpr KindName kKindNames[] = {
+    {FaultKind::kProxyCrash, "proxy_crash"},
+    {FaultKind::kServerCrash, "server_crash"},
+    {FaultKind::kPartition, "partition"},
+    {FaultKind::kLinkFault, "link_fault"},
+};
+
+// Formats a Time as fractional seconds with microsecond precision — the
+// exact inverse of SecondsToTime below, so plans round-trip losslessly.
+std::string TimeToSeconds(Time t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", ToSeconds(t));
+  return buf;
+}
+
+Time SecondsToTime(double seconds) {
+  return static_cast<Time>(std::llround(seconds * 1e6));
+}
+
+std::string DoubleToJson(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent parser for the fixed dialect ToJson emits:
+// objects, arrays, double-quoted strings without escapes beyond \" and \\,
+// numbers, true/false. It is not a general JSON parser and does not try to
+// be; goldens are written in the same dialect.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::string error() const { return error_; }
+
+  bool Fail(std::string_view message) {
+    if (error_.empty()) {
+      error_ = std::string(message) + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return Fail(std::string("expected '") + c + "'");
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_.size();
+  }
+
+  bool ParseString(std::string& out) {
+    if (!Consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      out += text_[pos_++];
+    }
+    if (pos_ >= text_.size()) return Fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseNumber(double& out) {
+    SkipWs();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected number");
+    out = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                      nullptr);
+    return true;
+  }
+
+  // Captures one JSON value as raw text: strings come back unquoted,
+  // numbers/bools as their literal spelling. Used for "expect" values.
+  bool ParseRawValue(std::string& out) {
+    SkipWs();
+    if (Peek('"')) return ParseString(out);
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' &&
+           text_[pos_] != ']' && text_[pos_] != '\n') {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected value");
+    std::string_view raw = text_.substr(start, pos_ - start);
+    while (!raw.empty() && (raw.back() == ' ' || raw.back() == '\t')) {
+      raw = raw.substr(0, raw.size() - 1);
+    }
+    out = std::string(raw);
+    return true;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+bool ParseEventObject(Parser& p, FaultEvent& event) {
+  if (!p.Consume('{')) return false;
+  bool first = true;
+  while (!p.Peek('}')) {
+    if (!first && !p.Consume(',')) return false;
+    first = false;
+    std::string key;
+    if (!p.ParseString(key)) return false;
+    if (!p.Consume(':')) return false;
+    if (key == "kind") {
+      std::string name;
+      if (!p.ParseString(name)) return false;
+      if (!ParseFaultKindName(name, event.kind)) {
+        return p.Fail("unknown fault kind '" + name + "'");
+      }
+    } else if (key == "at_s") {
+      double v = 0;
+      if (!p.ParseNumber(v)) return false;
+      event.at = SecondsToTime(v);
+    } else if (key == "duration_s") {
+      double v = 0;
+      if (!p.ParseNumber(v)) return false;
+      event.duration = SecondsToTime(v);
+    } else if (key == "target") {
+      double v = 0;
+      if (!p.ParseNumber(v)) return false;
+      event.target = static_cast<int>(v);
+    } else if (key == "drop") {
+      if (!p.ParseNumber(event.drop)) return false;
+    } else if (key == "duplicate") {
+      if (!p.ParseNumber(event.duplicate)) return false;
+    } else if (key == "extra_delay_s") {
+      double v = 0;
+      if (!p.ParseNumber(v)) return false;
+      event.extra_delay = SecondsToTime(v);
+    } else {
+      return p.Fail("unknown event key '" + key + "'");
+    }
+  }
+  return p.Consume('}');
+}
+
+bool ParsePlanBody(Parser& p, FaultPlan& plan,
+                   std::map<std::string, std::string>* expect) {
+  if (!p.Consume('{')) return false;
+  bool first = true;
+  while (!p.Peek('}')) {
+    if (!first && !p.Consume(',')) return false;
+    first = false;
+    std::string key;
+    if (!p.ParseString(key)) return false;
+    if (!p.Consume(':')) return false;
+    if (key == "name") {
+      if (!p.ParseString(plan.name)) return false;
+    } else if (key == "events") {
+      if (!p.Consume('[')) return false;
+      bool first_event = true;
+      while (!p.Peek(']')) {
+        if (!first_event && !p.Consume(',')) return false;
+        first_event = false;
+        FaultEvent event;
+        if (!ParseEventObject(p, event)) return false;
+        plan.events.push_back(event);
+      }
+      if (!p.Consume(']')) return false;
+    } else if (key == "expect" && expect != nullptr) {
+      if (!p.Consume('{')) return false;
+      bool first_pair = true;
+      while (!p.Peek('}')) {
+        if (!first_pair && !p.Consume(',')) return false;
+        first_pair = false;
+        std::string metric;
+        if (!p.ParseString(metric)) return false;
+        if (!p.Consume(':')) return false;
+        std::string raw;
+        if (!p.ParseRawValue(raw)) return false;
+        (*expect)[metric] = raw;
+      }
+      if (!p.Consume('}')) return false;
+    } else {
+      return p.Fail("unknown plan key '" + key + "'");
+    }
+  }
+  if (!p.Consume('}')) return false;
+  if (!p.AtEnd()) return p.Fail("trailing text after plan");
+  return true;
+}
+
+}  // namespace
+
+std::string_view FaultKindName(FaultKind kind) {
+  for (const KindName& entry : kKindNames) {
+    if (entry.kind == kind) return entry.name;
+  }
+  return "unknown";
+}
+
+bool ParseFaultKindName(std::string_view name, FaultKind& out) {
+  for (const KindName& entry : kKindNames) {
+    if (entry.name == name) {
+      out = entry.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Canonicalize(FaultPlan& plan) {
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     if (a.kind != b.kind) return a.kind < b.kind;
+                     return a.target < b.target;
+                   });
+}
+
+FaultPlan Random(const RandomPlanConfig& config, std::uint64_t seed) {
+  util::Rng rng(seed);
+  FaultPlan plan;
+  plan.name = "random_seed_" + std::to_string(seed);
+  const auto draw_start = [&] {
+    return static_cast<Time>(
+        rng.NextBelow(static_cast<std::uint64_t>(config.horizon)));
+  };
+  const auto draw_duration = [&] {
+    return config.min_duration +
+           static_cast<Time>(rng.NextBelow(static_cast<std::uint64_t>(
+               config.max_duration - config.min_duration + 1)));
+  };
+  const auto draw_target = [&] {
+    return static_cast<int>(
+        rng.NextBelow(static_cast<std::uint64_t>(config.clients)));
+  };
+  for (int i = 0; i < config.crash_events; ++i) {
+    FaultEvent event;
+    event.kind = FaultKind::kProxyCrash;
+    event.at = draw_start();
+    event.duration = draw_duration();
+    event.target = draw_target();
+    plan.events.push_back(event);
+  }
+  if (config.allow_server_crash && rng.NextBool(0.5)) {
+    FaultEvent event;
+    event.kind = FaultKind::kServerCrash;
+    event.at = draw_start();
+    event.duration = draw_duration();
+    plan.events.push_back(event);
+  }
+  for (int i = 0; i < config.partition_events; ++i) {
+    FaultEvent event;
+    event.kind = FaultKind::kPartition;
+    event.at = draw_start();
+    event.duration = draw_duration();
+    // One partition in five cuts every proxy-server link at once.
+    event.target = rng.NextBool(0.2) ? -1 : draw_target();
+    plan.events.push_back(event);
+  }
+  for (int i = 0; i < config.link_windows; ++i) {
+    FaultEvent event;
+    event.kind = FaultKind::kLinkFault;
+    event.at = draw_start();
+    event.duration = draw_duration();
+    event.target = rng.NextBool(0.3) ? -1 : draw_target();
+    event.drop = rng.NextDouble() * config.max_drop;
+    event.duplicate = rng.NextDouble() * config.max_duplicate;
+    if (rng.NextBool(0.5)) {
+      event.extra_delay = static_cast<Time>(rng.NextBelow(
+          static_cast<std::uint64_t>(config.max_extra_delay + 1)));
+    }
+    plan.events.push_back(event);
+  }
+  Canonicalize(plan);
+  return plan;
+}
+
+std::string ToJson(const FaultPlan& plan) {
+  FaultPlan canonical = plan;
+  Canonicalize(canonical);
+  std::string out = "{\n  \"name\": \"" + canonical.name + "\",\n";
+  out += "  \"events\": [";
+  for (std::size_t i = 0; i < canonical.events.size(); ++i) {
+    const FaultEvent& event = canonical.events[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"kind\": \"";
+    out += FaultKindName(event.kind);
+    out += "\", \"at_s\": " + TimeToSeconds(event.at);
+    out += ", \"target\": " + std::to_string(event.target);
+    out += ", \"duration_s\": " + TimeToSeconds(event.duration);
+    if (event.kind == FaultKind::kLinkFault) {
+      out += ", \"drop\": " + DoubleToJson(event.drop);
+      out += ", \"duplicate\": " + DoubleToJson(event.duplicate);
+      out += ", \"extra_delay_s\": " + TimeToSeconds(event.extra_delay);
+    }
+    out += "}";
+  }
+  out += canonical.events.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+bool FromJson(std::string_view text, FaultPlan& out, std::string& error) {
+  Parser parser(text);
+  FaultPlan plan;
+  if (!ParsePlanBody(parser, plan, nullptr)) {
+    error = parser.error();
+    return false;
+  }
+  Canonicalize(plan);
+  out = std::move(plan);
+  return true;
+}
+
+bool ParseFaultPlanFile(std::string_view text, FaultPlanFile& out,
+                        std::string& error) {
+  Parser parser(text);
+  FaultPlanFile file;
+  if (!ParsePlanBody(parser, file.plan, &file.expect)) {
+    error = parser.error();
+    return false;
+  }
+  Canonicalize(file.plan);
+  out = std::move(file);
+  return true;
+}
+
+}  // namespace webcc::fault

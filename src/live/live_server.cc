@@ -110,21 +110,41 @@ std::size_t LiveServer::PushInvalidations(
                      invalidation.client_id.c_str());
       continue;
     }
-    if (SendOneWay(*port, net::EncodeLine(invalidation))) {
+    const std::string line = net::EncodeLine(invalidation);
+    IoError error = IoError::kOther;
+    for (int attempt = 0; attempt <= options_.push_retries; ++attempt) {
+      if (attempt > 0) {
+        // A stalled (but alive) proxy gets the bounded retry the replay
+        // models with SendReliable's backoff; a refused connection means
+        // the proxy is down and is not retried — its recovery path
+        // (mark-all-questionable) covers consistency, exactly the paper's
+        // failure handling.
+        push_retries_.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            options_.push_retry_backoff_ms * attempt));
+      }
+      error = SendOneWayClassified(*port, line, options_.push_timeout_ms);
+      if (error != IoError::kTimeout) break;
+    }
+    if (error == IoError::kNone) {
       // Delivery is traced at the proxy when it applies the message (the
       // replay emits kInvalidateDelivered at the cache, not the sender).
       ++pushed;
       invalidations_pushed_.fetch_add(1);
     } else {
+      if (error == IoError::kTimeout) {
+        pushes_timed_out_.fetch_add(1);
+      } else {
+        pushes_refused_.fetch_add(1);
+      }
       obs::Emit(options_.trace_sink,
-                {.type = obs::EventType::kInvalidateGaveUp,
+                {.type = error == IoError::kTimeout
+                             ? obs::EventType::kInvalidateGaveUp
+                             : obs::EventType::kInvalidateRefused,
                  .at = Now(),
                  .url = invalidation.url,
                  .site = invalidation.client_id});
     }
-    // A refused connection means the proxy is down; its recovery path
-    // (mark-all-questionable) covers consistency, so no retry — exactly the
-    // paper's failure handling.
   }
   return pushed;
 }

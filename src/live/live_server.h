@@ -51,6 +51,13 @@ class LiveServer {
     core::LeaseConfig lease;
     core::PiggybackConfig piggyback;
     std::string server_name = "origin";
+    // INVALIDATE push delivery policy: a push that times out (the proxy is
+    // alive but stalled) is retried up to push_retries times with linear
+    // backoff; a refused connection (proxy down) is never retried — the
+    // proxy's restart path revalidates everything it holds.
+    int push_retries = 2;
+    int push_retry_backoff_ms = 50;
+    int push_timeout_ms = 1000;  // SO_SNDTIMEO per push attempt
     // Optional structured-event sink (not owned; must outlive the server).
     // Live timestamps are wall-clock microseconds from Now(), and the sink
     // must be internally synchronized (JsonlTraceSink is) because handler
@@ -92,6 +99,9 @@ class LiveServer {
   std::uint64_t invalidations_pushed() const {
     return invalidations_pushed_.load();
   }
+  std::uint64_t pushes_timed_out() const { return pushes_timed_out_.load(); }
+  std::uint64_t pushes_refused() const { return pushes_refused_.load(); }
+  std::uint64_t push_retries() const { return push_retries_.load(); }
 
  private:
   void AcceptLoop();
@@ -119,6 +129,9 @@ class LiveServer {
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> requests_served_{0};
   std::atomic<std::uint64_t> invalidations_pushed_{0};
+  std::atomic<std::uint64_t> pushes_timed_out_{0};
+  std::atomic<std::uint64_t> pushes_refused_{0};
+  std::atomic<std::uint64_t> push_retries_{0};
 };
 
 }  // namespace webcc::live

@@ -51,10 +51,12 @@ IoError ClassifyErrno(int err) {
   return IoError::kOther;
 }
 
-// How long WriteAll waits for POLLOUT after an EAGAIN from a non-blocking
-// fd before giving up. SO_SNDTIMEO expiries fail immediately instead — the
-// kernel already waited the configured time.
+// How long WriteAll (ReadLine) waits for POLLOUT (POLLIN) after an EAGAIN
+// from a non-blocking fd before giving up. SO_SNDTIMEO / SO_RCVTIMEO
+// expiries fail immediately instead — the kernel already waited the
+// configured time.
 constexpr int kWritePollMs = 5000;
+constexpr int kReadPollMs = 5000;
 
 }  // namespace
 
@@ -112,14 +114,42 @@ std::optional<std::string> TcpStream::ReadLine() {
     }
     char chunk[4096];
     const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) {
-      // n == 0 is an orderly EOF, not an error.
-      last_error_ = n == 0 ? IoError::kNone : ClassifyErrno(errno);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // A read timeout means the kernel already blocked for the
+        // configured period with nothing arriving: the peer stalled.
+        // Buffered bytes stay put — they are a frame prefix, not a line,
+        // and a later call may still complete them.
+        if (read_timeout_set_) {
+          last_error_ = IoError::kTimeout;
+          return std::nullopt;
+        }
+        // Non-blocking fd: wait for data, then resume the frame —
+        // symmetric to WriteAll's POLLOUT resume.
+        pollfd pfd{};
+        pfd.fd = fd_.get();
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, kReadPollMs);
+        if (ready < 0 && errno == EINTR) continue;
+        if (ready <= 0) {
+          last_error_ = ready == 0 ? IoError::kTimeout : IoError::kOther;
+          return std::nullopt;
+        }
+        continue;
+      }
+      // Hard error (reset or otherwise): never surface the partial frame
+      // as if it were a complete final line.
+      last_error_ = ClassifyErrno(errno);
+      return std::nullopt;
+    }
+    if (n == 0) {
+      // Orderly EOF: an unterminated trailing line is legitimately final.
+      last_error_ = IoError::kNone;
       if (!buffer_.empty()) {
         std::string line = std::move(buffer_);
         buffer_.clear();
-        return line;  // final unterminated line
+        return line;
       }
       return std::nullopt;
     }
@@ -132,7 +162,9 @@ void TcpStream::SetReadTimeout(int milliseconds) {
   timeval tv{};
   tv.tv_sec = milliseconds / 1000;
   tv.tv_usec = (milliseconds % 1000) * 1000;
-  ::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  if (::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0) {
+    read_timeout_set_ = true;
+  }
 }
 
 void TcpStream::SetWriteTimeout(int milliseconds) {
@@ -208,9 +240,20 @@ std::optional<std::string> Exchange(std::uint16_t port, std::string_view line) {
 }
 
 bool SendOneWay(std::uint16_t port, std::string_view line) {
+  return SendOneWayClassified(port, line, /*timeout_ms=*/0) == IoError::kNone;
+}
+
+IoError SendOneWayClassified(std::uint16_t port, std::string_view line,
+                             int timeout_ms) {
   TcpStream stream = Connect(port);
-  if (!stream.valid()) return false;
-  return stream.WriteAll(line);
+  if (!stream.valid()) {
+    // A refused connection means the peer process is gone — the same
+    // signal as a reset on an established stream.
+    return errno == ECONNREFUSED ? IoError::kPeerReset : IoError::kOther;
+  }
+  if (timeout_ms > 0) stream.SetWriteTimeout(timeout_ms);
+  stream.WriteAll(line);
+  return stream.last_error();
 }
 
 }  // namespace webcc::live

@@ -63,8 +63,12 @@ class TcpStream {
   // a false return means the peer got a prefix of the frame at most.
   bool WriteAll(std::string_view data);
 
-  // Reads up to (and including) the next '\n'. std::nullopt on EOF/error
-  // before any byte, empty-line results are returned as "\n".
+  // Reads up to (and including) the next '\n'; empty-line results are
+  // returned as "\n". std::nullopt on EOF, timeout or error, classified in
+  // last_error(). Only an orderly EOF (last_error() == kNone) delivers an
+  // unterminated trailing line; a timeout or reset never surfaces the
+  // partial frame — timed-out reads keep it buffered so a later call can
+  // resume it.
   std::optional<std::string> ReadLine();
 
   // Sets SO_RCVTIMEO so a dead peer cannot hang a handler thread.
@@ -83,6 +87,7 @@ class TcpStream {
   std::string buffer_;  // bytes read past the last returned line
   IoError last_error_ = IoError::kNone;
   bool write_timeout_set_ = false;  // SO_SNDTIMEO active on this fd
+  bool read_timeout_set_ = false;   // SO_RCVTIMEO active on this fd
 };
 
 // Listening socket bound to 127.0.0.1.
@@ -116,5 +121,12 @@ std::optional<std::string> Exchange(std::uint16_t port, std::string_view line);
 
 // Fire-and-forget: connect and send `line` (used for INVALIDATE pushes).
 bool SendOneWay(std::uint16_t port, std::string_view line);
+
+// SendOneWay with the failure classified: kNone on success, kPeerReset when
+// the peer refused or vanished, kTimeout when it stopped draining within
+// `timeout_ms` (0 = no write timeout). Push retry policies branch on this —
+// a timeout is worth retrying, a refused peer revalidates on restart.
+IoError SendOneWayClassified(std::uint16_t port, std::string_view line,
+                             int timeout_ms);
 
 }  // namespace webcc::live

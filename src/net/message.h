@@ -87,6 +87,12 @@ struct Invalidation {
   std::string server;
   // The real client whose cache entry is addressed.
   std::string client_id;
+  // Bookkeeping carried alongside (not on the wire; WireSize ignores both):
+  // the lease expiry the target holds — the write may complete without this
+  // site's ack once the lease lapses (Section 6) — and whether this
+  // invalidation belongs to crash recovery rather than a live write.
+  Time lease_until = kNoLease;
+  bool recovery = false;
 };
 
 // Check-in notification from the modification detector to the accelerator.

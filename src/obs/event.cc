@@ -31,6 +31,13 @@ constexpr NameEntry kNames[] = {
     {EventType::kNotify, "notify"},
     {EventType::kPartition, "partition"},
     {EventType::kPartitionHeal, "partition_heal"},
+    {EventType::kLinkDrop, "link_drop"},
+    {EventType::kLinkDelay, "link_delay"},
+    {EventType::kLinkDup, "link_dup"},
+    {EventType::kNodeCrash, "node_crash"},
+    {EventType::kNodeRestart, "node_restart"},
+    {EventType::kWriteComplete, "write_complete"},
+    {EventType::kJournalRebuild, "journal_rebuild"},
 };
 
 }  // namespace

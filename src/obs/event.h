@@ -56,6 +56,17 @@ enum class EventType : std::uint8_t {
   kNotify,         // check-in NOTIFY processed   == notifies
   kPartition,      // a link was cut
   kPartitionHeal,  // a link healed
+
+  // --- fault injection / recovery (appended; see src/fault/) ---------------
+  kLinkDrop,       // injected message loss on a site pair
+  kLinkDelay,      // injected extra latency; detail = added microseconds
+  kLinkDup,        // injected duplicate delivery of a datagram
+  kNodeCrash,      // a proxy/accelerator/server crashed; site = node name
+  kNodeRestart,    // the node came back; site = node name
+  kWriteComplete,  // a write's delivery state machine resolved
+                   //   detail: WriteCompleteKind below
+  kJournalRebuild, // accelerator rebuilt site lists from its journal
+                   //   detail: 1 = journal damaged, fell back to broadcast
 };
 
 // detail values for kRequestServed.
@@ -70,6 +81,13 @@ enum class StaleKind : std::int64_t {
   kWeakProtocol = 0,        // TTL-based protocol served stale (expected)
   kInvalidationInFlight = 1,  // write not yet complete: within the contract
   kStrongViolation = 2,       // stale after write completion (must not occur)
+};
+
+// detail values for kWriteComplete.
+enum class WriteCompleteKind : std::int64_t {
+  kAllAcked = 0,       // every targeted site acknowledged the INVALIDATE
+  kLeasesExpired = 1,  // stragglers' leases lapsed; write unblocked by bound
+  kNoTargets = 2,      // nobody cached the document; trivially complete
 };
 
 // Returns the stable wire name ("ims_sent", "lease_grant", ...) used in the

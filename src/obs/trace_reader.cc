@@ -137,4 +137,13 @@ void WriteTraceSummary(std::ostream& out, const TraceSummary& summary) {
   }
 }
 
+std::uint64_t DigestJsonl(std::string_view text) {
+  std::uint64_t hash = 14695981039346656037ULL;  // FNV offset basis
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;  // FNV prime
+  }
+  return hash;
+}
+
 }  // namespace webcc::obs

@@ -42,4 +42,9 @@ TraceSummary SummarizeTrace(std::istream& in);
 // sorted by count (descending, name ascending on ties).
 void WriteTraceSummary(std::ostream& out, const TraceSummary& summary);
 
+// FNV-1a 64-bit over the exact bytes of a JSONL trace. Two runs that produce
+// byte-identical traces produce equal digests; this is what the fault golden
+// corpus locks (`webcc replay --trace-out` + tests/data/fault_plans).
+std::uint64_t DigestJsonl(std::string_view text);
+
 }  // namespace webcc::obs

@@ -17,6 +17,7 @@
 
 #include "core/piggyback.h"
 #include "core/policy.h"
+#include "fault/plan.h"
 #include "http/origin.h"
 #include "http/proxy_cache.h"
 #include "net/message.h"
@@ -122,6 +123,22 @@ struct ReplayConfig {
   Time lockstep_interval = 5 * kMinute;
 
   std::vector<FailureEvent> failures;
+
+  // --- fault injection (src/fault/) ----------------------------------------
+  // A declarative fault plan (non-owning; must outlive the run). Crash and
+  // partition events are expanded onto `failures`; link-fault windows drive
+  // a seeded FaultClock installed on the sim network, so the whole scenario
+  // replays bit-identically for a given (plan, fault_seed).
+  const fault::FaultPlan* fault_plan = nullptr;
+  std::uint64_t fault_seed = 0;
+
+  // Server-recovery flavour. true: the accelerator journals registrations
+  // and invalidations write-ahead and a restart rebuilds its site lists from
+  // the journal, sending *targeted* invalidations only for documents that
+  // changed during the downtime. false: the paper's blanket INVSRV
+  // broadcast to every site ever seen. Only takes effect when a server
+  // crash is actually scheduled (journaling is off otherwise).
+  bool journaled_recovery = true;
 
   // Seeds initial document ages (exponential with mean_lifetime, predating
   // the trace) so adaptive TTL sees a realistic age distribution at t=0.

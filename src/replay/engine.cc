@@ -92,10 +92,74 @@ void Engine::Setup() {
   }
 
   failures_ = config_.failures;
+  if (config_.fault_plan != nullptr) {
+    // Expand the declarative plan: crash and partition events become
+    // FailureEvent pairs (onset + recovery) on the existing failure path;
+    // link-fault windows go to the FaultClock below.
+    fault::FaultPlan plan = *config_.fault_plan;
+    fault::Canonicalize(plan);
+    bool has_link_faults = false;
+    for (const fault::FaultEvent& event : plan.events) {
+      switch (event.kind) {
+        case fault::FaultKind::kProxyCrash: {
+          WEBCC_CHECK_MSG(
+              event.target >= 0 &&
+                  event.target < static_cast<int>(config_.num_pseudo_clients),
+              "fault plan proxy_crash target out of range");
+          failures_.push_back(
+              {event.at, FailureKind::kProxyCrash, event.target});
+          failures_.push_back({event.at + event.duration,
+                               FailureKind::kProxyRecover, event.target});
+          break;
+        }
+        case fault::FaultKind::kServerCrash:
+          failures_.push_back({event.at, FailureKind::kServerCrash, 0});
+          failures_.push_back(
+              {event.at + event.duration, FailureKind::kServerRecover, 0});
+          break;
+        case fault::FaultKind::kPartition: {
+          const int first = event.target < 0 ? 0 : event.target;
+          const int last = event.target < 0
+                               ? static_cast<int>(config_.num_pseudo_clients)
+                               : event.target + 1;
+          WEBCC_CHECK_MSG(
+              last <= static_cast<int>(config_.num_pseudo_clients),
+              "fault plan partition target out of range");
+          for (int target = first; target < last; ++target) {
+            failures_.push_back({event.at, FailureKind::kPartition, target});
+            failures_.push_back(
+                {event.at + event.duration, FailureKind::kHeal, target});
+          }
+          break;
+        }
+        case fault::FaultKind::kLinkFault:
+          has_link_faults = true;
+          break;
+      }
+    }
+    if (has_link_faults) {
+      fault_clock_ =
+          std::make_unique<fault::FaultClock>(plan, config_.fault_seed);
+      std::vector<sim::NodeId> client_nodes;
+      client_nodes.reserve(clients_.size());
+      for (const PseudoClient& pc : clients_) client_nodes.push_back(pc.node);
+      fault_clock_->BindNodes(ServerNode(), std::move(client_nodes));
+      net_.set_fault_injector(fault_clock_.get());
+    }
+  }
   std::stable_sort(failures_.begin(), failures_.end(),
                    [](const FailureEvent& a, const FailureEvent& b) {
                      return a.trace_time < b.trace_time;
                    });
+  // Write-ahead journaling has a per-request cost, so it is armed only when
+  // a server crash is actually scheduled (and targeted recovery requested).
+  if (config_.journaled_recovery && InvalidationMode() &&
+      std::any_of(failures_.begin(), failures_.end(),
+                  [](const FailureEvent& event) {
+                    return event.kind == FailureKind::kServerCrash;
+                  })) {
+    accel_.EnableJournal(true);
+  }
 
   num_intervals_ = static_cast<std::size_t>(
       (trace_.duration + config_.lockstep_interval - 1) /
@@ -139,6 +203,9 @@ ReplayMetrics Engine::Run() {
           .count();
   metrics_.sim_events_executed = sim_.executed();
   metrics_.sim_peak_queue_depth = sim_.peak_pending();
+  metrics_.injected_drops = net_.injected_drops();
+  metrics_.injected_dups = net_.injected_dups();
+  metrics_.injected_delays = net_.injected_delays();
 
   metrics_.server_cpu_utilization =
       server_cpu_.utilization().BusyFraction(wall_end_);
@@ -205,8 +272,14 @@ void Engine::StartInterval() {
          failures_[failure_cursor_].trace_time < window_end) {
     ApplyFailure(failures_[failure_cursor_++]);
   }
+  if (fault_clock_ != nullptr) fault_clock_->Advance(window_start, window_end);
 
-  if (InvalidationMode()) accel_.table().PruneExpired(window_start);
+  if (InvalidationMode()) {
+    accel_.table().PruneExpired(window_start);
+    // Section 6's write-latency bound: a write blocked on unreachable
+    // targets completes once their leases have all lapsed.
+    SweepExpiredWriteTargets(window_start);
+  }
 
   participants_ = static_cast<int>(clients_.size()) + 1;  // clients + modifier
 
@@ -242,6 +315,10 @@ void Engine::ApplyFailure(const FailureEvent& event) {
       PseudoClient& pc = clients_.at(event.target);
       pc.down = true;
       net_.SetNodeUp(pc.node, false);
+      obs::Emit(sink_, {.type = obs::EventType::kNodeCrash,
+                        .at = sim_.now(),
+                        .trace_time = event.trace_time,
+                        .site = proxy_site_names_[event.target]});
       break;
     }
     case FailureKind::kProxyRecover: {
@@ -251,6 +328,10 @@ void Engine::ApplyFailure(const FailureEvent& event) {
       // The recovering proxy may have missed invalidations: everything it
       // holds must be revalidated before it can be served again.
       pc.cache->MarkAllQuestionable();
+      obs::Emit(sink_, {.type = obs::EventType::kNodeRestart,
+                        .at = sim_.now(),
+                        .trace_time = event.trace_time,
+                        .site = proxy_site_names_[event.target]});
       break;
     }
     case FailureKind::kServerCrash:
@@ -260,11 +341,19 @@ void Engine::ApplyFailure(const FailureEvent& event) {
         accel_.Crash();
         write_gap_active_ = true;
       }
+      obs::Emit(sink_, {.type = obs::EventType::kNodeCrash,
+                        .at = sim_.now(),
+                        .trace_time = event.trace_time,
+                        .site = "server"});
       break;
     case FailureKind::kServerRecover:
       server_down_ = false;
       net_.SetNodeUp(ServerNode(), true);
-      if (InvalidationMode()) ServerRecover();
+      obs::Emit(sink_, {.type = obs::EventType::kNodeRestart,
+                        .at = sim_.now(),
+                        .trace_time = event.trace_time,
+                        .site = "server"});
+      if (InvalidationMode()) ServerRecover(event.trace_time);
       break;
     case FailureKind::kPartition:
       net_.Partition(clients_.at(event.target).node, ServerNode());
@@ -331,8 +420,12 @@ void Engine::FinishRequest(PseudoClient& pc, Time latency) {
 
 void Engine::CheckStaleness(const PseudoClient& pc,
                             const http::CacheEntry& entry, Time trace_time) {
-  if (!StaleInTraceOrder(entry, trace_time)) return;
+  const std::optional<Time> stale_since = StaleSince(entry, trace_time);
+  if (!stale_since.has_value()) return;
   ++metrics_.stale_serves;
+  // Trace-time age of the outdated copy: the weak protocols' staleness is
+  // bounded by TTL, lease-augmented schemes by the lease duration.
+  metrics_.stale_age_ms.Record(ToMillis(trace_time - *stale_since));
   obs::StaleKind kind = obs::StaleKind::kWeakProtocol;
   if (Traits().invalidation_callbacks) {
     const auto it = writes_in_progress_.find(entry.url);

@@ -203,12 +203,16 @@ void Engine::ParentDeliverInvalidation(const std::string& url,
                     .site = "parent"});
 
   // Forward to the leaf proxies that fetched this document since the last
-  // invalidation; the write completes when they have all been reached.
+  // invalidation; the write completes when they have all been reached. Leaf
+  // forwards carry no lease (the parent holds the server-facing lease), so
+  // they resolve only by delivery or target death, never by expiry.
   std::vector<std::string> leaves =
       parent_table_->TakeSitesForInvalidation(url, sim_.now());
   const auto pending = pending_mod_targets_.find(mod_id);
   if (pending != pending_mod_targets_.end()) {
-    pending->second.remaining += static_cast<int>(leaves.size());
+    for (const std::string& leaf : leaves) {
+      pending->second.delivery.AddTarget(leaf, net::kNoLease);
+    }
   }
   for (const std::string& leaf : leaves) {
     // The interest table only ever holds names this engine registered, so a
@@ -233,7 +237,7 @@ void Engine::ParentDeliverInvalidation(const std::string& url,
                             .at = sim_.now(),
                             .url = url,
                             .site = forward.client_id});
-          FinishInvalidationTarget(forward, mod_id);
+          ResolveWriteTarget(mod_id, forward.client_id, /*dead=*/false);
         },
         [this, forward, mod_id](sim::Network::SendResult result,
                                 Time done_at) {
@@ -246,14 +250,13 @@ void Engine::ParentDeliverInvalidation(const std::string& url,
                      .at = done_at,
                      .url = forward.url,
                      .site = forward.client_id});
-          FinishInvalidationTarget(forward, mod_id);
+          ResolveWriteTarget(mod_id, forward.client_id, /*dead=*/true);
         },
         /*max_retries=*/-1);
   }
 
-  net::Invalidation parent_slot;
-  parent_slot.url = url;
-  FinishInvalidationTarget(parent_slot, mod_id);
+  // The parent's own slot (the server targeted "parent") is now resolved.
+  ResolveWriteTarget(mod_id, "parent", /*dead=*/false);
 }
 
 void Engine::ParentDeliverServerNotice(const net::Invalidation& notice) {

@@ -12,12 +12,15 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/accelerator.h"
 #include "core/consistency/policy.h"
+#include "core/delivery.h"
+#include "fault/clock.h"
 #include "core/piggyback.h"
 #include "http/document_store.h"
 #include "http/origin.h"
@@ -130,34 +133,43 @@ class Engine {
   // delivered (the paper's check-in blocks until the accelerator finishes
   // sending), in decoupled mode immediately.
   void FanOutInvalidations(std::vector<net::Invalidation> invalidations,
-                           const std::string& url,
+                           const std::string& url, Time trace_time,
                            std::function<void()> on_complete);
   void SendInvalidation(net::Invalidation invalidation, std::uint64_t mod_id);
   void DeliverInvalidation(const net::Invalidation& invalidation,
                            std::uint64_t mod_id);
-  void FinishInvalidationTarget(const net::Invalidation& invalidation,
-                                std::uint64_t mod_id);
   void ResolveFirstAttempt(std::uint64_t mod_id);
   void CompleteWrite(const std::string& url);
   void FinishRecoveryNotice();
-  void ServerRecover();
+  void ServerRecover(Time trace_time);
 
   // --- helpers ----------------------------------------------------------------
   const std::string& DocPath(trace::DocId doc) const {
     return trace_.documents[doc].path;
   }
-  // True when serving `entry` at trace time `trace_now` returns outdated
-  // data *in trace order*: version v became obsolete at the trace time of
-  // the modification that produced v+1. Lock-step compression can process a
-  // modification in wall time before a request that precedes it in trace
-  // time; such a read linearizes before the write and is fresh.
-  bool StaleInTraceOrder(const http::CacheEntry& entry, Time trace_now) const {
+  // When serving `entry` at trace time `trace_now` returns outdated data
+  // *in trace order*, yields the trace time the copy became stale (version
+  // v became obsolete at the trace time of the modification that produced
+  // v+1); nullopt when the serve is fresh. Lock-step compression can
+  // process a modification in wall time before a request that precedes it
+  // in trace time; such a read linearizes before the write and is fresh.
+  std::optional<Time> StaleSince(const http::CacheEntry& entry,
+                                 Time trace_now) const {
     const auto it = mod_times_.find(entry.url);
-    if (it == mod_times_.end()) return false;
+    if (it == mod_times_.end()) return std::nullopt;
     const std::vector<Time>& times = it->second;
     WEBCC_DCHECK(entry.version >= 1);
     const std::size_t obsolete_index = entry.version - 1;
-    return obsolete_index < times.size() && times[obsolete_index] <= trace_now;
+    if (obsolete_index < times.size() && times[obsolete_index] <= trace_now) {
+      return times[obsolete_index];
+    }
+    return std::nullopt;
+  }
+  // The trace time the current lock-step interval started; the engine's
+  // best trace-order approximation of "now" for events (like a write
+  // completion) triggered from wall-time callbacks.
+  Time CurrentWindowStart() const {
+    return static_cast<Time>(interval_index_) * config_.lockstep_interval;
   }
   void CheckStaleness(const PseudoClient& pc, const http::CacheEntry& entry,
                       Time trace_time);
@@ -194,6 +206,10 @@ class Engine {
   std::vector<FailureEvent> failures_;  // sorted by trace_time
   std::size_t failure_cursor_ = 0;
 
+  // Seeded link-fault injector (nullptr when the config has no fault plan
+  // with link-fault windows); advanced at every lock-step boundary.
+  std::unique_ptr<fault::FaultClock> fault_clock_;
+
   std::size_t interval_index_ = 0;
   std::size_t num_intervals_ = 0;
   int participants_ = 0;
@@ -221,9 +237,12 @@ class Engine {
   std::unordered_map<std::uint64_t, std::vector<core::PcvItem>>
       pcv_in_flight_;
   struct PendingMod {
-    std::string url;
-    // Undelivered invalidations: the write completes when this drains.
-    int remaining = 0;
+    // Write-delivery state machine (the paper's completion rule): the write
+    // completes when every targeted site has acked, died, or had its lease
+    // expire — never by merely giving up.
+    core::WriteDelivery delivery;
+    Time started_trace = 0;  // modification trace time (fan-out start)
+    Time started_wall = 0;   // sim wall time the fan-out began
     // Unresolved first transmission attempts: the blocking check-in (the
     // modifier's gate) waits only for these — a send that hits a partition
     // moves to background retry and stops gating the modifier, exactly like
@@ -232,6 +251,16 @@ class Engine {
     std::function<void()> on_complete;  // modifier continuation (serialized)
   };
   std::unordered_map<std::uint64_t, PendingMod> pending_mod_targets_;
+  // Resolves one delivery target (ack or death); completes the write when
+  // it was the last outstanding one.
+  void ResolveWriteTarget(std::uint64_t mod_id, std::string_view site,
+                          bool dead);
+  // Records completion metrics/events for a resolved delivery (does not
+  // touch the modifier gate, which is first_pending's job).
+  void FinishWriteDelivery(PendingMod& pending);
+  // Lock-step boundary sweep: completes writes whose straggler targets'
+  // leases have all expired (Section 6's bound on write latency).
+  void SweepExpiredWriteTargets(Time trace_now);
 
   Time wall_end_ = 0;
   ReplayMetrics metrics_;

@@ -3,6 +3,8 @@
 // multicast send variants (Section 5.3), and the crash-recovery broadcast
 // (Section 4). Whether a write owes a fan-out at all is the kernel's
 // OnWrite decision; everything here is mechanism.
+#include <algorithm>
+
 #include "http/cache_key.h"
 #include "obs/event.h"
 #include "replay/engine_impl.h"
@@ -46,7 +48,7 @@ void Engine::ModifierStep() {
                         if (fan_out) {
                           net::Notify notify{url};
                           FanOutInvalidations(accel_.HandleNotify(notify, at),
-                                              url,
+                                              url, at,
                                               [this] { ModifierStep(); });
                         } else {
                           ModifierStep();
@@ -55,11 +57,21 @@ void Engine::ModifierStep() {
 }
 
 void Engine::FanOutInvalidations(std::vector<net::Invalidation> invalidations,
-                                 const std::string& url,
+                                 const std::string& url, Time trace_time,
                                  std::function<void()> on_complete) {
   WEBCC_CHECK(static_cast<bool>(on_complete));
   if (invalidations.empty()) {
     // No site holds a live-leased copy: the write is trivially complete.
+    ++metrics_.write_completions;
+    metrics_.write_completion_wall_ms.Record(0.0);
+    metrics_.write_blocked_trace_ms.Record(0.0);
+    obs::Emit(sink_,
+              {.type = obs::EventType::kWriteComplete,
+               .at = sim_.now(),
+               .trace_time = trace_time,
+               .url = url,
+               .detail = static_cast<std::int64_t>(
+                   obs::WriteCompleteKind::kNoTargets)});
     CompleteWrite(url);
     sim_.After(0, std::move(on_complete));
     return;
@@ -67,9 +79,14 @@ void Engine::FanOutInvalidations(std::vector<net::Invalidation> invalidations,
 
   const std::uint64_t mod_id = next_mod_id_++;
   PendingMod& pending = pending_mod_targets_[mod_id];
-  pending.url = url;
-  pending.remaining = static_cast<int>(invalidations.size());
-  pending.first_pending = pending.remaining;
+  pending.delivery.set_url(url);
+  pending.started_trace = trace_time;
+  pending.started_wall = sim_.now();
+  for (const net::Invalidation& invalidation : invalidations) {
+    pending.delivery.AddTarget(invalidation.client_id,
+                               invalidation.lease_until);
+  }
+  pending.first_pending = static_cast<int>(invalidations.size());
   if (config_.serialized_invalidation) {
     // The check-in blocks until the fan-out lands (the paper's prototype);
     // the modifier resumes only once this write has completed.
@@ -144,6 +161,10 @@ void Engine::SendInvalidation(net::Invalidation invalidation,
         if (to_parent) {
           if (invalidation.type == net::MessageType::kInvalidateUrl) {
             ParentDeliverInvalidation(invalidation.url, mod_id);
+            // Targeted journal-recovery invalidations route through the
+            // parent like any other, but gate the write-gap, not a
+            // delivery machine.
+            if (invalidation.recovery) FinishRecoveryNotice();
           } else {
             ParentDeliverServerNotice(invalidation);
           }
@@ -163,10 +184,14 @@ void Engine::SendInvalidation(net::Invalidation invalidation,
                    .at = done_at,
                    .url = invalidation.url,
                    .site = invalidation.client_id});
-        if (invalidation.type == net::MessageType::kInvalidateServer) {
+        if (invalidation.recovery) {
+          // Recovery notices (INVSRV or targeted journal-recovery
+          // invalidations) gate the write-gap, not a delivery machine.
           FinishRecoveryNotice();
         } else {
-          FinishInvalidationTarget(invalidation, mod_id);
+          // A refused target's proxy is down: its cache revalidates
+          // everything on restart, so the site counts as resolved-dead.
+          ResolveWriteTarget(mod_id, invalidation.client_id, /*dead=*/true);
         }
       },
       /*max_retries=*/-1);
@@ -186,7 +211,11 @@ void Engine::DeliverInvalidation(const net::Invalidation& invalidation,
                       .at = sim_.now(),
                       .url = invalidation.url,
                       .site = invalidation.client_id});
-    FinishInvalidationTarget(invalidation, mod_id);
+    if (invalidation.recovery) {
+      FinishRecoveryNotice();
+    } else {
+      ResolveWriteTarget(mod_id, invalidation.client_id, /*dead=*/false);
+    }
   } else {
     // Server-address invalidation: every entry this real client holds from
     // that server becomes questionable.
@@ -212,19 +241,70 @@ void Engine::ResolveFirstAttempt(std::uint64_t mod_id) {
   if (--it->second.first_pending > 0) return;
   std::function<void()> on_complete = std::move(it->second.on_complete);
   it->second.on_complete = nullptr;
-  if (it->second.remaining <= 0) pending_mod_targets_.erase(it);
+  if (it->second.delivery.complete()) pending_mod_targets_.erase(it);
   if (on_complete) on_complete();
 }
 
-void Engine::FinishInvalidationTarget(const net::Invalidation& invalidation,
-                                      std::uint64_t mod_id) {
-  (void)invalidation;
+void Engine::FinishWriteDelivery(PendingMod& pending) {
+  const core::WriteDelivery& delivery = pending.delivery;
+  WEBCC_DCHECK(delivery.complete());
+  ++metrics_.write_completions;
+  obs::WriteCompleteKind kind = obs::WriteCompleteKind::kAllAcked;
+  switch (delivery.completion()) {
+    case core::WriteDelivery::Completion::kLeasesExpired:
+      kind = obs::WriteCompleteKind::kLeasesExpired;
+      ++metrics_.write_lease_expired_completions;
+      break;
+    case core::WriteDelivery::Completion::kNoTargets:
+      kind = obs::WriteCompleteKind::kNoTargets;
+      break;
+    default:
+      break;
+  }
+  metrics_.write_completion_wall_ms.Record(
+      ToMillis(sim_.now() - pending.started_wall));
+  // Trace-time span the write stayed incomplete, lock-step granular: the
+  // current interval's start is the best trace-order stamp for "now". The
+  // Section 6 bound says this never exceeds lease duration (+ one interval
+  // of lock-step rounding) for lease-augmented invalidation.
+  metrics_.write_blocked_trace_ms.Record(ToMillis(
+      std::max<Time>(0, CurrentWindowStart() - pending.started_trace)));
+  obs::Emit(sink_, {.type = obs::EventType::kWriteComplete,
+                    .at = sim_.now(),
+                    .trace_time = pending.started_trace,
+                    .url = delivery.url(),
+                    .detail = static_cast<std::int64_t>(kind)});
+  CompleteWrite(delivery.url());
+}
+
+void Engine::ResolveWriteTarget(std::uint64_t mod_id, std::string_view site,
+                                bool dead) {
   const auto it = pending_mod_targets_.find(mod_id);
   if (it == pending_mod_targets_.end()) return;
-  if (--it->second.remaining > 0) return;
-  // Write complete: all invalidations delivered (or their targets dead).
-  CompleteWrite(it->second.url);
+  core::WriteDelivery& delivery = it->second.delivery;
+  const bool resolved_all =
+      dead ? delivery.MarkDead(site) : delivery.Ack(site);
+  if (!resolved_all) return;
+  FinishWriteDelivery(it->second);
   if (it->second.first_pending <= 0) pending_mod_targets_.erase(it);
+}
+
+void Engine::SweepExpiredWriteTargets(Time trace_now) {
+  for (auto it = pending_mod_targets_.begin();
+       it != pending_mod_targets_.end();) {
+    PendingMod& pending = it->second;
+    if (!pending.delivery.complete() &&
+        pending.delivery.ExpireLeases(trace_now)) {
+      FinishWriteDelivery(pending);
+    }
+    // A completed delivery lingers only while the modifier gate still
+    // waits on unresolved first attempts.
+    if (pending.delivery.complete() && pending.first_pending <= 0) {
+      it = pending_mod_targets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void Engine::CompleteWrite(const std::string& url) {
@@ -234,14 +314,36 @@ void Engine::CompleteWrite(const std::string& url) {
   }
 }
 
-void Engine::ServerRecover() {
-  std::vector<net::Invalidation> notices = accel_.Recover();
+void Engine::ServerRecover(Time trace_time) {
+  std::vector<net::Invalidation> notices;
+  if (accel_.journal_enabled()) {
+    // Write-ahead journal survives the crash: rebuild the site lists from
+    // it and send *targeted* invalidations only for documents that changed
+    // during the downtime. A damaged journal falls back to the blanket
+    // INVSRV broadcast inside RecoverFromJournal.
+    core::Accelerator::RecoveryOutcome outcome =
+        accel_.RecoverFromJournal(trace_time);
+    ++metrics_.journal_rebuilds;
+    if (outcome.journal_damaged) ++metrics_.journal_damaged_recoveries;
+    obs::Emit(sink_, {.type = obs::EventType::kJournalRebuild,
+                      .at = sim_.now(),
+                      .trace_time = trace_time,
+                      .site = "server",
+                      .detail = outcome.journal_damaged ? 1 : 0});
+    notices = std::move(outcome.invalidations);
+  } else {
+    notices = accel_.Recover();
+  }
   recovery_notices_pending_ = static_cast<int>(notices.size());
   if (notices.empty()) write_gap_active_ = false;
   sim::FifoStation& sender =
       config_.serialized_invalidation ? server_cpu_ : inval_sender_;
   for (net::Invalidation& notice : notices) {
-    ++metrics_.invsrv_sent;
+    if (notice.type == net::MessageType::kInvalidateUrl) {
+      ++metrics_.recovery_invalidations_sent;
+    } else {
+      ++metrics_.invsrv_sent;
+    }
     metrics_.message_bytes += net::WireSize(notice);
     sender.Enqueue(config_.server_costs.invalidation_send_cpu,
                    [this, notice = std::move(notice)]() mutable {

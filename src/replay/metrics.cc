@@ -58,6 +58,17 @@ void ReplayMetrics::ExportTo(obs::MetricsRegistry& registry) const {
   registry.SetCounter("replay.psi_notices", psi_notices);
   registry.SetCounter("replay.psi_entries_erased", psi_entries_erased);
   registry.SetCounter("replay.lease_renewal_ims", lease_renewal_ims);
+  registry.SetCounter("replay.write_completions", write_completions);
+  registry.SetCounter("replay.write_lease_expired_completions",
+                      write_lease_expired_completions);
+  registry.SetCounter("replay.recovery_invalidations_sent",
+                      recovery_invalidations_sent);
+  registry.SetCounter("replay.journal_rebuilds", journal_rebuilds);
+  registry.SetCounter("replay.journal_damaged_recoveries",
+                      journal_damaged_recoveries);
+  registry.SetCounter("replay.injected_drops", injected_drops);
+  registry.SetCounter("replay.injected_dups", injected_dups);
+  registry.SetCounter("replay.injected_delays", injected_delays);
   registry.SetCounter("replay.requests_issued", requests_issued);
   registry.SetCounter("replay.requests_skipped", requests_skipped);
   registry.SetCounter("replay.request_timeouts", request_timeouts);
@@ -86,6 +97,12 @@ void ReplayMetrics::ExportTo(obs::MetricsRegistry& registry) const {
       latency_ms);
   registry.FindOrCreateHistogram("replay.invalidation_time_ms")
       ->samples.Merge(invalidation_time_ms);
+  registry.FindOrCreateHistogram("replay.write_completion_wall_ms")
+      ->samples.Merge(write_completion_wall_ms);
+  registry.FindOrCreateHistogram("replay.write_blocked_trace_ms")
+      ->samples.Merge(write_blocked_trace_ms);
+  registry.FindOrCreateHistogram("replay.stale_age_ms")->samples.Merge(
+      stale_age_ms);
 }
 
 bool SameSimulation(const ReplayMetrics& a, const ReplayMetrics& b) {
@@ -120,6 +137,18 @@ bool SameSimulation(const ReplayMetrics& a, const ReplayMetrics& b) {
          a.psi_notices == b.psi_notices &&
          a.psi_entries_erased == b.psi_entries_erased &&
          a.lease_renewal_ims == b.lease_renewal_ims &&
+         a.write_completions == b.write_completions &&
+         a.write_lease_expired_completions ==
+             b.write_lease_expired_completions &&
+         a.recovery_invalidations_sent == b.recovery_invalidations_sent &&
+         a.journal_rebuilds == b.journal_rebuilds &&
+         a.journal_damaged_recoveries == b.journal_damaged_recoveries &&
+         a.write_completion_wall_ms.SameSamples(b.write_completion_wall_ms) &&
+         a.write_blocked_trace_ms.SameSamples(b.write_blocked_trace_ms) &&
+         a.stale_age_ms.SameSamples(b.stale_age_ms) &&
+         a.injected_drops == b.injected_drops &&
+         a.injected_dups == b.injected_dups &&
+         a.injected_delays == b.injected_delays &&
          a.requests_issued == b.requests_issued &&
          a.requests_skipped == b.requests_skipped &&
          a.request_timeouts == b.request_timeouts &&

@@ -96,6 +96,32 @@ struct ReplayMetrics {
   // "extra if-modified-since" cost of lease-augmented schemes.
   std::uint64_t lease_renewal_ims = 0;
 
+  // --- write-delivery state machine (failure recovery) ----------------------
+  // Writes whose delivery resolved (all acks, all leases expired/dead, or no
+  // targets); equals the kWriteComplete event count.
+  std::uint64_t write_completions = 0;
+  // The subset unblocked by the Section 6 bound (a straggler's lease lapsed
+  // or its proxy was known dead) rather than by a full ack set.
+  std::uint64_t write_lease_expired_completions = 0;
+  // Targeted kInvalidateUrl messages produced by journal-based recovery
+  // (invsrv_sent counts the blanket broadcast of the journal-less path).
+  std::uint64_t recovery_invalidations_sent = 0;
+  std::uint64_t journal_rebuilds = 0;            // server restarts that replayed the WAL
+  std::uint64_t journal_damaged_recoveries = 0;  // ... that found it damaged
+  // Wall time from fan-out start to write completion, and the trace-time
+  // span a write stayed incomplete (lock-step granular; the lease-bound
+  // assertion in tests/test_fault_scenarios.cc reads this one).
+  stats::LatencyStats write_completion_wall_ms;
+  stats::LatencyStats write_blocked_trace_ms;
+  // Trace-time age of the superseded copy at each stale serve; the weak
+  // protocols' staleness is bounded by TTL, leases by lease duration.
+  stats::LatencyStats stale_age_ms;
+
+  // --- injected link faults (src/fault/) ------------------------------------
+  std::uint64_t injected_drops = 0;
+  std::uint64_t injected_dups = 0;
+  std::uint64_t injected_delays = 0;
+
   // --- bookkeeping ----------------------------------------------------------
   std::uint64_t requests_issued = 0;
   std::uint64_t requests_skipped = 0;  // pseudo-client was down

@@ -53,29 +53,24 @@ Time Network::TransferDelay(std::uint64_t bytes) const {
   return config_.one_way_latency + FromSeconds(serialization_s);
 }
 
-bool Network::Send(NodeId from, NodeId to, std::uint64_t bytes,
-                   DeliverFn on_deliver) {
-  WEBCC_CHECK_MSG(static_cast<bool>(on_deliver), "null delivery handler");
-  if (!Reachable(from, to)) {
-    ++messages_dropped_;
-    return false;
-  }
-  ++messages_delivered_;
-  bytes_delivered_ += bytes;
-  sim_.After(TransferDelay(bytes), std::move(on_deliver));
-  return true;
-}
-
 void Network::SendReliable(NodeId from, NodeId to, std::uint64_t bytes,
                            DeliverFn on_deliver, ReliableDoneFn done,
                            int max_retries) {
   TryReliable(from, to, bytes, std::move(on_deliver), std::move(done),
-              max_retries);
+              max_retries, config_.retry_interval);
+}
+
+Time Network::NextRetryInterval(Time current) const {
+  if (config_.retry_backoff <= 1.0) return current;
+  const double scaled =
+      static_cast<double>(current) * config_.retry_backoff;
+  const double cap = static_cast<double>(config_.retry_max_interval);
+  return static_cast<Time>(scaled < cap ? scaled : cap);
 }
 
 void Network::TryReliable(NodeId from, NodeId to, std::uint64_t bytes,
                           DeliverFn on_deliver, ReliableDoneFn done,
-                          int retries_left) {
+                          int retries_left, Time current_interval) {
   if (!IsNodeUp(from)) {
     // The sender itself died; its pending sends evaporate with it.
     return;
@@ -87,7 +82,23 @@ void Network::TryReliable(NodeId from, NodeId to, std::uint64_t bytes,
     if (done) done(SendResult::kRefused, sim_.now());
     return;
   }
-  if (IsPartitioned(from, to)) {
+  // Injected loss on a reliable link models a lost TCP segment: the
+  // connection is not torn down, the sender just retransmits after the
+  // current retry interval. No duplication on this path — TCP sequence
+  // numbers discard duplicate segments before they reach the application.
+  bool segment_lost = false;
+  Time extra_delay = 0;
+  if (!IsPartitioned(from, to) && injector_ != nullptr) {
+    const Perturbation fault = injector_->Perturb(from, to);
+    if (fault.drop) {
+      RecordInjectedDrop(from, to);
+      segment_lost = true;
+    } else if (fault.extra_delay > 0) {
+      RecordInjectedDelay(from, to, fault.extra_delay);
+      extra_delay = fault.extra_delay;
+    }
+  }
+  if (IsPartitioned(from, to) || segment_lost) {
     if (retries_left == 0) {
       ++messages_dropped_;
       if (done) done(SendResult::kGaveUp, sim_.now());
@@ -95,19 +106,45 @@ void Network::TryReliable(NodeId from, NodeId to, std::uint64_t bytes,
     }
     ++retries_;
     const int next = retries_left > 0 ? retries_left - 1 : -1;
-    sim_.After(config_.retry_interval,
+    const Time next_interval = NextRetryInterval(current_interval);
+    sim_.After(current_interval,
                [this, from, to, bytes, on_deliver = std::move(on_deliver),
-                done = std::move(done), next]() mutable {
+                done = std::move(done), next, next_interval]() mutable {
                  TryReliable(from, to, bytes, std::move(on_deliver),
-                             std::move(done), next);
+                             std::move(done), next, next_interval);
                });
     return;
   }
   ++messages_delivered_;
   bytes_delivered_ += bytes;
-  const Time delivery = sim_.now() + TransferDelay(bytes);
+  const Time delivery = sim_.now() + TransferDelay(bytes) + extra_delay;
   sim_.At(delivery, std::move(on_deliver));
   if (done) done(SendResult::kDelivered, delivery);
+}
+
+void Network::RecordInjectedDrop(NodeId from, NodeId to) {
+  ++injected_drops_;
+  obs::Emit(trace_sink_,
+            {.type = obs::EventType::kLinkDrop,
+             .at = sim_.now(),
+             .detail = static_cast<std::int64_t>(from) * 1000 + to});
+}
+
+void Network::RecordInjectedDup(NodeId from, NodeId to) {
+  ++injected_dups_;
+  obs::Emit(trace_sink_,
+            {.type = obs::EventType::kLinkDup,
+             .at = sim_.now(),
+             .detail = static_cast<std::int64_t>(from) * 1000 + to});
+}
+
+void Network::RecordInjectedDelay(NodeId from, NodeId to, Time extra) {
+  ++injected_delays_;
+  (void)from;
+  (void)to;
+  obs::Emit(trace_sink_, {.type = obs::EventType::kLinkDelay,
+                          .at = sim_.now(),
+                          .detail = static_cast<std::int64_t>(extra)});
 }
 
 void Network::ExportMetrics(obs::MetricsRegistry& registry,
@@ -122,6 +159,9 @@ void Network::ExportMetrics(obs::MetricsRegistry& registry,
   registry.SetCounter(name("messages_dropped"), messages_dropped_);
   registry.SetCounter(name("retries"), retries_);
   registry.SetCounter(name("partitions_active"), partitions_.size());
+  registry.SetCounter(name("injected_drops"), injected_drops_);
+  registry.SetCounter(name("injected_dups"), injected_dups_);
+  registry.SetCounter(name("injected_delays"), injected_delays_);
 }
 
 }  // namespace webcc::sim

@@ -11,12 +11,14 @@
 #include <cstdint>
 #include <functional>
 #include <set>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
 #include "sim/simulator.h"
+#include "util/check.h"
 #include "util/time.h"
 
 namespace webcc::sim {
@@ -24,6 +26,25 @@ namespace webcc::sim {
 // Dense small integers; the replay assigns one per host (pseudo-clients,
 // pseudo-server).
 using NodeId = int;
+
+// What a fault injector may do to one datagram on one directed link.
+struct Perturbation {
+  bool drop = false;       // lose the message entirely
+  bool duplicate = false;  // deliver it twice (second copy one latency later)
+  Time extra_delay = 0;    // added to the normal transfer delay
+};
+
+// Hook consulted on every best-effort Send and every reliable transmission
+// attempt. The network stays ignorant of fault plans and seeds; the fault
+// layer (src/fault/) implements this against its own deterministic clock.
+// Implementations must be deterministic functions of their own state — the
+// network calls Perturb exactly once per transmission attempt, in event
+// order, so a seeded RNG behind it replays bit-identically.
+class LinkFaultInjector {
+ public:
+  virtual ~LinkFaultInjector() = default;
+  virtual Perturbation Perturb(NodeId from, NodeId to) = 0;
+};
 
 struct NetworkConfig {
   // One-way propagation latency between any two distinct nodes. The default
@@ -35,6 +56,11 @@ struct NetworkConfig {
   std::uint32_t per_message_overhead_bytes = 40;
   // Interval between retries of a reliable send across a partition.
   Time retry_interval = 5 * kSecond;
+  // Each successive retry multiplies the interval by this factor (TCP-style
+  // exponential backoff), capped at retry_max_interval. 1.0 = fixed interval,
+  // which keeps pre-fault replay timings unchanged.
+  double retry_backoff = 1.0;
+  Time retry_max_interval = 60 * kSecond;
 
   // A wide-area profile for the Section 5.2 "on the real Internet"
   // extrapolation: ~35 ms one-way, 1.5 Mb/s.
@@ -87,7 +113,48 @@ class Network {
   // Best-effort datagram: delivered after TransferDelay unless the pair is
   // unreachable at send time, in which case it is dropped. Returns whether
   // the message was sent. `on_deliver` runs at the destination.
-  bool Send(NodeId from, NodeId to, std::uint64_t bytes, DeliverFn on_deliver);
+  //
+  // Templated so an installed LinkFaultInjector can duplicate the handler:
+  // sim::Task is move-only, so duplication is possible only when the callable
+  // itself is copyable (every engine call site passes a copyable lambda).
+  // Injected faults on this path model UDP-like loss: a dropped datagram is
+  // simply gone (the caller's own timeout machinery notices, if any).
+  template <typename F>
+  bool Send(NodeId from, NodeId to, std::uint64_t bytes, F on_deliver) {
+    if constexpr (requires { static_cast<bool>(on_deliver); }) {
+      WEBCC_CHECK_MSG(static_cast<bool>(on_deliver), "null delivery handler");
+    }
+    if (!Reachable(from, to)) {
+      ++messages_dropped_;
+      return false;
+    }
+    Perturbation fault;
+    if (injector_ != nullptr) fault = injector_->Perturb(from, to);
+    if (fault.drop) {
+      RecordInjectedDrop(from, to);
+      return false;
+    }
+    Time delay = TransferDelay(bytes);
+    if (fault.extra_delay > 0) {
+      RecordInjectedDelay(from, to, fault.extra_delay);
+      delay += fault.extra_delay;
+    }
+    if constexpr (std::is_copy_constructible_v<std::decay_t<F>>) {
+      if (fault.duplicate) {
+        RecordInjectedDup(from, to);
+        ++messages_delivered_;
+        bytes_delivered_ += bytes;
+        // The duplicate trails the original by one propagation latency —
+        // close enough to provoke reordering bugs, far enough to be distinct.
+        F copy(on_deliver);
+        sim_.After(delay + config_.one_way_latency, std::move(copy));
+      }
+    }
+    ++messages_delivered_;
+    bytes_delivered_ += bytes;
+    sim_.After(delay, std::move(on_deliver));
+    return true;
+  }
 
   // TCP-with-retry, the paper's transport for invalidations. If the
   // destination node is down the connection is refused immediately (the
@@ -99,11 +166,19 @@ class Network {
                     DeliverFn on_deliver, ReliableDoneFn done,
                     int max_retries = -1);
 
+  // --- fault injection hook ----------------------------------------------
+  // Installs (or clears, with nullptr) the per-link fault injector. Not
+  // owned; must outlive the network or be cleared first.
+  void set_fault_injector(LinkFaultInjector* injector) { injector_ = injector; }
+
   // --- accounting --------------------------------------------------------
   std::uint64_t messages_delivered() const { return messages_delivered_; }
   std::uint64_t bytes_delivered() const { return bytes_delivered_; }
   std::uint64_t messages_dropped() const { return messages_dropped_; }
   std::uint64_t retries() const { return retries_; }
+  std::uint64_t injected_drops() const { return injected_drops_; }
+  std::uint64_t injected_dups() const { return injected_dups_; }
+  std::uint64_t injected_delays() const { return injected_delays_; }
 
   // Optional tracing: Partition/Heal emit kPartition/kPartitionHeal stamped
   // with the simulator clock (detail = the ordered node pair, a*1000+b).
@@ -119,8 +194,17 @@ class Network {
   }
 
   void TryReliable(NodeId from, NodeId to, std::uint64_t bytes,
-                   DeliverFn on_deliver, ReliableDoneFn done,
-                   int retries_left);
+                   DeliverFn on_deliver, ReliableDoneFn done, int retries_left,
+                   Time current_interval);
+
+  // Counter bumps + kLinkDrop/kLinkDelay/kLinkDup trace emission, shared by
+  // the header-template Send and the reliable path.
+  void RecordInjectedDrop(NodeId from, NodeId to);
+  void RecordInjectedDup(NodeId from, NodeId to);
+  void RecordInjectedDelay(NodeId from, NodeId to, Time extra);
+
+  // Next retry interval under exponential backoff, capped.
+  Time NextRetryInterval(Time current) const;
 
   Simulator& sim_;
   NetworkConfig config_;
@@ -130,6 +214,10 @@ class Network {
   std::uint64_t bytes_delivered_ = 0;
   std::uint64_t messages_dropped_ = 0;
   std::uint64_t retries_ = 0;
+  std::uint64_t injected_drops_ = 0;
+  std::uint64_t injected_dups_ = 0;
+  std::uint64_t injected_delays_ = 0;
+  LinkFaultInjector* injector_ = nullptr;
   obs::TraceSink* trace_sink_ = nullptr;
 };
 

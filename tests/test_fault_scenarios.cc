@@ -1,0 +1,334 @@
+// Property-based fault scenarios (ctest -L fault): the strong protocols
+// must keep their consistency contract under randomized crash / partition /
+// lossy-link schedules, every scenario must replay bit-identically (same
+// per-seed trace digest across repeated runs and across farm worker
+// counts), the weak protocol's staleness stays bounded by its TTL, a
+// partition during a write blocks it for at most one lease duration
+// (Section 6), and the golden corpus under tests/data/fault_plans/ pins
+// whole scenarios to expected metrics and trace digests.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/plan.h"
+#include "obs/trace_reader.h"
+#include "obs/trace_sink.h"
+#include "replay/engine.h"
+#include "replay/farm.h"
+#include "trace/workload.h"
+#include "util/time.h"
+
+namespace webcc::replay {
+namespace {
+
+using core::Protocol;
+
+// One shared workload for every scenario: small enough that ~150 fault
+// replays stay fast, busy enough that random fault windows hit real
+// traffic.
+const trace::Trace& ScenarioTrace() {
+  static const trace::Trace trace = [] {
+    trace::WorkloadConfig config;
+    config.duration = 2 * kHour;
+    config.total_requests = 900;
+    config.num_documents = 80;
+    config.num_clients = 40;
+    config.seed = 5;
+    return trace::GenerateTrace(config);
+  }();
+  return trace;
+}
+
+ReplayConfig FaultBaseConfig(Protocol protocol) {
+  ReplayConfig config;
+  config.protocol = protocol;
+  config.trace = &ScenarioTrace();
+  config.mean_lifetime = 6 * kHour;  // plenty of writes to race faults with
+  // Ride out dead servers and partitions instead of stalling the loop.
+  config.client_costs.request_timeout = 5 * kSecond;
+  return config;
+}
+
+fault::RandomPlanConfig ScenarioPlanConfig() {
+  fault::RandomPlanConfig config;
+  config.horizon = ScenarioTrace().duration;
+  config.clients = 4;  // targets are pseudo-client indices
+  return config;
+}
+
+// --- randomized fault schedules: zero strong violations --------------------------
+
+void RunStrongSeeds(const ReplayConfig& base, int seeds) {
+  const fault::RandomPlanConfig plan_config = ScenarioPlanConfig();
+  for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(seeds);
+       ++seed) {
+    const fault::FaultPlan plan = fault::Random(plan_config, seed);
+    ReplayConfig config = base;
+    config.fault_plan = &plan;
+    config.fault_seed = seed;
+    const ReplayMetrics metrics = RunReplay(config);
+    EXPECT_EQ(metrics.strong_violations, 0u) << "fault seed " << seed;
+    // Stale serves are legal only while the write is still incomplete; all
+    // writes must eventually complete even under faults.
+    EXPECT_EQ(metrics.stale_serves,
+              metrics.stale_while_invalidation_in_flight)
+        << "fault seed " << seed;
+  }
+}
+
+TEST(FaultScenarios, InvalidationSurvives50RandomPlans) {
+  RunStrongSeeds(FaultBaseConfig(Protocol::kInvalidation), 50);
+}
+
+TEST(FaultScenarios, InvalidationTwoTierLeaseSurvives50RandomPlans) {
+  ReplayConfig config = FaultBaseConfig(Protocol::kInvalidation);
+  config.lease.mode = core::LeaseMode::kTwoTier;
+  config.lease.duration = 20 * kMinute;
+  config.lease.short_duration = 5 * kMinute;
+  RunStrongSeeds(config, 50);
+}
+
+TEST(FaultScenarios, PollEveryTimeSurvives50RandomPlans) {
+  RunStrongSeeds(FaultBaseConfig(Protocol::kPollEveryTime), 50);
+}
+
+// --- determinism: per-seed digests across runs and worker counts -----------------
+
+TEST(FaultScenarios, DigestsIdenticalAcrossRunsAndWorkerCounts) {
+  const fault::RandomPlanConfig plan_config = ScenarioPlanConfig();
+  std::vector<fault::FaultPlan> plans;
+  plans.reserve(6);
+  for (std::uint64_t seed = 101; seed <= 106; ++seed) {
+    plans.push_back(fault::Random(plan_config, seed));
+  }
+  const auto make_configs = [&plans] {
+    std::vector<ReplayConfig> configs;
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      ReplayConfig config = FaultBaseConfig(Protocol::kInvalidation);
+      if (i % 2 == 1) {
+        config.lease.mode = core::LeaseMode::kTwoTier;
+        config.lease.duration = 20 * kMinute;
+        config.lease.short_duration = 5 * kMinute;
+      }
+      config.fault_plan = &plans[i];
+      config.fault_seed = 101 + i;
+      configs.push_back(config);
+    }
+    return configs;
+  };
+
+  struct RunOutput {
+    std::vector<ReplayMetrics> metrics;
+    std::string trace_text;
+  };
+  const auto run_with_workers = [&make_configs](unsigned workers) {
+    RunOutput out;
+    obs::BufferTraceSink merged;
+    Farm farm(workers);
+    farm.set_merged_trace_sink(&merged);
+    for (ReplayConfig& config : make_configs()) farm.Submit(std::move(config));
+    out.metrics = farm.Collect();
+    out.trace_text = merged.TakeText();
+    return out;
+  };
+
+  const RunOutput serial_a = run_with_workers(1);
+  const RunOutput serial_b = run_with_workers(1);
+  const RunOutput farmed = run_with_workers(8);
+
+  ASSERT_EQ(serial_a.metrics.size(), plans.size());
+  ASSERT_FALSE(serial_a.trace_text.empty());
+  // Same scenario, same seed, any schedule: identical simulation, identical
+  // byte stream, identical digest.
+  EXPECT_EQ(obs::DigestJsonl(serial_a.trace_text),
+            obs::DigestJsonl(serial_b.trace_text));
+  EXPECT_EQ(obs::DigestJsonl(serial_a.trace_text),
+            obs::DigestJsonl(farmed.trace_text));
+  EXPECT_EQ(serial_a.trace_text, farmed.trace_text);
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    EXPECT_TRUE(SameSimulation(serial_a.metrics[i], serial_b.metrics[i]))
+        << "job " << i;
+    EXPECT_TRUE(SameSimulation(serial_a.metrics[i], farmed.metrics[i]))
+        << "job " << i;
+    EXPECT_GT(serial_a.metrics[i].injected_drops +
+                  serial_a.metrics[i].injected_dups +
+                  serial_a.metrics[i].injected_delays,
+              0u)
+        << "plan " << i << " injected nothing — scenario too tame";
+  }
+}
+
+// --- weak protocol: staleness bounded by its TTL ---------------------------------
+
+TEST(FaultScenarios, AdaptiveTtlStalenessBoundedByMaxTtl) {
+  const fault::RandomPlanConfig plan_config = [] {
+    fault::RandomPlanConfig config = ScenarioPlanConfig();
+    config.allow_server_crash = false;  // weak protocols serve only on contact
+    return config;
+  }();
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const fault::FaultPlan plan = fault::Random(plan_config, seed);
+    ReplayConfig config = FaultBaseConfig(Protocol::kAdaptiveTtl);
+    config.ttl.max_ttl = 30 * kMinute;
+    config.fault_plan = &plan;
+    config.fault_seed = seed;
+    const ReplayMetrics metrics = RunReplay(config);
+    // A copy is served only while its TTL holds, so its staleness can never
+    // exceed the TTL cap (lock-step granularity absorbed).
+    if (metrics.stale_age_ms.count() > 0) {
+      EXPECT_LE(metrics.stale_age_ms.max(),
+                ToMillis(config.ttl.max_ttl + config.lockstep_interval))
+          << "fault seed " << seed;
+    }
+  }
+}
+
+// --- Section 6: a partition blocks a write for at most one lease ------------------
+
+TEST(FaultScenarios, PartitionDuringWriteBoundedByLeaseDuration) {
+  // Every proxy-server link is cut for 40 minutes starting at t=30m; every
+  // document is modified 5 minutes into the partition. Without leases those
+  // writes would block until the heal; with two-tier leases each write must
+  // complete within one lease duration.
+  fault::FaultPlan plan;
+  plan.name = "partition-during-write";
+  plan.events.push_back({.at = 30 * kMinute,
+                         .kind = fault::FaultKind::kPartition,
+                         .target = -1,
+                         .duration = 40 * kMinute});
+
+  ReplayConfig config = FaultBaseConfig(Protocol::kInvalidation);
+  config.lease.mode = core::LeaseMode::kTwoTier;
+  config.lease.duration = 20 * kMinute;
+  config.lease.short_duration = 5 * kMinute;
+  config.fault_plan = &plan;
+  config.explicit_modifications.clear();
+  for (trace::DocId doc = 0; doc < 80; ++doc) {
+    config.explicit_modifications.push_back({35 * kMinute, doc});
+  }
+
+  const ReplayMetrics metrics = RunReplay(config);
+  EXPECT_EQ(metrics.strong_violations, 0u);
+  EXPECT_GT(metrics.write_completions, 0u);
+  // At least one write had a partitioned straggler resolved by the Section 6
+  // lease bound instead of an ack.
+  EXPECT_GT(metrics.write_lease_expired_completions, 0u);
+  ASSERT_GT(metrics.write_blocked_trace_ms.count(), 0u);
+  // The bound itself: no write stayed incomplete longer than the (regular)
+  // lease duration, measured at lock-step granularity. The 40-minute
+  // partition must NOT show through.
+  EXPECT_LE(metrics.write_blocked_trace_ms.max(),
+            ToMillis(config.lease.duration + config.lockstep_interval));
+}
+
+TEST(FaultScenarios, LeaselessPartitionedWriteBlocksUntilHealOrDeath) {
+  // Contrast case for the bound above: same scenario without leases may
+  // block writes well past one lease duration (heal or retry exhaustion is
+  // the only way out) — showing the lease bound is what bounded it.
+  fault::FaultPlan plan;
+  plan.name = "partition-during-write-leaseless";
+  plan.events.push_back({.at = 30 * kMinute,
+                         .kind = fault::FaultKind::kPartition,
+                         .target = -1,
+                         .duration = 40 * kMinute});
+
+  ReplayConfig config = FaultBaseConfig(Protocol::kInvalidation);
+  config.fault_plan = &plan;
+  for (trace::DocId doc = 0; doc < 80; ++doc) {
+    config.explicit_modifications.push_back({35 * kMinute, doc});
+  }
+  const ReplayMetrics metrics = RunReplay(config);
+  EXPECT_EQ(metrics.strong_violations, 0u);
+  EXPECT_GT(metrics.write_completions, 0u);
+}
+
+// --- golden corpus ---------------------------------------------------------------
+
+// Every golden plan runs under this one fixed configuration, so the files'
+// expected values are comparable and regeneration is mechanical: on
+// mismatch the failure message prints the full actual "expect" block to
+// paste into the JSON.
+std::map<std::string, std::string> RunGolden(const fault::FaultPlan& plan) {
+  obs::BufferTraceSink sink;
+  ReplayConfig config = FaultBaseConfig(Protocol::kInvalidation);
+  config.lease.mode = core::LeaseMode::kTwoTier;
+  config.lease.duration = 20 * kMinute;
+  config.lease.short_duration = 5 * kMinute;
+  config.fault_plan = &plan;
+  config.fault_seed = 1;
+  config.trace_sink = &sink;
+  const ReplayMetrics metrics = RunReplay(config);
+
+  std::map<std::string, std::string> actual;
+  const auto put = [&actual](std::string_view name, std::uint64_t value) {
+    actual[std::string(name)] = std::to_string(value);
+  };
+  put("requests_issued", metrics.requests_issued);
+  put("strong_violations", metrics.strong_violations);
+  put("stale_serves", metrics.stale_serves);
+  put("invalidations_sent", metrics.invalidations_sent);
+  put("invsrv_sent", metrics.invsrv_sent);
+  put("recovery_invalidations_sent", metrics.recovery_invalidations_sent);
+  put("write_completions", metrics.write_completions);
+  put("write_lease_expired_completions",
+      metrics.write_lease_expired_completions);
+  put("journal_rebuilds", metrics.journal_rebuilds);
+  put("journal_damaged_recoveries", metrics.journal_damaged_recoveries);
+  put("injected_drops", metrics.injected_drops);
+  put("injected_dups", metrics.injected_dups);
+  put("injected_delays", metrics.injected_delays);
+  put("trace_digest", obs::DigestJsonl(sink.Text()));
+  return actual;
+}
+
+std::string FormatExpectBlock(const std::map<std::string, std::string>& m) {
+  std::string out = "  \"expect\": {\n";
+  for (auto it = m.begin(); it != m.end(); ++it) {
+    out += "    \"" + it->first + "\": " + it->second;
+    out += std::next(it) == m.end() ? "\n" : ",\n";
+  }
+  out += "  }";
+  return out;
+}
+
+TEST(FaultGoldenCorpus, PlansReproduceExpectedMetricsAndDigests) {
+  const std::filesystem::path dir =
+      std::filesystem::path(WEBCC_TEST_DATA_DIR) / "fault_plans";
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+
+  int files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".json") continue;
+    ++files;
+    SCOPED_TRACE(entry.path().filename().string());
+
+    std::ifstream in(entry.path());
+    std::ostringstream text;
+    text << in.rdbuf();
+    fault::FaultPlanFile file;
+    std::string error;
+    ASSERT_TRUE(fault::ParseFaultPlanFile(text.str(), file, error)) << error;
+    ASSERT_FALSE(file.plan.empty());
+    ASSERT_FALSE(file.expect.empty())
+        << "golden plan has no expect block to check";
+
+    const std::map<std::string, std::string> actual = RunGolden(file.plan);
+    for (const auto& [name, expected] : file.expect) {
+      const auto found = actual.find(name);
+      ASSERT_NE(found, actual.end()) << "unknown expect metric: " << name;
+      EXPECT_EQ(found->second, expected)
+          << name << " drifted; full actual block:\n"
+          << FormatExpectBlock(actual);
+    }
+  }
+  // The corpus itself is under test: losing the files is a failure.
+  EXPECT_GE(files, 3);
+}
+
+}  // namespace
+}  // namespace webcc::replay

@@ -150,6 +150,124 @@ TEST(Socket, PeerResetSurfacesAsPeerReset) {
   listener.Shutdown();
 }
 
+TEST(Socket, ReadTimeoutKeepsPartialFrameAndResumes) {
+  // A stalling peer sends half a line and goes quiet: the read times out
+  // (kTimeout, no line) but the prefix stays buffered, so when the peer
+  // wakes up the next ReadLine completes the original frame intact.
+  TcpListener listener(0);
+  ASSERT_TRUE(listener.valid());
+  TcpStream writer = Connect(listener.port());
+  ASSERT_TRUE(writer.valid());
+  TcpStream reader = listener.Accept();
+  ASSERT_TRUE(reader.valid());
+  reader.SetReadTimeout(100);
+
+  ASSERT_TRUE(writer.WriteAll("INVALIDATE /inde"));  // stalls mid-frame
+  EXPECT_FALSE(reader.ReadLine().has_value());
+  EXPECT_EQ(reader.last_error(), IoError::kTimeout);
+
+  ASSERT_TRUE(writer.WriteAll("x.html\n"));  // peer resumes
+  const auto line = reader.ReadLine();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "INVALIDATE /index.html\n");
+  EXPECT_EQ(reader.last_error(), IoError::kNone);
+  listener.Shutdown();
+}
+
+TEST(Socket, ReadTimeoutNeverSurfacesPartialFrameAtEof) {
+  // Orderly EOF after a resumed stall: the unterminated trailing line is
+  // delivered exactly once, with kNone — never as a timeout's side effect.
+  TcpListener listener(0);
+  ASSERT_TRUE(listener.valid());
+  {
+    TcpStream writer = Connect(listener.port());
+    ASSERT_TRUE(writer.valid());
+    TcpStream reader = listener.Accept();
+    ASSERT_TRUE(reader.valid());
+    reader.SetReadTimeout(100);
+    ASSERT_TRUE(writer.WriteAll("tail-without-newline"));
+    EXPECT_FALSE(reader.ReadLine().has_value());  // stall: buffered, no line
+    EXPECT_EQ(reader.last_error(), IoError::kTimeout);
+    writer = TcpStream(Fd());  // orderly close
+    const auto line = reader.ReadLine();
+    ASSERT_TRUE(line.has_value());
+    EXPECT_EQ(*line, "tail-without-newline");
+    EXPECT_EQ(reader.last_error(), IoError::kNone);
+  }
+  listener.Shutdown();
+}
+
+TEST(Socket, ReadFromResetPeerClassifiesAsPeerReset) {
+  // The peer closes with data we sent still unread, which makes TCP emit a
+  // reset instead of a FIN; the read must classify it, not invent a line.
+  TcpListener listener(0);
+  ASSERT_TRUE(listener.valid());
+  TcpStream reader = Connect(listener.port());
+  ASSERT_TRUE(reader.valid());
+  ASSERT_TRUE(reader.WriteAll("unread\n"));
+  {
+    TcpStream victim = listener.Accept();  // closes without reading -> RST
+    ASSERT_TRUE(victim.valid());
+  }
+  // The RST may take a moment to arrive; a retry loop keeps this robust.
+  IoError error = IoError::kNone;
+  for (int i = 0; i < 100; ++i) {
+    if (reader.ReadLine().has_value()) continue;
+    error = reader.last_error();
+    if (error == IoError::kPeerReset) break;
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_EQ(error, IoError::kPeerReset);
+  listener.Shutdown();
+}
+
+TEST(Socket, SendOneWayClassifiedRefusedReadsAsPeerReset) {
+  std::uint16_t dead_port = 0;
+  {
+    TcpListener listener(0);
+    ASSERT_TRUE(listener.valid());
+    dead_port = listener.port();
+  }  // destroyed: nothing listens there now
+  EXPECT_EQ(SendOneWayClassified(dead_port, "INVALIDATE /x\n", 100),
+            IoError::kPeerReset);
+}
+
+TEST(LivePush, RefusedPushIsCountedAndNeverRetried) {
+  // A proxy that died takes its callback port with it: the INVALIDATE push
+  // is refused, counted as such, and not retried — the proxy's restart path
+  // (mark-all-questionable) covers consistency, so retrying buys nothing.
+  obs::BufferTraceSink sink;
+  LiveServer::Options options;
+  options.protocol = core::Protocol::kInvalidation;
+  options.push_retries = 3;
+  options.push_retry_backoff_ms = 1;
+  options.trace_sink = &sink;
+  LiveServer server(options);
+  ASSERT_TRUE(server.Start());
+  server.AddDocument("/index.html", 4096);
+
+  std::uint16_t dead_port = 0;
+  {
+    TcpListener listener(0);
+    ASSERT_TRUE(listener.valid());
+    dead_port = listener.port();
+  }
+  net::Request request;
+  request.type = net::MessageType::kGet;
+  request.url = "/index.html";
+  request.client_id = MakeClientId("ghost", dead_port);
+  ASSERT_TRUE(Exchange(server.port(), net::EncodeLine(request)).has_value());
+
+  EXPECT_EQ(server.TouchDocument("/index.html"), 0u);
+  EXPECT_EQ(server.pushes_refused(), 1u);
+  EXPECT_EQ(server.pushes_timed_out(), 0u);
+  EXPECT_EQ(server.push_retries(), 0u);  // refused != stalled: no retry
+  EXPECT_EQ(server.invalidations_pushed(), 0u);
+  // The give-up is traced as a refusal, distinct from a timeout.
+  EXPECT_NE(sink.Text().find("invalidate_refused"), std::string::npos);
+  server.Stop();
+}
+
 // --- server + proxy fixtures ----------------------------------------------------------
 
 class LiveFixture : public ::testing::Test {

@@ -24,7 +24,7 @@ namespace {
 // --- event taxonomy ---------------------------------------------------------------
 
 TEST(EventNames, RoundTripEveryType) {
-  for (int t = 0; t <= static_cast<int>(EventType::kPartitionHeal); ++t) {
+  for (int t = 0; t <= static_cast<int>(EventType::kJournalRebuild); ++t) {
     const auto type = static_cast<EventType>(t);
     const std::string_view name = EventTypeName(type);
     ASSERT_FALSE(name.empty());

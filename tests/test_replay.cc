@@ -493,6 +493,8 @@ TEST(ReplayFailure, ServerCrashCausesTimeoutsRecoverySendsInvsrv) {
   const trace::Trace trace = SmallTrace(/*seed=*/13, /*requests=*/3000);
   ReplayConfig config = BaseConfig(trace, Protocol::kInvalidation);
   config.client_costs.request_timeout = 5 * kSecond;
+  // The paper's blanket recovery broadcast (journal-less).
+  config.journaled_recovery = false;
   config.failures = {
       {trace.duration / 4, FailureKind::kServerCrash, 0},
       {trace.duration / 2, FailureKind::kServerRecover, 0},
@@ -501,6 +503,41 @@ TEST(ReplayFailure, ServerCrashCausesTimeoutsRecoverySendsInvsrv) {
   EXPECT_GT(metrics.request_timeouts, 0u);
   EXPECT_GT(metrics.invsrv_sent, 0u);
   EXPECT_EQ(metrics.strong_violations, 0u);
+}
+
+TEST(ReplayFailure, JournaledRecoverySendsTargetedInvalidations) {
+  const trace::Trace trace = SmallTrace(/*seed=*/13, /*requests=*/3000);
+  ReplayConfig config = BaseConfig(trace, Protocol::kInvalidation);
+  config.client_costs.request_timeout = 5 * kSecond;
+  config.failures = {
+      {trace.duration / 4, FailureKind::kServerCrash, 0},
+      {trace.duration / 2, FailureKind::kServerRecover, 0},
+  };
+  const ReplayMetrics metrics = RunReplay(config);
+  // The write-ahead journal replaces the blanket INVSRV broadcast with
+  // targeted invalidations for documents modified during the downtime.
+  EXPECT_EQ(metrics.invsrv_sent, 0u);
+  EXPECT_EQ(metrics.journal_rebuilds, 1u);
+  EXPECT_EQ(metrics.journal_damaged_recoveries, 0u);
+  EXPECT_GT(metrics.recovery_invalidations_sent, 0u);
+  EXPECT_EQ(metrics.strong_violations, 0u);
+}
+
+TEST(ReplayFailure, JournaledAndBroadcastRecoveryBothUpholdStrong) {
+  // Identical scenario either way: neither recovery flavour may violate
+  // strong consistency, and both must complete every write eventually.
+  for (const bool journaled : {false, true}) {
+    const trace::Trace trace = SmallTrace(/*seed=*/21, /*requests=*/2500);
+    ReplayConfig config = BaseConfig(trace, Protocol::kInvalidation);
+    config.client_costs.request_timeout = 5 * kSecond;
+    config.journaled_recovery = journaled;
+    config.failures = {
+        {trace.duration / 3, FailureKind::kServerCrash, 0},
+        {trace.duration / 3 + 30 * kMinute, FailureKind::kServerRecover, 0},
+    };
+    const ReplayMetrics metrics = RunReplay(config);
+    EXPECT_EQ(metrics.strong_violations, 0u) << "journaled=" << journaled;
+  }
 }
 
 TEST(ReplayFailure, PartitionRetriesDeliverAfterHeal) {
