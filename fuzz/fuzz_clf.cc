@@ -1,0 +1,35 @@
+// Fuzz target: the Common Log Format reader (trace/clf.h).
+//
+// ReadClf feeds real Internet Traffic Archive logs into the replay engine,
+// so it must survive arbitrary bytes: no crashes, no UB, and the stats it
+// reports must account for every line it saw.
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "trace/clf.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  // Whole-stream path.
+  std::istringstream in(text);
+  webcc::trace::ClfParseStats stats;
+  const webcc::trace::Trace trace =
+      webcc::trace::ReadClf(in, "fuzz", &stats);
+  if (stats.accepted + stats.malformed + stats.skipped != stats.lines) {
+    __builtin_trap();  // stats must partition the input lines
+  }
+  if (trace.records.size() != stats.accepted) __builtin_trap();
+
+  // Per-line path (views into the line must stay in bounds — ASan/UBSan
+  // check that for us).
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    webcc::trace::ClfLine parsed;
+    (void)webcc::trace::ParseClfLine(line, parsed);
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Fuzz target: FaultPlan JSON (fault/plan.h).
+//
+// Plans are hand-edited golden files, so the parser sees human mistakes.
+// Invariant beyond memory safety: parse→serialize→parse is a fixpoint (the
+// dialect FromJson accepts is exactly what ToJson emits).
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fault/plan.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  webcc::fault::FaultPlan plan;
+  std::string error;
+  if (!webcc::fault::FromJson(text, plan, error)) {
+    if (error.empty()) __builtin_trap();  // rejections must say why
+    return 0;
+  }
+
+  const std::string serialized = webcc::fault::ToJson(plan);
+  webcc::fault::FaultPlan reparsed;
+  if (!webcc::fault::FromJson(serialized, reparsed, error)) __builtin_trap();
+  if (webcc::fault::ToJson(reparsed) != serialized) __builtin_trap();
+  return 0;
+}

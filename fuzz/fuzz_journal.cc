@@ -1,0 +1,65 @@
+// Fuzz target: journal recovery (core/journal.h).
+//
+// SiteJournal::Replay is the crash-recovery path — it parses whatever bytes
+// survived the crash, so it must handle arbitrary corruption. Invariants
+// beyond memory safety: the result's counters must be internally
+// consistent, and a journal rebuilt from the recovered prefix must replay
+// to the same entries (recovery is idempotent).
+#include <cstdint>
+#include <string_view>
+
+#include "core/journal.h"
+
+namespace {
+
+bool SafeToReappend(const webcc::core::SiteJournal::Entry& entry) {
+  // AppendRegister CHECKs that fields are space-free; a valid journal line
+  // can still carry other odd bytes that round-trip fine.
+  const auto clean = [](std::string_view s) {
+    return s.find(' ') == std::string_view::npos &&
+           s.find('\n') == std::string_view::npos;
+  };
+  return clean(entry.url) && clean(entry.site);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using webcc::core::SiteJournal;
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  const SiteJournal::ReplayResult result = SiteJournal::Replay(text);
+
+  if (result.records_applied != result.entries.size()) __builtin_trap();
+  if (result.damaged && result.records_rejected == 0) __builtin_trap();
+  if (!result.damaged && result.records_rejected != 0) __builtin_trap();
+
+  SiteJournal rebuilt;
+  bool reappendable = true;
+  for (const SiteJournal::Entry& entry : result.entries) {
+    if (!SafeToReappend(entry)) {
+      reappendable = false;
+      break;
+    }
+    switch (entry.kind) {
+      case 'R':
+        rebuilt.AppendRegister(entry.url, entry.site, entry.lease_until);
+        break;
+      case 'I':
+        rebuilt.AppendInvalidate(entry.url);
+        break;
+      case 'V':
+        rebuilt.AppendVersion(entry.url, entry.version);
+        break;
+      default:
+        __builtin_trap();  // Replay must never emit an unknown kind
+    }
+  }
+  if (reappendable) {
+    const SiteJournal::ReplayResult again = rebuilt.Replay();
+    if (again.damaged || again.entries.size() != result.entries.size()) {
+      __builtin_trap();
+    }
+  }
+  return 0;
+}

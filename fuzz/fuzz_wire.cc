@@ -1,0 +1,23 @@
+// Fuzz target: the live wire-grammar codec (net/wire.h).
+//
+// DecodeLine parses bytes straight off real TCP sockets. Invariant checked
+// beyond memory safety: decode→encode→decode is a fixpoint — any message
+// the codec accepts re-encodes to a line it parses back to the same bytes.
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/wire.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view line(reinterpret_cast<const char*>(data), size);
+  const auto message = webcc::net::DecodeLine(line);
+  if (!message.has_value()) return 0;
+
+  const std::string encoded = webcc::net::EncodeLine(*message);
+  const auto reparsed = webcc::net::DecodeLine(encoded);
+  if (!reparsed.has_value()) __builtin_trap();
+  if (webcc::net::EncodeLine(*reparsed) != encoded) __builtin_trap();
+  return 0;
+}

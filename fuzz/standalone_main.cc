@@ -1,0 +1,147 @@
+// Driver for the fuzz targets on toolchains without a libFuzzer runtime.
+//
+// Each fuzz_*.cc defines the standard libFuzzer entry point
+// (LLVMFuzzerTestOneInput), so the same target file links against
+// -fsanitize=fuzzer unchanged when a Clang toolchain is available. This
+// main() supplies the two modes CI needs without that runtime:
+//
+//   fuzz_x corpus-dir...              replay every corpus file (regression)
+//   fuzz_x corpus-dir --mutate N      plus N deterministic mutations of
+//                    [--seed S]       corpus picks, seeded — not wall-clock
+//                                     — so every run is reproducible.
+//
+// A finding is an abort (sanitizer report, WEBCC_CHECK, or a target's
+// __builtin_trap on a broken invariant); a clean sweep exits 0.
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+void RunOne(const Bytes& input) {
+  LLVMFuzzerTestOneInput(input.data(), input.size());
+}
+
+// One seeded mutation: flip, overwrite, insert, erase, truncate, or splice
+// a chunk from elsewhere in the input.
+Bytes Mutate(Bytes input, webcc::util::Rng& rng) {
+  const int rounds = 1 + static_cast<int>(rng.NextU64() % 8);
+  for (int i = 0; i < rounds; ++i) {
+    switch (rng.NextU64() % 6) {
+      case 0:  // bit flip
+        if (!input.empty()) {
+          input[rng.NextU64() % input.size()] ^=
+              static_cast<std::uint8_t>(1u << (rng.NextU64() % 8));
+        }
+        break;
+      case 1:  // overwrite with a random byte
+        if (!input.empty()) {
+          input[rng.NextU64() % input.size()] =
+              static_cast<std::uint8_t>(rng.NextU64());
+        }
+        break;
+      case 2:  // insert a random byte
+        input.insert(input.begin() +
+                         static_cast<std::ptrdiff_t>(
+                             input.empty() ? 0 : rng.NextU64() % input.size()),
+                     static_cast<std::uint8_t>(rng.NextU64()));
+        break;
+      case 3:  // erase a byte
+        if (!input.empty()) {
+          input.erase(input.begin() +
+                      static_cast<std::ptrdiff_t>(rng.NextU64() %
+                                                  input.size()));
+        }
+        break;
+      case 4:  // truncate
+        if (!input.empty()) input.resize(rng.NextU64() % input.size());
+        break;
+      case 5:  // duplicate a chunk to a random spot
+        if (input.size() >= 2) {
+          const std::size_t from = rng.NextU64() % input.size();
+          const std::size_t len =
+              1 + rng.NextU64() % std::min<std::size_t>(
+                                      16, input.size() - from);
+          const std::size_t to = rng.NextU64() % input.size();
+          const Bytes chunk(input.begin() + static_cast<std::ptrdiff_t>(from),
+                            input.begin() +
+                                static_cast<std::ptrdiff_t>(from + len));
+          input.insert(input.begin() + static_cast<std::ptrdiff_t>(to),
+                       chunk.begin(), chunk.end());
+        }
+        break;
+    }
+  }
+  return input;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::uint64_t mutations = 0;
+  std::uint64_t seed = 1;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--mutate" && i + 1 < argc) {
+      mutations = std::stoull(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::stoull(argv[++i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "usage: " << argv[0]
+                << " [--mutate N] [--seed S] <corpus-file-or-dir>...\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  std::vector<std::string> files;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(path, ec)) {
+        if (entry.is_regular_file()) files.push_back(entry.path().string());
+      }
+    } else {
+      files.push_back(path);
+    }
+  }
+  std::sort(files.begin(), files.end());  // deterministic replay order
+
+  std::vector<Bytes> corpus;
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << argv[0] << ": cannot open " << file << "\n";
+      return 2;
+    }
+    Bytes bytes((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+    RunOne(bytes);
+    corpus.push_back(std::move(bytes));
+  }
+  if (corpus.empty()) corpus.push_back({});  // always exercise empty input
+
+  webcc::util::Rng rng(seed);
+  for (std::uint64_t i = 0; i < mutations; ++i) {
+    RunOne(Mutate(corpus[rng.NextU64() % corpus.size()], rng));
+  }
+
+  std::cout << argv[0] << ": " << files.size() << " corpus inputs + "
+            << mutations << " mutations, no findings\n";
+  return 0;
+}

@@ -89,19 +89,25 @@ std::size_t InvalidationTable::ListLength(std::string_view url,
 }
 
 std::size_t InvalidationTable::PruneExpired(Time now) {
-  std::size_t pruned = 0;
+  // Collect first, then emit in (url, site) order: the early version traced
+  // kLeaseExpiry events straight out of the unordered_map walk, so the trace
+  // stream depended on hash-table layout — exactly the nondeterminism
+  // webcc_lint's unordered-iter-in-dump rule now rejects. Erasure order
+  // never mattered (the maps end up identical); emission order is output.
+  struct Expired {
+    std::string_view url;
+    std::string_view site;
+    Time lease_until;
+  };
+  std::vector<Expired> expired;
   for (auto list_it = lists_.begin(); list_it != lists_.end();) {
     auto& entries = list_it->second.lease_until;
     for (auto it = entries.begin(); it != entries.end();) {
       if (!LeaseActive(it->second, now)) {
-        obs::Emit(trace_sink_,
-                  {.type = obs::EventType::kLeaseExpiry,
-                   .at = now,
-                   .url = urls_.NameOf(list_it->first),
-                   .site = clients_.NameOf(it->first),
-                   .detail = it->second});
+        // Interner names are stable views; they outlive the erase below.
+        expired.push_back({urls_.NameOf(list_it->first),
+                           clients_.NameOf(it->first), it->second});
         it = entries.erase(it);
-        ++pruned;
         --total_entries_;
       } else {
         ++it;
@@ -109,7 +115,21 @@ std::size_t InvalidationTable::PruneExpired(Time now) {
     }
     list_it = entries.empty() ? lists_.erase(list_it) : std::next(list_it);
   }
-  return pruned;
+  if (trace_sink_ != nullptr) {
+    std::sort(expired.begin(), expired.end(),
+              [](const Expired& a, const Expired& b) {
+                if (a.url != b.url) return a.url < b.url;
+                return a.site < b.site;
+              });
+    for (const Expired& e : expired) {
+      obs::Emit(trace_sink_, {.type = obs::EventType::kLeaseExpiry,
+                              .at = now,
+                              .url = e.url,
+                              .site = e.site,
+                              .detail = e.lease_until});
+    }
+  }
+  return expired.size();
 }
 
 std::vector<InvalidationTable::Snapshot> InvalidationTable::SnapshotEntries()

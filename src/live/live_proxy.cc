@@ -42,8 +42,11 @@ bool LiveProxy::Start() {
   listener_.emplace(options_.port);
   if (!listener_->valid()) return false;
   port_ = listener_->port();
-  cache_.emplace(options_.cache_bytes, options_.replacement);
-  cache_->set_trace_sink(options_.trace_sink);  // eviction events
+  {
+    const util::MutexLock lock(mutex_);
+    cache_.emplace(options_.cache_bytes, options_.replacement);
+    cache_->set_trace_sink(options_.trace_sink);  // eviction events
+  }
   running_.store(true);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return true;
@@ -64,12 +67,12 @@ Time LiveProxy::Now() const {
 }
 
 std::size_t LiveProxy::cached_entries() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return cache_->entry_count();
 }
 
 void LiveProxy::SimulateRecovery() {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   cache_->MarkAllQuestionable();
 }
 
@@ -87,7 +90,7 @@ LiveProxy::FetchResult LiveProxy::Fetch(const std::string& client_name,
   bool lease_renewal = false;
 
   {
-    const std::scoped_lock lock(mutex_);
+    const util::MutexLock lock(mutex_);
     http::CacheEntry* entry = cache_->Lookup(key);
     if (entry != nullptr) {
       const core::consistency::HitDecision decision =
@@ -161,7 +164,7 @@ LiveProxy::FetchResult LiveProxy::Fetch(const std::string& client_name,
                      ? obs::ServeKind::kTransfer
                      : obs::ServeKind::kValidated)});
 
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
 
   // Apply the reply's piggyback freshness information first, so a
   // just-fetched body is inserted after any purge of its URL (the replay's
@@ -238,7 +241,7 @@ void LiveProxy::AcceptLoop() {
     // weak-consistency baselines do.
     if (!policy_->traits().invalidation_callbacks) continue;
 
-    const std::scoped_lock lock(mutex_);
+    const util::MutexLock lock(mutex_);
     if (invalidation->type == net::MessageType::kInvalidateUrl) {
       cache_->Erase(
           http::ComposeCacheKey(invalidation->url, invalidation->client_id));

@@ -15,7 +15,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -26,6 +25,7 @@
 #include "http/proxy_cache.h"
 #include "live/socket.h"
 #include "obs/trace_sink.h"
+#include "util/thread_annotations.h"
 #include "util/time.h"
 
 namespace webcc::live {
@@ -94,9 +94,12 @@ class LiveProxy {
   std::unique_ptr<const core::consistency::ConsistencyPolicy> policy_;
   std::uint16_t port_ = 0;
 
-  mutable std::mutex mutex_;  // guards cache_
-  std::optional<http::ProxyCache> cache_;
+  mutable util::Mutex mutex_;
+  std::optional<http::ProxyCache> cache_ WEBCC_GUARDED_BY(mutex_);
 
+  // Shared by design without a lock: the accept thread blocks in Accept()
+  // while Stop() calls Shutdown() — TcpListener's fd-based handoff is the
+  // synchronization (shutdown(2) wakes the blocked accept).
   std::optional<TcpListener> listener_;
   std::thread accept_thread_;
   std::atomic<bool> running_{false};

@@ -65,7 +65,7 @@ Time LiveServer::Now() const {
 }
 
 void LiveServer::AddDocument(std::string path, std::uint64_t size_bytes) {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   docs_.Add(std::move(path), size_bytes, Now());
 }
 
@@ -73,7 +73,7 @@ std::size_t LiveServer::TouchDocument(const std::string& path) {
   const bool fan_out = policy_->OnWrite().fan_out_invalidations;
   std::vector<net::Invalidation> invalidations;
   {
-    const std::scoped_lock lock(mutex_);
+    const util::MutexLock lock(mutex_);
     const Time now = Now();
     if (!docs_.Touch(path, now)) return 0;
     mod_log_.Record(now, path);
@@ -87,14 +87,14 @@ std::size_t LiveServer::TouchDocument(const std::string& path) {
 }
 
 void LiveServer::CrashTables() {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   accel_.Crash();
 }
 
 std::size_t LiveServer::Recover() {
   std::vector<net::Invalidation> notices;
   {
-    const std::scoped_lock lock(mutex_);
+    const util::MutexLock lock(mutex_);
     notices = accel_.Recover();
   }
   return PushInvalidations(notices);
@@ -174,7 +174,7 @@ void LiveServer::HandleConnection(TcpStream stream) {
   if (const auto* request = std::get_if<net::Request>(&*message)) {
     std::optional<net::Reply> reply;
     {
-      const std::scoped_lock lock(mutex_);
+      const util::MutexLock lock(mutex_);
       const Time now = Now();
       // Protocols without invalidation callbacks run no accelerator: no
       // site registration, no leases — the origin answers directly, as in
@@ -236,7 +236,7 @@ void LiveServer::HandleConnection(TcpStream stream) {
     // protocols owe no fan-out — the check-in is acknowledged and dropped.
     std::vector<net::Invalidation> invalidations;
     if (policy_->OnWrite().fan_out_invalidations) {
-      const std::scoped_lock lock(mutex_);
+      const util::MutexLock lock(mutex_);
       invalidations = accel_.HandleNotify(*notify, Now());
     }
     const std::size_t pushed = PushInvalidations(invalidations);

@@ -20,7 +20,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -34,6 +33,7 @@
 #include "http/origin.h"
 #include "live/socket.h"
 #include "obs/trace_sink.h"
+#include "util/thread_annotations.h"
 #include "util/time.h"
 
 namespace webcc::live {
@@ -113,17 +113,24 @@ class LiveServer {
   std::unique_ptr<const core::consistency::ConsistencyPolicy> policy_;
   std::uint16_t port_ = 0;
 
-  mutable std::mutex mutex_;  // guards docs_, accel_, origin_, PSI state
-  http::DocumentStore docs_;
-  core::Accelerator accel_;
+  mutable util::Mutex mutex_;
+  // The document store, accelerator (site lists + journal), origin and PSI
+  // state are all confined behind mutex_: handler threads, the admin
+  // surface (AddDocument/TouchDocument) and the failure drills mutate them
+  // concurrently.
+  http::DocumentStore docs_ WEBCC_GUARDED_BY(mutex_);
+  core::Accelerator accel_ WEBCC_GUARDED_BY(mutex_);
   // Plain origin service for the protocols whose traits run no accelerator
   // (TTL, polling, PCV, PSI) — the replay routes these the same way.
-  http::OriginServer origin_;
+  http::OriginServer origin_ WEBCC_GUARDED_BY(mutex_);
   // PSI server state: every modification in arrival order, plus each
   // proxy's last-contact cursor (keyed by its callback port).
-  core::ModificationLog mod_log_;
-  std::unordered_map<std::uint16_t, Time> psi_cursor_;
+  core::ModificationLog mod_log_ WEBCC_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint16_t, Time> psi_cursor_ WEBCC_GUARDED_BY(mutex_);
 
+  // Shared by design without a lock: the accept thread blocks in Accept()
+  // while Stop() calls Shutdown() — TcpListener's fd-based handoff is the
+  // synchronization (shutdown(2) wakes the blocked accept).
   std::optional<TcpListener> listener_;
   std::thread accept_thread_;
   std::atomic<bool> running_{false};

@@ -52,7 +52,7 @@ std::uint32_t JsonlTraceSink::InternLocked(std::string_view s) {
 void JsonlTraceSink::ResetInternsLocked() { interns_.clear(); }
 
 void JsonlTraceSink::Emit(const TraceEvent& event) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   // Each run interns from scratch so concatenated streams self-describe.
   if (event.type == EventType::kRunBegin) ResetInternsLocked();
 
@@ -97,12 +97,12 @@ void JsonlTraceSink::Emit(const TraceEvent& event) {
 }
 
 void JsonlTraceSink::WriteRaw(std::string_view jsonl) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   out_->write(jsonl.data(), static_cast<std::streamsize>(jsonl.size()));
 }
 
 std::uint64_t JsonlTraceSink::events_written() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return events_written_;
 }
 

@@ -25,13 +25,13 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
 #include "obs/event.h"
+#include "util/thread_annotations.h"
 
 namespace webcc::obs {
 
@@ -82,8 +82,8 @@ class JsonlTraceSink final : public TraceSink {
 
  private:
   // Interns under mu_ (already held by Emit).
-  std::uint32_t InternLocked(std::string_view s);
-  void ResetInternsLocked();
+  std::uint32_t InternLocked(std::string_view s) WEBCC_REQUIRES(mu_);
+  void ResetInternsLocked() WEBCC_REQUIRES(mu_);
 
   // Heterogeneous lookup: Emit interns string_views without materializing
   // a std::string except on first sighting.
@@ -100,10 +100,13 @@ class JsonlTraceSink final : public TraceSink {
     }
   };
 
-  std::ostream* out_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::uint32_t, SvHash, SvEq> interns_;
-  std::uint64_t events_written_ = 0;
+  mutable util::Mutex mu_;
+  // The stream pointer itself is const after construction, but all writes
+  // through it serialize under mu_ (pt_guarded_by covers the pointee).
+  std::ostream* const out_ WEBCC_PT_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::uint32_t, SvHash, SvEq> interns_
+      WEBCC_GUARDED_BY(mu_);
+  std::uint64_t events_written_ WEBCC_GUARDED_BY(mu_) = 0;
 };
 
 // A JSONL sink buffering into memory; the farm gives each submitted replay

@@ -181,6 +181,9 @@ void Engine::Setup() {
 }
 
 ReplayMetrics Engine::Run() {
+  // host_seconds is a wall-clock throughput gauge, excluded from the
+  // determinism digests by design.
+  // webcc-lint: allow(determinism-clock)
   const auto host_start = std::chrono::steady_clock::now();
   if (sink_ != nullptr) {
     std::string label(core::ToString(config_.protocol));
@@ -198,6 +201,7 @@ ReplayMetrics Engine::Run() {
     if (wall_end_ != 0 && sim_.now() > wall_end_ + kDrainGrace) break;
   }
   metrics_.host_seconds =
+      // webcc-lint: allow(determinism-clock) — same wall-clock gauge as above.
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     host_start)
           .count();

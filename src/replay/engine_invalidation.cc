@@ -250,6 +250,10 @@ void Engine::FinishWriteDelivery(PendingMod& pending) {
   WEBCC_DCHECK(delivery.complete());
   ++metrics_.write_completions;
   obs::WriteCompleteKind kind = obs::WriteCompleteKind::kAllAcked;
+  // Every enumerator spelled out (no default:) so -Wswitch flags any future
+  // Completion state this mapping forgets — webcc_lint's enum-switch-default
+  // rule keeps it that way. kPending is unreachable: the DCHECK above
+  // guarantees the delivery completed.
   switch (delivery.completion()) {
     case core::WriteDelivery::Completion::kLeasesExpired:
       kind = obs::WriteCompleteKind::kLeasesExpired;
@@ -258,7 +262,8 @@ void Engine::FinishWriteDelivery(PendingMod& pending) {
     case core::WriteDelivery::Completion::kNoTargets:
       kind = obs::WriteCompleteKind::kNoTargets;
       break;
-    default:
+    case core::WriteDelivery::Completion::kPending:
+    case core::WriteDelivery::Completion::kAllAcked:
       break;
   }
   metrics_.write_completion_wall_ms.Record(

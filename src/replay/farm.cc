@@ -17,17 +17,17 @@ Farm::Farm(unsigned workers) {
 
 Farm::~Farm() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
 std::size_t Farm::Submit(ReplayConfig config) {
   std::size_t index;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     index = submitted_++;
     results_.emplace_back();
     if (merged_sink_ != nullptr) {
@@ -40,13 +40,15 @@ std::size_t Farm::Submit(ReplayConfig config) {
     }
     queue_.push_back(Job{index, std::move(config)});
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return index;
 }
 
 std::vector<ReplayMetrics> Farm::Collect() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return completed_ == submitted_; });
+  const util::MutexLock lock(mu_);
+  done_cv_.Wait(mu_, [this]() WEBCC_NO_THREAD_SAFETY_ANALYSIS {
+    return completed_ == submitted_;
+  });
   if (merged_sink_ != nullptr) {
     for (std::unique_ptr<obs::BufferTraceSink>& sink : job_sinks_) {
       if (sink != nullptr) merged_sink_->WriteRaw(sink->TakeText());
@@ -64,8 +66,10 @@ void Farm::WorkerLoop() {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      const util::MutexLock lock(mu_);
+      work_cv_.Wait(mu_, [this]() WEBCC_NO_THREAD_SAFETY_ANALYSIS {
+        return stop_ || !queue_.empty();
+      });
       // Drain the queue even when stopping, so a destructor racing
       // submitted work still leaves results_ complete.
       if (queue_.empty()) return;
@@ -74,10 +78,10 @@ void Farm::WorkerLoop() {
     }
     ReplayMetrics metrics = RunReplay(job.config);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      const util::MutexLock lock(mu_);
       results_[job.index] = std::move(metrics);
       ++completed_;
-      if (completed_ == submitted_) done_cv_.notify_all();
+      if (completed_ == submitted_) done_cv_.NotifyAll();
     }
   }
 }

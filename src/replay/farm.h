@@ -13,11 +13,9 @@
 // referenced state) alive until Collect() returns.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -25,6 +23,7 @@
 #include "replay/config.h"
 #include "replay/engine.h"
 #include "replay/metrics.h"
+#include "util/thread_annotations.h"
 
 namespace webcc::replay {
 
@@ -53,7 +52,13 @@ class Farm {
   // for any worker count — the same guarantee SameSimulation gives for
   // metrics. Overrides any trace_sink already set on a submitted config.
   // nullptr turns merging off. `sink` must outlive the next Collect().
-  void set_merged_trace_sink(obs::TraceSink* sink) { merged_sink_ = sink; }
+  void set_merged_trace_sink(obs::TraceSink* sink) {
+    // Under the lock: workers and Submit() read merged_sink_ concurrently
+    // (found by the thread-safety annotations — the pre-annotation setter
+    // wrote the field bare, a data race when called beside a live batch).
+    const util::MutexLock lock(mu_);
+    merged_sink_ = sink;
+  }
 
   unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
 
@@ -69,19 +74,20 @@ class Farm {
 
   void WorkerLoop();
 
-  std::vector<std::thread> threads_;
+  std::vector<std::thread> threads_;  // written only by the constructor
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // workers wait here for jobs
-  std::condition_variable done_cv_;  // Collect() waits here for completion
-  std::deque<Job> queue_;
-  std::vector<ReplayMetrics> results_;
+  util::Mutex mu_;
+  util::CondVar work_cv_;  // workers wait here for jobs
+  util::CondVar done_cv_;  // Collect() waits here for completion
+  std::deque<Job> queue_ WEBCC_GUARDED_BY(mu_);
+  std::vector<ReplayMetrics> results_ WEBCC_GUARDED_BY(mu_);
   // Per-job trace buffers, indexed like results_; merged at Collect().
-  std::vector<std::unique_ptr<obs::BufferTraceSink>> job_sinks_;
-  obs::TraceSink* merged_sink_ = nullptr;
-  std::size_t submitted_ = 0;
-  std::size_t completed_ = 0;
-  bool stop_ = false;
+  std::vector<std::unique_ptr<obs::BufferTraceSink>> job_sinks_
+      WEBCC_GUARDED_BY(mu_);
+  obs::TraceSink* merged_sink_ WEBCC_GUARDED_BY(mu_) = nullptr;
+  std::size_t submitted_ WEBCC_GUARDED_BY(mu_) = 0;
+  std::size_t completed_ WEBCC_GUARDED_BY(mu_) = 0;
+  bool stop_ WEBCC_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace webcc::replay

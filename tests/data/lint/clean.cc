@@ -1,0 +1,11 @@
+// Fixture: a file every rule passes.
+#include <map>
+#include <string>
+
+int Total(const std::map<std::string, int>& counts) {
+  int total = 0;
+  for (const auto& [key, value] : counts) {
+    total += value;
+  }
+  return total;
+}

@@ -1,0 +1,4 @@
+// Fixture: determinism-clock — rand() in replay-scoped code.
+#include <cstdlib>
+
+int Jitter() { return rand() % 10; }

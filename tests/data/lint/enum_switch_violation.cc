@@ -1,0 +1,11 @@
+// Fixture: enum-switch-default — default: hides missing enumerators.
+enum class Protocol { kPolling, kInvalidation };
+
+int Cost(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kPolling:
+      return 1;
+    default:
+      return 0;
+  }
+}

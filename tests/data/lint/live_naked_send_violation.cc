@@ -1,0 +1,4 @@
+// Fixture: naked-send — direct socket I/O outside live/socket.cc.
+long PushRaw(int fd, const void* buf, unsigned long len) {
+  return ::send(fd, buf, len, 0);
+}

@@ -1,0 +1,7 @@
+// Fixture: raw-mutex — std::mutex outside util/thread_annotations.h.
+#include <mutex>
+
+struct Counter {
+  std::mutex mu;
+  int n = 0;
+};

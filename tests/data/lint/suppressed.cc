@@ -1,0 +1,14 @@
+// Fixture: real violations, every one silenced by a pragma.
+// webcc-lint: allow-file(raw-mutex) — fixture exercises file-wide suppression
+#include <cstdlib>
+#include <mutex>
+
+struct Counter {
+  std::mutex mu;
+  int n = 0;
+};
+
+int Jitter() {
+  // webcc-lint: allow(determinism-clock) — fixture exercises line suppression
+  return rand() % 10;
+}

@@ -1,0 +1,14 @@
+// Fixture: unordered-iter-in-dump — hash-order iteration in an output path.
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+struct Table {
+  std::unordered_map<std::string, int> counts_;
+
+  void Dump(std::ostream& out) const {
+    for (const auto& [key, value] : counts_) {
+      out << key << "=" << value << "\n";
+    }
+  }
+};

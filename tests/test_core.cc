@@ -8,11 +8,14 @@
 #include <set>
 #include <string>
 
+#include <vector>
+
 #include "core/accelerator.h"
 #include "core/adaptive_ttl.h"
 #include "core/invalidation_table.h"
 #include "core/lease.h"
 #include "core/site_registry.h"
+#include "obs/trace_sink.h"
 
 namespace webcc::core {
 namespace {
@@ -227,6 +230,41 @@ TEST(InvalidationTable, PruneExpiredDropsOnlyDead) {
   EXPECT_EQ(table.PruneExpired(30 * kHour), 1u);
   EXPECT_EQ(table.TotalEntries(), 1u);
   EXPECT_EQ(table.ListLength("/b", 30 * kHour), 1u);
+}
+
+// Interns are defined on first use, so the order of {"e":"intern"} lines in
+// a buffered trace mirrors event emission order exactly.
+std::vector<std::string> InternNamesInOrder(const std::string& jsonl) {
+  std::vector<std::string> names;
+  std::size_t pos = 0;
+  while ((pos = jsonl.find("\"n\":\"", pos)) != std::string::npos) {
+    pos += 5;
+    const std::size_t end = jsonl.find('"', pos);
+    names.push_back(jsonl.substr(pos, end - pos));
+    pos = end;
+  }
+  return names;
+}
+
+TEST(InvalidationTable, PruneExpiredEmitsTracesInSortedOrder) {
+  // Regression: PruneExpired used to emit kLeaseExpiry events straight out
+  // of its unordered_map walk, so the trace stream depended on hash-table
+  // layout. Emission must be (url, site)-sorted regardless of how the
+  // entries hash.
+  LeaseConfig lease;
+  lease.mode = LeaseMode::kFixed;
+  lease.duration = kDay;
+  InvalidationTable table(lease);
+  obs::BufferTraceSink sink;
+  table.set_trace_sink(&sink);
+  for (const char* url : {"/h", "/c", "/f", "/a", "/e", "/b", "/g", "/d"}) {
+    table.Register(url, "site-z", net::MessageType::kGet, 0);
+    table.Register(url, "site-a", net::MessageType::kGet, 0);
+  }
+  EXPECT_EQ(table.PruneExpired(30 * kHour), 16u);
+  const std::vector<std::string> expected = {
+      "/a", "site-a", "site-z", "/b", "/c", "/d", "/e", "/f", "/g", "/h"};
+  EXPECT_EQ(InternNamesInOrder(sink.Text()), expected);
 }
 
 TEST(InvalidationTable, StorageGrowsWithEntries) {

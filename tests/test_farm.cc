@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/intern.h"
+#include "obs/trace_sink.h"
 #include "replay/engine.h"
 #include "replay/experiments.h"
 #include "replay/farm.h"
@@ -116,6 +117,32 @@ TEST(Farm, ReusableAfterCollect) {
   ASSERT_EQ(second.size(), 2u);
   EXPECT_TRUE(SameSimulation(first[0], second[0]));
   EXPECT_TRUE(SameSimulation(second[0], second[1]));
+}
+
+TEST(Farm, MergedSinkSwapBetweenBatchesRoutesToTheNewSink) {
+  // Regression: the pre-annotation set_merged_trace_sink wrote the field
+  // without the farm lock — a data race against live workers that the
+  // thread-safety annotations flagged. The swap must take effect for the
+  // next batch and leave the previous sink untouched.
+  const auto specs = Table3Experiments();
+  const auto traces = ScaledDownTraces({specs[0]});
+  const ReplayConfig config = MakeReplayConfig(
+      specs[0], core::Protocol::kAdaptiveTtl, traces.at(specs[0].trace));
+
+  Farm farm(2);
+  obs::BufferTraceSink first_sink;
+  farm.set_merged_trace_sink(&first_sink);
+  farm.Submit(config);
+  farm.Collect();
+  const std::string first = first_sink.Text();
+  EXPECT_FALSE(first.empty());
+
+  obs::BufferTraceSink second_sink;
+  farm.set_merged_trace_sink(&second_sink);  // pool threads are still alive
+  farm.Submit(config);
+  farm.Collect();
+  EXPECT_EQ(first_sink.Text(), first);   // old sink sees nothing new
+  EXPECT_EQ(second_sink.Text(), first);  // same deterministic stream
 }
 
 TEST(Farm, CollectOnEmptyFarmReturnsEmpty) {

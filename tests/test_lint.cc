@@ -1,0 +1,211 @@
+// webcc_lint's contract: every fixture under tests/data/lint trips exactly
+// the rule it is named for, clean code passes, and pragmas suppress. The
+// fixtures are the executable specification of the rules — a rule change
+// that silently stops flagging its fixture fails here, not in review.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace webcc::lint {
+namespace {
+
+std::string FixturePath(const std::string& name) {
+  return std::string(WEBCC_TEST_DATA_DIR) + "/lint/" + name;
+}
+
+struct RunResult {
+  int exit_code = 0;
+  std::string out;
+  std::string err;
+};
+
+RunResult RunCli(std::vector<std::string> args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = RunLintMain(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+bool HasRule(const std::vector<Finding>& findings, std::string_view rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [rule](const Finding& f) { return f.rule == rule; });
+}
+
+TEST(LintRules, RuleIdsAreStable) {
+  const std::vector<std::string_view> expected = {
+      "determinism-clock", "unordered-iter-in-dump", "raw-mutex",
+      "enum-switch-default", "naked-send"};
+  EXPECT_EQ(RuleIds(), expected);
+}
+
+// --- one fixture per rule, asserting exit code and rule id -----------------
+
+struct FixtureCase {
+  const char* file;
+  const char* rule;
+};
+
+class LintFixtureTest : public ::testing::TestWithParam<FixtureCase> {};
+
+TEST_P(LintFixtureTest, FlagsItsRule) {
+  const FixtureCase& c = GetParam();
+  const RunResult result = RunCli({FixturePath(c.file)});
+  EXPECT_EQ(result.exit_code, 1) << result.out << result.err;
+  EXPECT_NE(result.out.find(std::string("[") + c.rule + "]"),
+            std::string::npos)
+      << result.out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, LintFixtureTest,
+    ::testing::Values(
+        FixtureCase{"clock_violation.cc", "determinism-clock"},
+        FixtureCase{"unordered_dump_violation.cc", "unordered-iter-in-dump"},
+        FixtureCase{"raw_mutex_violation.cc", "raw-mutex"},
+        FixtureCase{"enum_switch_violation.cc", "enum-switch-default"},
+        FixtureCase{"live_naked_send_violation.cc", "naked-send"}),
+    [](const ::testing::TestParamInfo<FixtureCase>& info) {
+      std::string name = info.param.rule;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(LintCli, CleanFileExitsZero) {
+  const RunResult result = RunCli({FixturePath("clean.cc")});
+  EXPECT_EQ(result.exit_code, 0) << result.out << result.err;
+  EXPECT_TRUE(result.out.empty()) << result.out;
+}
+
+TEST(LintCli, PragmasSuppressEveryFinding) {
+  const RunResult result = RunCli({FixturePath("suppressed.cc")});
+  EXPECT_EQ(result.exit_code, 0) << result.out << result.err;
+}
+
+TEST(LintCli, DirectoryScanFindsAllFixtures) {
+  const RunResult result = RunCli({FixturePath("")});
+  EXPECT_EQ(result.exit_code, 1);
+  for (const std::string_view rule : RuleIds()) {
+    EXPECT_NE(result.out.find(std::string("[") + std::string(rule) + "]"),
+              std::string::npos)
+        << "directory scan missed " << rule << "\n"
+        << result.out;
+  }
+}
+
+TEST(LintCli, JsonOutputIsMachineReadable) {
+  const RunResult result = RunCli({"--json", FixturePath("clock_violation.cc")});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.out.find("\"rule\":\"determinism-clock\""),
+            std::string::npos)
+      << result.out;
+  EXPECT_NE(result.out.find("\"line\":"), std::string::npos);
+}
+
+TEST(LintCli, UsageErrorsExitTwo) {
+  EXPECT_EQ(RunCli({}).exit_code, 2);
+  EXPECT_EQ(RunCli({"--bogus-flag"}).exit_code, 2);
+  EXPECT_EQ(RunCli({FixturePath("no_such_file.cc")}).exit_code, 2);
+}
+
+// --- rule semantics on inline snippets -------------------------------------
+
+TEST(LintRules, CommentsAndStringsDoNotTrip) {
+  const std::vector<Finding> findings = LintFile(
+      "src/replay/x.cc",
+      "// the old code called rand() here\n"
+      "/* std::mutex was considered */\n"
+      "const char* kDoc = \"uses system_clock\";\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintRules, UnorderedIterOutsideDumpIsFine) {
+  const std::vector<Finding> findings = LintFile(
+      "src/core/x.cc",
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> table_;\n"
+      "int Sum() {\n"
+      "  int n = 0;\n"
+      "  for (const auto& [k, v] : table_) n += v;\n"
+      "  return n;\n"
+      "}\n");
+  EXPECT_FALSE(HasRule(findings, "unordered-iter-in-dump"));
+}
+
+TEST(LintRules, UnorderedBeginInSerializeIsFlagged) {
+  const std::vector<Finding> findings = LintFile(
+      "src/core/x.cc",
+      "#include <unordered_set>\n"
+      "std::unordered_set<int> seen_;\n"
+      "void Serialize() {\n"
+      "  auto it = seen_.begin();\n"
+      "}\n");
+  EXPECT_TRUE(HasRule(findings, "unordered-iter-in-dump"));
+}
+
+TEST(LintRules, SwitchOverCharWithDefaultIsFine) {
+  const std::vector<Finding> findings = LintFile(
+      "src/core/x.cc",
+      "int Classify(char c) {\n"
+      "  switch (c) {\n"
+      "    case 'a': return 1;\n"
+      "    default: return 0;\n"
+      "  }\n"
+      "}\n");
+  EXPECT_FALSE(HasRule(findings, "enum-switch-default"));
+}
+
+TEST(LintRules, SwitchOverEnumTypeNameIsFlagged) {
+  const std::vector<Finding> findings = LintFile(
+      "src/core/x.cc",
+      "int Cost(core::LeaseMode m) {\n"
+      "  switch (static_cast<LeaseMode>(m)) {\n"
+      "    default: return 0;\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(HasRule(findings, "enum-switch-default"));
+}
+
+TEST(LintRules, ClockRuleExemptsLiveCliUtil) {
+  const std::string text = "int Jitter() { return rand() % 10; }\n";
+  EXPECT_FALSE(HasRule(LintFile("src/live/x.cc", text), "determinism-clock"));
+  EXPECT_FALSE(HasRule(LintFile("src/cli/x.cc", text), "determinism-clock"));
+  EXPECT_FALSE(HasRule(LintFile("src/util/x.cc", text), "determinism-clock"));
+  EXPECT_TRUE(HasRule(LintFile("src/replay/x.cc", text), "determinism-clock"));
+}
+
+TEST(LintRules, SocketCcIsExemptFromNakedSend) {
+  const std::string text = "long F(int fd) { return ::send(fd, 0, 0, 0); }\n";
+  EXPECT_FALSE(HasRule(LintFile("src/live/socket.cc", text), "naked-send"));
+  EXPECT_TRUE(HasRule(LintFile("src/live/live_proxy.cc", text), "naked-send"));
+}
+
+TEST(LintRules, ThreadAnnotationsHeaderMayHoldRawMutex) {
+  const std::string text = "#include <mutex>\nstd::mutex mu_;\n";
+  EXPECT_FALSE(
+      HasRule(LintFile("src/util/thread_annotations.h", text), "raw-mutex"));
+  EXPECT_TRUE(HasRule(LintFile("src/replay/farm.h", text), "raw-mutex"));
+}
+
+TEST(LintRules, AllowOnPreviousLineSuppresses) {
+  const std::vector<Finding> findings = LintFile(
+      "src/replay/x.cc",
+      "// webcc-lint: allow(determinism-clock) — justified\n"
+      "int Jitter() { return rand() % 10; }\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintRules, AllowForOneRuleDoesNotSilenceAnother) {
+  const std::vector<Finding> findings = LintFile(
+      "src/replay/x.cc",
+      "// webcc-lint: allow(raw-mutex)\n"
+      "int Jitter() { return rand() % 10; }\n");
+  EXPECT_TRUE(HasRule(findings, "determinism-clock"));
+}
+
+}  // namespace
+}  // namespace webcc::lint

@@ -1,0 +1,47 @@
+#!/bin/sh
+# The static gate CI runs before anything else: webcc_lint over the tree,
+# the clang-format check, and a -Wthread-safety build (the tsa preset).
+# Each stage degrades gracefully on toolchains missing its tool, so the
+# script is safe to run anywhere; whatever *can* run is enforced.
+#
+# Usage: tools/check_all.sh   (from anywhere inside the repo)
+set -eu
+
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+
+status=0
+
+# 1. webcc_lint: build the scanner (tiny, no project deps) and run it over
+#    the sources it scopes to. Exit 1 = findings, 2 = tool error.
+echo "== webcc_lint =="
+cmake -B build-checks -S . >/dev/null
+cmake --build build-checks --target webcc_lint -j >/dev/null
+if ! ./build-checks/tools/lint/webcc_lint src tools/webcc.cc; then
+  status=1
+fi
+
+# 2. clang-format (skips itself when clang-format is absent).
+echo "== check_format =="
+if ! tools/check_format.sh; then
+  status=1
+fi
+
+# 3. Thread-safety analysis: -Wthread-safety -Werror under Clang; on a
+#    GCC-only toolchain the preset degrades to a plain build, which still
+#    verifies the annotation macros expand cleanly.
+echo "== tsa build =="
+if command -v clang++ >/dev/null 2>&1; then
+  # The analysis only exists in Clang; prefer it when installed.
+  export CC=clang CXX=clang++
+fi
+cmake --preset tsa >/dev/null
+if ! cmake --build --preset tsa -j >/dev/null; then
+  status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+  echo "check_all: all gates clean"
+else
+  echo "check_all: FAILED (see above)" >&2
+fi
+exit "$status"

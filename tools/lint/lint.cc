@@ -1,0 +1,510 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace webcc::lint {
+namespace {
+
+constexpr std::string_view kDeterminismClock = "determinism-clock";
+constexpr std::string_view kUnorderedIter = "unordered-iter-in-dump";
+constexpr std::string_view kRawMutex = "raw-mutex";
+constexpr std::string_view kEnumSwitchDefault = "enum-switch-default";
+constexpr std::string_view kNakedSend = "naked-send";
+
+bool PathContains(std::string_view path, std::string_view piece) {
+  return path.find(piece) != std::string_view::npos;
+}
+
+bool PathEndsWith(std::string_view path, std::string_view tail) {
+  return path.size() >= tail.size() &&
+         path.substr(path.size() - tail.size()) == tail;
+}
+
+// --- per-rule scoping -------------------------------------------------------
+
+// The live stack and CLI run on real wall clocks; util owns the sanctioned
+// clock/RNG plumbing itself. Everything else must be deterministic.
+bool ClockRuleApplies(std::string_view path) {
+  return !PathContains(path, "/live/") && !PathContains(path, "/cli/") &&
+         !PathContains(path, "/util/");
+}
+
+bool RawMutexRuleApplies(std::string_view path) {
+  return !PathEndsWith(path, "util/thread_annotations.h");
+}
+
+bool NakedSendRuleApplies(std::string_view path) {
+  return !PathEndsWith(path, "live/socket.cc") &&
+         !PathEndsWith(path, "live/socket.h");
+}
+
+// --- source text utilities --------------------------------------------------
+
+// Removes comments, string literals and char literals from one line, given
+// carry-over block-comment state. Keeps the line length roughly intact so
+// findings point at sensible columns; replaced regions become spaces.
+std::string StripNonCode(const std::string& line, bool& in_block_comment) {
+  std::string out;
+  out.reserve(line.size());
+  for (std::size_t i = 0; i < line.size();) {
+    if (in_block_comment) {
+      if (line.compare(i, 2, "*/") == 0) {
+        in_block_comment = false;
+        i += 2;
+      } else {
+        ++i;
+      }
+      out += ' ';
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      in_block_comment = true;
+      i += 2;
+      out += ' ';
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < line.size() && line[i] != quote) {
+        if (line[i] == '\\' && i + 1 < line.size()) ++i;
+        ++i;
+      }
+      if (i < line.size()) ++i;  // closing quote
+      out += quote;              // keep a marker so "..." != empty
+      out += quote;
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return out;
+}
+
+const std::set<std::string, std::less<>>& Keywords() {
+  static const std::set<std::string, std::less<>> kKeywords = {
+      "if",     "for",   "while",    "switch",        "catch",
+      "return", "sizeof", "alignof", "static_assert", "decltype",
+      "new",    "delete"};
+  return kKeywords;
+}
+
+// Enum types whose switches must stay default-free so -Wswitch can prove
+// exhaustiveness. Extend this list when adding a protocol-level enum.
+const std::regex& EnumTypeRegex() {
+  static const std::regex kRe(
+      R"(\b(Protocol|LeaseMode|MessageType|EventType|FaultKind|HitAction|WriteCompleteKind|ServeKind|IoError|TraceName|ReplacementPolicy|Completion)\b)");
+  return kRe;
+}
+
+// Bare variable spellings that conventionally hold protocol enums here.
+bool IsEnumishIdentifier(std::string_view trimmed) {
+  return trimmed == "protocol" || trimmed == "mode" || trimmed == "kind" ||
+         trimmed == "name" || trimmed == "type";
+}
+
+std::string Trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+// Function names whose bodies are byte-stable output paths.
+bool IsDumpFunctionName(const std::string& name) {
+  static const std::regex kRe(
+      R"(Dump|Snapshot|Serialize|Digest|Export|ToJson|WriteJson)");
+  return std::regex_search(name, kRe);
+}
+
+// --- the scanner ------------------------------------------------------------
+
+struct Region {
+  bool in_dump = false;      // inside a Dump/Snapshot/... function
+  bool is_switch = false;    // this region is a switch body
+  bool switch_enum = false;  // ... over a protocol/lease enum
+};
+
+struct FileScanner {
+  std::string_view path;
+  std::vector<Finding>* findings;
+
+  // allow()/allow-file() suppressions.
+  std::set<std::pair<int, std::string>> line_allows;  // (line, rule)
+  std::set<std::string, std::less<>> file_allows;
+
+  std::vector<Region> regions;
+  std::set<std::string, std::less<>> unordered_names;
+  std::string stmt;            // code accumulated since the last ; { }
+  std::string unordered_decl;  // pending unordered_* declaration text
+  bool collecting_unordered = false;
+
+  bool Suppressed(int line, std::string_view rule) const {
+    if (file_allows.count(rule) != 0) return true;
+    const std::string r(rule);
+    return line_allows.count({line, r}) != 0 ||
+           line_allows.count({line - 1, r}) != 0;
+  }
+
+  void Report(int line, std::string_view rule, std::string message) {
+    if (Suppressed(line, rule)) return;
+    for (const Finding& f : *findings) {
+      if (f.line == line && f.rule == rule && f.file == path) return;
+    }
+    findings->push_back(
+        {std::string(path), line, std::string(rule), std::move(message)});
+  }
+
+  bool InDump() const { return !regions.empty() && regions.back().in_dump; }
+
+  // Declared-unordered tracking: accumulate a declaration until its ';',
+  // then record the variable name.
+  void FeedUnorderedDecl(const std::string& code) {
+    if (!collecting_unordered) {
+      if (code.find("unordered_map<") == std::string::npos &&
+          code.find("unordered_set<") == std::string::npos) {
+        return;
+      }
+      collecting_unordered = true;
+      unordered_decl.clear();
+    }
+    unordered_decl += code;
+    unordered_decl += ' ';
+    if (code.find(';') == std::string::npos &&
+        code.find('{') == std::string::npos) {
+      return;
+    }
+    collecting_unordered = false;
+    // Skip to the matching '>' of the outermost template argument list,
+    // then take the first plain identifier after it as the variable name.
+    const std::size_t open = unordered_decl.find('<');
+    if (open == std::string::npos) return;
+    int depth = 0;
+    std::size_t i = open;
+    for (; i < unordered_decl.size(); ++i) {
+      if (unordered_decl[i] == '<') ++depth;
+      if (unordered_decl[i] == '>' && --depth == 0) break;
+    }
+    if (i == unordered_decl.size()) return;
+    static const std::regex kName(R"(([A-Za-z_][A-Za-z0-9_]*))");
+    std::smatch m;
+    std::string rest = unordered_decl.substr(i + 1);
+    if (std::regex_search(rest, m, kName)) unordered_names.insert(m[1].str());
+  }
+
+  // Checks a complete statement (everything since the last ; { }) for a
+  // range-for over a declared-unordered container inside a dump function.
+  void CheckRangeFor(const std::string& statement, int line) {
+    if (!InDump()) return;
+    static const std::regex kRangeFor(R"(for\s*\(([^;()]|\([^)]*\))*:([^)]*)\))");
+    std::smatch m;
+    if (!std::regex_search(statement, m, kRangeFor)) {
+      // Iterator-style walks (x.begin()) over unordered containers count
+      // the same: the iteration order is still hash-table layout.
+      static const std::regex kBegin(R"(([A-Za-z_][A-Za-z0-9_]*)\s*\.\s*begin\s*\()");
+      std::smatch b;
+      std::string s = statement;
+      while (std::regex_search(s, b, kBegin)) {
+        if (unordered_names.count(b[1].str()) != 0) {
+          Report(line, kUnorderedIter,
+                 "iterating unordered container '" + b[1].str() +
+                     "' in an output path; sort first or use an ordered "
+                     "container");
+          return;
+        }
+        s = b.suffix();
+      }
+      return;
+    }
+    const std::string range = m[2].str();
+    static const std::regex kIdent(R"([A-Za-z_][A-Za-z0-9_]*)");
+    for (std::sregex_iterator it(range.begin(), range.end(), kIdent), end;
+         it != end; ++it) {
+      if (unordered_names.count(it->str()) != 0) {
+        Report(line, kUnorderedIter,
+               "iterating unordered container '" + it->str() +
+                   "' in an output path; sort first or use an ordered "
+                   "container");
+        return;
+      }
+    }
+  }
+
+  // Candidate function/switch detection for a statement that opens a brace.
+  Region RegionFor(const std::string& statement) {
+    Region region;
+    region.in_dump = InDump();
+    static const std::regex kSwitch(R"(\bswitch\s*\()");
+    std::smatch sm;
+    if (std::regex_search(statement, sm, kSwitch)) {
+      region.is_switch = true;
+      // Extract the condition: from the '(' to its matching ')'.
+      std::size_t open =
+          static_cast<std::size_t>(sm.position(0)) + sm.length(0) - 1;
+      int depth = 0;
+      std::size_t close = open;
+      for (std::size_t i = open; i < statement.size(); ++i) {
+        if (statement[i] == '(') ++depth;
+        if (statement[i] == ')' && --depth == 0) {
+          close = i;
+          break;
+        }
+      }
+      const std::string cond =
+          Trim(statement.substr(open + 1, close - open - 1));
+      region.switch_enum = std::regex_search(cond, EnumTypeRegex()) ||
+                           IsEnumishIdentifier(cond);
+      return region;
+    }
+    // Function definition heuristic: the last identifier directly before a
+    // '(' in the statement header, keywords excluded.
+    static const std::regex kFunc(R"(([A-Za-z_][A-Za-z0-9_]*)\s*\()");
+    std::string last;
+    for (std::sregex_iterator it(statement.begin(), statement.end(), kFunc),
+         end;
+         it != end; ++it) {
+      const std::string name = (*it)[1].str();
+      if (Keywords().count(name) == 0) last = name;
+    }
+    if (!last.empty() && IsDumpFunctionName(last)) region.in_dump = true;
+    return region;
+  }
+
+  void HandleDefault(int line) {
+    for (auto it = regions.rbegin(); it != regions.rend(); ++it) {
+      if (!it->is_switch) continue;
+      if (it->switch_enum) {
+        Report(line, kEnumSwitchDefault,
+               "'default:' in a switch over a protocol enum hides missing "
+               "cases from -Wswitch; enumerate every value");
+      }
+      return;
+    }
+  }
+};
+
+void ScanSimplePatterns(FileScanner& scanner, const std::string& code,
+                        int line) {
+  const std::string_view path = scanner.path;
+  if (ClockRuleApplies(path)) {
+    static const std::regex kClockType(
+        R"(\b(std::)?(random_device|system_clock|steady_clock|high_resolution_clock)\b)");
+    static const std::regex kClockCall(
+        R"(\b(rand|srand|gettimeofday|clock_gettime|timespec_get|time|clock)\s*\()");
+    std::smatch m;
+    if (std::regex_search(code, m, kClockType)) {
+      scanner.Report(line, kDeterminismClock,
+                     "nondeterministic source '" + m.str() +
+                         "' in replay code; use the simulated clock or a "
+                         "seeded util::Rng");
+    } else if (std::regex_search(code, m, kClockCall)) {
+      scanner.Report(line, kDeterminismClock,
+                     "nondeterministic call '" + m.str() +
+                         "' in replay code; use the simulated clock or a "
+                         "seeded util::Rng");
+    }
+  }
+  if (RawMutexRuleApplies(path)) {
+    static const std::regex kRawMutexRe(
+        R"(\bstd::(mutex|timed_mutex|recursive_mutex|shared_mutex|lock_guard|unique_lock|scoped_lock|condition_variable|condition_variable_any)\b|#\s*include\s*<(mutex|condition_variable|shared_mutex)>)");
+    std::smatch m;
+    if (std::regex_search(code, m, kRawMutexRe)) {
+      scanner.Report(line, kRawMutex,
+                     "raw '" + Trim(m.str()) +
+                         "' is invisible to thread-safety analysis; use "
+                         "util::Mutex/MutexLock/CondVar "
+                         "(util/thread_annotations.h)");
+    }
+  }
+  if (NakedSendRuleApplies(path) && PathContains(path, "live")) {
+    static const std::regex kNaked(R"((::|\b)(send|recv)\s*\(|::(write|read)\s*\()");
+    std::smatch m;
+    if (std::regex_search(code, m, kNaked)) {
+      scanner.Report(line, kNakedSend,
+                     "direct socket I/O '" + Trim(m.str()) +
+                         "' bypasses the classified IoError path; go "
+                         "through live/socket.h");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string_view> RuleIds() {
+  return {kDeterminismClock, kUnorderedIter, kRawMutex, kEnumSwitchDefault,
+          kNakedSend};
+}
+
+std::vector<Finding> LintFile(std::string_view path, std::string_view text) {
+  std::vector<Finding> findings;
+  FileScanner scanner;
+  scanner.path = path;
+  scanner.findings = &findings;
+
+  // Pass 1: suppressions (pragmas live in comments, so scan raw lines).
+  {
+    static const std::regex kAllow(
+        R"(webcc-lint:\s*(allow|allow-file)\(([a-z\-, ]+)\))");
+    std::istringstream in{std::string(text)};
+    std::string raw;
+    int line = 0;
+    while (std::getline(in, raw)) {
+      ++line;
+      std::smatch m;
+      std::string s = raw;
+      while (std::regex_search(s, m, kAllow)) {
+        std::istringstream rules(m[2].str());
+        std::string rule;
+        while (std::getline(rules, rule, ',')) {
+          rule = Trim(rule);
+          if (m[1].str() == "allow-file") {
+            scanner.file_allows.insert(rule);
+          } else {
+            scanner.line_allows.insert({line, rule});
+          }
+        }
+        s = m.suffix();
+      }
+    }
+  }
+
+  // Pass 2: the scan proper.
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  int line = 0;
+  bool in_block_comment = false;
+  while (std::getline(in, raw)) {
+    ++line;
+    const std::string code = StripNonCode(raw, in_block_comment);
+    ScanSimplePatterns(scanner, code, line);
+    scanner.FeedUnorderedDecl(code);
+
+    static const std::regex kDefault(R"(\bdefault\s*:)");
+    if (std::regex_search(code, kDefault)) scanner.HandleDefault(line);
+
+    // Statement segmentation: braces and semicolons delimit the regions the
+    // function/switch tracking needs.
+    for (const char c : code) {
+      if (c == '{') {
+        scanner.stmt += c;
+        scanner.CheckRangeFor(scanner.stmt, line);
+        scanner.regions.push_back(scanner.RegionFor(scanner.stmt));
+        scanner.stmt.clear();
+      } else if (c == '}') {
+        if (!scanner.regions.empty()) scanner.regions.pop_back();
+        scanner.stmt.clear();
+      } else if (c == ';') {
+        scanner.stmt += c;
+        scanner.CheckRangeFor(scanner.stmt, line);
+        scanner.stmt.clear();
+      } else {
+        scanner.stmt += c;
+      }
+    }
+    scanner.stmt += ' ';  // line break = token break
+  }
+  return findings;
+}
+
+std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
+                               std::vector<std::string>& errors) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (fs::recursive_directory_iterator it(path, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        if (!it->is_regular_file()) continue;
+        const std::string ext = it->path().extension().string();
+        if (ext == ".cc" || ext == ".h") files.push_back(it->path().string());
+      }
+      if (ec) errors.push_back(path + ": " + ec.message());
+    } else if (fs::is_regular_file(path, ec)) {
+      files.push_back(path);
+    } else {
+      errors.push_back(path + ": not a file or directory");
+    }
+  }
+  std::sort(files.begin(), files.end());  // deterministic report order
+
+  std::vector<Finding> findings;
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      errors.push_back(file + ": cannot open");
+      continue;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::vector<Finding> file_findings = LintFile(file, text.str());
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+void WriteFindings(std::ostream& out, const std::vector<Finding>& findings,
+                   bool json) {
+  for (const Finding& f : findings) {
+    if (json) {
+      // Paths and messages are ASCII without quotes; escape minimally.
+      out << "{\"file\":\"" << f.file << "\",\"line\":" << f.line
+          << ",\"rule\":\"" << f.rule << "\",\"message\":\"" << f.message
+          << "\"}\n";
+    } else {
+      out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+          << "\n";
+    }
+  }
+}
+
+int RunLintMain(const std::vector<std::string>& argv, std::ostream& out,
+                std::ostream& err) {
+  bool json = false;
+  std::vector<std::string> paths;
+  for (const std::string& arg : argv) {
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      out << "usage: webcc_lint [--json] <file-or-dir>...\n"
+             "rules:";
+      for (const std::string_view rule : RuleIds()) out << ' ' << rule;
+      out << "\nexit: 0 clean, 1 findings, 2 errors\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      err << "webcc_lint: unknown flag '" << arg << "'\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    err << "webcc_lint: no paths given (try: webcc_lint src)\n";
+    return 2;
+  }
+  std::vector<std::string> errors;
+  const std::vector<Finding> findings = LintPaths(paths, errors);
+  WriteFindings(out, findings, json);
+  for (const std::string& error : errors) {
+    err << "webcc_lint: " << error << "\n";
+  }
+  if (!errors.empty()) return 2;
+  if (!findings.empty()) {
+    err << "webcc_lint: " << findings.size() << " finding(s)\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace webcc::lint

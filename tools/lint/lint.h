@@ -1,0 +1,75 @@
+// webcc_lint: project-specific static checks for webcc invariants.
+//
+// A deliberately simple line/token scanner (no LLVM dependency): each rule
+// is a pattern plus a scope, tuned to this codebase. The rules encode
+// invariants the compiler cannot see but the replay-determinism and
+// consistency guarantees depend on:
+//
+//   determinism-clock       no rand()/time()/std::random_device/wall-clock
+//                           reads in deterministic replay code — stochastic
+//                           behavior must come from fault::Random / seeded
+//                           util::Rng, and time from the simulated clock.
+//                           (src/live, src/cli and src/util are exempt:
+//                           the live stack runs on real wall clocks.)
+//   unordered-iter-in-dump  no iteration over unordered containers inside
+//                           Dump/Snapshot/Serialize/Digest/Export/ToJson/
+//                           WriteJson functions — output paths must be
+//                           byte-stable, so they iterate sorted containers
+//                           or sort before writing.
+//   raw-mutex               no raw <mutex>/<condition_variable> primitives
+//                           outside util/thread_annotations.h — unannotated
+//                           locks are invisible to -Wthread-safety, which
+//                           silently exempts whatever they guard.
+//   enum-switch-default     no `default:` in a switch over a protocol/lease
+//                           enum — spell every enumerator so -Wswitch turns
+//                           a forgotten case into a compile warning.
+//   naked-send              no direct ::send/::recv/::write/::read syscalls
+//                           outside live/socket.cc — live I/O must flow
+//                           through the classified IoError path (short
+//                           writes, EAGAIN resume, peer-reset vs timeout).
+//
+// Suppressions: `// webcc-lint: allow(<rule>)` on the offending line or the
+// line directly above silences one finding; `// webcc-lint:
+// allow-file(<rule>)` anywhere in a file silences the rule file-wide. Every
+// suppression should carry a justification after an em-dash or colon.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace webcc::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// All rule ids, in report order (stable; tests and CI grep these).
+std::vector<std::string_view> RuleIds();
+
+// Lints one file's contents. `path` decides rule scoping (e.g. src/live is
+// exempt from determinism-clock) and is copied into findings verbatim.
+std::vector<Finding> LintFile(std::string_view path, std::string_view text);
+
+// Loads and lints every .cc/.h file under `paths` (files or directories,
+// recursed in sorted order so output is deterministic). I/O errors append
+// to `errors`.
+std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
+                               std::vector<std::string>& errors);
+
+// Renders findings, one per line:
+//   human:  <file>:<line>: [<rule>] <message>
+//   json:   {"file":"...","line":N,"rule":"...","message":"..."}
+void WriteFindings(std::ostream& out, const std::vector<Finding>& findings,
+                   bool json);
+
+// Full CLI: returns the process exit code (0 = clean, 1 = findings,
+// 2 = usage or I/O error). `argv` excludes the program name.
+int RunLintMain(const std::vector<std::string>& argv, std::ostream& out,
+                std::ostream& err);
+
+}  // namespace webcc::lint

@@ -1,0 +1,11 @@
+// CLI entry point; all logic lives in lint.cc so tests can link it.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return webcc::lint::RunLintMain(args, std::cout, std::cerr);
+}
