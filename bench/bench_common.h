@@ -1,12 +1,16 @@
 // Shared plumbing for the table-regeneration benches.
 #pragma once
 
+#include <cctype>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <iterator>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/consistency/policy.h"
@@ -41,6 +45,117 @@ inline const trace::Trace& TraceFor(trace::TraceName name) {
              .first;
   }
   return it->second;
+}
+
+// --- shared BENCH_farm.json maintenance --------------------------------------
+//
+// bench_farm (worker sweep + kernel dispatch) and bench_ablation_decoupled
+// (shard × batching sweep) both record into BENCH_farm.json. Each bench
+// owns one top-level key; writes go through this read-modify-write pair so
+// one bench's run never clobbers the other's results.
+
+// Splits a JSON object's top level into (key, raw value text) pairs,
+// preserving order. Tolerant scanner, not a validator: anything that is not
+// an object (missing file, old single-object layout without the expected
+// keys) comes back empty and the caller starts a fresh object.
+inline std::vector<std::pair<std::string, std::string>> BenchJsonTopLevel(
+    const std::string& text) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  const std::size_t open = text.find('{');
+  if (open == std::string::npos) return pairs;
+  std::size_t i = open + 1;
+  const auto skip_ws = [&] {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+      ++i;
+    }
+  };
+  while (true) {
+    skip_ws();
+    if (i >= text.size() || text[i] == '}') break;
+    if (text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (text[i] != '"') return {};
+    std::string key;
+    ++i;
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\' && i + 1 < text.size()) key += text[i++];
+      key += text[i++];
+    }
+    if (i >= text.size()) return {};
+    ++i;  // closing quote
+    skip_ws();
+    if (i >= text.size() || text[i] != ':') return {};
+    ++i;
+    skip_ws();
+    // Raw value: everything up to the next top-level ',' or the closing '}'.
+    const std::size_t value_start = i;
+    int depth = 0;
+    bool in_string = false;
+    for (; i < text.size(); ++i) {
+      const char c = text[i];
+      if (in_string) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          in_string = false;
+        }
+        continue;
+      }
+      if (c == '"') {
+        in_string = true;
+      } else if (c == '{' || c == '[') {
+        ++depth;
+      } else if (c == '}' || c == ']') {
+        if (depth == 0) break;
+        --depth;
+      } else if (c == ',' && depth == 0) {
+        break;
+      }
+    }
+    std::string value = text.substr(value_start, i - value_start);
+    while (!value.empty() &&
+           std::isspace(static_cast<unsigned char>(value.back())) != 0) {
+      value.pop_back();
+    }
+    pairs.emplace_back(std::move(key), std::move(value));
+  }
+  return pairs;
+}
+
+// Replaces (or appends) one top-level key's value in the JSON object at
+// `path`, preserving every other key's raw text, and echoes the written
+// object to stdout.
+inline void WriteBenchJsonKey(const std::string& path, const std::string& key,
+                              const std::string& value) {
+  std::string existing;
+  {
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    existing = buffer.str();
+  }
+  std::vector<std::pair<std::string, std::string>> pairs =
+      BenchJsonTopLevel(existing);
+  bool replaced = false;
+  for (auto& [existing_key, existing_value] : pairs) {
+    if (existing_key != key) continue;
+    existing_value = value;
+    replaced = true;
+  }
+  if (!replaced) pairs.emplace_back(key, value);
+
+  std::string object = "{";
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (i != 0) object += ", ";
+    object += "\"" + pairs[i].first + "\": " + pairs[i].second;
+  }
+  object += "}";
+  std::ofstream out(path);
+  out << object << "\n";
+  std::printf("%s\n", object.c_str());
 }
 
 // Runs one (experiment, protocol) cell.

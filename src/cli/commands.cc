@@ -311,6 +311,25 @@ int RunReplayCommand(const Flags& flags, std::ostream& out,
   config.multicast_invalidation = flags.GetBool("multicast");
   config.serialized_invalidation = !flags.GetBool("decoupled");
   config.journaled_recovery = !flags.GetBool("no-journal");
+  const auto shards = flags.GetInt("shards", 1);
+  if (!shards || *shards < 1) {
+    err << "error: invalid --shards (must be >= 1)\n";
+    return 2;
+  }
+  config.accelerator_shards = static_cast<std::uint32_t>(*shards);
+  const auto batch_window_ms = flags.GetDouble("batch-window", 0);
+  if (!batch_window_ms || *batch_window_ms < 0) {
+    err << "error: invalid --batch-window (milliseconds, >= 0)\n";
+    return 2;
+  }
+  if (*batch_window_ms > 0 && config.serialized_invalidation) {
+    err << "error: --batch-window requires --decoupled (a serialized server "
+           "blocks the write until every invalidation is out, so there is "
+           "no outbox to batch)\n";
+    return 2;
+  }
+  config.invalidation_batch_window =
+      FromSeconds(*batch_window_ms / 1000.0);
 
   // Deterministic fault injection: --fault-plan loads a JSON scenario;
   // --fault-seed alone generates a random plan (the same plan every run for
@@ -486,6 +505,11 @@ void PrintUsage(std::ostream& out) {
          "             [--lifetime-days D] [--lease-days L]\n"
          "             [--lease none|fixed|two-tier] [--two-tier]\n"
          "             [--multicast] [--decoupled] [--cache-mb N]\n"
+         "             [--shards N]  consistent-hash the invalidation table\n"
+         "             across N accelerator shards (default 1)\n"
+         "             [--batch-window MS]  with --decoupled, hold each\n"
+         "             shard's outbox MS milliseconds and coalesce same-site\n"
+         "             invalidations into one INVB frame (0 = unbatched)\n"
          "             [--fault-plan FILE]  JSON crash/partition/link-fault\n"
          "             scenario; [--fault-seed S] replays it (or, without\n"
          "             a file, generates a random plan) deterministically\n"

@@ -125,8 +125,8 @@ std::vector<net::Invalidation> Accelerator::Recover() {
   return out;
 }
 
-Accelerator::RecoveryOutcome Accelerator::RecoverFromJournal(Time now) {
-  RecoveryOutcome outcome;
+Accelerator::RebuildOutcome Accelerator::RebuildFromJournal(Time now) {
+  RebuildOutcome outcome;
   const SiteJournal::ReplayResult replayed = journal_.Replay();
   outcome.journal_damaged = replayed.damaged;
   outcome.records_applied = replayed.records_applied;
@@ -155,11 +155,7 @@ Accelerator::RecoveryOutcome Accelerator::RecoverFromJournal(Time now) {
   // journal as a snapshot of the restored state (version pins first, then
   // live registrations, both in sorted order for determinism).
   journal_.Clear();
-  std::vector<std::string> urls;
-  urls.reserve(last_seen_version_.size());
-  for (const auto& [url, version] : last_seen_version_) urls.push_back(url);
-  std::sort(urls.begin(), urls.end());
-  for (const std::string& url : urls) {
+  for (const std::string& url : JournaledUrls()) {
     journal_.AppendVersion(url, last_seen_version_.at(url));
   }
   std::vector<InvalidationTable::Snapshot> entries = table_.SnapshotEntries();
@@ -167,6 +163,24 @@ Accelerator::RecoveryOutcome Accelerator::RecoverFromJournal(Time now) {
   for (const InvalidationTable::Snapshot& entry : entries) {
     journal_.AppendRegister(entry.url, entry.site, entry.lease_until);
   }
+  return outcome;
+}
+
+std::vector<std::string> Accelerator::JournaledUrls() const {
+  std::vector<std::string> urls;
+  urls.reserve(last_seen_version_.size());
+  for (const auto& [url, version] : last_seen_version_) urls.push_back(url);
+  std::sort(urls.begin(), urls.end());
+  return urls;
+}
+
+Accelerator::RecoveryOutcome Accelerator::RecoverFromJournal(Time now) {
+  RecoveryOutcome outcome;
+  const RebuildOutcome rebuilt = RebuildFromJournal(now);
+  outcome.journal_damaged = rebuilt.journal_damaged;
+  outcome.records_applied = rebuilt.records_applied;
+  outcome.records_rejected = rebuilt.records_rejected;
+  outcome.entries_restored = rebuilt.entries_restored;
 
   if (outcome.journal_damaged) {
     // History after the damage point is unknowable; fall back to the
@@ -177,7 +191,7 @@ Accelerator::RecoveryOutcome Accelerator::RecoverFromJournal(Time now) {
 
   // Intact journal: only documents whose store version advanced while the
   // server was down need (targeted) invalidations.
-  for (const std::string& url : urls) {
+  for (const std::string& url : JournaledUrls()) {
     const http::Document* doc = store_->Find(url);
     if (doc == nullptr || doc->version == last_seen_version_.at(url)) continue;
     std::vector<net::Invalidation> changed = DetectAndInvalidate(url, now);

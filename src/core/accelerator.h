@@ -115,6 +115,23 @@ class Accelerator {
   // snapshot of the restored state.
   RecoveryOutcome RecoverFromJournal(Time now);
 
+  // Phase 1 of RecoverFromJournal on its own: replays the journal into the
+  // table and version baselines and compacts it, emitting no events and
+  // producing no invalidations. The sharded accelerator rebuilds every
+  // shard through this, then runs phase 2 (targeted invalidations via
+  // CheckDocument) across shards in global URL order so the recovery
+  // stream is identical at any shard count.
+  struct RebuildOutcome {
+    bool journal_damaged = false;
+    std::size_t records_applied = 0;
+    std::size_t records_rejected = 0;
+    std::size_t entries_restored = 0;
+  };
+  RebuildOutcome RebuildFromJournal(Time now);
+
+  // Sorted URLs with a journaled version baseline (phase 2's candidates).
+  std::vector<std::string> JournaledUrls() const;
+
   InvalidationTable& table() { return table_; }
   const InvalidationTable& table() const { return table_; }
   SiteRegistry& registry() { return registry_; }

@@ -94,19 +94,36 @@ std::size_t InvalidationTable::PruneExpired(Time now) {
   // stream depended on hash-table layout — exactly the nondeterminism
   // webcc_lint's unordered-iter-in-dump rule now rejects. Erasure order
   // never mattered (the maps end up identical); emission order is output.
-  struct Expired {
-    std::string_view url;
-    std::string_view site;
-    Time lease_until;
-  };
-  std::vector<Expired> expired;
+  std::vector<ExpiredEntry> expired;
+  const std::size_t pruned = PruneExpiredInto(now, expired);
+  if (trace_sink_ != nullptr) {
+    std::sort(expired.begin(), expired.end(),
+              [](const ExpiredEntry& a, const ExpiredEntry& b) {
+                if (a.url != b.url) return a.url < b.url;
+                return a.site < b.site;
+              });
+    for (const ExpiredEntry& e : expired) {
+      obs::Emit(trace_sink_, {.type = obs::EventType::kLeaseExpiry,
+                              .at = now,
+                              .url = e.url,
+                              .site = e.site,
+                              .detail = e.lease_until});
+    }
+  }
+  return pruned;
+}
+
+std::size_t InvalidationTable::PruneExpiredInto(
+    Time now, std::vector<ExpiredEntry>& out) {
+  std::size_t pruned = 0;
   for (auto list_it = lists_.begin(); list_it != lists_.end();) {
     auto& entries = list_it->second.lease_until;
     for (auto it = entries.begin(); it != entries.end();) {
       if (!LeaseActive(it->second, now)) {
         // Interner names are stable views; they outlive the erase below.
-        expired.push_back({urls_.NameOf(list_it->first),
-                           clients_.NameOf(it->first), it->second});
+        out.push_back({urls_.NameOf(list_it->first),
+                       clients_.NameOf(it->first), it->second});
+        ++pruned;
         it = entries.erase(it);
         --total_entries_;
       } else {
@@ -115,21 +132,7 @@ std::size_t InvalidationTable::PruneExpired(Time now) {
     }
     list_it = entries.empty() ? lists_.erase(list_it) : std::next(list_it);
   }
-  if (trace_sink_ != nullptr) {
-    std::sort(expired.begin(), expired.end(),
-              [](const Expired& a, const Expired& b) {
-                if (a.url != b.url) return a.url < b.url;
-                return a.site < b.site;
-              });
-    for (const Expired& e : expired) {
-      obs::Emit(trace_sink_, {.type = obs::EventType::kLeaseExpiry,
-                              .at = now,
-                              .url = e.url,
-                              .site = e.site,
-                              .detail = e.lease_until});
-    }
-  }
-  return expired.size();
+  return pruned;
 }
 
 std::vector<InvalidationTable::Snapshot> InvalidationTable::SnapshotEntries()

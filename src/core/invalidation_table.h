@@ -81,6 +81,20 @@ class InvalidationTable {
   // live leases only.
   std::size_t PruneExpired(Time now);
 
+  // One entry dropped by a prune. The views point into the interners, which
+  // never discard names, so they stay valid after the entry is erased.
+  struct ExpiredEntry {
+    std::string_view url;
+    std::string_view site;
+    Time lease_until = net::kNoLease;
+  };
+
+  // Like PruneExpired, but appends the dropped entries to `out` instead of
+  // emitting kLeaseExpiry events (and regardless of the trace sink). The
+  // sharded accelerator prunes every shard through this, then sorts and
+  // emits the union so the event stream is identical at any shard count.
+  std::size_t PruneExpiredInto(Time now, std::vector<ExpiredEntry>& out);
+
   // --- storage accounting (Table 5) ---------------------------------------
   // Total live entries across all URLs.
   std::size_t TotalEntries() const { return total_entries_; }

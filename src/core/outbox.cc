@@ -1,0 +1,47 @@
+#include "core/outbox.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace webcc::core {
+
+bool InvalidationOutbox::Add(std::string_view site, std::string_view url,
+                             std::uint64_t write_id, Time queued_at) {
+  std::vector<Entry>& entries = pending_[std::string(site)];
+  for (Entry& entry : entries) {
+    if (entry.url == url) {
+      entry.write_ids.push_back(write_id);
+      return true;
+    }
+  }
+  entries.push_back({std::string(url), {write_id}, queued_at});
+  ++pending_url_count_;
+  return false;
+}
+
+std::vector<InvalidationOutbox::Batch> InvalidationOutbox::Drain(
+    const std::function<bool(const std::string&)>& ready) {
+  std::vector<Batch> batches;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (ready && !ready(it->first)) {
+      ++it;
+      continue;
+    }
+    Batch batch;
+    batch.site = it->first;
+    batch.urls.reserve(it->second.size());
+    batch.write_ids.reserve(it->second.size());
+    batch.oldest_queued = it->second.front().queued_at;
+    for (Entry& entry : it->second) {
+      batch.urls.push_back(std::move(entry.url));
+      batch.write_ids.push_back(std::move(entry.write_ids));
+      batch.oldest_queued = std::min(batch.oldest_queued, entry.queued_at);
+    }
+    pending_url_count_ -= batch.urls.size();
+    batches.push_back(std::move(batch));
+    it = pending_.erase(it);
+  }
+  return batches;
+}
+
+}  // namespace webcc::core

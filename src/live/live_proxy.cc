@@ -234,11 +234,28 @@ void LiveProxy::AcceptLoop() {
     if (!line.has_value()) continue;
     const std::optional<net::Message> message = net::DecodeLine(*line);
     if (!message.has_value()) continue;
-    const auto* invalidation = std::get_if<net::Invalidation>(&*message);
-    if (invalidation == nullptr) continue;
     // A proxy running a protocol without invalidation callbacks predates
     // the INVALIDATE extension and ignores such messages, as the paper's
     // weak-consistency baselines do.
+    if (const auto* batch = std::get_if<net::BatchInvalidation>(&*message)) {
+      if (!policy_->traits().invalidation_callbacks) continue;
+      // A batched frame is semantically the list of single invalidations it
+      // carries: same per-URL purge, counter and delivery event as if each
+      // URL had arrived on its own connection.
+      const util::MutexLock lock(mutex_);
+      for (const std::string& url : batch->urls) {
+        cache_->Erase(http::ComposeCacheKey(url, batch->client_id));
+        invalidations_received_.fetch_add(1);
+        obs::Emit(options_.trace_sink,
+                  {.type = obs::EventType::kInvalidateDelivered,
+                   .at = Now(),
+                   .url = url,
+                   .site = batch->client_id});
+      }
+      continue;
+    }
+    const auto* invalidation = std::get_if<net::Invalidation>(&*message);
+    if (invalidation == nullptr) continue;
     if (!policy_->traits().invalidation_callbacks) continue;
 
     const util::MutexLock lock(mutex_);

@@ -32,7 +32,8 @@ LiveServer::LiveServer(Options options)
     : options_(std::move(options)),
       policy_(core::consistency::MakePolicy(options_.protocol,
                                             core::AdaptiveTtlConfig{})),
-      accel_(docs_, options_.lease, options_.server_name),
+      accel_(docs_, options_.lease,
+             options_.shards > 0 ? options_.shards : 1, options_.server_name),
       origin_(docs_) {
   // The accelerator emits lease_grant / notify / invalidate_generated /
   // invalidate_server events itself once it has the sink.
@@ -102,15 +103,58 @@ std::size_t LiveServer::Recover() {
 
 std::size_t LiveServer::PushInvalidations(
     const std::vector<net::Invalidation>& invalidations) {
+  // One wire frame per push. Batching folds every kInvalidateUrl bound for
+  // the same proxy into a single INVB frame (first-appearance order);
+  // server-address recovery notices always travel alone. All counters and
+  // failure events stay per-URL so observable behavior matches the
+  // unbatched path frame-for-URL.
+  struct Frame {
+    std::string client_id;
+    std::string line;
+    // URLs the frame carries, for per-URL accounting; a server-address
+    // notice contributes one empty entry (its INVSRV line has no URL),
+    // matching the unbatched path's empty invalidation.url.
+    std::vector<std::string> urls;
+  };
+  std::vector<Frame> frames;
+  if (options_.batch_invalidations) {
+    std::unordered_map<std::string, std::size_t> frame_of_site;
+    for (const net::Invalidation& invalidation : invalidations) {
+      if (invalidation.type != net::MessageType::kInvalidateUrl) {
+        frames.push_back(Frame{invalidation.client_id,
+                               net::EncodeLine(invalidation),
+                               {std::string()}});
+        continue;
+      }
+      const auto [it, inserted] =
+          frame_of_site.try_emplace(invalidation.client_id, frames.size());
+      if (inserted) {
+        frames.push_back(Frame{invalidation.client_id, {}, {}});
+      }
+      frames[it->second].urls.push_back(invalidation.url);
+    }
+    for (Frame& frame : frames) {
+      if (!frame.line.empty()) continue;  // already-encoded INVSRV
+      frame.line = net::EncodeLine(
+          net::Message(net::BatchInvalidation{frame.client_id, frame.urls}));
+    }
+  } else {
+    for (const net::Invalidation& invalidation : invalidations) {
+      std::vector<std::string> urls;
+      urls.push_back(invalidation.url);
+      frames.push_back(Frame{invalidation.client_id,
+                             net::EncodeLine(invalidation), std::move(urls)});
+    }
+  }
+
   std::size_t pushed = 0;
-  for (const net::Invalidation& invalidation : invalidations) {
-    const auto port = ParseClientPort(invalidation.client_id);
+  for (const Frame& frame : frames) {
+    const auto port = ParseClientPort(frame.client_id);
     if (!port.has_value()) {
       WEBCC_LOG_WARN("live: client id '%s' has no callback port",
-                     invalidation.client_id.c_str());
+                     frame.client_id.c_str());
       continue;
     }
-    const std::string line = net::EncodeLine(invalidation);
     IoError error = IoError::kOther;
     for (int attempt = 0; attempt <= options_.push_retries; ++attempt) {
       if (attempt > 0) {
@@ -123,27 +167,30 @@ std::size_t LiveServer::PushInvalidations(
         std::this_thread::sleep_for(std::chrono::milliseconds(
             options_.push_retry_backoff_ms * attempt));
       }
-      error = SendOneWayClassified(*port, line, options_.push_timeout_ms);
+      error = SendOneWayClassified(*port, frame.line, options_.push_timeout_ms);
       if (error != IoError::kTimeout) break;
     }
     if (error == IoError::kNone) {
       // Delivery is traced at the proxy when it applies the message (the
       // replay emits kInvalidateDelivered at the cache, not the sender).
-      ++pushed;
-      invalidations_pushed_.fetch_add(1);
+      pushed += frame.urls.size();
+      invalidations_pushed_.fetch_add(frame.urls.size());
+      invalidation_frames_pushed_.fetch_add(1);
     } else {
       if (error == IoError::kTimeout) {
         pushes_timed_out_.fetch_add(1);
       } else {
         pushes_refused_.fetch_add(1);
       }
-      obs::Emit(options_.trace_sink,
-                {.type = error == IoError::kTimeout
-                             ? obs::EventType::kInvalidateGaveUp
-                             : obs::EventType::kInvalidateRefused,
-                 .at = Now(),
-                 .url = invalidation.url,
-                 .site = invalidation.client_id});
+      for (const std::string& url : frame.urls) {
+        obs::Emit(options_.trace_sink,
+                  {.type = error == IoError::kTimeout
+                               ? obs::EventType::kInvalidateGaveUp
+                               : obs::EventType::kInvalidateRefused,
+                   .at = Now(),
+                   .url = url,
+                   .site = frame.client_id});
+      }
     }
   }
   return pushed;

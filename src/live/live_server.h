@@ -25,8 +25,8 @@
 #include <thread>
 #include <unordered_map>
 
-#include "core/accelerator.h"
 #include "core/consistency/policy.h"
+#include "core/sharded_accelerator.h"
 #include "core/piggyback.h"
 #include "core/policy.h"
 #include "http/document_store.h"
@@ -51,6 +51,15 @@ class LiveServer {
     core::LeaseConfig lease;
     core::PiggybackConfig piggyback;
     std::string server_name = "origin";
+    // Accelerator shard count (consistent-hashed by URL). The observable
+    // push stream is shard-invariant; shards only change which internal
+    // table a URL lives in and which journal records it on recovery.
+    std::uint32_t shards = 1;
+    // Group same-proxy URL invalidations from one check-in into a single
+    // INVB wire frame. Per-URL delivery events and counters are unchanged;
+    // only the frame count differs. Server-address (recovery) notices are
+    // never batched.
+    bool batch_invalidations = true;
     // INVALIDATE push delivery policy: a push that times out (the proxy is
     // alive but stalled) is retried up to push_retries times with linear
     // backoff; a refused connection (proxy down) is never retried — the
@@ -99,6 +108,11 @@ class LiveServer {
   std::uint64_t invalidations_pushed() const {
     return invalidations_pushed_.load();
   }
+  // Wire frames carrying those invalidations; < invalidations_pushed()
+  // whenever batching packed several URLs into one INVB frame.
+  std::uint64_t invalidation_frames_pushed() const {
+    return invalidation_frames_pushed_.load();
+  }
   std::uint64_t pushes_timed_out() const { return pushes_timed_out_.load(); }
   std::uint64_t pushes_refused() const { return pushes_refused_.load(); }
   std::uint64_t push_retries() const { return push_retries_.load(); }
@@ -119,7 +133,7 @@ class LiveServer {
   // surface (AddDocument/TouchDocument) and the failure drills mutate them
   // concurrently.
   http::DocumentStore docs_ WEBCC_GUARDED_BY(mutex_);
-  core::Accelerator accel_ WEBCC_GUARDED_BY(mutex_);
+  core::ShardedAccelerator accel_ WEBCC_GUARDED_BY(mutex_);
   // Plain origin service for the protocols whose traits run no accelerator
   // (TTL, polling, PCV, PSI) — the replay routes these the same way.
   http::OriginServer origin_ WEBCC_GUARDED_BY(mutex_);
@@ -136,6 +150,7 @@ class LiveServer {
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> requests_served_{0};
   std::atomic<std::uint64_t> invalidations_pushed_{0};
+  std::atomic<std::uint64_t> invalidation_frames_pushed_{0};
   std::atomic<std::uint64_t> pushes_timed_out_{0};
   std::atomic<std::uint64_t> pushes_refused_{0};
   std::atomic<std::uint64_t> push_retries_{0};

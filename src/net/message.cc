@@ -35,6 +35,13 @@ std::uint64_t WireSize(const Invalidation& invalidation) {
          invalidation.server.size() + invalidation.client_id.size();
 }
 
+std::uint64_t WireSize(const BatchInvalidation& batch) {
+  // One header amortized over the whole URL list — the point of batching.
+  std::uint64_t bytes = kControlHeaderBytes + batch.client_id.size();
+  for (const std::string& url : batch.urls) bytes += url.size();
+  return bytes;
+}
+
 std::uint64_t WireSize(const Notify& notify) {
   return kControlHeaderBytes + notify.url.size();
 }

@@ -222,6 +222,12 @@ std::string EncodeLine(const Message& message) {
     } else {
       out = "INVSRV " + EscapeField(inv->server);
     }
+  } else if (const auto* batch = std::get_if<BatchInvalidation>(&message)) {
+    out = "INVB " + EscapeField(batch->client_id) + " " +
+          std::to_string(batch->urls.size());
+    for (const std::string& url : batch->urls) {
+      out += " " + EscapeField(url);
+    }
   } else if (const auto* notify = std::get_if<Notify>(&message)) {
     out = "NOTIFY " + EscapeField(notify->url);
   }
@@ -292,6 +298,25 @@ std::optional<Message> DecodeLine(std::string_view line) {
     inv.url = std::move(*url);
     inv.client_id = std::move(*client);
     return inv;
+  }
+
+  if (verb == "INVB") {
+    // Exactly <n> URLs, <n> >= 1: a frame that names no documents is as
+    // malformed as a count that disagrees with the URL list it frames.
+    if (fields.size() < 3) return std::nullopt;
+    BatchInvalidation batch;
+    auto client = ParseField(fields[1]);
+    std::size_t count = 0;
+    if (!client || !ParseInt(fields[2], count)) return std::nullopt;
+    if (count == 0 || count != fields.size() - 3) return std::nullopt;
+    batch.client_id = std::move(*client);
+    batch.urls.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      auto url = ParseField(fields[3 + i]);
+      if (!url) return std::nullopt;
+      batch.urls.push_back(std::move(*url));
+    }
+    return batch;
   }
 
   if (verb == "INVSRV") {

@@ -9,6 +9,7 @@
 //   200 <url> <body_bytes> <last_modified_us> <version> <lease_until_us>
 //   304 <url> <last_modified_us> <lease_until_us>
 //   INV <url> <client>
+//   INVB <client> <n> <url>*n
 //   INVSRV <server>
 //   NOTIFY <url>
 //
@@ -34,7 +35,8 @@
 
 namespace webcc::net {
 
-using Message = std::variant<Request, Reply, Invalidation, Notify>;
+using Message = std::variant<Request, Reply, Invalidation, BatchInvalidation,
+                             Notify>;
 
 // Encodes a message as a single newline-terminated header line.
 std::string EncodeLine(const Message& message);

@@ -120,6 +120,22 @@ struct ReplayConfig {
   // individually and all consistency bookkeeping is unchanged.
   bool multicast_invalidation = false;
 
+  // Accelerator shards: the invalidation table (and its write-ahead
+  // journal) is split across this many shards by consistent-hashed URL,
+  // and decoupled mode runs one dedicated sender per shard. 1 reproduces
+  // the paper's single accelerator. Protocol decisions and (in serialized
+  // mode) all replay metrics except sitelist_storage_bytes are invariant
+  // in this knob — tests/test_shard.cc proves it.
+  std::uint32_t accelerator_shards = 1;
+
+  // Batched fan-out: when > 0 (and invalidation sending is decoupled and
+  // unicast), invalidations wait in a per-shard outbox for this long so a
+  // drain can pack everything destined for one site into a single INVB
+  // frame, coalescing duplicate (site, url) pairs across writes. 0 sends
+  // each invalidation in its own frame (the pre-batching behavior).
+  // Ignored under serialized/multicast/hierarchical configurations.
+  Time invalidation_batch_window = 0;
+
   Time lockstep_interval = 5 * kMinute;
 
   std::vector<FailureEvent> failures;

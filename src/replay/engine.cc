@@ -23,7 +23,19 @@ using core::consistency::HitAction;
 void Engine::Setup() {
   sink_ = config_.trace_sink;
   net_.set_trace_sink(sink_);
-  accel_.set_trace_sink(sink_);  // propagates to the invalidation table
+  accel_.set_trace_sink(sink_);  // propagates to every shard and its table
+
+  // One dedicated sender (and, for batching, one outbox) per accelerator
+  // shard. Serialized mode never touches them, keeping the paper's shared
+  // server CPU — and its metrics — shard-count invariant.
+  const std::uint32_t num_shards = accel_.num_shards();
+  inval_senders_.reserve(num_shards);
+  for (std::uint32_t i = 0; i < num_shards; ++i) {
+    inval_senders_.push_back(std::make_unique<sim::FifoStation>(
+        sim_, "invalidation-sender-" + std::to_string(i)));
+  }
+  outboxes_.resize(num_shards);
+  drain_scheduled_.assign(num_shards, 0);
 
   // Document store with pre-trace ages so adaptive TTL sees a realistic age
   // distribution at t = 0 (files on a real server predate the log).
@@ -219,10 +231,19 @@ ReplayMetrics Engine::Run() {
       server_disk_.utilization().WritesPerSecond(wall_end_);
   metrics_.wall_duration = wall_end_;
 
-  metrics_.sitelist_storage_bytes = accel_.table().StorageBytes();
-  metrics_.sitelist_entries = accel_.table().TotalEntries();
-  metrics_.sitelist_max_len_end = accel_.table().MaxListLength();
-  const auto& lengths = accel_.stats().list_lengths_at_modification;
+  for (const std::unique_ptr<sim::FifoStation>& sender : inval_senders_) {
+    const std::uint64_t busy =
+        static_cast<std::uint64_t>(sender->utilization().busy_time());
+    metrics_.inval_sender_busy_total_us += busy;
+    metrics_.inval_sender_busy_max_us =
+        std::max(metrics_.inval_sender_busy_max_us, busy);
+  }
+
+  metrics_.sitelist_storage_bytes = accel_.StorageBytes();
+  metrics_.sitelist_entries = accel_.TotalEntries();
+  metrics_.sitelist_max_len_end = accel_.MaxListLength();
+  const core::AcceleratorStats accel_stats = accel_.AggregateStats();
+  const auto& lengths = accel_stats.list_lengths_at_modification;
   if (!lengths.empty()) {
     std::uint64_t sum = 0;
     std::uint64_t longest = 0;
@@ -279,7 +300,7 @@ void Engine::StartInterval() {
   if (fault_clock_ != nullptr) fault_clock_->Advance(window_start, window_end);
 
   if (InvalidationMode()) {
-    accel_.table().PruneExpired(window_start);
+    accel_.PruneExpired(window_start);
     // Section 6's write-latency bound: a write blocked on unreachable
     // targets completes once their leases have all lapsed.
     SweepExpiredWriteTargets(window_start);

@@ -17,9 +17,10 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/accelerator.h"
 #include "core/consistency/policy.h"
 #include "core/delivery.h"
+#include "core/outbox.h"
+#include "core/sharded_accelerator.h"
 #include "fault/clock.h"
 #include "core/piggyback.h"
 #include "http/document_store.h"
@@ -44,8 +45,8 @@ class Engine {
         net_(sim_, config.network),
         server_cpu_(sim_, "server-cpu"),
         server_disk_(sim_, "server-disk"),
-        inval_sender_(sim_, "invalidation-sender"),
-        accel_(docs_, config.lease),
+        accel_(docs_, config.lease,
+               config.accelerator_shards > 0 ? config.accelerator_shards : 1),
         policy_(core::consistency::MakePolicy(config.protocol, config.ttl)) {
     WEBCC_CHECK_MSG(config.trace != nullptr, "replay needs a trace");
     WEBCC_CHECK_MSG(config.num_pseudo_clients > 0, "need pseudo-clients");
@@ -143,6 +144,27 @@ class Engine {
   void FinishRecoveryNotice();
   void ServerRecover(Time trace_time);
 
+  // --- batched fan-out (engine_invalidation.cc) --------------------------------
+  // Batching applies only to decoupled, unicast, flat-topology runs; every
+  // other mode keeps its exact pre-batching send path.
+  bool BatchingEnabled() const {
+    return config_.invalidation_batch_window > 0 &&
+           !config_.serialized_invalidation &&
+           !config_.multicast_invalidation && !config_.hierarchical;
+  }
+  // Arms a drain of `shard`'s outbox after `delay` (no-op if one is armed).
+  void ScheduleOutboxDrain(std::uint32_t shard, Time delay);
+  // Packs the shard's pending entries into per-site batches and puts each
+  // on the shard's sender. Sites that are partitioned but alive stay queued
+  // (their entries keep coalescing until the link heals); down sites drain
+  // normally so the refusal resolves their write targets as dead.
+  void DrainOutbox(std::uint32_t shard);
+  void SendInvalidationBatch(core::InvalidationOutbox::Batch batch);
+  void DeliverInvalidationBatch(const core::InvalidationOutbox::Batch& batch);
+  // Per-URL resolution of the modifier gate for a batch that finished (or
+  // abandoned) its first transmission attempt.
+  void ResolveBatchFirstAttempts(const core::InvalidationOutbox::Batch& batch);
+
   // --- helpers ----------------------------------------------------------------
   const std::string& DocPath(trace::DocId doc) const {
     return trace_.documents[doc].path;
@@ -184,8 +206,14 @@ class Engine {
   http::DocumentStore docs_;
   sim::FifoStation server_cpu_;
   sim::FifoStation server_disk_;
-  sim::FifoStation inval_sender_;  // used when sends are decoupled
-  core::Accelerator accel_;
+  // Decoupled mode: one dedicated sender per accelerator shard (built in
+  // Setup; FifoStation is non-copyable, hence the indirection). Serialized
+  // mode charges server_cpu_ and never touches these.
+  std::vector<std::unique_ptr<sim::FifoStation>> inval_senders_;
+  // Batched mode: per-shard outboxes and the armed-drain flags.
+  std::vector<core::InvalidationOutbox> outboxes_;
+  std::vector<char> drain_scheduled_;
+  core::ShardedAccelerator accel_;
   std::unique_ptr<const core::consistency::ConsistencyPolicy> policy_;
   std::unique_ptr<http::OriginServer> origin_;
 

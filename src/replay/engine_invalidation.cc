@@ -93,8 +93,13 @@ void Engine::FanOutInvalidations(std::vector<net::Invalidation> invalidations,
     pending.on_complete = std::move(on_complete);
   }
 
-  sim::FifoStation& sender =
-      config_.serialized_invalidation ? server_cpu_ : inval_sender_;
+  // All of one modification's invalidations carry the same URL, so they
+  // route to one shard: its sender in decoupled mode, the shared server
+  // CPU when serialized (the paper's prototype, shard-count invariant).
+  const std::uint32_t shard = accel_.ShardOf(url);
+  sim::FifoStation& sender = config_.serialized_invalidation
+                                 ? server_cpu_
+                                 : *inval_senders_[shard];
   const Time fanout_start = sim_.now();
   Time last_send_done = fanout_start;
   if (config_.multicast_invalidation) {
@@ -110,6 +115,21 @@ void Engine::FanOutInvalidations(std::vector<net::Invalidation> invalidations,
             SendInvalidation(std::move(invalidation), mod_id);
           }
         });
+    metrics_.invalidation_time_ms.Record(
+        ToMillis(last_send_done - fanout_start));
+  } else if (BatchingEnabled()) {
+    // Queue into the shard's outbox; the armed drain packs everything
+    // pending per site into one INVB frame after the batch window. Wire
+    // bytes are charged at drain time (per frame, the batching win);
+    // batch_flush_ms replaces invalidation_time_ms as the push-delay stat.
+    for (const net::Invalidation& invalidation : invalidations) {
+      ++metrics_.invalidations_sent;
+      if (outboxes_[shard].Add(invalidation.client_id, url, mod_id,
+                               fanout_start)) {
+        ++metrics_.invalidations_coalesced;
+      }
+    }
+    ScheduleOutboxDrain(shard, config_.invalidation_batch_window);
   } else {
     for (net::Invalidation& invalidation : invalidations) {
       ++metrics_.invalidations_sent;
@@ -120,9 +140,129 @@ void Engine::FanOutInvalidations(std::vector<net::Invalidation> invalidations,
             SendInvalidation(std::move(invalidation), mod_id);
           });
     }
+    metrics_.invalidation_time_ms.Record(
+        ToMillis(last_send_done - fanout_start));
   }
-  metrics_.invalidation_time_ms.Record(ToMillis(last_send_done - fanout_start));
   if (!config_.serialized_invalidation) sim_.After(0, std::move(on_complete));
+}
+
+void Engine::ScheduleOutboxDrain(std::uint32_t shard, Time delay) {
+  if (drain_scheduled_[shard]) return;
+  drain_scheduled_[shard] = 1;
+  sim_.After(delay, [this, shard] {
+    drain_scheduled_[shard] = 0;
+    DrainOutbox(shard);
+  });
+}
+
+void Engine::DrainOutbox(std::uint32_t shard) {
+  core::InvalidationOutbox& outbox = outboxes_[shard];
+  if (outbox.empty()) return;
+  const auto ready = [this](const std::string& site) {
+    const auto it = pseudo_of_client_.find(site);
+    WEBCC_CHECK_MSG(it != pseudo_of_client_.end(),
+                    "outbox entry for an unknown client");
+    const sim::NodeId target = clients_[it->second].node;
+    // A partitioned-but-alive site is held so its entries keep coalescing
+    // until the link heals — the dup-write guarantee: two writes during the
+    // partition become one frame after it. A down site drains normally; the
+    // refused send resolves its write targets as dead.
+    return !(!net_.Reachable(ServerNode(), target) && net_.IsNodeUp(target) &&
+             net_.IsNodeUp(ServerNode()));
+  };
+  std::vector<core::InvalidationOutbox::Batch> batches = outbox.Drain(ready);
+  const Time now = sim_.now();
+  for (core::InvalidationOutbox::Batch& batch : batches) {
+    net::BatchInvalidation frame;
+    frame.client_id = batch.site;
+    frame.urls = batch.urls;
+    ++metrics_.invalidation_frames_sent;
+    metrics_.message_bytes += net::WireSize(frame);
+    metrics_.batch_flush_ms.Record(ToMillis(now - batch.oldest_queued));
+    inval_senders_[shard]->Enqueue(
+        config_.server_costs.invalidation_send_cpu,
+        [this, batch = std::move(batch)]() mutable {
+          SendInvalidationBatch(std::move(batch));
+        });
+  }
+  if (!outbox.empty()) {
+    // Only held (partitioned) sites remain: poll again a window from now.
+    ScheduleOutboxDrain(shard, config_.invalidation_batch_window);
+  }
+}
+
+void Engine::SendInvalidationBatch(core::InvalidationOutbox::Batch batch) {
+  const auto it = pseudo_of_client_.find(batch.site);
+  WEBCC_CHECK_MSG(it != pseudo_of_client_.end(),
+                  "batched invalidation for an unknown client");
+  const sim::NodeId target = clients_[it->second].node;
+  net::BatchInvalidation frame;
+  frame.client_id = batch.site;
+  frame.urls = batch.urls;
+  const std::uint64_t wire = net::WireSize(frame);
+
+  // Same gating as the unbatched path: a partition that opened between the
+  // drain and this send moves the frame to background retry.
+  bool gate_released = false;
+  if (!net_.Reachable(ServerNode(), target) && net_.IsNodeUp(target) &&
+      net_.IsNodeUp(ServerNode())) {
+    gate_released = true;
+    ResolveBatchFirstAttempts(batch);
+  }
+
+  const auto shared = std::make_shared<core::InvalidationOutbox::Batch>(
+      std::move(batch));
+  net_.SendReliable(
+      ServerNode(), target, wire,
+      [this, shared, gate_released] {
+        if (!gate_released) ResolveBatchFirstAttempts(*shared);
+        DeliverInvalidationBatch(*shared);
+      },
+      [this, shared, gate_released](sim::Network::SendResult result,
+                                    Time done_at) {
+        if (result == sim::Network::SendResult::kDelivered) return;
+        if (!gate_released) ResolveBatchFirstAttempts(*shared);
+        for (std::size_t i = 0; i < shared->urls.size(); ++i) {
+          ++metrics_.invalidations_refused;
+          obs::Emit(sink_,
+                    {.type = result == sim::Network::SendResult::kGaveUp
+                                 ? obs::EventType::kInvalidateGaveUp
+                                 : obs::EventType::kInvalidateRefused,
+                     .at = done_at,
+                     .url = shared->urls[i],
+                     .site = shared->site});
+          for (const std::uint64_t mod_id : shared->write_ids[i]) {
+            ResolveWriteTarget(mod_id, shared->site, /*dead=*/true);
+          }
+        }
+      },
+      /*max_retries=*/-1);
+}
+
+void Engine::DeliverInvalidationBatch(
+    const core::InvalidationOutbox::Batch& batch) {
+  const int index = pseudo_of_client_.at(batch.site);
+  PseudoClient& pc = clients_[index];
+  for (std::size_t i = 0; i < batch.urls.size(); ++i) {
+    pc.cache->Erase(http::ComposeCacheKey(batch.urls[i], batch.site));
+    ++metrics_.invalidations_delivered;
+    obs::Emit(sink_, {.type = obs::EventType::kInvalidateDelivered,
+                      .at = sim_.now(),
+                      .url = batch.urls[i],
+                      .site = batch.site});
+    // A coalesced entry acks every write it absorbed — the one-frame-on-
+    // heal guarantee for a site partitioned through multiple writes.
+    for (const std::uint64_t mod_id : batch.write_ids[i]) {
+      ResolveWriteTarget(mod_id, batch.site, /*dead=*/false);
+    }
+  }
+}
+
+void Engine::ResolveBatchFirstAttempts(
+    const core::InvalidationOutbox::Batch& batch) {
+  for (const std::vector<std::uint64_t>& ids : batch.write_ids) {
+    for (const std::uint64_t mod_id : ids) ResolveFirstAttempt(mod_id);
+  }
 }
 
 void Engine::SendInvalidation(net::Invalidation invalidation,
@@ -326,7 +466,7 @@ void Engine::ServerRecover(Time trace_time) {
     // it and send *targeted* invalidations only for documents that changed
     // during the downtime. A damaged journal falls back to the blanket
     // INVSRV broadcast inside RecoverFromJournal.
-    core::Accelerator::RecoveryOutcome outcome =
+    core::ShardedAccelerator::RecoveryOutcome outcome =
         accel_.RecoverFromJournal(trace_time);
     ++metrics_.journal_rebuilds;
     if (outcome.journal_damaged) ++metrics_.journal_damaged_recoveries;
@@ -341,8 +481,9 @@ void Engine::ServerRecover(Time trace_time) {
   }
   recovery_notices_pending_ = static_cast<int>(notices.size());
   if (notices.empty()) write_gap_active_ = false;
-  sim::FifoStation& sender =
-      config_.serialized_invalidation ? server_cpu_ : inval_sender_;
+  // Recovery notices always take the unbatched path (fault semantics are
+  // untouched by batching); in decoupled mode a targeted invalidation goes
+  // out on its URL's shard sender, INVSRV broadcasts on shard 0.
   for (net::Invalidation& notice : notices) {
     if (notice.type == net::MessageType::kInvalidateUrl) {
       ++metrics_.recovery_invalidations_sent;
@@ -350,6 +491,12 @@ void Engine::ServerRecover(Time trace_time) {
       ++metrics_.invsrv_sent;
     }
     metrics_.message_bytes += net::WireSize(notice);
+    sim::FifoStation& sender =
+        config_.serialized_invalidation
+            ? server_cpu_
+            : *inval_senders_[notice.type == net::MessageType::kInvalidateUrl
+                                  ? accel_.ShardOf(notice.url)
+                                  : 0];
     sender.Enqueue(config_.server_costs.invalidation_send_cpu,
                    [this, notice = std::move(notice)]() mutable {
                      SendInvalidation(std::move(notice), 0);

@@ -34,6 +34,14 @@ void ReplayMetrics::ExportTo(obs::MetricsRegistry& registry) const {
   registry.SetCounter("replay.invalidations_sent", invalidations_sent);
   registry.SetCounter("replay.invsrv_sent", invsrv_sent);
   registry.SetCounter("replay.multicast_sends", multicast_sends);
+  registry.SetCounter("replay.invalidation_frames_sent",
+                      invalidation_frames_sent);
+  registry.SetCounter("replay.invalidations_coalesced",
+                      invalidations_coalesced);
+  registry.SetCounter("replay.inval_sender_busy_max_us",
+                      inval_sender_busy_max_us);
+  registry.SetCounter("replay.inval_sender_busy_total_us",
+                      inval_sender_busy_total_us);
   registry.SetCounter("replay.message_bytes", message_bytes);
   registry.SetCounter("replay.local_hits", local_hits);
   registry.SetCounter("replay.validated_hits", validated_hits);
@@ -97,6 +105,8 @@ void ReplayMetrics::ExportTo(obs::MetricsRegistry& registry) const {
       latency_ms);
   registry.FindOrCreateHistogram("replay.invalidation_time_ms")
       ->samples.Merge(invalidation_time_ms);
+  registry.FindOrCreateHistogram("replay.batch_flush_ms")
+      ->samples.Merge(batch_flush_ms);
   registry.FindOrCreateHistogram("replay.write_completion_wall_ms")
       ->samples.Merge(write_completion_wall_ms);
   registry.FindOrCreateHistogram("replay.write_blocked_trace_ms")
@@ -112,6 +122,11 @@ bool SameSimulation(const ReplayMetrics& a, const ReplayMetrics& b) {
          a.invalidations_sent == b.invalidations_sent &&
          a.invsrv_sent == b.invsrv_sent &&
          a.multicast_sends == b.multicast_sends &&
+         a.invalidation_frames_sent == b.invalidation_frames_sent &&
+         a.invalidations_coalesced == b.invalidations_coalesced &&
+         a.inval_sender_busy_max_us == b.inval_sender_busy_max_us &&
+         a.inval_sender_busy_total_us == b.inval_sender_busy_total_us &&
+         a.batch_flush_ms.SameSamples(b.batch_flush_ms) &&
          a.message_bytes == b.message_bytes && a.local_hits == b.local_hits &&
          a.validated_hits == b.validated_hits &&
          a.latency_ms.SameSamples(b.latency_ms) &&

@@ -23,6 +23,11 @@ struct ReplayMetrics {
   // Multicast mode: number of group sends (one per modification with a
   // non-empty site list); each replaces `list length` unicast sends.
   std::uint64_t multicast_sends = 0;
+  // Batched mode: INVB wire frames sent (each carries >= 1 URLs for one
+  // site) and queued invalidations absorbed into an already-pending
+  // (site, url) entry instead of becoming new wire payload.
+  std::uint64_t invalidation_frames_sent = 0;
+  std::uint64_t invalidations_coalesced = 0;
   std::uint64_t message_bytes = 0;        // unscaled, all of the above
 
   // "Hits": requests satisfied without a file transfer. Local serves and
@@ -33,9 +38,12 @@ struct ReplayMetrics {
   std::uint64_t cache_hits() const { return local_hits + validated_hits; }
 
   // Network-level invalidation message count: with multicast one group
-  // send covers a whole site list.
+  // send covers a whole site list; with batching one INVB frame covers
+  // every pending URL for one site.
   std::uint64_t invalidation_messages() const {
-    return multicast_sends > 0 ? multicast_sends : invalidations_sent;
+    if (multicast_sends > 0) return multicast_sends;
+    if (invalidation_frames_sent > 0) return invalidation_frames_sent;
+    return invalidations_sent;
   }
 
   std::uint64_t total_messages() const {
@@ -70,6 +78,14 @@ struct ReplayMetrics {
   std::uint64_t sitelist_max_len_at_mod = 0;
   // Time for the server to push all invalidations of one modification.
   stats::LatencyStats invalidation_time_ms;
+  // Batched mode: wall time an invalidation waited in the outbox before its
+  // frame was drained (bounded by the batch window plus partition holds).
+  stats::LatencyStats batch_flush_ms;
+  // Per-shard sender occupancy (decoupled mode; zero when serialized): the
+  // busiest shard's busy time and the sum over shards. The bench derives
+  // per-shard throughput as wire URLs / max busy time.
+  std::uint64_t inval_sender_busy_max_us = 0;
+  std::uint64_t inval_sender_busy_total_us = 0;
 
   // --- hierarchy (parent proxy) ----------------------------------------------
   // Leaf misses answered from the parent's shared cache without a server

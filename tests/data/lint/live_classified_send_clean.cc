@@ -1,0 +1,9 @@
+// Fixture counterpart: the same outbox drain through the classified
+// helper — no naked-send finding.
+enum class IoError { kNone, kTimeout, kPeerReset };
+IoError SendOneWayClassified(unsigned short port, const char* line,
+                             int timeout_ms);
+
+int DrainOutbox(unsigned short port, const char* frame) {
+  return SendOneWayClassified(port, frame, 1000) == IoError::kNone ? 0 : 1;
+}

@@ -1,0 +1,8 @@
+// Fixture: naked-send — an outbox drain pushing batched invalidation
+// frames through the unclassified one-way helper instead of
+// SendOneWayClassified.
+bool SendOneWay(unsigned short port, const char* line);
+
+int DrainOutbox(unsigned short port, const char* frame) {
+  return SendOneWay(port, frame) ? 0 : 1;
+}

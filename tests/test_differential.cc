@@ -13,10 +13,15 @@
 // order in the simulator matches the sequential order of the live script,
 // and the TTL configurations are chosen so that trace-time and wall-time
 // decisions coincide (script spans ≪ min_ttl, or ttl == 0 for PCV).
+// Both stacks honor WEBCC_TEST_SHARDS (default 1): the CI shard-sweep job
+// re-runs this whole suite with the accelerator split across several
+// consistent-hashed shards, asserting the decision trace is shard-count
+// invariant by construction, not by luck.
 #include <gtest/gtest.h>
 
 #include <cctype>
 #include <chrono>
+#include <cstdlib>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -114,6 +119,14 @@ class RecordingSink final : public obs::TraceSink {
   std::vector<NormEvent> events_;
 };
 
+// Accelerator shard count for both stacks, from WEBCC_TEST_SHARDS.
+std::uint32_t TestShards() {
+  const char* env = std::getenv("WEBCC_TEST_SHARDS");
+  if (env == nullptr) return 1;
+  const long value = std::strtol(env, nullptr, 10);
+  return value > 0 ? static_cast<std::uint32_t>(value) : 1;
+}
+
 // --- the scripted sequence ---------------------------------------------------
 
 struct Step {
@@ -184,6 +197,7 @@ std::vector<NormEvent> RunLive(Protocol protocol, LeaseMode mode) {
   live::LiveServer::Options server_options;
   server_options.protocol = protocol;
   server_options.lease = LeaseFor(mode);
+  server_options.shards = TestShards();
   server_options.trace_sink = &sink;
   live::LiveServer server(server_options);
   EXPECT_TRUE(server.Start());
@@ -253,6 +267,7 @@ std::vector<NormEvent> RunReplayScript(Protocol protocol, LeaseMode mode) {
   config.num_pseudo_clients = 1;  // the live side is one shared proxy
   config.ttl = TtlFor(protocol);
   config.lease = LeaseFor(mode);
+  config.accelerator_shards = TestShards();
   config.lockstep_interval = kStep;
   config.fixed_initial_age = 0;  // documents born at t=0, as in live
   config.trace_sink = &sink;

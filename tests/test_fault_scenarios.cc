@@ -15,7 +15,10 @@
 #include <string>
 #include <vector>
 
+#include "core/sharded_accelerator.h"
 #include "fault/plan.h"
+#include "http/document_store.h"
+#include "net/message.h"
 #include "obs/trace_reader.h"
 #include "obs/trace_sink.h"
 #include "replay/engine.h"
@@ -328,6 +331,152 @@ TEST(FaultGoldenCorpus, PlansReproduceExpectedMetricsAndDigests) {
   }
   // The corpus itself is under test: losing the files is a failure.
   EXPECT_GE(files, 3);
+}
+
+// --- sharded tier under faults ---------------------------------------------------
+
+// A server crash in the middle of a burst of writes, with the decoupled
+// batched sender mid-flight: every shard must rebuild from its own journal,
+// and the union of the rebuilt site lists must equal what the single-journal
+// tier restores. Serialized-mode metrics are the strongest check (they are
+// shard-invariant by construction, modulo the per-shard site-interning
+// storage bytes).
+TEST(FaultScenarios, ServerCrashJournalRecoveryShardInvariantSerialized) {
+  fault::FaultPlan plan;
+  plan.name = "crash-mid-write-storm";
+  plan.events.push_back({.at = 40 * kMinute,
+                         .kind = fault::FaultKind::kServerCrash,
+                         .target = -1,
+                         .duration = 2 * kMinute});
+
+  const auto run = [&plan](std::uint32_t shards) {
+    obs::BufferTraceSink sink;
+    ReplayConfig config = FaultBaseConfig(Protocol::kInvalidation);
+    config.lease.mode = core::LeaseMode::kTwoTier;
+    config.lease.duration = 20 * kMinute;
+    config.lease.short_duration = 5 * kMinute;
+    config.fault_plan = &plan;
+    config.accelerator_shards = shards;
+    // Writes racing the crash window so the journal has fresh records.
+    for (trace::DocId doc = 0; doc < 40; ++doc) {
+      config.explicit_modifications.push_back({39 * kMinute, doc});
+    }
+    config.trace_sink = &sink;
+    struct Out {
+      ReplayMetrics metrics;
+      std::string digest;
+    } out;
+    out.metrics = RunReplay(config);
+    out.digest = obs::DigestJsonl(sink.TakeText());
+    return out;
+  };
+
+  const auto baseline = run(1);
+  EXPECT_GT(baseline.metrics.journal_rebuilds, 0u);
+  EXPECT_EQ(baseline.metrics.journal_damaged_recoveries, 0u);
+  EXPECT_EQ(baseline.metrics.strong_violations, 0u);
+  for (const std::uint32_t shards : {2u, 4u, 8u}) {
+    auto sharded = run(shards);
+    EXPECT_EQ(sharded.digest, baseline.digest) << shards << " shards";
+    sharded.metrics.sitelist_storage_bytes =
+        baseline.metrics.sitelist_storage_bytes;
+    EXPECT_TRUE(SameSimulation(baseline.metrics, sharded.metrics))
+        << shards << " shards";
+  }
+}
+
+// The decoupled batched tier under the same crash: correctness invariants
+// must hold at every shard count even though timing (and therefore the raw
+// event interleaving) legitimately differs between shard counts here.
+TEST(FaultScenarios, CrashDuringBatchedSendRecoversAtEveryShardCount) {
+  fault::FaultPlan plan;
+  plan.name = "crash-during-batched-send";
+  plan.events.push_back({.at = 40 * kMinute,
+                         .kind = fault::FaultKind::kServerCrash,
+                         .target = -1,
+                         .duration = 2 * kMinute});
+
+  for (const std::uint32_t shards : {1u, 4u, 8u}) {
+    ReplayConfig config = FaultBaseConfig(Protocol::kInvalidation);
+    config.lease.mode = core::LeaseMode::kTwoTier;
+    config.lease.duration = 20 * kMinute;
+    config.lease.short_duration = 5 * kMinute;
+    config.serialized_invalidation = false;
+    config.invalidation_batch_window = 200 * kMillisecond;
+    config.accelerator_shards = shards;
+    config.fault_plan = &plan;
+    // A write storm right before the crash puts whole batches in flight.
+    for (trace::DocId doc = 0; doc < 40; ++doc) {
+      config.explicit_modifications.push_back({39 * kMinute + 50 * doc, doc});
+    }
+    const ReplayMetrics metrics = RunReplay(config);
+    EXPECT_EQ(metrics.strong_violations, 0u) << shards << " shards";
+    EXPECT_EQ(metrics.stale_serves, metrics.stale_while_invalidation_in_flight)
+        << shards << " shards";
+    EXPECT_GT(metrics.journal_rebuilds, 0u) << shards << " shards";
+    EXPECT_GT(metrics.invalidation_frames_sent, 0u) << shards << " shards";
+    // Every queued invalidation is accounted for: delivered, coalesced into
+    // a delivered entry, refused at a dead site, or still held for a site
+    // the run ended partitioned from.
+    EXPECT_LE(metrics.invalidations_delivered + metrics.invalidations_coalesced +
+                  metrics.invalidations_refused,
+              metrics.invalidations_sent)
+        << shards << " shards";
+  }
+}
+
+// The exact-union claim at the core layer: after a crash, per-shard journal
+// rebuild restores the same (url, site, lease) entry set the single-journal
+// accelerator restores — not a subset, not a superset.
+TEST(FaultScenarios, PerShardJournalRebuildRestoresExactUnionOfSiteLists) {
+  http::DocumentStore docs;
+  std::vector<std::string> urls;
+  for (int i = 0; i < 48; ++i) {
+    urls.push_back("/union/doc-" + std::to_string(i));
+    docs.Add(urls.back(), 2048, 0);
+  }
+
+  const auto drive = [&docs, &urls](std::uint32_t shards) {
+    core::LeaseConfig lease;
+    lease.mode = core::LeaseMode::kFixed;
+    lease.duration = kHour;
+    core::ShardedAccelerator accel(docs, lease, shards);
+    accel.EnableJournal(true);
+    for (std::size_t i = 0; i < urls.size(); ++i) {
+      for (int s = 0; s < 1 + static_cast<int>(i % 3); ++s) {
+        net::Request request;
+        request.url = urls[i];
+        request.client_id = "site-" + std::to_string(s);
+        request.type = net::MessageType::kGet;
+        accel.HandleRequest(request, kMinute);
+      }
+    }
+    // A few writes before the crash leave invalidation records (and version
+    // bumps) in the journal, so the rebuild is not a pure registration log.
+    for (std::size_t i = 0; i < urls.size(); i += 6) {
+      docs.Touch(urls[i], 2 * kMinute);
+      accel.HandleNotify(net::Notify{urls[i]}, 2 * kMinute);
+    }
+    accel.Crash();
+    const core::ShardedAccelerator::RecoveryOutcome outcome =
+        accel.RecoverFromJournal(3 * kMinute);
+    EXPECT_FALSE(outcome.journal_damaged) << shards << " shards";
+    return accel.SnapshotEntries();
+  };
+
+  const std::vector<core::InvalidationTable::Snapshot> baseline = drive(1);
+  ASSERT_FALSE(baseline.empty());
+  for (const std::uint32_t shards : {2u, 4u, 8u}) {
+    const std::vector<core::InvalidationTable::Snapshot> sharded =
+        drive(shards);
+    ASSERT_EQ(sharded.size(), baseline.size()) << shards << " shards";
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      EXPECT_EQ(sharded[i].url, baseline[i].url) << shards << " shards";
+      EXPECT_EQ(sharded[i].site, baseline[i].site) << shards << " shards";
+      EXPECT_EQ(sharded[i].lease_until, baseline[i].lease_until)
+          << shards << " shards";
+    }
+  }
 }
 
 }  // namespace

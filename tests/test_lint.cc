@@ -68,12 +68,36 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"unordered_dump_violation.cc", "unordered-iter-in-dump"},
         FixtureCase{"raw_mutex_violation.cc", "raw-mutex"},
         FixtureCase{"enum_switch_violation.cc", "enum-switch-default"},
-        FixtureCase{"live_naked_send_violation.cc", "naked-send"}),
+        FixtureCase{"live_naked_send_violation.cc", "naked-send"},
+        FixtureCase{"live_unclassified_send_violation.cc", "naked-send"}),
     [](const ::testing::TestParamInfo<FixtureCase>& info) {
-      std::string name = info.param.rule;
+      // Fixture file stem: unique even when two fixtures share a rule.
+      std::string name = info.param.file;
+      name.resize(name.size() - 3);  // strip ".cc"
       std::replace(name.begin(), name.end(), '-', '_');
       return name;
     });
+
+TEST(LintCli, ClassifiedSendCounterpartIsClean) {
+  // The pair fixture of live_unclassified_send_violation.cc: the same drain
+  // through SendOneWayClassified must produce no naked-send finding.
+  const RunResult result = RunCli({FixturePath("live_classified_send_clean.cc")});
+  EXPECT_EQ(result.exit_code, 0) << result.out << result.err;
+  EXPECT_TRUE(result.out.empty()) << result.out;
+}
+
+TEST(LintRules, UnclassifiedSendFlaggedOnlyOutsideSocketCc) {
+  const std::string text =
+      "bool Push(unsigned short p, const char* l) { return SendOneWay(p, l); }\n";
+  EXPECT_TRUE(HasRule(LintFile("src/live/live_server.cc", text), "naked-send"));
+  EXPECT_FALSE(HasRule(LintFile("src/live/socket.cc", text), "naked-send"));
+  const std::string classified =
+      "int Push(unsigned short p, const char* l) {\n"
+      "  return SendOneWayClassified(p, l, 1000) == 0 ? 0 : 1;\n"
+      "}\n";
+  EXPECT_FALSE(
+      HasRule(LintFile("src/live/live_server.cc", classified), "naked-send"));
+}
 
 TEST(LintCli, CleanFileExitsZero) {
   const RunResult result = RunCli({FixturePath("clean.cc")});

@@ -166,6 +166,42 @@ TEST(Wire, InvalidationServerRoundTrip) {
   EXPECT_EQ(back->server, "origin-1");
 }
 
+TEST(Wire, BatchInvalidationRoundTrip) {
+  BatchInvalidation batch;
+  batch.client_id = "alice@5000";
+  batch.urls = {"/x y", "/plain", "/x y"};  // duplicates survive the wire
+  const auto decoded = DecodeLine(EncodeLine(Message(batch)));
+  ASSERT_TRUE(decoded.has_value());
+  const auto* back = std::get_if<BatchInvalidation>(&*decoded);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->client_id, batch.client_id);
+  EXPECT_EQ(back->urls, batch.urls);
+}
+
+TEST(Wire, BatchInvalidationRejectsCountMismatch) {
+  // Grammar: INVB <client> <n> <url>*n — n must equal the URL field count.
+  EXPECT_FALSE(DecodeLine("INVB site 3 /a /b").has_value());   // truncated
+  EXPECT_FALSE(DecodeLine("INVB site 1 /a /b").has_value());   // excess
+  EXPECT_FALSE(DecodeLine("INVB site 0").has_value());         // empty batch
+  EXPECT_FALSE(DecodeLine("INVB site -1 /a").has_value());
+  EXPECT_FALSE(DecodeLine("INVB site notanumber /a").has_value());
+  EXPECT_FALSE(DecodeLine("INVB site").has_value());
+  ASSERT_TRUE(DecodeLine("INVB site 2 /a /b").has_value());
+}
+
+TEST(WireSize, BatchInvalidationAmortizesOneHeader) {
+  BatchInvalidation batch;
+  batch.client_id = "site";
+  batch.urls = {"/ab", "/cdef"};
+  // One control header for the whole frame, versus one per URL unbatched:
+  // header + "site" + "/ab" + "/cdef".
+  EXPECT_EQ(WireSize(batch), kControlHeaderBytes + 4 + 3 + 5);
+  Invalidation single;
+  single.url = "/ab";
+  single.client_id = "site";
+  EXPECT_LT(WireSize(batch), 2 * WireSize(single));
+}
+
 TEST(Wire, NotifyRoundTrip) {
   Notify notify{"/changed.html"};
   const auto decoded = DecodeLine(EncodeLine(notify));

@@ -327,12 +327,22 @@ void ScanSimplePatterns(FileScanner& scanner, const std::string& code,
   }
   if (NakedSendRuleApplies(path) && PathContains(path, "live")) {
     static const std::regex kNaked(R"((::|\b)(send|recv)\s*\(|::(write|read)\s*\()");
+    // The unclassified one-way helper collapses timeout/refused into one
+    // bool, which the push/drain retry policy (and the batched sender's
+    // partitioned-site hold) cannot act on. Invalidation pushes — outbox
+    // drains included — must use SendOneWayClassified.
+    static const std::regex kUnclassified(R"(\bSendOneWay\s*\()");
     std::smatch m;
     if (std::regex_search(code, m, kNaked)) {
       scanner.Report(line, kNakedSend,
                      "direct socket I/O '" + Trim(m.str()) +
                          "' bypasses the classified IoError path; go "
                          "through live/socket.h");
+    } else if (std::regex_search(code, m, kUnclassified)) {
+      scanner.Report(line, kNakedSend,
+                     "unclassified 'SendOneWay(' loses the timeout/refused "
+                     "distinction the push retry and partition-hold logic "
+                     "depends on; use SendOneWayClassified");
     }
   }
 }
