@@ -6,8 +6,12 @@
 // per-document list from 1,155 to 473 entries, at a cost of 2,489 extra
 // If-Modified-Since requests — far fewer than polling-every-time generates.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
+#include "core/invalidation_table.h"
+#include "util/check.h"
 
 using namespace webcc;
 
@@ -20,6 +24,91 @@ replay::ReplayMetrics RunSask(core::LeaseConfig lease) {
       replay::MakeReplayConfig(spec, core::Protocol::kInvalidation, trace);
   config.lease = lease;
   return replay::RunReplay(config);
+}
+
+// Site-count sweep for the compact table under two-tier leases: every
+// fourth site is a repeat viewer (IMS, earns the regular lease, renews once
+// a minute later); the rest are GET-only one-timers whose zero-length short
+// lease keeps them out of the table entirely. A simple-invalidation control
+// (kNone) on the same visit stream shows what the table would hold if every
+// requester were remembered forever. Records `twotier_lease_scale` in
+// BENCH_farm.json: live entries, measured bytes/entry, renewal count.
+void RunTwoTierScaleSweep() {
+  std::printf(
+      "=== Two-tier lease-scale sweep: 1-in-4 repeat viewers ===\n\n");
+
+  core::LeaseConfig two_tier;
+  two_tier.mode = core::LeaseMode::kTwoTier;
+  two_tier.duration = kHour;
+  two_tier.short_duration = 0;
+
+  const std::size_t kScales[] = {10'000, 100'000, 1'000'000};
+  stats::Table table({"Sites", "Entries (two-tier)", "Entries (simple)",
+                      "B/entry", "Renewals"});
+  std::string json = "{\"repeat_viewer_fraction\": 0.25, \"scales\": [";
+  bool first = true;
+  for (const std::size_t n_sites : kScales) {
+    core::InvalidationTable two_tier_table(two_tier);
+    core::InvalidationTable simple_table{core::LeaseConfig{}};  // kNone
+    const std::size_t n_urls = n_sites < 1000 ? 1 : n_sites / 1000;
+    std::size_t repeat_viewers = 0;
+    std::string url;
+    std::string site;
+    for (std::size_t i = 0; i < n_sites; ++i) {
+      url = "/doc/";
+      url += std::to_string(i % n_urls);
+      site = "site";
+      site += std::to_string(i);
+      const bool repeat = i % 4 == 0;
+      const auto type = repeat ? net::MessageType::kIfModifiedSince
+                               : net::MessageType::kGet;
+      two_tier_table.Register(url, site, type, /*now=*/0);
+      simple_table.Register(url, site, type, /*now=*/0);
+      if (repeat) {
+        // The repeat viewer comes back: its entry refreshes in place (one
+        // entry, one wheel slot) instead of re-registering.
+        two_tier_table.Register(url, site, type, kMinute);
+        ++repeat_viewers;
+      }
+    }
+    WEBCC_CHECK(two_tier_table.TotalEntries() == repeat_viewers);
+    WEBCC_CHECK(two_tier_table.lease_renewals() == repeat_viewers);
+    WEBCC_CHECK(simple_table.TotalEntries() == n_sites);
+
+    const double bytes_per_entry =
+        static_cast<double>(two_tier_table.MemoryFootprintBytes()) /
+        static_cast<double>(two_tier_table.TotalEntries());
+    table.AddRow(
+        {util::WithCommas(static_cast<std::int64_t>(n_sites)),
+         util::WithCommas(
+             static_cast<std::int64_t>(two_tier_table.TotalEntries())),
+         util::WithCommas(
+             static_cast<std::int64_t>(simple_table.TotalEntries())),
+         util::Fixed(bytes_per_entry, 1),
+         util::WithCommas(
+             static_cast<std::int64_t>(two_tier_table.lease_renewals()))});
+
+    if (!first) json += ", ";
+    first = false;
+    json += "{\"sites\": ";
+    json += std::to_string(n_sites);
+    json += ", \"entries\": ";
+    json += std::to_string(two_tier_table.TotalEntries());
+    json += ", \"entries_simple\": ";
+    json += std::to_string(simple_table.TotalEntries());
+    json += ", \"bytes_per_entry\": ";
+    json += util::Fixed(bytes_per_entry, 2);
+    json += ", \"lease_renewals\": ";
+    json += std::to_string(two_tier_table.lease_renewals());
+    json += "}";
+  }
+  json += "]}";
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "two-tier holds 1-in-4 of the simple scheme's entries at every scale;\n"
+      "renewals refresh wheel slots lazily, so a returning viewer costs no\n"
+      "second entry.\n");
+  bench::WriteBenchJsonKey("BENCH_farm.json", "twotier_lease_scale", json);
 }
 
 }  // namespace
@@ -88,5 +177,7 @@ int main() {
       "extra validations are a small fraction of that, as the paper argues.\n",
       util::WithCommas(static_cast<std::int64_t>(polling.ims_requests))
           .c_str());
+  std::printf("\n");
+  RunTwoTierScaleSweep();
   return 0;
 }

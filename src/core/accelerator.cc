@@ -138,10 +138,16 @@ Accelerator::RebuildOutcome Accelerator::RebuildFromJournal(Time now) {
   for (const SiteJournal::Entry& entry : replayed.entries) {
     switch (entry.kind) {
       case 'R':
-        table_.Restore(entry.url, entry.site, entry.lease_until);
+        // Restore drops entries whose lease lapsed while the server was
+        // down — resurrecting them would inflate the rebuilt table's
+        // entries/storage_bytes until the next prune.
+        table_.Restore(entry.url, entry.site, entry.lease_until, now);
         break;
       case 'I':
-        (void)table_.TakeSitesForInvalidation(entry.url, now);
+        // History replay, not protocol execution: discard the list
+        // silently. The Take path would emit kLeaseExpiry for lapsed
+        // entries, and rebuild must emit no events.
+        table_.DropList(entry.url);
         break;
       case 'V':
         last_seen_version_[entry.url] = entry.version;

@@ -15,16 +15,26 @@
 // this table sits on the server's per-request hot path (Register on every
 // GET/IMS), so the site lists key on integers and each request hashes its
 // strings exactly once. The public interface stays string-based.
+//
+// Million-site scale (ROADMAP item 4): site lists are CompactSiteList —
+// dense open-addressing tables of 12-byte slots keyed on the site id — and
+// lease expiry is indexed by a hashed TimerWheel, so PruneExpired is
+// O(expired) amortized instead of a full-table scan, and a repeat viewer's
+// renewal refreshes its wheel slot lazily instead of re-registering. The
+// wheel is an index only; every expiry decision re-reads the authoritative
+// lease through core::LeaseActive, which keeps prune results (and replay
+// digests) bit-identical to the old scan at any shard count.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "core/intern.h"
 #include "core/policy.h"
+#include "core/site_list.h"
+#include "core/timer_wheel.h"
 #include "net/message.h"
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
@@ -34,18 +44,25 @@ namespace webcc::core {
 
 class InvalidationTable {
  public:
-  explicit InvalidationTable(LeaseConfig lease) : lease_(lease) {}
+  explicit InvalidationTable(LeaseConfig lease);
 
   // Registers `client` for `url` following a request of `request_type`
   // (kGet or kIfModifiedSince) at protocol time `now`. Returns the lease
   // expiry granted (net::kNoLease when leases are off). A zero-length lease
-  // does not create an entry.
+  // does not create an entry. A repeat viewer with a live entry is a
+  // *renewal*: its expiry is refreshed in place (never shortened) and the
+  // timer wheel picks the new slot up lazily — no second entry, no second
+  // wheel slot.
   Time Register(std::string_view url, std::string_view client,
                 net::MessageType request_type, Time now);
 
   // Collects the sites holding an unexpired lease on `url` and clears the
   // list (each collected site is about to receive an invalidation, after
-  // which the server forgets it, as in the paper).
+  // which the server forgets it, as in the paper). Entries whose lease
+  // already lapsed are dropped through the same expiry accounting as
+  // PruneExpired — they emit kLeaseExpiry (site-sorted) and count toward
+  // leases_expired(), so the DESIGN §8 event/counter reconciliation holds
+  // no matter which path retires an entry.
   std::vector<std::string> TakeSitesForInvalidation(std::string_view url,
                                                     Time now);
 
@@ -58,10 +75,19 @@ class InvalidationTable {
   };
   std::vector<TakenSite> TakeSitesWithLeases(std::string_view url, Time now);
 
-  // Re-inserts one entry verbatim (journal recovery: rebuilding the table
-  // the crash destroyed). Expired entries are dropped by the next prune.
-  void Restore(std::string_view url, std::string_view client,
-               Time lease_until);
+  // Silently discards `url`'s whole list: journal replay applying an 'I'
+  // record. History replay is not protocol execution — it must not emit
+  // events or touch the expiry counters (RebuildFromJournal's phase 1
+  // contract is "no events"), so it does not go through the Take path.
+  void DropList(std::string_view url);
+
+  // Re-inserts one entry (journal recovery: rebuilding the table the crash
+  // destroyed) and seeds the timer wheel with its expiry. An entry whose
+  // lease already lapsed by `now` is dropped here — resurrecting it would
+  // inflate entries/storage_bytes until the next prune and fill the wheel
+  // with dead slots. Returns whether the entry was restored.
+  bool Restore(std::string_view url, std::string_view client,
+               Time lease_until, Time now);
 
   // Full, deterministic (url, site)-sorted dump of the live table. Used to
   // snapshot-compact the journal after recovery and by the fault tests to
@@ -78,7 +104,7 @@ class InvalidationTable {
 
   // Drops expired entries table-wide; returns how many were pruned. The
   // replay calls this at lock-step boundaries so storage numbers reflect
-  // live leases only.
+  // live leases only. O(expired + slots passed) amortized via the wheel.
   std::size_t PruneExpired(Time now);
 
   // One entry dropped by a prune. The views point into the interners, which
@@ -96,41 +122,81 @@ class InvalidationTable {
   std::size_t PruneExpiredInto(Time now, std::vector<ExpiredEntry>& out);
 
   // --- storage accounting (Table 5) ---------------------------------------
-  // Total live entries across all URLs.
+  // Total present entries across all URLs (live + expired-not-yet-pruned).
   std::size_t TotalEntries() const { return total_entries_; }
   // Longest current list.
   std::size_t MaxListLength() const;
-  // Approximate bytes consumed: per entry, the client identifier plus the
-  // lease timestamp and list linkage (the paper observes 20-30 bytes per
-  // request).
+  // Approximate bytes consumed under the paper's accounting: per entry, the
+  // client identifier plus the lease timestamp and list linkage (the paper
+  // observes 20-30 bytes per request). Kept model-level so Table 5 numbers
+  // stay comparable across container rewrites; MemoryFootprintBytes is the
+  // measured counterpart.
   std::uint64_t StorageBytes() const;
+  // Measured bytes actually held by the compact lists and the timer wheel
+  // (capacity, not live count). The lease-scale bench divides this by
+  // TotalEntries() for its bytes_per_entry gate.
+  std::uint64_t MemoryFootprintBytes() const;
+
+  // --- expiry/renewal accounting (DESIGN §8 reconciliation) ---------------
+  // Entries retired because their lease lapsed — by prune or by a take —
+  // i.e. exactly the kLeaseExpiry emissions. Survives Clear() like the
+  // accelerator's stats: it is measurement record, not server state.
+  std::uint64_t leases_expired() const { return leases_expired_; }
+  // Register calls that extended an existing live entry's lease.
+  std::uint64_t lease_renewals() const { return lease_renewals_; }
 
   const LeaseConfig& lease_config() const { return lease_; }
 
   // Discards everything (server-site crash: the in-memory table dies).
   void Clear();
 
-  // Optional tracing: when set, every entry dropped by PruneExpired emits a
-  // kLeaseExpiry event (detail = the expiry that lapsed). nullptr disables.
+  // Optional tracing: when set, every entry dropped by PruneExpired or
+  // found lapsed by a take emits a kLeaseExpiry event (detail = the expiry
+  // that lapsed). nullptr disables.
   void set_trace_sink(obs::TraceSink* sink) { trace_sink_ = sink; }
 
   // Snapshots occupancy into `registry` under `prefix` (entries,
-  // max_list_length, storage_bytes, urls_tracked).
+  // max_list_length, storage_bytes, urls_tracked, leases_expired,
+  // lease_renewals).
   void ExportMetrics(obs::MetricsRegistry& registry,
                      std::string_view prefix) const;
 
  private:
-  struct SiteList {
-    std::unordered_map<InternId, Time> lease_until;  // client id -> expiry
-  };
-
   static constexpr std::uint64_t kPerEntryOverheadBytes = 16;
+  static constexpr std::size_t kWheelSlots = 4096;
+
+  // Appends `url`'s lapsed entries to `out` (unsorted; EmitLeaseExpiries
+  // sorts) and erases them, charging leases_expired_. Used by the take
+  // path — wheel-driven prune erases per entry as slots are visited.
+  void ExpireListEntries(InternId url_id, Time now,
+                         std::vector<ExpiredEntry>& out);
+
+  void EmitLeaseExpiries(std::vector<ExpiredEntry>& expired, Time now);
+
+  CompactSiteList* FindList(InternId url_id) {
+    return url_id < lists_.size() && !lists_[url_id].empty()
+               ? &lists_[url_id]
+               : nullptr;
+  }
+  const CompactSiteList* FindList(InternId url_id) const {
+    return const_cast<InvalidationTable*>(this)->FindList(url_id);
+  }
+
+  void ReleaseList(CompactSiteList& list) {
+    list.Reset();
+    --urls_tracked_;
+  }
 
   LeaseConfig lease_;
   Interner urls_;
   Interner clients_;
-  std::unordered_map<InternId, SiteList> lists_;  // by url id
+  // Indexed by url id (dense, from urls_). Empty lists are not "tracked".
+  std::vector<CompactSiteList> lists_;
+  TimerWheel wheel_;
   std::size_t total_entries_ = 0;
+  std::size_t urls_tracked_ = 0;
+  std::uint64_t leases_expired_ = 0;
+  std::uint64_t lease_renewals_ = 0;
   obs::TraceSink* trace_sink_ = nullptr;
 };
 

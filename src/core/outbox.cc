@@ -10,7 +10,14 @@ bool InvalidationOutbox::Add(std::string_view site, std::string_view url,
   std::vector<Entry>& entries = pending_[std::string(site)];
   for (Entry& entry : entries) {
     if (entry.url == url) {
-      entry.write_ids.push_back(write_id);
+      // A retried queue of the same (site, url, write_id) — the sender
+      // re-queued after a lost frame — must not record the id twice: each
+      // recorded id acks one delivery machine on drain, and a write's
+      // machine may only be acked once per site.
+      if (std::find(entry.write_ids.begin(), entry.write_ids.end(),
+                    write_id) == entry.write_ids.end()) {
+        entry.write_ids.push_back(write_id);
+      }
       return true;
     }
   }

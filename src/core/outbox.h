@@ -8,9 +8,11 @@
 //
 // Coalescing: queueing a (site, url) pair that is already pending merges
 // into the existing entry instead of duplicating it, accumulating every
-// write id it satisfies. A site partitioned through two writes of the same
-// document therefore receives ONE batched frame on heal, whose delivery
-// acks both writes' delivery machines.
+// DISTINCT write id it satisfies. A site partitioned through two writes of
+// the same document therefore receives ONE batched frame on heal, whose
+// delivery acks both writes' delivery machines — and a retried queue of
+// the same (site, url, write_id) merges to a no-op, so no write's machine
+// is ever acked twice for one site.
 //
 // Draining is deterministic: sites leave in lexicographic order, each
 // site's URLs in first-queued order. A `ready` predicate lets the sender

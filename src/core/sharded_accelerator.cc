@@ -233,6 +233,17 @@ void ShardedAccelerator::ExportMetrics(obs::MetricsRegistry& registry,
   registry.SetCounter(name("table.entries"), TotalEntries());
   registry.SetCounter(name("table.max_list_length"), MaxListLength());
   registry.SetCounter(name("table.storage_bytes"), StorageBytes());
+  // Expiry/renewal counters sum across shards and stay shard-count
+  // invariant: each (url, site) entry lives on exactly one shard, and the
+  // wheel never changes WHICH entries a prune at `now` retires.
+  std::uint64_t leases_expired = 0;
+  std::uint64_t lease_renewals = 0;
+  for (const std::unique_ptr<Accelerator>& shard : shards_) {
+    leases_expired += shard->table().leases_expired();
+    lease_renewals += shard->table().lease_renewals();
+  }
+  registry.SetCounter(name("table.leases_expired"), leases_expired);
+  registry.SetCounter(name("table.lease_renewals"), lease_renewals);
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     std::string shard_prefix(prefix);
     shard_prefix += "shard";

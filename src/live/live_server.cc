@@ -81,6 +81,11 @@ std::size_t LiveServer::TouchDocument(const std::string& path) {
     obs::Emit(options_.trace_sink,
               {.type = obs::EventType::kModification, .at = now, .url = path});
     if (fan_out) {
+      // Retire lapsed leases before taking the list: O(expired) amortized
+      // via the per-shard timer wheels, so the write path can afford it on
+      // every check-in and the table never accumulates dead entries
+      // between writes.
+      accel_.PruneExpired(now);
       invalidations = accel_.HandleNotify(net::Notify{path}, now);
     }
   }

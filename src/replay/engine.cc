@@ -300,6 +300,9 @@ void Engine::StartInterval() {
   if (fault_clock_ != nullptr) fault_clock_->Advance(window_start, window_end);
 
   if (InvalidationMode()) {
+    // O(expired) amortized: each shard's timer wheel only visits the slots
+    // the clock passed since the previous window, so this boundary sweep
+    // no longer scans the whole table (ROADMAP item 4).
     accel_.PruneExpired(window_start);
     // Section 6's write-latency bound: a write blocked on unreachable
     // targets completes once their leases have all lapsed.

@@ -1,0 +1,16 @@
+// Fixture pair of scan_prune_violation.cc: the same expiry work routed
+// through the timer wheel's authority callback. No iteration-erase loop, so
+// no scan-prune finding.
+struct Wheel {
+  template <typename Authority>
+  int Advance(long long now, Authority authority);
+};
+
+struct WheelPruneTable {
+  Wheel wheel_;
+
+  int Prune(long long now) {
+    return wheel_.Advance(
+        now, [](unsigned url, unsigned site) -> long long { return -1; });
+  }
+};

@@ -1,0 +1,21 @@
+// Fixture: a full-scan iteration-erase prune over lease state — the layout
+// the timer wheel replaced. Every prune visits every entry, so this is
+// O(entries) per call instead of O(expired).
+#include <unordered_map>
+
+struct ScanPruneTable {
+  std::unordered_map<unsigned, long long> lease_until_;
+
+  int Prune(long long now) {
+    int pruned = 0;
+    for (auto it = lease_until_.begin(); it != lease_until_.end();) {
+      if (it->second <= now) {
+        it = lease_until_.erase(it);
+        ++pruned;
+      } else {
+        ++it;
+      }
+    }
+    return pruned;
+  }
+};

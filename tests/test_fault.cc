@@ -507,6 +507,39 @@ TEST(AcceleratorJournal, DamagedJournalRestoresSupersetAndBroadcasts) {
   }
 }
 
+TEST(AcceleratorJournal, RebuildDropsLeasesThatLapsedWhileDown) {
+  // Regression (ISSUE 7): journal replay used to Restore already-expired
+  // leases verbatim, so a recovery after a long outage reported inflated
+  // entries/storage_bytes until the next prune (and seeded the expiry
+  // wheel with dead slots). Lapsed registrations must die at rebuild.
+  http::DocumentStore docs;
+  core::LeaseConfig lease;
+  lease.mode = core::LeaseMode::kFixed;
+  lease.duration = 10 * kMinute;
+  core::Accelerator accel(docs, lease, "origin");
+  docs.Add("/a.html", 4096, /*last_modified=*/0);
+  accel.EnableJournal(true);
+  accel.HandleRequest(Get("/a.html", "early"), kMinute);    // lease: 11min
+  accel.HandleRequest(Get("/a.html", "late"), 25 * kMinute);  // lease: 35min
+
+  accel.Crash();
+  // Recovery at t=30min: "early"'s lease lapsed during the outage, "late"
+  // still holds one. Only the live entry may be restored.
+  const core::Accelerator::RecoveryOutcome outcome =
+      accel.RecoverFromJournal(30 * kMinute);
+  EXPECT_FALSE(outcome.journal_damaged);
+  EXPECT_EQ(outcome.entries_restored, 1u);
+  const auto entries = accel.table().SnapshotEntries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].site, "late");
+  // The dropped lease leaves no storage behind — the metric the old code
+  // inflated — and the boundary is the same half-open rule as everywhere:
+  // recovery at exactly the expiry instant also drops it.
+  EXPECT_EQ(accel.table().TotalEntries(), 1u);
+  accel.Crash();
+  EXPECT_EQ(accel.RecoverFromJournal(35 * kMinute).entries_restored, 0u);
+}
+
 TEST(AcceleratorJournal, RecoveryCompactsJournalToSnapshot) {
   RecoveryFixture fx;
   const std::uint64_t appends_before = fx.accel.journal().appends();

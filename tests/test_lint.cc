@@ -39,7 +39,7 @@ bool HasRule(const std::vector<Finding>& findings, std::string_view rule) {
 TEST(LintRules, RuleIdsAreStable) {
   const std::vector<std::string_view> expected = {
       "determinism-clock", "unordered-iter-in-dump", "raw-mutex",
-      "enum-switch-default", "naked-send"};
+      "enum-switch-default", "naked-send", "scan-prune"};
   EXPECT_EQ(RuleIds(), expected);
 }
 
@@ -69,7 +69,8 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"raw_mutex_violation.cc", "raw-mutex"},
         FixtureCase{"enum_switch_violation.cc", "enum-switch-default"},
         FixtureCase{"live_naked_send_violation.cc", "naked-send"},
-        FixtureCase{"live_unclassified_send_violation.cc", "naked-send"}),
+        FixtureCase{"live_unclassified_send_violation.cc", "naked-send"},
+        FixtureCase{"scan_prune_violation.cc", "scan-prune"}),
     [](const ::testing::TestParamInfo<FixtureCase>& info) {
       // Fixture file stem: unique even when two fixtures share a rule.
       std::string name = info.param.file;
@@ -97,6 +98,14 @@ TEST(LintRules, UnclassifiedSendFlaggedOnlyOutsideSocketCc) {
       "}\n";
   EXPECT_FALSE(
       HasRule(LintFile("src/live/live_server.cc", classified), "naked-send"));
+}
+
+TEST(LintCli, WheelPruneCounterpartIsClean) {
+  // The pair fixture of scan_prune_violation.cc: the same expiry work
+  // through the wheel's authority callback produces no scan-prune finding.
+  const RunResult result = RunCli({FixturePath("scan_prune_clean.cc")});
+  EXPECT_EQ(result.exit_code, 0) << result.out << result.err;
+  EXPECT_TRUE(result.out.empty()) << result.out;
 }
 
 TEST(LintCli, CleanFileExitsZero) {
@@ -213,6 +222,44 @@ TEST(LintRules, ThreadAnnotationsHeaderMayHoldRawMutex) {
   EXPECT_FALSE(
       HasRule(LintFile("src/util/thread_annotations.h", text), "raw-mutex"));
   EXPECT_TRUE(HasRule(LintFile("src/replay/farm.h", text), "raw-mutex"));
+}
+
+TEST(LintRules, ScanPruneFlagsIterationEraseNearLeaseState) {
+  const std::vector<Finding> findings = LintFile(
+      "src/core/x.cc",
+      "void Prune(long long now) {\n"
+      "  for (auto it = lease_until_.begin(); it != lease_until_.end();) {\n"
+      "    if (it->second <= now) it = lease_until_.erase(it); else ++it;\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(HasRule(findings, "scan-prune"));
+}
+
+TEST(LintRules, ScanPruneIgnoresIterationEraseWithoutLeaseContext) {
+  // The delivery sweeps erase from bounded pending-write sets; without the
+  // lease-state spellings nearby they are not prune loops.
+  const std::vector<Finding> findings = LintFile(
+      "src/replay/x.cc",
+      "void Sweep() {\n"
+      "  for (auto it = pending_.begin(); it != pending_.end();) {\n"
+      "    if (it->second.done()) it = pending_.erase(it); else ++it;\n"
+      "  }\n"
+      "}\n");
+  EXPECT_FALSE(HasRule(findings, "scan-prune"));
+}
+
+TEST(LintRules, WheelInternalsExemptFromScanPrune) {
+  const std::string text =
+      "void Compact(long long now) {\n"
+      "  for (auto it = by_expiry_.begin(); it != by_expiry_.end();) {\n"
+      "    if (!LeaseActive(it->second, now)) it = by_expiry_.erase(it);\n"
+      "    else ++it;\n"
+      "  }\n"
+      "}\n";
+  EXPECT_FALSE(
+      HasRule(LintFile("src/core/timer_wheel.h", text), "scan-prune"));
+  EXPECT_FALSE(HasRule(LintFile("src/core/site_list.h", text), "scan-prune"));
+  EXPECT_TRUE(HasRule(LintFile("src/core/table.cc", text), "scan-prune"));
 }
 
 TEST(LintRules, AllowOnPreviousLineSuppresses) {

@@ -112,6 +112,23 @@ TEST(Outbox, CoalescesDupWritesIntoOneEntry) {
   EXPECT_TRUE(outbox.empty());
 }
 
+TEST(Outbox, RetriedQueueAcksEachWriteOnce) {
+  // Regression (ISSUE 7): Add() appended the write id without a dup check,
+  // so a sender retry of the same (site, url, write_id) — e.g. after a
+  // dropped frame — made the drained batch ack the same delivery machine
+  // twice. The retry must coalesce to a no-op.
+  InvalidationOutbox outbox;
+  EXPECT_FALSE(outbox.Add("site-a", "/x", 11, 100));
+  EXPECT_TRUE(outbox.Add("site-a", "/x", 11, 250));  // retry: same write
+  EXPECT_TRUE(outbox.Add("site-a", "/x", 12, 300));  // distinct write: kept
+  EXPECT_TRUE(outbox.Add("site-a", "/x", 12, 350));  // retry of the second
+
+  const std::vector<InvalidationOutbox::Batch> batches = outbox.Drain();
+  ASSERT_EQ(batches.size(), 1u);
+  ASSERT_EQ(batches[0].write_ids.size(), 1u);
+  EXPECT_EQ(batches[0].write_ids[0], (std::vector<std::uint64_t>{11, 12}));
+}
+
 TEST(Outbox, DrainsSitesSortedAndUrlsFirstQueued) {
   InvalidationOutbox outbox;
   outbox.Add("zeta", "/b", 1, 10);

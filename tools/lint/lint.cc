@@ -17,6 +17,7 @@ constexpr std::string_view kUnorderedIter = "unordered-iter-in-dump";
 constexpr std::string_view kRawMutex = "raw-mutex";
 constexpr std::string_view kEnumSwitchDefault = "enum-switch-default";
 constexpr std::string_view kNakedSend = "naked-send";
+constexpr std::string_view kScanPrune = "scan-prune";
 
 bool PathContains(std::string_view path, std::string_view piece) {
   return path.find(piece) != std::string_view::npos;
@@ -43,6 +44,13 @@ bool RawMutexRuleApplies(std::string_view path) {
 bool NakedSendRuleApplies(std::string_view path) {
   return !PathEndsWith(path, "live/socket.cc") &&
          !PathEndsWith(path, "live/socket.h");
+}
+
+// The wheel and the compact list own the sanctioned expiry machinery; every
+// other file must index lease expiries through them instead of scanning.
+bool ScanPruneRuleApplies(std::string_view path) {
+  return !PathEndsWith(path, "core/timer_wheel.h") &&
+         !PathEndsWith(path, "core/site_list.h");
 }
 
 // --- source text utilities --------------------------------------------------
@@ -147,6 +155,9 @@ struct FileScanner {
   std::string stmt;            // code accumulated since the last ; { }
   std::string unordered_decl;  // pending unordered_* declaration text
   bool collecting_unordered = false;
+  // Last line that touched authoritative lease state (lease_until /
+  // LeaseActive); an iterator-erase shortly after is a scan-prune loop.
+  int last_lease_context_line = -1000;
 
   bool Suppressed(int line, std::string_view rule) const {
     if (file_allows.count(rule) != 0) return true;
@@ -325,6 +336,27 @@ void ScanSimplePatterns(FileScanner& scanner, const std::string& code,
                          "(util/thread_annotations.h)");
     }
   }
+  if (ScanPruneRuleApplies(path)) {
+    // Expired-lease removal must go through the timer wheel: a full-scan
+    // iteration-erase loop is O(entries) per prune, which the million-site
+    // lease sweep shows collapsing against the wheel's O(expired). Keyed on
+    // the authoritative lease-state spellings so the (bounded) sweeps over
+    // pending-write sets stay out of scope.
+    // No trailing \b: members spell it `lease_until_`.
+    static const std::regex kLeaseState(R"(\b(lease_until|LeaseActive))");
+    if (std::regex_search(code, kLeaseState)) {
+      scanner.last_lease_context_line = line;
+    }
+    static const std::regex kIterErase(
+        R"(=\s*[A-Za-z_][A-Za-z0-9_.>\-]*\s*\.\s*erase\s*\(\s*[A-Za-z_][A-Za-z0-9_]*\s*\))");
+    if (std::regex_search(code, kIterErase) &&
+        line - scanner.last_lease_context_line <= 8) {
+      scanner.Report(line, kScanPrune,
+                     "iteration-erase prune over lease state scans every "
+                     "entry; index expiries through core::TimerWheel "
+                     "(see core/invalidation_table.cc)");
+    }
+  }
   if (NakedSendRuleApplies(path) && PathContains(path, "live")) {
     static const std::regex kNaked(R"((::|\b)(send|recv)\s*\(|::(write|read)\s*\()");
     // The unclassified one-way helper collapses timeout/refused into one
@@ -351,7 +383,7 @@ void ScanSimplePatterns(FileScanner& scanner, const std::string& code,
 
 std::vector<std::string_view> RuleIds() {
   return {kDeterminismClock, kUnorderedIter, kRawMutex, kEnumSwitchDefault,
-          kNakedSend};
+          kNakedSend, kScanPrune};
 }
 
 std::vector<Finding> LintFile(std::string_view path, std::string_view text) {

@@ -27,6 +27,12 @@
 //                           outside live/socket.cc — live I/O must flow
 //                           through the classified IoError path (short
 //                           writes, EAGAIN resume, peer-reset vs timeout).
+//   scan-prune              no iteration-erase prune loops over lease state
+//                           (lease_until / LeaseActive near an iterator
+//                           erase) outside core/timer_wheel.h and
+//                           core/site_list.h — a full scan is O(entries)
+//                           per prune; expiry must be indexed through the
+//                           timer wheel so pruning stays O(expired).
 //
 // Suppressions: `// webcc-lint: allow(<rule>)` on the offending line or the
 // line directly above silences one finding; `// webcc-lint:
