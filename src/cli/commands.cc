@@ -281,6 +281,31 @@ int RunReplayCommand(const Flags& flags, std::ostream& out,
   }
   config.mean_lifetime = FromSeconds(*lifetime_days * 86400);
   config.proxy_cache_bytes = static_cast<std::uint64_t>(*cache_mb) << 20;
+  // --cache-bytes overrides --cache-mb with an exact budget (the pressure
+  // ablation sweeps capacities far below 1 MB granularity).
+  const auto cache_bytes = flags.GetInt("cache-bytes", 0);
+  if (!cache_bytes || *cache_bytes < 0) {
+    err << "error: invalid --cache-bytes (must be >= 0)\n";
+    return 2;
+  }
+  if (*cache_bytes > 0) {
+    config.proxy_cache_bytes = static_cast<std::uint64_t>(*cache_bytes);
+  }
+  const std::string policy_name = flags.GetString("cache-policy", "");
+  if (!policy_name.empty() &&
+      !http::eviction::ParseEvictionPolicyKind(policy_name,
+                                               config.eviction_policy)) {
+    err << "error: unknown cache policy '" << policy_name << "' (valid: "
+        << http::eviction::ValidEvictionPolicyNames() << ")\n";
+    return 2;
+  }
+  const auto tier2_bytes = flags.GetInt("cache-tier2-bytes", 0);
+  if (!tier2_bytes || *tier2_bytes < 0) {
+    err << "error: invalid --cache-tier2-bytes (must be >= 0)\n";
+    return 2;
+  }
+  config.proxy_tier.tier2_capacity_bytes =
+      static_cast<std::uint64_t>(*tier2_bytes);
   const std::string lease_name = flags.GetString("lease", "");
   const bool two_tier_switch = flags.GetBool("two-tier");
   if (!lease_name.empty()) {
@@ -505,6 +530,12 @@ void PrintUsage(std::ostream& out) {
          "             [--lifetime-days D] [--lease-days L]\n"
          "             [--lease none|fixed|two-tier] [--two-tier]\n"
          "             [--multicast] [--decoupled] [--cache-mb N]\n"
+         "             [--cache-bytes N]  exact proxy-cache budget, overrides\n"
+         "             --cache-mb (the pressure ablation needs sub-MB steps)\n"
+         "             [--cache-policy lru|expired-first|gds]  eviction\n"
+         "             policy (default expired-first, Harvest's rule)\n"
+         "             [--cache-tier2-bytes N]  enable a large/cold second\n"
+         "             cache tier with its own byte budget (0 = off)\n"
          "             [--shards N]  consistent-hash the invalidation table\n"
          "             across N accelerator shards (default 1)\n"
          "             [--batch-window MS]  with --decoupled, hold each\n"

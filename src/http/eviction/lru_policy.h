@@ -1,0 +1,61 @@
+// Plain LRU and the paper's expired-first variant (Harvest's rule: prefer
+// evicting entries whose TTL has already lapsed, in expiry order, before
+// touching the recency order). Both are stateless over the host: recency
+// comes from the cache's LRU list and expiry candidates from its TTL heap,
+// which is what makes the extraction byte-identical to the pre-kernel
+// inlined EvictOne.
+#pragma once
+
+#include "http/eviction/expiry_heap.h"
+#include "http/eviction/policy.h"
+
+namespace webcc::http::eviction {
+
+class LruPolicy : public EvictionPolicy {
+ public:
+  EvictionPolicyKind kind() const override {
+    return EvictionPolicyKind::kLru;
+  }
+  void OnInsert(const EntryView&) override {}
+  void OnHit(const EntryView&) override {}
+  void OnErase(const EntryView&) override {}
+
+  Victim PickVictim(Time /*now*/, EvictionHost& host) override {
+    ++stats_.picks;
+    return Victim{host.LruTailKey(), /*expired_rule=*/false};
+  }
+};
+
+class ExpiredFirstLruPolicy : public EvictionPolicy {
+ public:
+  EvictionPolicyKind kind() const override {
+    return EvictionPolicyKind::kExpiredFirstLru;
+  }
+  void OnInsert(const EntryView&) override {}
+  void OnHit(const EntryView&) override {}
+  void OnErase(const EntryView&) override {}
+
+  Victim PickVictim(Time now, EvictionHost& host) override {
+    ExpiryHeap& heap = host.TtlHeap();
+    while (!heap.empty()) {
+      const ExpiryRecord top = heap.Top();
+      if (!host.TtlRecordLive(top.key, top.stamp)) {
+        heap.PopStale();  // superseded by SetTtlExpiry or a removed entry
+        continue;
+      }
+      if (top.expires > now) break;  // earliest expiry still fresh
+      // Expired but living in tier 2: not ours to evict (tier-2 cleanup
+      // reclaims it); fall back to LRU like the still-fresh case.
+      if (!host.InEvictableTier(top.key)) break;
+      host.NoteTtlRecordConsumed(top.key);
+      heap.PopLive();
+      ++stats_.picks;
+      ++stats_.expired_picks;
+      return Victim{top.key, /*expired_rule=*/true};
+    }
+    ++stats_.picks;
+    return Victim{host.LruTailKey(), /*expired_rule=*/false};
+  }
+};
+
+}  // namespace webcc::http::eviction

@@ -1,0 +1,63 @@
+#include "http/eviction/policy.h"
+
+#include <string>
+
+#include "http/eviction/gds_policy.h"
+#include "http/eviction/lru_policy.h"
+#include "util/check.h"
+
+namespace webcc::http::eviction {
+
+std::string_view ToString(EvictionPolicyKind kind) {
+  switch (kind) {
+    case EvictionPolicyKind::kLru:
+      return "lru";
+    case EvictionPolicyKind::kExpiredFirstLru:
+      return "expired-first";
+    case EvictionPolicyKind::kGds:
+      return "gds";
+  }
+  WEBCC_CHECK_MSG(false, "unknown EvictionPolicyKind");
+  return "";
+}
+
+bool ParseEvictionPolicyKind(std::string_view name, EvictionPolicyKind& out) {
+  if (name == "lru") {
+    out = EvictionPolicyKind::kLru;
+  } else if (name == "expired-first") {
+    out = EvictionPolicyKind::kExpiredFirstLru;
+  } else if (name == "gds") {
+    out = EvictionPolicyKind::kGds;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string_view ValidEvictionPolicyNames() { return "lru, expired-first, gds"; }
+
+void EvictionPolicy::ExportStats(obs::MetricsRegistry& registry,
+                                 std::string_view prefix) const {
+  const auto name = [&prefix](std::string_view leaf) {
+    std::string full(prefix);
+    full += leaf;
+    return full;
+  };
+  registry.SetCounter(name("policy_picks"), stats_.picks);
+  registry.SetCounter(name("policy_expired_picks"), stats_.expired_picks);
+}
+
+std::unique_ptr<EvictionPolicy> MakeEvictionPolicy(EvictionPolicyKind kind) {
+  switch (kind) {
+    case EvictionPolicyKind::kLru:
+      return std::make_unique<LruPolicy>();
+    case EvictionPolicyKind::kExpiredFirstLru:
+      return std::make_unique<ExpiredFirstLruPolicy>();
+    case EvictionPolicyKind::kGds:
+      return std::make_unique<GdsPolicy>();
+  }
+  WEBCC_CHECK_MSG(false, "unknown EvictionPolicyKind");
+  return nullptr;
+}
+
+}  // namespace webcc::http::eviction

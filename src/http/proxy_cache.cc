@@ -7,12 +7,26 @@
 
 namespace webcc::http {
 
-CacheEntry* ProxyCache::Lookup(const std::string& key) {
+CacheEntry* ProxyCache::Lookup(const std::string& key, Time now) {
   const core::InternId id = keys_.Find(key);
   if (id == core::kNoInternId) return nullptr;
   const auto it = index_.find(id);
   if (it == index_.end()) return nullptr;
-  lru_.splice(lru_.begin(), lru_, it->second);
+  CacheEntry& entry = *it->second;
+  if (entry.tier2_) {
+    ++entry.tier2_hits_;
+    // Promote a proven-hot entry back into tier 1 — unless it could never
+    // fit there (it stays a tier-2 resident for its lifetime).
+    if (entry.tier2_hits_ >= tier_.promotion_hits &&
+        entry.size_bytes <= capacity_bytes_) {
+      PromoteFromTier2(it->second, now);
+    } else {
+      tier2_lru_.splice(tier2_lru_.begin(), tier2_lru_, it->second);
+    }
+  } else {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    policy_->OnHit(ViewOf(entry));
+  }
   return &*it->second;
 }
 
@@ -23,18 +37,44 @@ CacheEntry* ProxyCache::Peek(const std::string& key) {
   return it == index_.end() ? nullptr : &*it->second;
 }
 
-void ProxyCache::PushTtlItem(const CacheEntry& entry) {
+void ProxyCache::PushTtlItem(CacheEntry& entry) {
   if (entry.ttl_expires == kNeverExpires) return;
-  ttl_heap_.push(
-      TtlHeapItem{entry.ttl_expires, entry.heap_stamp_, entry.key_id_});
+  ttl_heap_.Push(entry.ttl_expires, entry.heap_stamp_, entry.key_id_);
+  entry.heap_record_live_ = true;
+}
+
+void ProxyCache::CompactTtlHeap() {
+  ttl_heap_.CompactIfStale([this](const eviction::ExpiryRecord& r) {
+    const auto it = index_.find(r.key);
+    return it != index_.end() && it->second->heap_stamp_ == r.stamp;
+  });
+}
+
+std::uint64_t ProxyCache::DemotionWatermark() const {
+  return static_cast<std::uint64_t>(tier_.demotion_pressure *
+                                    static_cast<double>(capacity_bytes_));
 }
 
 void ProxyCache::Insert(CacheEntry entry, Time now) {
   entry.key_id_ = keys_.Intern(entry.key);
   entry.url_id_ = urls_.Intern(entry.url);
   EraseById(entry.key_id_);  // replace semantics
-  if (entry.size_bytes > capacity_bytes_) return;  // uncacheable
-  while (bytes_used_ + entry.size_bytes > capacity_bytes_) EvictOne(now);
+  if (tier_.enabled()) Tier2TtlCleanup(now);
+  if (entry.size_bytes > capacity_bytes_) {
+    // Too large for tier 1; the second tier takes it when it fits there.
+    if (tier_.enabled() && entry.size_bytes <= tier_.tier2_capacity_bytes) {
+      InsertIntoTier2(std::move(entry), now);
+      return;
+    }
+    ++stats_.oversize_rejections;
+    obs::Emit(trace_sink_, {.type = obs::EventType::kEviction,
+                            .at = now,
+                            .url = entry.url,
+                            .site = entry.owner,
+                            .detail = 2});
+    return;  // uncacheable
+  }
+  while (bytes_used_ + entry.size_bytes > capacity_bytes_) DisplaceOne(now);
 
   entry.heap_stamp_ = next_stamp_++;
   bytes_used_ += entry.size_bytes;
@@ -43,6 +83,30 @@ void ProxyCache::Insert(CacheEntry entry, Time now) {
   index_[lru_.front().key_id_] = lru_.begin();
   url_index_[lru_.front().url_id_].push_back(lru_.front().key_id_);
   PushTtlItem(lru_.front());
+  policy_->OnInsert(ViewOf(lru_.front()));
+
+  if (tier_.enabled()) {
+    // Demote ahead of the hard limit so the next burst lands in headroom
+    // instead of forcing synchronous evictions.
+    const std::uint64_t watermark = DemotionWatermark();
+    while (bytes_used_ > watermark && !lru_.empty()) DisplaceOne(now);
+  }
+}
+
+void ProxyCache::InsertIntoTier2(CacheEntry entry, Time now) {
+  entry.heap_stamp_ = next_stamp_++;
+  entry.tier2_ = true;
+  entry.tier2_hits_ = 0;
+  while (tier2_bytes_used_ + entry.size_bytes > tier_.tier2_capacity_bytes) {
+    EvictTier2Tail(now);
+  }
+  tier2_bytes_used_ += entry.size_bytes;
+  ++stats_.insertions;
+  tier2_lru_.push_front(std::move(entry));
+  index_[tier2_lru_.front().key_id_] = tier2_lru_.begin();
+  url_index_[tier2_lru_.front().url_id_].push_back(
+      tier2_lru_.front().key_id_);
+  PushTtlItem(tier2_lru_.front());
 }
 
 bool ProxyCache::Erase(const std::string& key) {
@@ -59,7 +123,7 @@ bool ProxyCache::EraseById(core::InternId key_id) {
 }
 
 void ProxyCache::RemoveEntry(LruList::iterator it) {
-  bytes_used_ -= it->size_bytes;
+  if (it->heap_record_live_) ttl_heap_.NoteStale();
   const auto url_it = url_index_.find(it->url_id_);
   if (url_it != url_index_.end()) {
     std::vector<core::InternId>& keys = url_it->second;
@@ -67,9 +131,17 @@ void ProxyCache::RemoveEntry(LruList::iterator it) {
     if (keys.empty()) url_index_.erase(url_it);
   }
   index_.erase(it->key_id_);
-  lru_.erase(it);
-  // Any TTL-heap items pointing at this key become stale and are skipped
-  // lazily (their stamp no longer matches a live entry).
+  if (it->tier2_) {
+    tier2_bytes_used_ -= it->size_bytes;
+    tier2_lru_.erase(it);
+  } else {
+    bytes_used_ -= it->size_bytes;
+    policy_->OnErase(ViewOf(*it));
+    lru_.erase(it);
+  }
+  // Any TTL-heap records pointing at this key became stale (NoteStale
+  // above) and are skipped lazily; compaction keeps them from piling up.
+  CompactTtlHeap();
 }
 
 std::size_t ProxyCache::EraseByUrl(const std::string& url) {
@@ -88,60 +160,144 @@ std::vector<CacheEntry*> ProxyCache::TakeExpired(Time now,
                                                  std::size_t max_items) {
   std::vector<CacheEntry*> expired;
   while (expired.size() < max_items && !ttl_heap_.empty()) {
-    const TtlHeapItem& top = ttl_heap_.top();
+    const eviction::ExpiryRecord top = ttl_heap_.Top();
     if (top.expires > now) break;
     const auto it = index_.find(top.key);
     if (it != index_.end() && it->second->heap_stamp_ == top.stamp) {
       expired.push_back(&*it->second);
+      it->second->heap_record_live_ = false;  // record consumed
+      ttl_heap_.PopLive();
+    } else {
+      ttl_heap_.PopStale();
     }
-    ttl_heap_.pop();
   }
   return expired;
 }
 
 void ProxyCache::SetTtlExpiry(CacheEntry& entry, Time expires) {
+  if (entry.heap_record_live_) {
+    ttl_heap_.NoteStale();  // the re-push supersedes the old record
+    entry.heap_record_live_ = false;
+  }
   entry.ttl_expires = expires;
   entry.heap_stamp_ = next_stamp_++;
   PushTtlItem(entry);
+  CompactTtlHeap();
 }
 
-void ProxyCache::EvictOne(Time now) {
+core::InternId ProxyCache::LruTailKey() const {
+  return std::prev(lru_.end())->key_id_;
+}
+
+bool ProxyCache::TtlRecordLive(core::InternId key,
+                               std::uint64_t stamp) const {
+  const auto it = index_.find(key);
+  return it != index_.end() && it->second->heap_stamp_ == stamp;
+}
+
+void ProxyCache::NoteTtlRecordConsumed(core::InternId key) {
+  const auto it = index_.find(key);
+  WEBCC_CHECK_MSG(it != index_.end(), "consuming a record with no entry");
+  it->second->heap_record_live_ = false;
+}
+
+bool ProxyCache::InEvictableTier(core::InternId key) const {
+  const auto it = index_.find(key);
+  return it != index_.end() && !it->second->tier2_;
+}
+
+void ProxyCache::DisplaceOne(Time now) {
   WEBCC_CHECK_MSG(!lru_.empty(), "eviction from an empty cache");
+  const eviction::Victim victim = policy_->PickVictim(now, *this);
+  const auto it = index_.find(victim.key);
+  WEBCC_CHECK_MSG(it != index_.end(), "policy picked a non-resident victim");
 
-  if (policy_ == ReplacementPolicy::kExpiredFirstLru) {
-    // Drop stale heap records, then evict the earliest-expiring entry if it
-    // is actually expired.
-    while (!ttl_heap_.empty()) {
-      const TtlHeapItem& top = ttl_heap_.top();
-      const auto it = index_.find(top.key);
-      if (it == index_.end() || it->second->heap_stamp_ != top.stamp) {
-        ttl_heap_.pop();
-        continue;
-      }
-      if (top.expires <= now) {
-        ++stats_.evictions;
-        ++stats_.expired_evictions;
-        obs::Emit(trace_sink_,
-                  {.type = obs::EventType::kEviction,
-                   .at = now,
-                   .url = it->second->url,
-                   .site = it->second->owner,
-                   .detail = 1});
-        RemoveEntry(it->second);
-        ttl_heap_.pop();
-        return;
-      }
-      break;  // earliest expiry is still fresh: fall back to LRU
+  // Pressure demotes instead of evicting when the second tier can hold the
+  // entry — except entries the expired-first rule chose: already-stale
+  // documents are not worth tier-2 space.
+  if (tier_.enabled() && !victim.expired_rule &&
+      it->second->size_bytes <= tier_.tier2_capacity_bytes) {
+    CacheEntry& entry = *it->second;
+    policy_->OnErase(ViewOf(entry));
+    bytes_used_ -= entry.size_bytes;
+    entry.tier2_ = true;
+    entry.tier2_hits_ = 0;
+    tier2_bytes_used_ += entry.size_bytes;
+    tier2_lru_.splice(tier2_lru_.begin(), lru_, it->second);
+    ++stats_.tier2_demotions;
+    while (tier2_bytes_used_ > tier_.tier2_capacity_bytes) {
+      EvictTier2Tail(now);
     }
+    return;
   }
+  EvictEntry(it->second, now, victim.expired_rule);
+}
 
+void ProxyCache::EvictEntry(LruList::iterator it, Time now,
+                            bool expired_rule) {
   ++stats_.evictions;
-  const auto victim = std::prev(lru_.end());
+  if (expired_rule) {
+    ++stats_.expired_evictions;
+    obs::Emit(trace_sink_, {.type = obs::EventType::kEviction,
+                            .at = now,
+                            .url = it->url,
+                            .site = it->owner,
+                            .detail = 1});
+  } else {
+    obs::Emit(trace_sink_, {.type = obs::EventType::kEviction,
+                            .at = now,
+                            .url = it->url,
+                            .site = it->owner});
+  }
+  RemoveEntry(it);
+}
+
+void ProxyCache::EvictTier2Tail(Time now) {
+  WEBCC_CHECK_MSG(!tier2_lru_.empty(), "eviction from an empty tier 2");
+  const auto victim = std::prev(tier2_lru_.end());
+  ++stats_.evictions;
+  ++stats_.tier2_evictions;
   obs::Emit(trace_sink_, {.type = obs::EventType::kEviction,
                           .at = now,
                           .url = victim->url,
-                          .site = victim->owner});
+                          .site = victim->owner,
+                          .detail = 3});
   RemoveEntry(victim);
+}
+
+void ProxyCache::PromoteFromTier2(LruList::iterator it, Time now) {
+  CacheEntry& entry = *it;
+  entry.tier2_ = false;
+  entry.tier2_hits_ = 0;
+  tier2_bytes_used_ -= entry.size_bytes;
+  bytes_used_ += entry.size_bytes;
+  lru_.splice(lru_.begin(), tier2_lru_, it);
+  policy_->OnInsert(ViewOf(entry));
+  ++stats_.tier2_promotions;
+  // The promotion may overshoot tier 1's budget; resolve like an insert
+  // would (the promoted entry sits at the front, so it is never its own
+  // displacement victim while anything else remains).
+  while (bytes_used_ > capacity_bytes_ && lru_.size() > 1) DisplaceOne(now);
+}
+
+void ProxyCache::Tier2TtlCleanup(Time now) {
+  std::vector<LruList::iterator> dead;
+  auto it = tier2_lru_.end();
+  for (std::size_t scanned = 0;
+       scanned < tier_.ttl_cleanup_per_tick && it != tier2_lru_.begin();
+       ++scanned) {
+    --it;
+    if (it->ttl_expires <= now) dead.push_back(it);
+  }
+  for (const LruList::iterator& victim : dead) {
+    ++stats_.tier2_expired_cleaned;
+    obs::Emit(trace_sink_, {.type = obs::EventType::kEviction,
+                            .at = now,
+                            .url = victim->url,
+                            .site = victim->owner,
+                            .detail = 4});
+    RemoveEntry(victim);
+  }
 }
 
 void ProxyCache::ExportMetrics(obs::MetricsRegistry& registry,
@@ -155,21 +311,33 @@ void ProxyCache::ExportMetrics(obs::MetricsRegistry& registry,
   registry.SetCounter(name("evictions"), stats_.evictions);
   registry.SetCounter(name("expired_evictions"), stats_.expired_evictions);
   registry.SetCounter(name("erased"), stats_.erased);
-  registry.SetCounter(name("bytes_used"), bytes_used_);
-  registry.SetCounter(name("entries"), lru_.size());
+  registry.SetCounter(name("bytes_used"), bytes_used());
+  registry.SetCounter(name("entries"), lru_.size() + tier2_lru_.size());
+  registry.SetCounter(name("oversize_rejections"), stats_.oversize_rejections);
+  registry.SetCounter(name("tier2_promotions"), stats_.tier2_promotions);
+  registry.SetCounter(name("tier2_demotions"), stats_.tier2_demotions);
+  registry.SetCounter(name("tier2_evictions"), stats_.tier2_evictions);
+  registry.SetCounter(name("tier2_expired_cleaned"),
+                      stats_.tier2_expired_cleaned);
+  registry.SetCounter(name("tier2_bytes_used"), tier2_bytes_used_);
+  registry.SetCounter(name("tier2_entries"), tier2_lru_.size());
+  policy_->ExportStats(registry, prefix);
 }
 
 void ProxyCache::MarkAllQuestionable() {
   for (CacheEntry& entry : lru_) entry.questionable = true;
+  for (CacheEntry& entry : tier2_lru_) entry.questionable = true;
 }
 
 std::size_t ProxyCache::MarkQuestionableWhere(
     const std::function<bool(const CacheEntry&)>& predicate) {
   std::size_t marked = 0;
-  for (CacheEntry& entry : lru_) {
-    if (!entry.questionable && predicate(entry)) {
-      entry.questionable = true;
-      ++marked;
+  for (LruList* list : {&lru_, &tier2_lru_}) {
+    for (CacheEntry& entry : *list) {
+      if (!entry.questionable && predicate(entry)) {
+        entry.questionable = true;
+        ++marked;
+      }
     }
   }
   return marked;

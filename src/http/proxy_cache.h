@@ -2,19 +2,25 @@
 //
 // Entries are namespaced per real client (the replay inserts composite
 // url+client keys built by http::ComposeCacheKey, so one proxy process
-// hosts many independent per-client caches exactly as the paper does). Two replacement policies are
-// provided:
+// hosts many independent per-client caches exactly as the paper does).
 //
-//  * kLru             — plain least-recently-used.
-//  * kExpiredFirstLru — Harvest's policy: evict documents whose TTL has
-//                       already expired before falling back to LRU. The
-//                       paper traces its SASK hit-ratio anomaly to this
-//                       policy interacting with adaptive TTL's conservative
-//                       lifetimes (a freshly modified document gets a short
-//                       TTL and is evicted first despite being hot).
+// Replacement is delegated to the eviction kernel (src/http/eviction/): the
+// cache owns all storage and indexes — the LRU list, the interned key/url
+// maps, and the TTL expiry heap — and an EvictionPolicy strategy chooses
+// every victim through the narrow EvictionHost view. Three policies ship:
+// plain LRU, Harvest's expired-first LRU (the paper traces its SASK
+// hit-ratio anomaly to this policy interacting with adaptive TTL's
+// conservative lifetimes — a freshly modified document gets a short TTL and
+// is evicted first despite being hot), and GreedyDual-Size.
 //
-// Consistency state (TTL expiry, lease expiry, questionable flag) lives on
-// the entry; the protocol logic that interprets it lives in core/.
+// An optional second tier (TierConfig) absorbs tier-1 pressure: victims
+// that still fit the tier-2 budget are demoted instead of evicted, and a
+// tier-2 entry is promoted back after `promotion_hits` hits. Consistency
+// state (TTL expiry, lease expiry, questionable flag) lives on the entry
+// and is tier-blind: EraseByUrl, MarkAllQuestionable and TakeExpired see
+// both tiers, so all five consistency protocols run unchanged over a
+// tiered cache. With tiering off (the default) behavior is bit-identical
+// to the single-tier cache.
 //
 // Internally every key and URL is interned to a dense integer id
 // (core::Interner): the entry index, the per-URL index, and the TTL heap
@@ -24,24 +30,40 @@
 
 #include <cstdint>
 #include <functional>
-#include <limits>
 #include <list>
-#include <queue>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/intern.h"
+#include "http/eviction/expiry_heap.h"
+#include "http/eviction/policy.h"
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
 #include "util/time.h"
 
 namespace webcc::http {
 
-// Sentinel expiry for "never expires" (strong-consistency entries).
-inline constexpr Time kNeverExpires = std::numeric_limits<Time>::max();
+// The historical name for the policy selector, kept as an alias now that
+// the enum lives in the eviction kernel.
+using ReplacementPolicy = eviction::EvictionPolicyKind;
 
-enum class ReplacementPolicy { kLru, kExpiredFirstLru };
+// Optional large/cold second tier. Disabled (tier2_capacity_bytes == 0) the
+// cache is the classic single-tier LRU structure.
+struct TierConfig {
+  std::uint64_t tier2_capacity_bytes = 0;  // 0 = tiering disabled
+  // Tier-2 hits before an entry is promoted back into tier 1.
+  std::uint32_t promotion_hits = 3;
+  // Insert demotes tier-1 entries until bytes fall under this fraction of
+  // capacity, keeping headroom so bursts demote instead of evicting.
+  double demotion_pressure = 0.90;
+  // Expired tier-2 entries reclaimed per Insert (tier 2 is scanned from the
+  // cold end; tier-1 expiry is the TTL heap's job).
+  std::size_t ttl_cleanup_per_tick = 8;
+
+  bool enabled() const { return tier2_capacity_bytes > 0; }
+};
 
 struct CacheEntry {
   std::string key;  // http::ComposeCacheKey(url, owner)
@@ -62,6 +84,11 @@ struct CacheEntry {
   std::uint64_t heap_stamp_ = 0;  // lazy-deletion marker for the TTL heap
   core::InternId key_id_ = core::kNoInternId;
   core::InternId url_id_ = core::kNoInternId;
+  // This entry's (key, heap_stamp_) record is in the TTL heap and has not
+  // been consumed — the heap's exact live count hangs off this flag.
+  bool heap_record_live_ = false;
+  bool tier2_ = false;            // resident in the second tier
+  std::uint32_t tier2_hits_ = 0;  // hits since demotion (promotion counter)
 };
 
 struct ProxyCacheStats {
@@ -69,25 +96,38 @@ struct ProxyCacheStats {
   std::uint64_t evictions = 0;
   std::uint64_t expired_evictions = 0;  // evicted via the expired-first rule
   std::uint64_t erased = 0;             // removed by invalidation
+  // Objects larger than every budget that could hold them, dropped at
+  // Insert (kEviction trace detail 2).
+  std::uint64_t oversize_rejections = 0;
+  std::uint64_t tier2_promotions = 0;  // tier 2 -> tier 1
+  std::uint64_t tier2_demotions = 0;   // tier 1 -> tier 2 under pressure
+  std::uint64_t tier2_evictions = 0;   // evicted from tier 2 (detail 3)
+  std::uint64_t tier2_expired_cleaned = 0;  // reclaimed by cleanup (detail 4)
 };
 
-class ProxyCache {
+class ProxyCache : private eviction::EvictionHost {
  public:
-  ProxyCache(std::uint64_t capacity_bytes, ReplacementPolicy policy)
-      : capacity_bytes_(capacity_bytes), policy_(policy) {}
+  ProxyCache(std::uint64_t capacity_bytes, ReplacementPolicy policy,
+             TierConfig tier = TierConfig{})
+      : capacity_bytes_(capacity_bytes),
+        tier_(tier),
+        policy_(eviction::MakeEvictionPolicy(policy)) {}
 
   ProxyCache(const ProxyCache&) = delete;
   ProxyCache& operator=(const ProxyCache&) = delete;
 
   // Returns the entry and promotes it to most-recently-used, or nullptr.
   // The pointer stays valid until the next Insert/Erase on this cache.
-  CacheEntry* Lookup(const std::string& key);
+  // `now` stamps any trace events a tier promotion's pressure resolution
+  // emits; callers without a clock may omit it.
+  CacheEntry* Lookup(const std::string& key, Time now = 0);
 
   // Lookup without the LRU promotion (for metrics/tests).
   CacheEntry* Peek(const std::string& key);
 
   // Inserts (or replaces) an entry, evicting per the policy until it fits.
-  // Objects larger than the whole cache are not cached. `now` is the
+  // Objects larger than the whole cache are dropped (counted as
+  // oversize_rejections) unless the second tier can hold them. `now` is the
   // protocol time used to judge which entries are expired.
   void Insert(CacheEntry entry, Time now);
 
@@ -102,11 +142,11 @@ class ProxyCache {
   // performs). Returns the number of entries removed.
   std::size_t EraseByUrl(const std::string& url);
 
-  // Collects up to `max_items` live entries whose TTL has expired at `now`,
-  // consuming their expiry-index records: the caller must either erase each
-  // returned entry or re-arm it with SetTtlExpiry (PCV does one or the
-  // other after the bulk validation). Pointers stay valid until the next
-  // Insert/Erase.
+  // Collects up to `max_items` live entries (either tier) whose TTL has
+  // expired at `now`, consuming their expiry-index records: the caller must
+  // either erase each returned entry or re-arm it with SetTtlExpiry (PCV
+  // does one or the other after the bulk validation). Pointers stay valid
+  // until the next Insert/Erase.
   std::vector<CacheEntry*> TakeExpired(Time now, std::size_t max_items);
 
   // Proxy-recovery sweep: every entry must revalidate before serving.
@@ -117,14 +157,25 @@ class ProxyCache {
   std::size_t MarkQuestionableWhere(
       const std::function<bool(const CacheEntry&)>& predicate);
 
-  std::uint64_t bytes_used() const { return bytes_used_; }
+  std::uint64_t bytes_used() const { return bytes_used_ + tier2_bytes_used_; }
+  std::uint64_t tier1_bytes_used() const { return bytes_used_; }
+  std::uint64_t tier2_bytes_used() const { return tier2_bytes_used_; }
   std::uint64_t capacity_bytes() const { return capacity_bytes_; }
-  std::size_t entry_count() const { return lru_.size(); }
+  std::size_t entry_count() const { return lru_.size() + tier2_lru_.size(); }
+  std::size_t tier2_entry_count() const { return tier2_lru_.size(); }
   const ProxyCacheStats& stats() const { return stats_; }
+  ReplacementPolicy policy_kind() const { return policy_->kind(); }
+  const TierConfig& tier_config() const { return tier_; }
+
+  // Exposed for the heap-growth regression test: total records including
+  // stale ones awaiting compaction.
+  std::size_t ttl_heap_size() const { return ttl_heap_.size(); }
 
   // Optional tracing: when set, every eviction emits a kEviction event
-  // stamped with the `now` the mutating call received (detail = 1 when the
-  // expired-first rule chose the victim). nullptr (the default) disables.
+  // stamped with the `now` the mutating call received. detail codes:
+  // 0 = policy victim, 1 = expired-first rule, 2 = oversize rejection,
+  // 3 = tier-2 eviction, 4 = tier-2 expired cleanup. nullptr (the default)
+  // disables.
   void set_trace_sink(obs::TraceSink* sink) { trace_sink_ = sink; }
 
   // Snapshots the cache's counters and occupancy into `registry`, prefixing
@@ -133,28 +184,39 @@ class ProxyCache {
                      std::string_view prefix) const;
 
  private:
-  struct TtlHeapItem {
-    Time expires;
-    std::uint64_t stamp;
-    core::InternId key;
-    // Ties on expiry break by stamp (insertion/update order), making the
-    // expired-first victim deterministic.
-    bool operator>(const TtlHeapItem& other) const {
-      if (expires != other.expires) return expires > other.expires;
-      return stamp > other.stamp;
-    }
-  };
-
   using LruList = std::list<CacheEntry>;
 
+  // EvictionHost — the policy's window into the indexes.
+  core::InternId LruTailKey() const override;
+  eviction::ExpiryHeap& TtlHeap() override { return ttl_heap_; }
+  bool TtlRecordLive(core::InternId key, std::uint64_t stamp) const override;
+  void NoteTtlRecordConsumed(core::InternId key) override;
+  bool InEvictableTier(core::InternId key) const override;
+
+  static eviction::EntryView ViewOf(const CacheEntry& entry) {
+    return eviction::EntryView{entry.key_id_, entry.size_bytes,
+                               entry.ttl_expires, entry.heap_stamp_};
+  }
+
   bool EraseById(core::InternId key_id);
-  void EvictOne(Time now);
+  // Frees tier-1 space for one entry: the policy's victim is demoted into
+  // tier 2 when it fits (and is not already expired), evicted otherwise.
+  void DisplaceOne(Time now);
+  void EvictEntry(LruList::iterator it, Time now, bool expired_rule);
+  void EvictTier2Tail(Time now);
+  void InsertIntoTier2(CacheEntry entry, Time now);
+  void PromoteFromTier2(LruList::iterator it, Time now);
+  void Tier2TtlCleanup(Time now);
   void RemoveEntry(LruList::iterator it);
-  void PushTtlItem(const CacheEntry& entry);
+  void PushTtlItem(CacheEntry& entry);
+  void CompactTtlHeap();
+  std::uint64_t DemotionWatermark() const;
 
   std::uint64_t capacity_bytes_;
-  ReplacementPolicy policy_;
-  std::uint64_t bytes_used_ = 0;
+  TierConfig tier_;
+  std::unique_ptr<eviction::EvictionPolicy> policy_;
+  std::uint64_t bytes_used_ = 0;        // tier 1
+  std::uint64_t tier2_bytes_used_ = 0;  // tier 2
   std::uint64_t next_stamp_ = 1;
 
   // Interned namespaces. Ids are dense and never recycled, so the tables
@@ -162,14 +224,13 @@ class ProxyCache {
   core::Interner keys_;
   core::Interner urls_;
 
-  LruList lru_;  // front = most recently used
+  LruList lru_;        // tier 1; front = most recently used
+  LruList tier2_lru_;  // tier 2; front = most recently touched
   std::unordered_map<core::InternId, LruList::iterator> index_;  // by key id
   // url id -> key ids of the entries caching it (one per owner), in
   // insertion order (keeps EraseByUrl deterministic).
   std::unordered_map<core::InternId, std::vector<core::InternId>> url_index_;
-  std::priority_queue<TtlHeapItem, std::vector<TtlHeapItem>,
-                      std::greater<TtlHeapItem>>
-      ttl_heap_;
+  eviction::ExpiryHeap ttl_heap_;
   ProxyCacheStats stats_;
   obs::TraceSink* trace_sink_ = nullptr;
 };

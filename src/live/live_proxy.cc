@@ -44,7 +44,8 @@ bool LiveProxy::Start() {
   port_ = listener_->port();
   {
     const util::MutexLock lock(mutex_);
-    cache_.emplace(options_.cache_bytes, options_.replacement);
+    cache_.emplace(options_.cache_bytes, options_.eviction_policy,
+                   options_.cache_tier);
     cache_->set_trace_sink(options_.trace_sink);  // eviction events
   }
   running_.store(true);
@@ -91,7 +92,7 @@ LiveProxy::FetchResult LiveProxy::Fetch(const std::string& client_name,
 
   {
     const util::MutexLock lock(mutex_);
-    http::CacheEntry* entry = cache_->Lookup(key);
+    http::CacheEntry* entry = cache_->Lookup(key, now);
     if (entry != nullptr) {
       const core::consistency::HitDecision decision =
           policy_->OnHit(MetaOf(*entry), now);

@@ -39,8 +39,9 @@ class LiveProxy {
     core::AdaptiveTtlConfig ttl;
     core::PiggybackConfig piggyback;
     std::uint64_t cache_bytes = 64ull * 1024 * 1024;
-    http::ReplacementPolicy replacement =
-        http::ReplacementPolicy::kExpiredFirstLru;
+    http::eviction::EvictionPolicyKind eviction_policy =
+        http::eviction::EvictionPolicyKind::kExpiredFirstLru;
+    http::TierConfig cache_tier;
     // Optional structured-event sink (not owned; must outlive the proxy).
     // Must be internally synchronized: Fetch() callers and the accept loop
     // emit concurrently.

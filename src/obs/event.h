@@ -51,7 +51,9 @@ enum class EventType : std::uint8_t {
   kInvalidateServer,     // server-address INVALIDATE (recovery broadcast)
 
   // --- cache / infrastructure ----------------------------------------------
-  kEviction,       // proxy cache eviction; detail: 1 = expired-first rule
+  kEviction,       // proxy cache eviction; detail: 1 = expired-first rule,
+                   // 2 = oversize rejection, 3 = tier-2 eviction,
+                   // 4 = tier-2 expired cleanup
   kModification,   // modifier touched a document == modifications_applied
   kNotify,         // check-in NOTIFY processed   == notifies
   kPartition,      // a link was cut

@@ -55,8 +55,9 @@ void Engine::Setup() {
     PseudoClient& pc = clients_[i];
     pc.index = static_cast<int>(i);
     pc.node = static_cast<sim::NodeId>(i);
-    pc.cache = std::make_unique<http::ProxyCache>(config_.proxy_cache_bytes,
-                                                  config_.replacement);
+    pc.cache = std::make_unique<http::ProxyCache>(
+        config_.proxy_cache_bytes, config_.eviction_policy,
+        config_.proxy_tier);
     pc.cache->set_trace_sink(sink_);
   }
   psi_last_contact_.assign(config_.num_pseudo_clients, 0);
@@ -183,7 +184,8 @@ void Engine::Setup() {
                     "hierarchical mode is defined for the invalidation "
                     "protocol only");
     parent_cache_ = std::make_unique<http::ProxyCache>(
-        config_.proxy_cache_bytes * 4, config_.replacement);
+        config_.proxy_cache_bytes * 4, config_.eviction_policy,
+        config_.proxy_tier);
     parent_cache_->set_trace_sink(sink_);
     parent_table_ = std::make_unique<core::InvalidationTable>(
         core::LeaseConfig{});
@@ -258,6 +260,10 @@ ReplayMetrics Engine::Run() {
   for (const PseudoClient& pc : clients_) {
     metrics_.proxy_evictions += pc.cache->stats().evictions;
     metrics_.proxy_expired_evictions += pc.cache->stats().expired_evictions;
+    metrics_.proxy_oversize_rejections +=
+        pc.cache->stats().oversize_rejections;
+    metrics_.proxy_tier2_promotions += pc.cache->stats().tier2_promotions;
+    metrics_.proxy_tier2_demotions += pc.cache->stats().tier2_demotions;
   }
 
   if (sink_ != nullptr) {
@@ -414,7 +420,8 @@ void Engine::IssueNext(PseudoClient& pc) {
                                  ? proxy_site_names_[pc.index]
                                  : trace_.clients[record.client];
   const Time trace_time = record.timestamp;
-  http::CacheEntry* entry = pc.cache->Lookup(http::ComposeCacheKey(url, owner));
+  http::CacheEntry* entry =
+      pc.cache->Lookup(http::ComposeCacheKey(url, owner), trace_time);
 
   bool validate = false;       // IMS instead of a full GET
   bool lease_renewal = false;  // the IMS exists only because a lease lapsed

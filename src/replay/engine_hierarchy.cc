@@ -16,8 +16,8 @@ void Engine::ParentHandle(const net::Request& request, int client_index,
   parent_table_->Register(request.url, "leaf-" + std::to_string(client_index),
                           net::MessageType::kGet, trace_time);
 
-  http::CacheEntry* entry =
-      parent_cache_->Lookup(http::ComposeCacheKey(request.url, "parent"));
+  http::CacheEntry* entry = parent_cache_->Lookup(
+      http::ComposeCacheKey(request.url, "parent"), trace_time);
   if (entry != nullptr && !entry->questionable &&
       request.type == net::MessageType::kGet) {
     // Served from the parent's shared cache: no server involvement.

@@ -87,6 +87,10 @@ void ReplayMetrics::ExportTo(obs::MetricsRegistry& registry) const {
   registry.SetCounter("replay.proxy_evictions", proxy_evictions);
   registry.SetCounter("replay.proxy_expired_evictions",
                       proxy_expired_evictions);
+  registry.SetCounter("replay.proxy_oversize_rejections",
+                      proxy_oversize_rejections);
+  registry.SetCounter("replay.proxy_tier2_promotions", proxy_tier2_promotions);
+  registry.SetCounter("replay.proxy_tier2_demotions", proxy_tier2_demotions);
   registry.SetCounter("replay.sim_events_executed", sim_events_executed);
   registry.SetCounter("replay.sim_peak_queue_depth", sim_peak_queue_depth);
 
@@ -172,6 +176,9 @@ bool SameSimulation(const ReplayMetrics& a, const ReplayMetrics& b) {
          a.invalidations_refused == b.invalidations_refused &&
          a.proxy_evictions == b.proxy_evictions &&
          a.proxy_expired_evictions == b.proxy_expired_evictions &&
+         a.proxy_oversize_rejections == b.proxy_oversize_rejections &&
+         a.proxy_tier2_promotions == b.proxy_tier2_promotions &&
+         a.proxy_tier2_demotions == b.proxy_tier2_demotions &&
          a.sim_events_executed == b.sim_events_executed &&
          a.sim_peak_queue_depth == b.sim_peak_queue_depth;
 }

@@ -1,0 +1,23 @@
+// Fixture: a hand-rolled byte-budget eviction loop — freeing space by
+// erasing the coldest entry directly instead of asking the eviction
+// kernel. The victim choice bypasses the policy's stats, the kEviction
+// trace event, and any tier-2 demotion.
+#include <list>
+#include <string>
+#include <unordered_map>
+
+struct NakedEvictCache {
+  std::list<std::string> lru_;
+  std::unordered_map<std::string, unsigned long long> sizes_;
+  unsigned long long bytes_used_ = 0;
+  unsigned long long capacity_bytes_ = 0;
+
+  void MakeRoom(unsigned long long incoming) {
+    while (bytes_used_ + incoming > capacity_bytes_) {
+      const std::string victim = lru_.back();
+      lru_.pop_back();
+      bytes_used_ -= sizes_[victim];
+      sizes_.erase(victim);
+    }
+  }
+};

@@ -79,9 +79,12 @@ std::string StripCallbackPort(std::string_view site) {
 }
 
 // Records the protocol-decision subset of the event stream in arrival
-// order. Timing- and infrastructure-only types (evictions, stale-serve
-// accounting, run framing, lease-expiry pruning) are excluded: they either
-// exist in only one stack or depend on clock values.
+// order, plus cache evictions: given identical request sequences both
+// stacks must pick identical victims (the eviction kernel's decisions are
+// clock-independent under the script's TTL configurations). Purely
+// timing-dependent types (stale-serve accounting, run framing, lease-expiry
+// pruning) stay excluded: they either exist in only one stack or depend on
+// clock values.
 class RecordingSink final : public obs::TraceSink {
  public:
   void Emit(const obs::TraceEvent& event) override {
@@ -89,6 +92,7 @@ class RecordingSink final : public obs::TraceSink {
     switch (event.type) {
       case obs::EventType::kImsSent:        // lease_renewal flag
       case obs::EventType::kRequestServed:  // ServeKind
+      case obs::EventType::kEviction:       // victim rule / tier detail code
         detail = event.detail;
         break;
       case obs::EventType::kGetSent:
@@ -128,6 +132,26 @@ std::uint32_t TestShards() {
 }
 
 // --- the scripted sequence ---------------------------------------------------
+
+struct Combo {
+  Protocol protocol;
+  LeaseMode lease;
+  http::ReplacementPolicy policy = http::ReplacementPolicy::kExpiredFirstLru;
+  // 0 keeps each stack's roomy default (no eviction pressure); the
+  // eviction combos shrink it below kSizeA + kSizeB so every policy has
+  // victims to choose.
+  std::uint64_t cache_bytes = 0;
+  bool tiered = false;
+
+  http::TierConfig tier() const {
+    http::TierConfig tier;
+    if (tiered) {
+      tier.tier2_capacity_bytes = 70000;  // holds one /b plus an /a
+      tier.promotion_hits = 2;
+    }
+    return tier;
+  }
+};
 
 struct Step {
   enum Kind { kFetch, kTouch };
@@ -191,12 +215,13 @@ bool WaitFor(Predicate predicate,
   return predicate();
 }
 
-std::vector<NormEvent> RunLive(Protocol protocol, LeaseMode mode) {
+std::vector<NormEvent> RunLive(const Combo& combo) {
+  const Protocol protocol = combo.protocol;
   RecordingSink sink;
 
   live::LiveServer::Options server_options;
   server_options.protocol = protocol;
-  server_options.lease = LeaseFor(mode);
+  server_options.lease = LeaseFor(combo.lease);
   server_options.shards = TestShards();
   server_options.trace_sink = &sink;
   live::LiveServer server(server_options);
@@ -208,6 +233,9 @@ std::vector<NormEvent> RunLive(Protocol protocol, LeaseMode mode) {
   proxy_options.server_port = server.port();
   proxy_options.protocol = protocol;
   proxy_options.ttl = TtlFor(protocol);
+  proxy_options.eviction_policy = combo.policy;
+  if (combo.cache_bytes > 0) proxy_options.cache_bytes = combo.cache_bytes;
+  proxy_options.cache_tier = combo.tier();
   proxy_options.trace_sink = &sink;
   live::LiveProxy proxy(proxy_options);
   EXPECT_TRUE(proxy.Start());
@@ -234,7 +262,8 @@ std::vector<NormEvent> RunLive(Protocol protocol, LeaseMode mode) {
 
 // --- replay run --------------------------------------------------------------
 
-std::vector<NormEvent> RunReplayScript(Protocol protocol, LeaseMode mode) {
+std::vector<NormEvent> RunReplayScript(const Combo& combo) {
+  const Protocol protocol = combo.protocol;
   // One step per lockstep interval: the coordinator barrier makes the
   // simulator's global event order equal the script order.
   constexpr Time kStep = kMinute;
@@ -266,7 +295,10 @@ std::vector<NormEvent> RunReplayScript(Protocol protocol, LeaseMode mode) {
   config.explicit_modifications = modifications;
   config.num_pseudo_clients = 1;  // the live side is one shared proxy
   config.ttl = TtlFor(protocol);
-  config.lease = LeaseFor(mode);
+  config.lease = LeaseFor(combo.lease);
+  config.eviction_policy = combo.policy;
+  if (combo.cache_bytes > 0) config.proxy_cache_bytes = combo.cache_bytes;
+  config.proxy_tier = combo.tier();
   config.accelerator_shards = TestShards();
   config.lockstep_interval = kStep;
   config.fixed_initial_age = 0;  // documents born at t=0, as in live
@@ -277,15 +309,15 @@ std::vector<NormEvent> RunReplayScript(Protocol protocol, LeaseMode mode) {
 
 // --- the differential assertion ---------------------------------------------
 
-struct Combo {
-  Protocol protocol;
-  LeaseMode lease;
-};
-
 std::string ComboName(const ::testing::TestParamInfo<Combo>& info) {
   std::string name = core::ToString(info.param.protocol);
   name += "_";
   name += core::ToString(info.param.lease);
+  if (info.param.cache_bytes > 0) {
+    name += "_";
+    name += http::eviction::ToString(info.param.policy);
+    name += info.param.tiered ? "_tiered" : "_flat";
+  }
   for (char& c : name) {
     if (std::isalnum(static_cast<unsigned char>(c)) == 0) c = '_';
   }
@@ -295,10 +327,8 @@ std::string ComboName(const ::testing::TestParamInfo<Combo>& info) {
 class DifferentialTest : public ::testing::TestWithParam<Combo> {};
 
 TEST_P(DifferentialTest, ReplayAndLiveStacksDecideIdentically) {
-  const std::vector<NormEvent> replayed =
-      RunReplayScript(GetParam().protocol, GetParam().lease);
-  const std::vector<NormEvent> lived =
-      RunLive(GetParam().protocol, GetParam().lease);
+  const std::vector<NormEvent> replayed = RunReplayScript(GetParam());
+  const std::vector<NormEvent> lived = RunLive(GetParam());
 
   // The script exercises real traffic: an empty trace means the harness is
   // broken, not that the stacks agree.
@@ -311,25 +341,43 @@ TEST_P(DifferentialTest, ReplayAndLiveStacksDecideIdentically) {
   ASSERT_EQ(replayed.size(), lived.size());
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    AllProtocolsAndLeases, DifferentialTest,
-    ::testing::Values(
-        Combo{Protocol::kAdaptiveTtl, LeaseMode::kNone},
-        Combo{Protocol::kAdaptiveTtl, LeaseMode::kFixed},
-        Combo{Protocol::kAdaptiveTtl, LeaseMode::kTwoTier},
-        Combo{Protocol::kPollEveryTime, LeaseMode::kNone},
-        Combo{Protocol::kPollEveryTime, LeaseMode::kFixed},
-        Combo{Protocol::kPollEveryTime, LeaseMode::kTwoTier},
-        Combo{Protocol::kInvalidation, LeaseMode::kNone},
-        Combo{Protocol::kInvalidation, LeaseMode::kFixed},
-        Combo{Protocol::kInvalidation, LeaseMode::kTwoTier},
-        Combo{Protocol::kPiggybackValidation, LeaseMode::kNone},
-        Combo{Protocol::kPiggybackValidation, LeaseMode::kFixed},
-        Combo{Protocol::kPiggybackValidation, LeaseMode::kTwoTier},
-        Combo{Protocol::kPiggybackInvalidation, LeaseMode::kNone},
-        Combo{Protocol::kPiggybackInvalidation, LeaseMode::kFixed},
-        Combo{Protocol::kPiggybackInvalidation, LeaseMode::kTwoTier}),
-    ComboName);
+constexpr Protocol kAllProtocols[] = {
+    Protocol::kAdaptiveTtl,          Protocol::kPollEveryTime,
+    Protocol::kInvalidation,         Protocol::kPiggybackValidation,
+    Protocol::kPiggybackInvalidation};
+
+std::vector<Combo> AllCombos() {
+  std::vector<Combo> combos;
+  // Protocol × lease sweep at the roomy default capacity (no evictions).
+  for (const Protocol protocol : kAllProtocols) {
+    for (const LeaseMode lease :
+         {LeaseMode::kNone, LeaseMode::kFixed, LeaseMode::kTwoTier}) {
+      combos.push_back(Combo{protocol, lease});
+    }
+  }
+  // Protocol × policy × tiering sweep under eviction pressure: the cache
+  // cannot hold /a plus /b, so every Insert past the first few displaces a
+  // victim, and both stacks must displace the same one (kEviction events
+  // are part of the compared stream).
+  for (const Protocol protocol : kAllProtocols) {
+    for (const http::ReplacementPolicy policy :
+         {http::ReplacementPolicy::kLru,
+          http::ReplacementPolicy::kExpiredFirstLru,
+          http::ReplacementPolicy::kGds}) {
+      for (const bool tiered : {false, true}) {
+        Combo combo{protocol, LeaseMode::kNone};
+        combo.policy = policy;
+        combo.cache_bytes = 66000;  // < kSizeA + kSizeB
+        combo.tiered = tiered;
+        combos.push_back(combo);
+      }
+    }
+  }
+  return combos;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocolsAndLeases, DifferentialTest,
+                         ::testing::ValuesIn(AllCombos()), ComboName);
 
 }  // namespace
 }  // namespace webcc

@@ -39,7 +39,7 @@ bool HasRule(const std::vector<Finding>& findings, std::string_view rule) {
 TEST(LintRules, RuleIdsAreStable) {
   const std::vector<std::string_view> expected = {
       "determinism-clock", "unordered-iter-in-dump", "raw-mutex",
-      "enum-switch-default", "naked-send", "scan-prune"};
+      "enum-switch-default", "naked-send", "scan-prune", "naked-evict"};
   EXPECT_EQ(RuleIds(), expected);
 }
 
@@ -70,7 +70,8 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"enum_switch_violation.cc", "enum-switch-default"},
         FixtureCase{"live_naked_send_violation.cc", "naked-send"},
         FixtureCase{"live_unclassified_send_violation.cc", "naked-send"},
-        FixtureCase{"scan_prune_violation.cc", "scan-prune"}),
+        FixtureCase{"scan_prune_violation.cc", "scan-prune"},
+        FixtureCase{"naked_evict_violation.cc", "naked-evict"}),
     [](const ::testing::TestParamInfo<FixtureCase>& info) {
       // Fixture file stem: unique even when two fixtures share a rule.
       std::string name = info.param.file;
@@ -104,6 +105,15 @@ TEST(LintCli, WheelPruneCounterpartIsClean) {
   // The pair fixture of scan_prune_violation.cc: the same expiry work
   // through the wheel's authority callback produces no scan-prune finding.
   const RunResult result = RunCli({FixturePath("scan_prune_clean.cc")});
+  EXPECT_EQ(result.exit_code, 0) << result.out << result.err;
+  EXPECT_TRUE(result.out.empty()) << result.out;
+}
+
+TEST(LintCli, KernelBackedEvictCounterpartIsClean) {
+  // The pair fixture of naked_evict_violation.cc: the same pressure routed
+  // through the proxy cache's eviction kernel produces no naked-evict
+  // finding.
+  const RunResult result = RunCli({FixturePath("naked_evict_clean.cc")});
   EXPECT_EQ(result.exit_code, 0) << result.out << result.err;
   EXPECT_TRUE(result.out.empty()) << result.out;
 }
@@ -260,6 +270,33 @@ TEST(LintRules, WheelInternalsExemptFromScanPrune) {
       HasRule(LintFile("src/core/timer_wheel.h", text), "scan-prune"));
   EXPECT_FALSE(HasRule(LintFile("src/core/site_list.h", text), "scan-prune"));
   EXPECT_TRUE(HasRule(LintFile("src/core/table.cc", text), "scan-prune"));
+}
+
+TEST(LintRules, NakedEvictFlagsBudgetEraseOutsideKernel) {
+  const std::string text =
+      "void MakeRoom(unsigned long long incoming) {\n"
+      "  while (bytes_used_ + incoming > capacity_bytes_) {\n"
+      "    bytes_used_ -= sizes_[lru_.back()];\n"
+      "    sizes_.erase(lru_.back());\n"
+      "    lru_.pop_back();\n"
+      "  }\n"
+      "}\n";
+  EXPECT_TRUE(HasRule(LintFile("src/replay/x.cc", text), "naked-evict"));
+  // The kernel and its host cache own the sanctioned loop.
+  EXPECT_FALSE(HasRule(LintFile("src/http/proxy_cache.cc", text), "naked-evict"));
+  EXPECT_FALSE(
+      HasRule(LintFile("src/http/eviction/gds_policy.h", text), "naked-evict"));
+}
+
+TEST(LintRules, NakedEvictIgnoresEraseWithoutBudgetContext) {
+  // Plain container maintenance near no byte budget is not an eviction loop.
+  const std::vector<Finding> findings = LintFile(
+      "src/replay/x.cc",
+      "void Forget(const std::string& key) {\n"
+      "  sizes_.erase(key);\n"
+      "  order_.pop_back();\n"
+      "}\n");
+  EXPECT_FALSE(HasRule(findings, "naked-evict"));
 }
 
 TEST(LintRules, AllowOnPreviousLineSuppresses) {

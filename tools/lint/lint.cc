@@ -18,6 +18,7 @@ constexpr std::string_view kRawMutex = "raw-mutex";
 constexpr std::string_view kEnumSwitchDefault = "enum-switch-default";
 constexpr std::string_view kNakedSend = "naked-send";
 constexpr std::string_view kScanPrune = "scan-prune";
+constexpr std::string_view kNakedEvict = "naked-evict";
 
 bool PathContains(std::string_view path, std::string_view piece) {
   return path.find(piece) != std::string_view::npos;
@@ -51,6 +52,15 @@ bool NakedSendRuleApplies(std::string_view path) {
 bool ScanPruneRuleApplies(std::string_view path) {
   return !PathEndsWith(path, "core/timer_wheel.h") &&
          !PathEndsWith(path, "core/site_list.h");
+}
+
+// The eviction kernel and the cache that hosts it own the sanctioned
+// byte-budget eviction loop; anywhere else, freeing budget by hand-rolled
+// erase bypasses the policy (and its stats, trace events and tier logic).
+bool NakedEvictRuleApplies(std::string_view path) {
+  return !PathContains(path, "http/eviction/") &&
+         !PathEndsWith(path, "http/proxy_cache.cc") &&
+         !PathEndsWith(path, "http/proxy_cache.h");
 }
 
 // --- source text utilities --------------------------------------------------
@@ -110,7 +120,7 @@ const std::set<std::string, std::less<>>& Keywords() {
 // exhaustiveness. Extend this list when adding a protocol-level enum.
 const std::regex& EnumTypeRegex() {
   static const std::regex kRe(
-      R"(\b(Protocol|LeaseMode|MessageType|EventType|FaultKind|HitAction|WriteCompleteKind|ServeKind|IoError|TraceName|ReplacementPolicy|Completion)\b)");
+      R"(\b(Protocol|LeaseMode|MessageType|EventType|FaultKind|HitAction|WriteCompleteKind|ServeKind|IoError|TraceName|ReplacementPolicy|EvictionPolicyKind|Completion)\b)");
   return kRe;
 }
 
@@ -158,6 +168,9 @@ struct FileScanner {
   // Last line that touched authoritative lease state (lease_until /
   // LeaseActive); an iterator-erase shortly after is a scan-prune loop.
   int last_lease_context_line = -1000;
+  // Last line that touched a byte budget (bytes_used / capacity_bytes); an
+  // erase/pop shortly after is a hand-rolled eviction loop.
+  int last_budget_context_line = -1000;
 
   bool Suppressed(int line, std::string_view rule) const {
     if (file_allows.count(rule) != 0) return true;
@@ -357,6 +370,26 @@ void ScanSimplePatterns(FileScanner& scanner, const std::string& code,
                      "(see core/invalidation_table.cc)");
     }
   }
+  if (NakedEvictRuleApplies(path)) {
+    // Byte-budget eviction belongs to the eviction kernel: a loop that
+    // balances bytes_used against capacity_bytes by erasing entries
+    // reimplements victim choice outside the policy, losing its stats,
+    // kEviction trace events and tier demotion. Keyed on the budget
+    // spellings so ordinary container erases stay out of scope.
+    // No trailing \b: members spell it `bytes_used_`.
+    static const std::regex kBudget(R"(\b(bytes_used|capacity_bytes))");
+    if (std::regex_search(code, kBudget)) {
+      scanner.last_budget_context_line = line;
+    }
+    static const std::regex kShrink(R"(\.\s*(erase|pop_back|pop_front)\s*\()");
+    if (std::regex_search(code, kShrink) &&
+        line - scanner.last_budget_context_line <= 8) {
+      scanner.Report(line, kNakedEvict,
+                     "hand-rolled byte-budget eviction bypasses the "
+                     "eviction kernel; route victim choice through "
+                     "http::ProxyCache and src/http/eviction/");
+    }
+  }
   if (NakedSendRuleApplies(path) && PathContains(path, "live")) {
     static const std::regex kNaked(R"((::|\b)(send|recv)\s*\(|::(write|read)\s*\()");
     // The unclassified one-way helper collapses timeout/refused into one
@@ -383,7 +416,7 @@ void ScanSimplePatterns(FileScanner& scanner, const std::string& code,
 
 std::vector<std::string_view> RuleIds() {
   return {kDeterminismClock, kUnorderedIter, kRawMutex, kEnumSwitchDefault,
-          kNakedSend, kScanPrune};
+          kNakedSend, kScanPrune, kNakedEvict};
 }
 
 std::vector<Finding> LintFile(std::string_view path, std::string_view text) {
