@@ -1,0 +1,34 @@
+// Fuzz target: ScenarioConfig JSON (synth/scenario.h).
+//
+// Scenario files are hand-edited goldens, so the parser sees human
+// mistakes. Invariants beyond memory safety: every rejection carries a
+// non-empty error, and parse→serialize→parse is a fixpoint (the dialect
+// FromJson accepts is exactly what ToJson emits). The file-level wrapper
+// (ParseScenarioFile, which also swallows an "expect" block) must accept
+// everything the config-level parser does.
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "synth/scenario.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  webcc::synth::ScenarioConfig config;
+  std::string error;
+  if (!webcc::synth::FromJson(text, config, error)) {
+    if (error.empty()) __builtin_trap();  // rejections must say why
+    return 0;
+  }
+
+  const std::string serialized = webcc::synth::ToJson(config);
+  webcc::synth::ScenarioConfig reparsed;
+  if (!webcc::synth::FromJson(serialized, reparsed, error)) __builtin_trap();
+  if (webcc::synth::ToJson(reparsed) != serialized) __builtin_trap();
+
+  webcc::synth::ScenarioFile file;
+  if (!webcc::synth::ParseScenarioFile(text, file, error)) __builtin_trap();
+  if (webcc::synth::ToJson(file.config) != serialized) __builtin_trap();
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "cli/commands.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -13,6 +15,8 @@
 #include "replay/engine.h"
 #include "replay/farm.h"
 #include "stats/table.h"
+#include "synth/generate.h"
+#include "synth/scenario.h"
 #include "trace/clf.h"
 #include "trace/filter.h"
 #include "trace/presets.h"
@@ -28,6 +32,55 @@ std::optional<trace::TraceName> ParsePreset(const std::string& name) {
     if (name == trace::ToString(preset)) return preset;
   }
   return std::nullopt;
+}
+
+// Every input problem — unreadable path, malformed config, invalid scenario
+// — funnels through here so all commands fail the same actionable way:
+// which input, what went wrong, what to do about it.
+void ReportInputError(std::ostream& err, const std::string& input,
+                      const std::string& problem, const std::string& hint) {
+  err << "error: " << input << ": " << problem << "\n";
+  if (!hint.empty()) err << "  hint: " << hint << "\n";
+}
+
+// "cannot open (No such file or directory)"-style problem text for a path
+// that failed to open; errno is only meaningful right after the failure.
+std::string CannotOpenProblem() {
+  return std::string("cannot open (") + std::strerror(errno) + ")";
+}
+
+bool ReadFileText(const std::string& path, std::string& text,
+                  std::string& problem) {
+  std::ifstream in(path);
+  if (!in) {
+    problem = CannotOpenProblem();
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  text = buffer.str();
+  return true;
+}
+
+// Loads a scenario JSON file (the `webcc synth` / `replay --scenario`
+// input); reports its own errors.
+bool LoadScenarioFile(const std::string& path, synth::ScenarioFile& out,
+                      std::ostream& err) {
+  std::string text;
+  std::string problem;
+  if (!ReadFileText(path, text, problem)) {
+    ReportInputError(err, path, problem,
+                     "check the path; example scenarios live under "
+                     "tests/data/scenarios/");
+    return false;
+  }
+  if (!synth::ParseScenarioFile(text, out, problem)) {
+    ReportInputError(err, path, problem,
+                     "see DESIGN.md section 14 for the scenario JSON "
+                     "dialect and valid ranges");
+    return false;
+  }
+  return true;
 }
 
 // Loads the input trace per the --preset/--in flags shared by several
@@ -51,7 +104,9 @@ std::optional<trace::Trace> LoadTrace(const Flags& flags, std::ostream& err) {
   if (!in_path.empty()) {
     std::ifstream in(in_path);
     if (!in) {
-      err << "error: cannot open " << in_path << "\n";
+      ReportInputError(err, in_path, CannotOpenProblem(),
+                       "check the path, or use --preset NAME for a built-in "
+                       "workload (EPA, SDSC, ClarkNet, NASA, SASK)");
       return std::nullopt;
     }
     trace::ClfParseStats stats;
@@ -250,12 +305,30 @@ int RunFilter(const Flags& flags, std::ostream& out, std::ostream& err) {
 
 int RunReplayCommand(const Flags& flags, std::ostream& out,
                      std::ostream& err) {
-  const auto trace = LoadTrace(flags, err);
-  if (!trace.has_value()) return 2;
+  replay::ReplayConfig config;
+  // Input is either a trace (--preset/--in) or a synthetic scenario
+  // (--scenario): with a scenario the engine regenerates the workload
+  // in-process, so nothing but the JSON needs to exist on disk.
+  synth::ScenarioFile scenario_file;
+  std::optional<trace::Trace> trace;
+  const std::string scenario_path = flags.GetString("scenario", "");
+  if (!scenario_path.empty()) {
+    if (!flags.GetString("preset", "").empty() ||
+        !flags.GetString("in", "").empty()) {
+      err << "error: --scenario is mutually exclusive with --preset/--in\n";
+      return 2;
+    }
+    if (!LoadScenarioFile(scenario_path, scenario_file, err)) return 2;
+    config.scenario = &scenario_file.config;
+  } else {
+    trace = LoadTrace(flags, err);
+    if (!trace.has_value()) return 2;
+    config.trace = &*trace;
+  }
+  const Time input_duration =
+      trace.has_value() ? trace->duration : scenario_file.config.duration;
 
   const std::string protocol_name = flags.GetString("protocol", "");
-  replay::ReplayConfig config;
-  config.trace = &*trace;
 
   std::vector<core::Protocol> protocols;
   if (protocol_name.empty() || protocol_name == "all") {
@@ -323,12 +396,12 @@ int RunReplayCommand(const Flags& flags, std::ostream& out,
     config.lease.mode = *lease_mode;
     if (*lease_mode != core::LeaseMode::kNone) {
       config.lease.duration =
-          *lease_days > 0 ? FromSeconds(*lease_days * 86400) : trace->duration;
+          *lease_days > 0 ? FromSeconds(*lease_days * 86400) : input_duration;
     }
   } else if (two_tier_switch) {
     config.lease.mode = core::LeaseMode::kTwoTier;
     config.lease.duration =
-        *lease_days > 0 ? FromSeconds(*lease_days * 86400) : trace->duration;
+        *lease_days > 0 ? FromSeconds(*lease_days * 86400) : input_duration;
   } else if (*lease_days > 0) {
     config.lease.mode = core::LeaseMode::kFixed;
     config.lease.duration = FromSeconds(*lease_days * 86400);
@@ -368,22 +441,24 @@ int RunReplayCommand(const Flags& flags, std::ostream& out,
   }
   config.fault_seed = static_cast<std::uint64_t>(*fault_seed);
   if (!fault_plan_path.empty()) {
-    std::ifstream plan_in(fault_plan_path);
-    if (!plan_in) {
-      err << "error: cannot open " << fault_plan_path << "\n";
+    std::string plan_text;
+    std::string problem;
+    if (!ReadFileText(fault_plan_path, plan_text, problem)) {
+      ReportInputError(err, fault_plan_path, problem,
+                       "check the path; example plans live under "
+                       "tests/data/fault_plans/");
       return 2;
     }
-    std::ostringstream plan_text;
-    plan_text << plan_in.rdbuf();
-    std::string parse_error;
-    if (!fault::ParseFaultPlanFile(plan_text.str(), plan_file, parse_error)) {
-      err << "error: " << fault_plan_path << ": " << parse_error << "\n";
+    if (!fault::ParseFaultPlanFile(plan_text, plan_file, problem)) {
+      ReportInputError(err, fault_plan_path, problem,
+                       "fault plans use the JSON dialect `webcc` writes; "
+                       "see DESIGN.md section 9");
       return 2;
     }
     config.fault_plan = &plan_file.plan;
   } else if (*fault_seed > 0) {
     fault::RandomPlanConfig random_config;
-    random_config.horizon = trace->duration;
+    random_config.horizon = input_duration;
     random_config.clients = config.num_pseudo_clients;
     plan_file.plan =
         fault::Random(random_config, static_cast<std::uint64_t>(*fault_seed));
@@ -474,6 +549,142 @@ int RunReplayCommand(const Flags& flags, std::ostream& out,
   return 0;
 }
 
+int RunSynth(const Flags& flags, std::ostream& out, std::ostream& err) {
+  // The scenario comes either from a JSON file (--scenario) or from flags;
+  // both funnel into the same validated ScenarioConfig.
+  synth::ScenarioConfig config;
+  const std::string scenario_path = flags.GetString("scenario", "");
+  if (!scenario_path.empty()) {
+    synth::ScenarioFile scenario_file;
+    if (!LoadScenarioFile(scenario_path, scenario_file, err)) return 2;
+    config = scenario_file.config;
+  } else {
+    config.name = flags.GetString("name", "synth");
+    const auto requests = flags.GetInt("requests", 10000);
+    const auto sites = flags.GetInt("sites", 1000);
+    const auto documents = flags.GetInt("documents", 1000);
+    const auto origins = flags.GetInt("origins", 1);
+    const auto hours = flags.GetDouble("duration-hours", 1.0);
+    const auto seed = flags.GetInt("seed", 1);
+    const auto doc_zipf = flags.GetDouble("zipf", config.doc_zipf);
+    const auto site_zipf = flags.GetDouble("site-zipf", config.site_zipf);
+    const auto write_fraction =
+        flags.GetDouble("write-fraction", config.write_fraction);
+    const auto write_zipf = flags.GetDouble("write-zipf", config.write_zipf);
+    const auto locality = flags.GetDouble("locality", config.locality);
+    const auto churn = flags.GetDouble("churn-fraction", config.churn_fraction);
+    if (!requests || !sites || !documents || !origins || !hours || !seed ||
+        !doc_zipf || !site_zipf || !write_fraction || !write_zipf ||
+        !locality || !churn) {
+      err << "error: synth flags must be numeric\n";
+      return 2;
+    }
+    // Negative counts would wrap the unsigned casts below; everything else
+    // (zero counts, out-of-range fractions) flows into Validate so the
+    // error names the offending field.
+    if (*requests < 0 || *sites < 0 || *documents < 0 || *origins < 0 ||
+        *hours <= 0 || *seed < 0) {
+      err << "error: synth counts must be non-negative and duration "
+             "positive\n";
+      return 2;
+    }
+    config.requests = static_cast<std::uint64_t>(*requests);
+    config.sites = static_cast<std::uint32_t>(*sites);
+    config.documents = static_cast<std::uint32_t>(*documents);
+    config.origins = static_cast<std::uint32_t>(*origins);
+    config.duration = FromSeconds(*hours * 3600);
+    config.seed = static_cast<std::uint64_t>(*seed);
+    config.doc_zipf = *doc_zipf;
+    config.site_zipf = *site_zipf;
+    config.write_fraction = *write_fraction;
+    config.write_zipf = *write_zipf;
+    config.locality = *locality;
+    config.churn_fraction = *churn;
+    const std::string problem = synth::Validate(config);
+    if (!problem.empty()) {
+      ReportInputError(err, "synth flags", problem,
+                       "see DESIGN.md section 14 for valid ranges");
+      return 2;
+    }
+  }
+
+  const bool print_config = flags.GetBool("print-config");
+  const bool print_digest = flags.GetBool("digest");
+  const bool do_replay = flags.GetBool("replay");
+  const std::string out_path = flags.GetString("out", "");
+  const std::string protocol_name = flags.GetString("protocol", "");
+  const auto workers = flags.GetInt("workers", 0);
+  if (!workers || *workers < 0) {
+    err << "error: invalid --workers\n";
+    return 2;
+  }
+  if (RejectUnusedFlags(flags, err)) return 2;
+
+  if (print_config) {
+    out << synth::ToJson(config);
+    return 0;
+  }
+
+  const synth::SynthWorkload workload = synth::Generate(config);
+  if (print_digest) {
+    // The determinism gate: equal configs must print equal digests on any
+    // machine (CI runs this twice per seed and diffs).
+    out << "workload_digest " << synth::WorkloadDigest(workload) << "\n";
+  }
+  if (!out_path.empty()) {
+    std::ofstream file(out_path);
+    if (!file) {
+      err << "error: cannot write " << out_path << "\n";
+      return 1;
+    }
+    trace::WriteClf(workload.trace, file);
+    err << "wrote " << workload.trace.records.size() << " records to "
+        << out_path << "\n";
+  }
+
+  if (do_replay) {
+    std::vector<core::Protocol> protocols;
+    if (protocol_name.empty() || protocol_name == "invalidation") {
+      protocols = {core::Protocol::kInvalidation};
+    } else if (protocol_name == "all") {
+      protocols = {core::Protocol::kAdaptiveTtl,
+                   core::Protocol::kPollEveryTime,
+                   core::Protocol::kInvalidation,
+                   core::Protocol::kPiggybackValidation,
+                   core::Protocol::kPiggybackInvalidation};
+    } else {
+      const auto protocol = ParseProtocol(protocol_name);
+      if (!protocol.has_value()) {
+        err << "error: unknown protocol '" << protocol_name
+            << "' (ttl, poll, invalidation, pcv, psi, all)\n";
+        return 2;
+      }
+      protocols = {*protocol};
+    }
+    // Workers regenerate the workload from the scenario independently, so
+    // the merged trace digest below is invariant in --workers.
+    replay::ReplayConfig replay_config;
+    replay_config.scenario = &config;
+    obs::BufferTraceSink merged;
+    replay::Farm farm(static_cast<unsigned>(*workers));
+    farm.set_merged_trace_sink(&merged);
+    for (const core::Protocol protocol : protocols) {
+      replay_config.protocol = protocol;
+      farm.Submit(replay_config);
+    }
+    const std::vector<replay::ReplayMetrics> results = farm.Collect();
+    for (std::size_t i = 0; i < protocols.size(); ++i) {
+      out << core::ToString(protocols[i]) << "\n  " << results[i].Summary()
+          << "\n";
+    }
+    out << "trace_digest " << obs::DigestJsonl(merged.Text()) << "\n";
+  } else if (!print_digest && out_path.empty()) {
+    PrintSummary(workload.trace, out);
+    out << "write events: " << workload.writes.size() << "\n";
+  }
+  return 0;
+}
+
 int RunTraceCommand(const Flags& flags, std::ostream& out,
                     std::ostream& err) {
   if (flags.positional().size() < 2 || flags.positional()[1] != "summarize") {
@@ -488,7 +699,8 @@ int RunTraceCommand(const Flags& flags, std::ostream& out,
   }
   std::ifstream in(in_path);
   if (!in) {
-    err << "error: cannot open " << in_path << "\n";
+    ReportInputError(err, in_path, CannotOpenProblem(),
+                     "pass a JSONL stream written by replay --trace-out");
     return 1;
   }
   const obs::TraceSummary summary = obs::SummarizeTrace(in);
@@ -524,8 +736,20 @@ void PrintUsage(std::ostream& out) {
          "             --in FILE | --preset NAME\n"
          "  filter     drop requests a browser cache would absorb\n"
          "             --in FILE [--browser-ttl-minutes M] [--out FILE]\n"
+         "  synth      deterministic scenario synthesizer (seeded; same\n"
+         "             config => bit-identical workload on any machine)\n"
+         "             --scenario FILE (JSON), or flags:\n"
+         "             [--sites N] [--documents N] [--requests N]\n"
+         "             [--origins N] [--duration-hours H] [--seed S]\n"
+         "             [--zipf Z] [--site-zipf Z] [--write-fraction F]\n"
+         "             [--write-zipf Z] [--locality L] [--churn-fraction F]\n"
+         "             actions: [--print-config]  canonical scenario JSON\n"
+         "             [--digest]  workload digest (determinism gate)\n"
+         "             [--out FILE]  write the trace as CLF\n"
+         "             [--replay [--protocol P|all] [--workers N]]  replay\n"
+         "             in-process and print metrics + merged trace digest\n"
          "  replay     run the consistency experiment on a trace\n"
-         "             --in FILE | --preset NAME\n"
+         "             --in FILE | --preset NAME | --scenario FILE\n"
          "             [--protocol ttl|poll|invalidation|pcv|psi|all]\n"
          "             [--lifetime-days D] [--lease-days L]\n"
          "             [--lease none|fixed|two-tier] [--two-tier]\n"
@@ -564,6 +788,7 @@ int RunCli(const Flags& flags, std::ostream& out, std::ostream& err) {
   if (command == "generate") return RunGenerate(flags, out, err);
   if (command == "summarize") return RunSummarize(flags, out, err);
   if (command == "filter") return RunFilter(flags, out, err);
+  if (command == "synth") return RunSynth(flags, out, err);
   if (command == "replay") return RunReplayCommand(flags, out, err);
   if (command == "trace") return RunTraceCommand(flags, out, err);
   if (command == "protocols") return RunProtocols(out);

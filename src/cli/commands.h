@@ -35,6 +35,10 @@ int RunGenerate(const Flags& flags, std::ostream& out, std::ostream& err);
 int RunSummarize(const Flags& flags, std::ostream& out, std::ostream& err);
 int RunFilter(const Flags& flags, std::ostream& out, std::ostream& err);
 int RunReplayCommand(const Flags& flags, std::ostream& out, std::ostream& err);
+// `webcc synth`: build a scenario (JSON file or flags), then print its
+// canonical config, its workload digest, write it as CLF, and/or replay it
+// in-process — the CLI face of src/synth/.
+int RunSynth(const Flags& flags, std::ostream& out, std::ostream& err);
 // `webcc trace summarize --in FILE`: aggregates a --trace-out JSONL stream.
 int RunTraceCommand(const Flags& flags, std::ostream& out, std::ostream& err);
 int RunProtocols(std::ostream& out);

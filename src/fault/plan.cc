@@ -1,11 +1,10 @@
 #include "fault/plan.h"
 
 #include <algorithm>
-#include <cctype>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 
+#include "util/mini_json.h"
 #include "util/rng.h"
 
 namespace webcc::fault {
@@ -41,105 +40,9 @@ std::string DoubleToJson(double v) {
   return buf;
 }
 
-// ---------------------------------------------------------------------------
-// A minimal recursive-descent parser for the fixed dialect ToJson emits:
-// objects, arrays, double-quoted strings without escapes beyond \" and \\,
-// numbers, true/false. It is not a general JSON parser and does not try to
-// be; goldens are written in the same dialect.
-class Parser {
- public:
-  explicit Parser(std::string_view text) : text_(text) {}
-
-  std::string error() const { return error_; }
-
-  bool Fail(std::string_view message) {
-    if (error_.empty()) {
-      error_ = std::string(message) + " at offset " + std::to_string(pos_);
-    }
-    return false;
-  }
-
-  void SkipWs() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
-            text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  bool Peek(char c) {
-    SkipWs();
-    return pos_ < text_.size() && text_[pos_] == c;
-  }
-
-  bool Consume(char c) {
-    SkipWs();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return Fail(std::string("expected '") + c + "'");
-  }
-
-  bool AtEnd() {
-    SkipWs();
-    return pos_ >= text_.size();
-  }
-
-  bool ParseString(std::string& out) {
-    if (!Consume('"')) return false;
-    out.clear();
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
-      out += text_[pos_++];
-    }
-    if (pos_ >= text_.size()) return Fail("unterminated string");
-    ++pos_;  // closing quote
-    return true;
-  }
-
-  bool ParseNumber(double& out) {
-    SkipWs();
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    if (pos_ == start) return Fail("expected number");
-    out = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
-                      nullptr);
-    return true;
-  }
-
-  // Captures one JSON value as raw text: strings come back unquoted,
-  // numbers/bools as their literal spelling. Used for "expect" values.
-  bool ParseRawValue(std::string& out) {
-    SkipWs();
-    if (Peek('"')) return ParseString(out);
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' &&
-           text_[pos_] != ']' && text_[pos_] != '\n') {
-      ++pos_;
-    }
-    if (pos_ == start) return Fail("expected value");
-    std::string_view raw = text_.substr(start, pos_ - start);
-    while (!raw.empty() && (raw.back() == ' ' || raw.back() == '\t')) {
-      raw = raw.substr(0, raw.size() - 1);
-    }
-    out = std::string(raw);
-    return true;
-  }
-
- private:
-  std::string_view text_;
-  std::size_t pos_ = 0;
-  std::string error_;
-};
+// The fixed dialect ToJson emits parses with the shared mini-JSON parser
+// (util/mini_json.h); goldens are written in the same dialect.
+using Parser = util::MiniJsonParser;
 
 bool ParseEventObject(Parser& p, FaultEvent& event) {
   if (!p.Consume('{')) return false;

@@ -1,0 +1,128 @@
+// Synthetic-workload scenarios: the declarative input of the trace
+// synthesizer (ROADMAP item 2), modeled on fault/plan.h's FaultPlan.
+//
+// A ScenarioConfig describes a whole workload the paper's five ITA traces
+// could never produce — millions of client sites, chosen read/write mixes,
+// LRU-stack-distance temporal locality, and phase schedules (flash crowds,
+// diurnal bursts, write storms) — as pure data. Generation (generate.h) is
+// a pure function of the config, so a scenario replays bit-identically on
+// any machine and any farm worker count, and the golden corpus under
+// tests/data/scenarios/ pins whole scenarios to expected metrics and trace
+// digests exactly the way tests/data/fault_plans/ does.
+//
+// Configs round-trip through a small JSON dialect (times in seconds, the
+// subset this file's parser accepts is exactly what ToJson emits, validated
+// ranges only), parsed with the shared mini-JSON machinery (util/mini_json.h).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/time.h"
+
+namespace webcc::synth {
+
+enum class PhaseKind : std::uint8_t {
+  kSteady,      // flat multiplier on request and write rates
+  kFlashCrowd,  // rate spike with traffic focused on a hot document set
+  kDiurnal,     // sinusoidal rate modulation over `period`
+  kWriteBurst,  // write-rate spike (reads unchanged unless focused)
+};
+
+// Stable wire names ("steady", "flash_crowd", ...) used in the JSON form.
+std::string_view PhaseKindName(PhaseKind kind);
+bool ParsePhaseKindName(std::string_view name, PhaseKind& out);
+
+struct Phase {
+  PhaseKind kind = PhaseKind::kSteady;
+  Time start = 0;     // trace time the phase window opens
+  Time duration = 0;  // half-open window; 0 = to the end of the trace
+  double rate_multiplier = 1.0;   // request-rate factor inside the window
+  double write_multiplier = 1.0;  // write-rate factor inside the window
+  // Fraction of in-window requests (and writes) redirected onto the hot
+  // set — the `hot_docs` most popular documents. 0 leaves the Zipf draw.
+  double focus = 0.0;
+  std::uint32_t hot_docs = 1;
+  // kDiurnal only: rate follows 1 + amplitude * sin(2*pi*(t-start)/period),
+  // clipped at >= 0.05.
+  double amplitude = 0.0;
+  Time period = kDay;
+};
+
+struct ScenarioConfig {
+  std::string name = "scenario";
+  Time duration = kHour;
+  std::uint64_t requests = 10000;
+  std::uint32_t sites = 1000;      // distinct client sites (10^4..10^7 scale)
+  std::uint32_t documents = 1000;
+  // CDN-style multi-origin: documents are partitioned round-robin across
+  // this many origin prefixes ("/o<K>/docs/...."). The replay server still
+  // hosts them all; the prefix keys per-origin analysis and keeps URL sets
+  // disjoint. 1 = single origin, the paper's topology.
+  std::uint32_t origins = 1;
+
+  double doc_zipf = 0.8;   // document-popularity exponent
+  double site_zipf = 0.6;  // site-activity exponent
+
+  // Writes as a fraction of all events: write_fraction = W / (R + W) where
+  // R = `requests`. Writes become the replay's explicit modification
+  // schedule (the modifier process), drawn Zipf(write_zipf) over popularity
+  // ranks so hot documents change more often when write_zipf > 0.
+  double write_fraction = 0.0;
+  double write_zipf = 0.3;
+
+  // Temporal locality, LRU-stack-distance model: with probability
+  // `locality` a request re-references the document at depth d of the
+  // global recency stack, d ~ Zipf(stack_theta) over [0, stack_depth);
+  // otherwise it samples fresh from the popularity distribution. Either
+  // way the referenced document moves to the stack head.
+  double locality = 0.0;
+  double stack_theta = 1.2;
+  std::uint32_t stack_depth = 64;
+
+  // Lognormal document sizes (clamped).
+  double mean_size_bytes = 8.0 * 1024;
+  double size_sigma = 1.2;
+  std::uint64_t min_size_bytes = 128;
+  std::uint64_t max_size_bytes = 1024 * 1024;
+
+  // Negative/404 churn: this fraction of documents is *created mid-trace*
+  // (uniform creation times). Requests before the creation model archival
+  // 404 lookups; the cached miss is the document's initial version, and the
+  // creation is its first modification event — "cache the miss, invalidate
+  // on create" rides the ordinary invalidation machinery.
+  double churn_fraction = 0.0;
+
+  std::uint64_t seed = 1;
+  std::vector<Phase> phases;
+};
+
+// Empty string when the config is generatable; otherwise a one-line
+// description of the first violated constraint. FromJson enforces this, so
+// a parsed scenario is always safe to hand to Generate().
+std::string Validate(const ScenarioConfig& config);
+
+// Sorts phases by (start, kind) — the canonical order ToJson relies on.
+void Canonicalize(ScenarioConfig& config);
+
+// Serializes the config (canonical order, times as fractional seconds).
+std::string ToJson(const ScenarioConfig& config);
+
+// Parses what ToJson writes (plus hand-edited goldens in the same dialect)
+// and validates it. On failure returns false and sets `error`.
+bool FromJson(std::string_view text, ScenarioConfig& out, std::string& error);
+
+// A golden-corpus file: a scenario plus an "expect" object of metric name ->
+// raw JSON value text (numbers kept as text so 64-bit digests survive).
+struct ScenarioFile {
+  ScenarioConfig config;
+  std::map<std::string, std::string> expect;
+};
+
+bool ParseScenarioFile(std::string_view text, ScenarioFile& out,
+                       std::string& error);
+
+}  // namespace webcc::synth

@@ -1,0 +1,114 @@
+// A minimal recursive-descent parser for the fixed JSON dialect the repo's
+// declarative config files use (fault plans, synth scenarios): objects,
+// arrays, double-quoted strings without escapes beyond \" and \\, numbers,
+// true/false. It is not a general JSON parser and does not try to be;
+// golden files are written in the same dialect their ToJson emits.
+//
+// Extracted from fault/plan.cc so the ScenarioConfig dialect (synth/) parses
+// through the identical machinery — same error shape ("... at offset N"),
+// same fuzz-hardened string/number handling.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+namespace webcc::util {
+
+class MiniJsonParser {
+ public:
+  explicit MiniJsonParser(std::string_view text) : text_(text) {}
+
+  std::string error() const { return error_; }
+
+  bool Fail(std::string_view message) {
+    if (error_.empty()) {
+      error_ = std::string(message) + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return Fail(std::string("expected '") + c + "'");
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_.size();
+  }
+
+  bool ParseString(std::string& out) {
+    if (!Consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      out += text_[pos_++];
+    }
+    if (pos_ >= text_.size()) return Fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseNumber(double& out) {
+    SkipWs();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected number");
+    out = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                      nullptr);
+    return true;
+  }
+
+  // Captures one JSON value as raw text: strings come back unquoted,
+  // numbers/bools as their literal spelling. Used for "expect" values.
+  bool ParseRawValue(std::string& out) {
+    SkipWs();
+    if (Peek('"')) return ParseString(out);
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' &&
+           text_[pos_] != ']' && text_[pos_] != '\n') {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected value");
+    std::string_view raw = text_.substr(start, pos_ - start);
+    while (!raw.empty() && (raw.back() == ' ' || raw.back() == '\t')) {
+      raw = raw.substr(0, raw.size() - 1);
+    }
+    out = std::string(raw);
+    return true;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace webcc::util

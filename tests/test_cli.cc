@@ -10,6 +10,7 @@
 
 #include "cli/commands.h"
 #include "cli/flags.h"
+#include "synth/scenario.h"
 
 namespace webcc::cli {
 namespace {
@@ -390,6 +391,98 @@ TEST_F(CliCommandTest, TraceSummarizeFlagsBadStreams) {
 TEST_F(CliCommandTest, TraceRequiresSummarizeVerb) {
   EXPECT_NE(Run({"trace"}), 0);
   EXPECT_NE(Run({"trace", "frobnicate", "--in", path_.c_str()}), 0);
+}
+
+// --- synth + actionable input errors ------------------------------------------------
+
+TEST_F(CliCommandTest, ReplayUnreadableTraceExplainsAndHints) {
+  EXPECT_NE(Run({"replay", "--in", "/nonexistent/trace.log"}), 0);
+  EXPECT_NE(err_.str().find("error: /nonexistent/trace.log: cannot open"),
+            std::string::npos)
+      << err_.str();
+  EXPECT_NE(err_.str().find("hint: "), std::string::npos) << err_.str();
+  EXPECT_NE(err_.str().find("--preset NAME"), std::string::npos)
+      << err_.str();
+}
+
+TEST_F(CliCommandTest, ReplayScenarioParseErrorPointsAtOffset) {
+  {
+    std::ofstream bad(path_);
+    bad << "{\"sites\": 999999999}";
+  }
+  EXPECT_NE(Run({"replay", "--scenario", path_.c_str()}), 0);
+  EXPECT_NE(err_.str().find("sites out of range"), std::string::npos)
+      << err_.str();
+  EXPECT_NE(err_.str().find("at offset"), std::string::npos) << err_.str();
+  EXPECT_NE(err_.str().find("hint: "), std::string::npos) << err_.str();
+}
+
+TEST_F(CliCommandTest, ReplayRejectsScenarioPlusPreset) {
+  EXPECT_NE(Run({"replay", "--scenario", path_.c_str(), "--preset", "EPA"}),
+            0);
+  EXPECT_NE(err_.str().find("mutually exclusive"), std::string::npos)
+      << err_.str();
+}
+
+TEST_F(CliCommandTest, SynthDigestIsDeterministic) {
+  ASSERT_EQ(Run({"synth", "--sites", "200", "--documents", "100",
+                 "--requests", "500", "--seed", "7", "--digest"}),
+            0);
+  const std::string first = out_.str();
+  ASSERT_NE(first.find("workload_digest "), std::string::npos) << first;
+  ASSERT_EQ(Run({"synth", "--sites", "200", "--documents", "100",
+                 "--requests", "500", "--seed", "7", "--digest"}),
+            0);
+  EXPECT_EQ(out_.str(), first);
+  ASSERT_EQ(Run({"synth", "--sites", "200", "--documents", "100",
+                 "--requests", "500", "--seed", "8", "--digest"}),
+            0);
+  EXPECT_NE(out_.str(), first) << "seed must change the workload digest";
+}
+
+TEST_F(CliCommandTest, SynthRejectsBadFlagRanges) {
+  EXPECT_NE(Run({"synth", "--sites", "0"}), 0);
+  EXPECT_NE(err_.str().find("sites"), std::string::npos) << err_.str();
+  EXPECT_NE(Run({"synth", "--write-fraction", "0.95"}), 0);
+  EXPECT_NE(err_.str().find("write_fraction"), std::string::npos)
+      << err_.str();
+  EXPECT_NE(Run({"synth", "--locality", "1.5"}), 0);
+}
+
+TEST_F(CliCommandTest, SynthPrintConfigRoundTrips) {
+  ASSERT_EQ(Run({"synth", "--sites", "300", "--documents", "120",
+                 "--requests", "400", "--write-fraction", "0.2",
+                 "--print-config"}),
+            0);
+  const std::string json = out_.str();
+  synth::ScenarioConfig config;
+  std::string error;
+  ASSERT_TRUE(synth::FromJson(json, config, error)) << error;
+  EXPECT_EQ(config.sites, 300u);
+  EXPECT_EQ(synth::ToJson(config), json)
+      << "--print-config must emit canonical JSON";
+}
+
+TEST_F(CliCommandTest, SynthScenarioFileReplayPrintsDigest) {
+  {
+    std::ofstream scenario(path_);
+    scenario << "{\"name\": \"cli-smoke\", \"duration_s\": 600.000000, "
+                "\"requests\": 300, \"sites\": 50, \"documents\": 40, "
+                "\"write_fraction\": 0.100000, \"seed\": 5}";
+  }
+  ASSERT_EQ(Run({"synth", "--scenario", path_.c_str(), "--replay",
+                 "--protocol", "invalidation"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("Invalidation"), std::string::npos) << out_.str();
+  EXPECT_NE(out_.str().find("trace_digest "), std::string::npos)
+      << out_.str();
+}
+
+TEST_F(CliCommandTest, SynthUnreadableScenarioExplains) {
+  EXPECT_NE(Run({"synth", "--scenario", "/nonexistent/s.json"}), 0);
+  EXPECT_NE(err_.str().find("cannot open"), std::string::npos) << err_.str();
+  EXPECT_NE(err_.str().find("hint: "), std::string::npos) << err_.str();
 }
 
 }  // namespace
