@@ -1,0 +1,30 @@
+// Fixture pair of lock_discipline_violation.cc: every access to the
+// guarded counter is covered — the getter takes the lock itself, and the
+// locked helper declares a WEBCC_REQUIRES contract instead.
+namespace util {
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+};
+}  // namespace util
+#define WEBCC_GUARDED_BY(x)
+#define WEBCC_REQUIRES(...)
+
+class LockedLeaseBoard {
+ public:
+  void Record(int delta) {
+    const util::MutexLock lock(mu_);
+    BumpLocked(delta);
+  }
+  int granted() const {
+    const util::MutexLock lock(mu_);
+    return granted_;
+  }
+
+ private:
+  void BumpLocked(int delta) WEBCC_REQUIRES(mu_) { granted_ += delta; }
+
+  mutable util::Mutex mu_;
+  int granted_ WEBCC_GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,26 @@
+// Fixture: a WEBCC_GUARDED_BY field read without its mutex. The writer
+// takes the lock; the stats getter skips it, so guarded-by-unlocked fires
+// with a witness naming the access and the declaration.
+namespace util {
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+};
+}  // namespace util
+#define WEBCC_GUARDED_BY(x)
+
+class LeaseCounterBoard {
+ public:
+  void Record(int delta) {
+    const util::MutexLock lock(mu_);
+    granted_ += delta;
+  }
+  int granted() const {
+    return granted_;  // BUG: reads the guarded counter lock-free
+  }
+
+ private:
+  util::Mutex mu_;
+  int granted_ WEBCC_GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,27 @@
+// Fixture pair of lock_order_violation.cc: both paths take table before
+// outbox, and the declared WEBCC_ACQUIRED_BEFORE edge pins the order —
+// the acquired-before graph stays acyclic.
+namespace util {
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+};
+}  // namespace util
+#define WEBCC_ACQUIRED_BEFORE(...)
+
+class OrderedFanout {
+ public:
+  void PushInvalidation() {
+    const util::MutexLock table(table_mu_);
+    const util::MutexLock outbox(outbox_mu_);
+  }
+  void DrainOutbox() {
+    const util::MutexLock table(table_mu_);
+    const util::MutexLock outbox(outbox_mu_);
+  }
+
+ private:
+  util::Mutex table_mu_ WEBCC_ACQUIRED_BEFORE(outbox_mu_);
+  util::Mutex outbox_mu_;
+};

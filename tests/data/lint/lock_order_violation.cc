@@ -1,0 +1,26 @@
+// Fixture: the push side nests outbox_mu_ inside table_mu_, the drain
+// side nests them the other way round — a lock-order cycle whose witness
+// chain names both acquisition sites.
+namespace util {
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+};
+}  // namespace util
+
+class InvertedFanout {
+ public:
+  void PushInvalidation() {
+    const util::MutexLock table(table_mu_);
+    const util::MutexLock outbox(outbox_mu_);  // table -> outbox
+  }
+  void DrainOutbox() {
+    const util::MutexLock outbox(outbox_mu_);
+    const util::MutexLock table(table_mu_);  // outbox -> table: cycle
+  }
+
+ private:
+  util::Mutex table_mu_;
+  util::Mutex outbox_mu_;
+};

@@ -1,0 +1,5 @@
+// Fixture: a suppression whose rule never fires. The pragma below
+// silences nothing, so stale-suppression reports it — a warning by
+// default, fatal under --strict-suppressions.
+// webcc-lint: allow(determinism-clock) — stale: the rand() call is long gone
+int StaleAnswer() { return 42; }

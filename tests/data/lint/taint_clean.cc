@@ -1,0 +1,29 @@
+// Fixture pair of taint_violation.cc: the canonical collect-sort-emit
+// idiom (see core/invalidation_table.cc) — the sort cleanses the
+// hash-order taint before anything reaches the sink.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct SortedSink {
+  void Emit(const std::string& label);
+};
+
+class SortedPublisher {
+ public:
+  void Publish() {
+    std::vector<std::string> lines;
+    for (const auto& [site, hits] : hits_) {
+      lines.push_back(site + ":" + std::to_string(hits));
+    }
+    std::sort(lines.begin(), lines.end());
+    for (const std::string& line : lines) {
+      sink_.Emit(line);
+    }
+  }
+
+ private:
+  SortedSink sink_;
+  std::unordered_map<std::string, int> hits_;
+};

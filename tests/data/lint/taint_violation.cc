@@ -1,0 +1,22 @@
+// Fixture: trace events emitted straight from a hash-map walk — the
+// event order is the container's hash layout, so replay digests differ
+// run to run. determinism-taint fires with the loop as witness.
+#include <string>
+#include <unordered_map>
+
+struct PublisherSink {
+  void Emit(const std::string& label);
+};
+
+class HashOrderPublisher {
+ public:
+  void Publish() {
+    for (const auto& [site, hits] : hits_) {
+      sink_.Emit(site + ":" + std::to_string(hits));  // BUG: hash order
+    }
+  }
+
+ private:
+  PublisherSink sink_;
+  std::unordered_map<std::string, int> hits_;
+};

@@ -38,9 +38,24 @@ bool HasRule(const std::vector<Finding>& findings, std::string_view rule) {
 
 TEST(LintRules, RuleIdsAreStable) {
   const std::vector<std::string_view> expected = {
+      "determinism-clock",   "unordered-iter-in-dump",
+      "raw-mutex",           "enum-switch-default",
+      "naked-send",          "scan-prune",
+      "naked-evict",         "guarded-by-unlocked",
+      "lock-order-cycle",    "determinism-taint",
+      "stale-suppression"};
+  EXPECT_EQ(RuleIds(), expected);
+}
+
+TEST(LintRules, LegacyRuleIdsSurviveTokenizerRewrite) {
+  // The v1 scanner's seven ids lead the list unchanged — suppression
+  // pragmas written against v1 keep working.
+  const std::vector<std::string_view> legacy = {
       "determinism-clock", "unordered-iter-in-dump", "raw-mutex",
       "enum-switch-default", "naked-send", "scan-prune", "naked-evict"};
-  EXPECT_EQ(RuleIds(), expected);
+  const std::vector<std::string_view> ids = RuleIds();
+  ASSERT_GE(ids.size(), legacy.size());
+  EXPECT_TRUE(std::equal(legacy.begin(), legacy.end(), ids.begin()));
 }
 
 // --- one fixture per rule, asserting exit code and rule id -----------------
@@ -71,7 +86,10 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"live_naked_send_violation.cc", "naked-send"},
         FixtureCase{"live_unclassified_send_violation.cc", "naked-send"},
         FixtureCase{"scan_prune_violation.cc", "scan-prune"},
-        FixtureCase{"naked_evict_violation.cc", "naked-evict"}),
+        FixtureCase{"naked_evict_violation.cc", "naked-evict"},
+        FixtureCase{"lock_discipline_violation.cc", "guarded-by-unlocked"},
+        FixtureCase{"lock_order_violation.cc", "lock-order-cycle"},
+        FixtureCase{"taint_violation.cc", "determinism-taint"}),
     [](const ::testing::TestParamInfo<FixtureCase>& info) {
       // Fixture file stem: unique even when two fixtures share a rule.
       std::string name = info.param.file;
@@ -313,6 +331,246 @@ TEST(LintRules, AllowForOneRuleDoesNotSilenceAnother) {
       "// webcc-lint: allow(raw-mutex)\n"
       "int Jitter() { return rand() % 10; }\n");
   EXPECT_TRUE(HasRule(findings, "determinism-clock"));
+}
+
+// --- tokenizer fidelity ------------------------------------------------------
+
+TEST(LintTokenizer, RawStringsAndPreprocessorDoNotTrip) {
+  // The v1 line scanner could not see raw-string bounds; the tokenizer
+  // must keep rand()/clock names inside literals inert.
+  const std::vector<Finding> findings = LintFile(
+      "src/replay/x.cc",
+      "const char* kHelp = R\"(call rand() or check system_clock)\";\n"
+      "const char* kDelim = R\"x(time(0) \")\" still inside)x\";\n"
+      "#define CALLS_RAND 0 /* not rand() */\n");
+  EXPECT_TRUE(findings.empty()) << findings.size();
+}
+
+TEST(LintTokenizer, PragmaInsideStringLiteralIsInert) {
+  // A pragma spelled in a string is data, not a suppression — the finding
+  // on the same line still fires.
+  const std::vector<Finding> findings = LintFile(
+      "src/replay/x.cc",
+      "const char* kDoc = \"webcc-lint: allow(determinism-clock)\";\n"
+      "int Jitter() { return rand() % 10; }\n");
+  EXPECT_TRUE(HasRule(findings, "determinism-clock"));
+}
+
+// --- lock-discipline pass ----------------------------------------------------
+
+TEST(LintCli, GuardedFieldWithoutLockFailsWithWitnessChain) {
+  const RunResult result =
+      RunCli({FixturePath("lock_discipline_violation.cc")});
+  EXPECT_EQ(result.exit_code, 1) << result.out << result.err;
+  EXPECT_NE(result.out.find("[guarded-by-unlocked]"), std::string::npos)
+      << result.out;
+  // The witness names both the access and the declaration, file:line each.
+  EXPECT_NE(result.out.find(FixturePath("lock_discipline_violation.cc") +
+                            ":20: unguarded access"),
+            std::string::npos)
+      << result.out;
+  EXPECT_NE(result.out.find(FixturePath("lock_discipline_violation.cc") +
+                            ":25: field 'granted_' declared"),
+            std::string::npos)
+      << result.out;
+}
+
+TEST(LintCli, LockDisciplineCounterpartIsClean) {
+  // Same board, but the getter locks and the helper carries a
+  // WEBCC_REQUIRES contract — no finding.
+  const RunResult result = RunCli({FixturePath("lock_discipline_clean.cc")});
+  EXPECT_EQ(result.exit_code, 0) << result.out << result.err;
+  EXPECT_TRUE(result.out.empty()) << result.out;
+}
+
+TEST(LintRules, RequiresContractCoversGuardedAccess) {
+  const std::string text =
+      "class Board {\n"
+      " public:\n"
+      "  void Bump() WEBCC_REQUIRES(mu_) { n_ += 1; }\n"
+      " private:\n"
+      "  util::Mutex mu_;\n"
+      "  int n_ WEBCC_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  EXPECT_FALSE(HasRule(LintFile("src/core/x.h", text), "guarded-by-unlocked"));
+}
+
+TEST(LintRules, ConstructorsAreExemptFromLockDiscipline) {
+  const std::string text =
+      "class Board {\n"
+      " public:\n"
+      "  Board() { n_ = 0; }\n"
+      "  ~Board() { n_ = -1; }\n"
+      " private:\n"
+      "  util::Mutex mu_;\n"
+      "  int n_ WEBCC_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  EXPECT_FALSE(HasRule(LintFile("src/core/x.h", text), "guarded-by-unlocked"));
+}
+
+TEST(LintRules, NoTsaLambdaIsExemptFromLockDiscipline) {
+  // The CondVar::Wait predicate idiom: the lambda runs with the lock held
+  // by the wait machinery, which the analyzer cannot see — the annotation
+  // opts it out, exactly like clang's analysis.
+  const std::string text =
+      "class Farm {\n"
+      "  void Wait() {\n"
+      "    cv_.Wait([this]() WEBCC_NO_THREAD_SAFETY_ANALYSIS {\n"
+      "      return done_ > 0;\n"
+      "    });\n"
+      "  }\n"
+      "  util::Mutex mu_;\n"
+      "  util::CondVar cv_;\n"
+      "  int done_ WEBCC_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  EXPECT_FALSE(HasRule(LintFile("src/core/x.h", text), "guarded-by-unlocked"));
+}
+
+// --- lock-order pass ---------------------------------------------------------
+
+TEST(LintCli, LockOrderCycleWitnessNamesEveryEdge) {
+  const RunResult result = RunCli({FixturePath("lock_order_violation.cc")});
+  EXPECT_EQ(result.exit_code, 1) << result.out << result.err;
+  EXPECT_NE(result.out.find("[lock-order-cycle]"), std::string::npos)
+      << result.out;
+  // One witness line per edge of the cycle, each with file:line.
+  EXPECT_NE(
+      result.out.find(FixturePath("lock_order_violation.cc") +
+                      ":16: InvertedFanout::PushInvalidation acquires"),
+      std::string::npos)
+      << result.out;
+  EXPECT_NE(result.out.find(FixturePath("lock_order_violation.cc") +
+                            ":20: InvertedFanout::DrainOutbox acquires"),
+            std::string::npos)
+      << result.out;
+}
+
+TEST(LintCli, ConsistentLockOrderIsClean) {
+  const RunResult result = RunCli({FixturePath("lock_order_clean.cc")});
+  EXPECT_EQ(result.exit_code, 0) << result.out << result.err;
+  EXPECT_TRUE(result.out.empty()) << result.out;
+}
+
+TEST(LintRules, DeclaredAcquiredBeforeConflictIsACycle) {
+  // The declared edge pins mu_a before mu_b; code that nests them the
+  // other way contradicts the declaration.
+  const std::string text =
+      "class Pinned {\n"
+      "  void Backwards() {\n"
+      "    const util::MutexLock b(mu_b_);\n"
+      "    const util::MutexLock a(mu_a_);\n"
+      "  }\n"
+      "  util::Mutex mu_a_ WEBCC_ACQUIRED_BEFORE(mu_b_);\n"
+      "  util::Mutex mu_b_;\n"
+      "};\n";
+  EXPECT_TRUE(HasRule(LintFile("src/core/x.h", text), "lock-order-cycle"));
+}
+
+// --- determinism-taint pass --------------------------------------------------
+
+TEST(LintCli, TaintedEmitFailsAndSortedCounterpartIsClean) {
+  const RunResult bad = RunCli({FixturePath("taint_violation.cc")});
+  EXPECT_EQ(bad.exit_code, 1) << bad.out << bad.err;
+  EXPECT_NE(bad.out.find("[determinism-taint]"), std::string::npos) << bad.out;
+  EXPECT_NE(bad.out.find("unordered container 'hits_' iterated here"),
+            std::string::npos)
+      << bad.out;
+
+  const RunResult good = RunCli({FixturePath("taint_clean.cc")});
+  EXPECT_EQ(good.exit_code, 0) << good.out << good.err;
+  EXPECT_TRUE(good.out.empty()) << good.out;
+}
+
+TEST(LintRules, AccumulatedVectorCarriesTaintAcrossLoops) {
+  // Pushing hash-ordered values into a vector and emitting the vector
+  // without a sort is still nondeterministic.
+  const std::string text =
+      "void Publish() {\n"
+      "  std::unordered_map<int, int> hits_;\n"
+      "  std::vector<int> lines;\n"
+      "  for (const auto& [k, v] : hits_) {\n"
+      "    lines.push_back(v);\n"
+      "  }\n"
+      "  for (int line : lines) {\n"
+      "    sink_.Emit(line);\n"
+      "  }\n"
+      "}\n";
+  EXPECT_TRUE(HasRule(LintFile("src/core/x.cc", text), "determinism-taint"));
+}
+
+// --- stale suppressions ------------------------------------------------------
+
+TEST(LintCli, StaleSuppressionWarnsButExitsZeroByDefault) {
+  const RunResult result =
+      RunCli({FixturePath("stale_suppression_violation.cc")});
+  EXPECT_EQ(result.exit_code, 0) << result.out << result.err;
+  EXPECT_NE(result.out.find("[stale-suppression]"), std::string::npos)
+      << result.out;
+}
+
+TEST(LintCli, StrictSuppressionsMakesStalePragmasFatal) {
+  const RunResult result = RunCli(
+      {"--strict-suppressions", FixturePath("stale_suppression_violation.cc")});
+  EXPECT_EQ(result.exit_code, 1) << result.out << result.err;
+}
+
+TEST(LintRules, UsedPragmaIsNotStale) {
+  const std::vector<Finding> findings = LintFile(
+      "src/replay/x.cc",
+      "// webcc-lint: allow(determinism-clock) — justified\n"
+      "int Jitter() { return rand() % 10; }\n");
+  EXPECT_FALSE(HasRule(findings, "stale-suppression"));
+}
+
+TEST(LintRules, PathExemptPragmaIsNotStale) {
+  // thread_annotations.h keeps allow(raw-mutex) markers even though the
+  // rule skips the file entirely; they document intent, not staleness.
+  const std::vector<Finding> findings = LintFile(
+      "src/util/thread_annotations.h",
+      "// webcc-lint: allow(raw-mutex) — this header wraps the primitives\n"
+      "#include <mutex>\n");
+  EXPECT_FALSE(HasRule(findings, "stale-suppression"));
+}
+
+// --- output formats ----------------------------------------------------------
+
+TEST(LintCli, JsonGoldenOutputForTaintFixture) {
+  // Pins the machine-readable schema end to end: keys, order, severity,
+  // pass and nested witness array.
+  const std::string path = FixturePath("taint_violation.cc");
+  const RunResult result = RunCli({"--json", path});
+  EXPECT_EQ(result.exit_code, 1);
+  const std::string expected =
+      "{\"file\":\"" + path +
+      "\",\"line\":15,\"rule\":\"determinism-taint\","
+      "\"severity\":\"error\",\"pass\":\"determinism-taint\","
+      "\"message\":\"'Emit(' emits values in hash-iteration order of "
+      "'hits_'; collect into a vector and sort before emitting\","
+      "\"witness\":[{\"file\":\"" +
+      path +
+      "\",\"line\":15,\"note\":\"sink called inside the iteration body\"},"
+      "{\"file\":\"" +
+      path +
+      "\",\"line\":14,\"note\":\"unordered container 'hits_' iterated "
+      "here\"}]}\n";
+  EXPECT_EQ(result.out, expected);
+}
+
+TEST(LintOutput, JsonEscapesQuotesAndBackslashes) {
+  // v1 wrote messages into JSON unescaped; a path (or message) with a
+  // quote or backslash produced invalid JSON.
+  const std::vector<Finding> findings =
+      LintFile("src/replay/we\"ird\\dir/x.cc",
+               "int Jitter() { return rand() % 10; }\n");
+  ASSERT_FALSE(findings.empty());
+  std::ostringstream out;
+  WriteFindings(out, findings, /*json=*/true);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"file\":\"src/replay/we\\\"ird\\\\dir/x.cc\""),
+            std::string::npos)
+      << json;
+  // Raw (unescaped) quote-in-string must not survive anywhere.
+  EXPECT_EQ(json.find("we\"ird"), std::string::npos) << json;
 }
 
 }  // namespace

@@ -11,13 +11,39 @@ cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
 
 status=0
 
-# 1. webcc_lint: build the scanner (tiny, no project deps) and run it over
-#    the sources it scopes to. Exit 1 = findings, 2 = tool error.
-echo "== webcc_lint =="
+# 1. webcc_lint v2: build the analyzer (tiny, no project deps) and run the
+#    token-stream rules plus the semantic passes (lock discipline,
+#    lock-order cycles, determinism taint) over src and ALL of tools — so
+#    the analyzer also checks itself. --strict-suppressions makes stale
+#    allow() pragmas fatal. The --json findings land in
+#    build-checks/webcc_lint.json; CI uploads that file as an artifact even
+#    when the gate is red.
+echo "== webcc_lint (gcc build) =="
 cmake -B build-checks -S . >/dev/null
 cmake --build build-checks --target webcc_lint -j >/dev/null
-if ! ./build-checks/tools/lint/webcc_lint src tools/webcc.cc; then
+lint_rc=0
+./build-checks/tools/lint/webcc_lint --json --strict-suppressions \
+  src tools >build-checks/webcc_lint.json || lint_rc=$?
+if [ "$lint_rc" -ne 0 ]; then
+  # Replay in human form so the log names every witness step.
+  ./build-checks/tools/lint/webcc_lint --strict-suppressions src tools || true
   status=1
+fi
+
+# 1b. The same analyzer built with Clang, when installed: the tokenizer and
+#     the dataflow passes must behave identically across compilers before
+#     CI trusts their verdicts.
+if command -v clang++ >/dev/null 2>&1; then
+  echo "== webcc_lint (clang build) =="
+  cmake -B build-checks-clang -S . \
+    -DCMAKE_CXX_COMPILER=clang++ >/dev/null
+  cmake --build build-checks-clang --target webcc_lint -j >/dev/null
+  if ! ./build-checks-clang/tools/lint/webcc_lint --strict-suppressions \
+    src tools; then
+    status=1
+  fi
+else
+  echo "== webcc_lint (clang build) == skipped: clang++ not installed"
 fi
 
 # 2. clang-format (skips itself when clang-format is absent).

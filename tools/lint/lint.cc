@@ -1,134 +1,24 @@
+// webcc_lint driver: tokenizes and parses every input file, merges the
+// whole-program facts (annotations, acquired-before edges), then runs the
+// per-file passes and the global cycle check. See lint.h for the rule
+// catalogue and passes/ for the analyses themselves.
 #include "lint.h"
 
 #include <algorithm>
+#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <ostream>
-#include <regex>
-#include <set>
 #include <sstream>
+#include <utility>
 #include <vector>
+
+#include "passes/passes.h"
+#include "scopes.h"
+#include "tokenizer.h"
 
 namespace webcc::lint {
 namespace {
-
-constexpr std::string_view kDeterminismClock = "determinism-clock";
-constexpr std::string_view kUnorderedIter = "unordered-iter-in-dump";
-constexpr std::string_view kRawMutex = "raw-mutex";
-constexpr std::string_view kEnumSwitchDefault = "enum-switch-default";
-constexpr std::string_view kNakedSend = "naked-send";
-constexpr std::string_view kScanPrune = "scan-prune";
-constexpr std::string_view kNakedEvict = "naked-evict";
-
-bool PathContains(std::string_view path, std::string_view piece) {
-  return path.find(piece) != std::string_view::npos;
-}
-
-bool PathEndsWith(std::string_view path, std::string_view tail) {
-  return path.size() >= tail.size() &&
-         path.substr(path.size() - tail.size()) == tail;
-}
-
-// --- per-rule scoping -------------------------------------------------------
-
-// The live stack and CLI run on real wall clocks; util owns the sanctioned
-// clock/RNG plumbing itself. Everything else must be deterministic.
-bool ClockRuleApplies(std::string_view path) {
-  return !PathContains(path, "/live/") && !PathContains(path, "/cli/") &&
-         !PathContains(path, "/util/");
-}
-
-bool RawMutexRuleApplies(std::string_view path) {
-  return !PathEndsWith(path, "util/thread_annotations.h");
-}
-
-bool NakedSendRuleApplies(std::string_view path) {
-  return !PathEndsWith(path, "live/socket.cc") &&
-         !PathEndsWith(path, "live/socket.h");
-}
-
-// The wheel and the compact list own the sanctioned expiry machinery; every
-// other file must index lease expiries through them instead of scanning.
-bool ScanPruneRuleApplies(std::string_view path) {
-  return !PathEndsWith(path, "core/timer_wheel.h") &&
-         !PathEndsWith(path, "core/site_list.h");
-}
-
-// The eviction kernel and the cache that hosts it own the sanctioned
-// byte-budget eviction loop; anywhere else, freeing budget by hand-rolled
-// erase bypasses the policy (and its stats, trace events and tier logic).
-bool NakedEvictRuleApplies(std::string_view path) {
-  return !PathContains(path, "http/eviction/") &&
-         !PathEndsWith(path, "http/proxy_cache.cc") &&
-         !PathEndsWith(path, "http/proxy_cache.h");
-}
-
-// --- source text utilities --------------------------------------------------
-
-// Removes comments, string literals and char literals from one line, given
-// carry-over block-comment state. Keeps the line length roughly intact so
-// findings point at sensible columns; replaced regions become spaces.
-std::string StripNonCode(const std::string& line, bool& in_block_comment) {
-  std::string out;
-  out.reserve(line.size());
-  for (std::size_t i = 0; i < line.size();) {
-    if (in_block_comment) {
-      if (line.compare(i, 2, "*/") == 0) {
-        in_block_comment = false;
-        i += 2;
-      } else {
-        ++i;
-      }
-      out += ' ';
-      continue;
-    }
-    const char c = line[i];
-    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
-    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-      in_block_comment = true;
-      i += 2;
-      out += ' ';
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      ++i;
-      while (i < line.size() && line[i] != quote) {
-        if (line[i] == '\\' && i + 1 < line.size()) ++i;
-        ++i;
-      }
-      if (i < line.size()) ++i;  // closing quote
-      out += quote;              // keep a marker so "..." != empty
-      out += quote;
-      continue;
-    }
-    out += c;
-    ++i;
-  }
-  return out;
-}
-
-const std::set<std::string, std::less<>>& Keywords() {
-  static const std::set<std::string, std::less<>> kKeywords = {
-      "if",     "for",   "while",    "switch",        "catch",
-      "return", "sizeof", "alignof", "static_assert", "decltype",
-      "new",    "delete"};
-  return kKeywords;
-}
-
-// Enum types whose switches must stay default-free so -Wswitch can prove
-// exhaustiveness. Extend this list when adding a protocol-level enum.
-const std::regex& EnumTypeRegex() {
-  static const std::regex kRe(
-      R"(\b(Protocol|LeaseMode|MessageType|EventType|FaultKind|HitAction|WriteCompleteKind|ServeKind|IoError|TraceName|ReplacementPolicy|EvictionPolicyKind|Completion)\b)");
-  return kRe;
-}
-
-// Bare variable spellings that conventionally hold protocol enums here.
-bool IsEnumishIdentifier(std::string_view trimmed) {
-  return trimmed == "protocol" || trimmed == "mode" || trimmed == "kind" ||
-         trimmed == "name" || trimmed == "type";
-}
 
 std::string Trim(std::string_view s) {
   std::size_t b = 0, e = s.size();
@@ -137,363 +27,251 @@ std::string Trim(std::string_view s) {
   return std::string(s.substr(b, e - b));
 }
 
-// Function names whose bodies are byte-stable output paths.
-bool IsDumpFunctionName(const std::string& name) {
-  static const std::regex kRe(
-      R"(Dump|Snapshot|Serialize|Digest|Export|ToJson|WriteJson)");
-  return std::regex_search(name, kRe);
+// --- suppression pragmas ------------------------------------------------------
+//
+// Pragmas live in comments, which the tokenizer keeps as tokens — so this
+// parses comment tokens, not raw lines, and a pragma spelled inside a
+// string literal is (correctly) inert.
+
+void ParsePragmaComment(const std::string& path, const Token& comment,
+                        Reporter& reporter) {
+  const std::string& text = comment.text;
+  std::size_t pos = 0;
+  while ((pos = text.find("webcc-lint:", pos)) != std::string::npos) {
+    // Line of this occurrence (block comments can span lines).
+    int line = comment.line;
+    for (std::size_t i = 0; i < pos; ++i) {
+      if (text[i] == '\n') ++line;
+    }
+    pos += std::string_view("webcc-lint:").size();
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+    bool file_wide = false;
+    if (text.compare(pos, 10, "allow-file") == 0) {
+      file_wide = true;
+      pos += 10;
+    } else if (text.compare(pos, 5, "allow") == 0) {
+      pos += 5;
+    } else {
+      continue;
+    }
+    if (pos >= text.size() || text[pos] != '(') continue;
+    const std::size_t close = text.find(')', pos);
+    if (close == std::string::npos) continue;
+    std::istringstream rules(text.substr(pos + 1, close - pos - 1));
+    std::string rule;
+    while (std::getline(rules, rule, ',')) {
+      rule = Trim(rule);
+      // Rule ids are [a-z-]; anything else (like the `allow(<rule>)`
+      // spelling in documentation) is not a pragma.
+      const bool valid =
+          !rule.empty() &&
+          std::all_of(rule.begin(), rule.end(), [](char c) {
+            return (c >= 'a' && c <= 'z') || c == '-';
+          });
+      if (!valid) continue;
+      if (file_wide) {
+        reporter.AddFileAllow(path, line, rule);
+      } else {
+        reporter.AddLineAllow(path, line, rule);
+      }
+    }
+    pos = close;
+  }
 }
 
-// --- the scanner ------------------------------------------------------------
+// --- the pipeline ---------------------------------------------------------------
 
-struct Region {
-  bool in_dump = false;      // inside a Dump/Snapshot/... function
-  bool is_switch = false;    // this region is a switch body
-  bool switch_enum = false;  // ... over a protocol/lease enum
-};
+FileContext BuildFileContext(std::string_view path, std::string_view text) {
+  FileContext ctx;
+  ctx.path = std::string(path);
+  ctx.model = BuildScopeModel(Tokenize(text));
+  ctx.unordered_names = CollectUnorderedNames(ctx.model);
+  return ctx;
+}
 
-struct FileScanner {
-  std::string_view path;
-  std::vector<Finding>* findings;
+std::vector<Finding> LintContexts(std::vector<FileContext> files) {
+  std::vector<Finding> findings;
+  Reporter reporter(&findings);
 
-  // allow()/allow-file() suppressions.
-  std::set<std::pair<int, std::string>> line_allows;  // (line, rule)
-  std::set<std::string, std::less<>> file_allows;
-
-  std::vector<Region> regions;
-  std::set<std::string, std::less<>> unordered_names;
-  std::string stmt;            // code accumulated since the last ; { }
-  std::string unordered_decl;  // pending unordered_* declaration text
-  bool collecting_unordered = false;
-  // Last line that touched authoritative lease state (lease_until /
-  // LeaseActive); an iterator-erase shortly after is a scan-prune loop.
-  int last_lease_context_line = -1000;
-  // Last line that touched a byte budget (bytes_used / capacity_bytes); an
-  // erase/pop shortly after is a hand-rolled eviction loop.
-  int last_budget_context_line = -1000;
-
-  bool Suppressed(int line, std::string_view rule) const {
-    if (file_allows.count(rule) != 0) return true;
-    const std::string r(rule);
-    return line_allows.count({line, r}) != 0 ||
-           line_allows.count({line - 1, r}) != 0;
-  }
-
-  void Report(int line, std::string_view rule, std::string message) {
-    if (Suppressed(line, rule)) return;
-    for (const Finding& f : *findings) {
-      if (f.line == line && f.rule == rule && f.file == path) return;
-    }
-    findings->push_back(
-        {std::string(path), line, std::string(rule), std::move(message)});
-  }
-
-  bool InDump() const { return !regions.empty() && regions.back().in_dump; }
-
-  // Declared-unordered tracking: accumulate a declaration until its ';',
-  // then record the variable name.
-  void FeedUnorderedDecl(const std::string& code) {
-    if (!collecting_unordered) {
-      if (code.find("unordered_map<") == std::string::npos &&
-          code.find("unordered_set<") == std::string::npos) {
-        return;
+  // Phase 0: suppressions, so every pass reports through them.
+  for (const FileContext& file : files) {
+    for (const Token& t : file.model.tokens) {
+      if (t.kind == TokKind::kComment) {
+        ParsePragmaComment(file.path, t, reporter);
       }
-      collecting_unordered = true;
-      unordered_decl.clear();
     }
-    unordered_decl += code;
-    unordered_decl += ' ';
-    if (code.find(';') == std::string::npos &&
-        code.find('{') == std::string::npos) {
-      return;
-    }
-    collecting_unordered = false;
-    // Skip to the matching '>' of the outermost template argument list,
-    // then take the first plain identifier after it as the variable name.
-    const std::size_t open = unordered_decl.find('<');
-    if (open == std::string::npos) return;
-    int depth = 0;
-    std::size_t i = open;
-    for (; i < unordered_decl.size(); ++i) {
-      if (unordered_decl[i] == '<') ++depth;
-      if (unordered_decl[i] == '>' && --depth == 0) break;
-    }
-    if (i == unordered_decl.size()) return;
-    static const std::regex kName(R"(([A-Za-z_][A-Za-z0-9_]*))");
-    std::smatch m;
-    std::string rest = unordered_decl.substr(i + 1);
-    if (std::regex_search(rest, m, kName)) unordered_names.insert(m[1].str());
   }
 
-  // Checks a complete statement (everything since the last ; { }) for a
-  // range-for over a declared-unordered container inside a dump function.
-  void CheckRangeFor(const std::string& statement, int line) {
-    if (!InDump()) return;
-    static const std::regex kRangeFor(R"(for\s*\(([^;()]|\([^)]*\))*:([^)]*)\))");
-    std::smatch m;
-    if (!std::regex_search(statement, m, kRangeFor)) {
-      // Iterator-style walks (x.begin()) over unordered containers count
-      // the same: the iteration order is still hash-table layout.
-      static const std::regex kBegin(R"(([A-Za-z_][A-Za-z0-9_]*)\s*\.\s*begin\s*\()");
-      std::smatch b;
-      std::string s = statement;
-      while (std::regex_search(s, b, kBegin)) {
-        if (unordered_names.count(b[1].str()) != 0) {
-          Report(line, kUnorderedIter,
-                 "iterating unordered container '" + b[1].str() +
-                     "' in an output path; sort first or use an ordered "
-                     "container");
-          return;
+  // Phase 1: whole-program facts. A field annotated in a header is checked
+  // in the .cc; a lock acquired in one TU orders against a lock acquired
+  // in another.
+  ProgramFacts facts;
+  LockOrderGraph graph;
+  for (const FileContext& file : files) {
+    CollectProgramFacts(file, &facts);
+    CollectLockOrder(file, &graph);
+  }
+
+  // Phase 2: per-file passes, then the global ones.
+  for (const FileContext& file : files) {
+    RunLegacyRules(file, reporter);
+    RunLockDiscipline(file, facts, reporter);
+    RunDeterminismTaint(file, reporter);
+  }
+  RunLockOrderCycles(graph, reporter);
+  reporter.FlagStaleSuppressions();
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  return findings;
+}
+
+// --- JSON ------------------------------------------------------------------------
+
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += "\\u00";
+          *out += kHex[(c >> 4) & 0xf];
+          *out += kHex[c & 0xf];
+        } else {
+          *out += c;
         }
-        s = b.suffix();
-      }
-      return;
-    }
-    const std::string range = m[2].str();
-    static const std::regex kIdent(R"([A-Za-z_][A-Za-z0-9_]*)");
-    for (std::sregex_iterator it(range.begin(), range.end(), kIdent), end;
-         it != end; ++it) {
-      if (unordered_names.count(it->str()) != 0) {
-        Report(line, kUnorderedIter,
-               "iterating unordered container '" + it->str() +
-                   "' in an output path; sort first or use an ordered "
-                   "container");
-        return;
-      }
     }
   }
+}
 
-  // Candidate function/switch detection for a statement that opens a brace.
-  Region RegionFor(const std::string& statement) {
-    Region region;
-    region.in_dump = InDump();
-    static const std::regex kSwitch(R"(\bswitch\s*\()");
-    std::smatch sm;
-    if (std::regex_search(statement, sm, kSwitch)) {
-      region.is_switch = true;
-      // Extract the condition: from the '(' to its matching ')'.
-      std::size_t open =
-          static_cast<std::size_t>(sm.position(0)) + sm.length(0) - 1;
-      int depth = 0;
-      std::size_t close = open;
-      for (std::size_t i = open; i < statement.size(); ++i) {
-        if (statement[i] == '(') ++depth;
-        if (statement[i] == ')' && --depth == 0) {
-          close = i;
-          break;
-        }
-      }
-      const std::string cond =
-          Trim(statement.substr(open + 1, close - open - 1));
-      region.switch_enum = std::regex_search(cond, EnumTypeRegex()) ||
-                           IsEnumishIdentifier(cond);
-      return region;
-    }
-    // Function definition heuristic: the last identifier directly before a
-    // '(' in the statement header, keywords excluded.
-    static const std::regex kFunc(R"(([A-Za-z_][A-Za-z0-9_]*)\s*\()");
-    std::string last;
-    for (std::sregex_iterator it(statement.begin(), statement.end(), kFunc),
-         end;
-         it != end; ++it) {
-      const std::string name = (*it)[1].str();
-      if (Keywords().count(name) == 0) last = name;
-    }
-    if (!last.empty() && IsDumpFunctionName(last)) region.in_dump = true;
-    return region;
-  }
-
-  void HandleDefault(int line) {
-    for (auto it = regions.rbegin(); it != regions.rend(); ++it) {
-      if (!it->is_switch) continue;
-      if (it->switch_enum) {
-        Report(line, kEnumSwitchDefault,
-               "'default:' in a switch over a protocol enum hides missing "
-               "cases from -Wswitch; enumerate every value");
-      }
-      return;
-    }
-  }
-};
-
-void ScanSimplePatterns(FileScanner& scanner, const std::string& code,
-                        int line) {
-  const std::string_view path = scanner.path;
-  if (ClockRuleApplies(path)) {
-    static const std::regex kClockType(
-        R"(\b(std::)?(random_device|system_clock|steady_clock|high_resolution_clock)\b)");
-    static const std::regex kClockCall(
-        R"(\b(rand|srand|gettimeofday|clock_gettime|timespec_get|time|clock)\s*\()");
-    std::smatch m;
-    if (std::regex_search(code, m, kClockType)) {
-      scanner.Report(line, kDeterminismClock,
-                     "nondeterministic source '" + m.str() +
-                         "' in replay code; use the simulated clock or a "
-                         "seeded util::Rng");
-    } else if (std::regex_search(code, m, kClockCall)) {
-      scanner.Report(line, kDeterminismClock,
-                     "nondeterministic call '" + m.str() +
-                         "' in replay code; use the simulated clock or a "
-                         "seeded util::Rng");
-    }
-  }
-  if (RawMutexRuleApplies(path)) {
-    static const std::regex kRawMutexRe(
-        R"(\bstd::(mutex|timed_mutex|recursive_mutex|shared_mutex|lock_guard|unique_lock|scoped_lock|condition_variable|condition_variable_any)\b|#\s*include\s*<(mutex|condition_variable|shared_mutex)>)");
-    std::smatch m;
-    if (std::regex_search(code, m, kRawMutexRe)) {
-      scanner.Report(line, kRawMutex,
-                     "raw '" + Trim(m.str()) +
-                         "' is invisible to thread-safety analysis; use "
-                         "util::Mutex/MutexLock/CondVar "
-                         "(util/thread_annotations.h)");
-    }
-  }
-  if (ScanPruneRuleApplies(path)) {
-    // Expired-lease removal must go through the timer wheel: a full-scan
-    // iteration-erase loop is O(entries) per prune, which the million-site
-    // lease sweep shows collapsing against the wheel's O(expired). Keyed on
-    // the authoritative lease-state spellings so the (bounded) sweeps over
-    // pending-write sets stay out of scope.
-    // No trailing \b: members spell it `lease_until_`.
-    static const std::regex kLeaseState(R"(\b(lease_until|LeaseActive))");
-    if (std::regex_search(code, kLeaseState)) {
-      scanner.last_lease_context_line = line;
-    }
-    static const std::regex kIterErase(
-        R"(=\s*[A-Za-z_][A-Za-z0-9_.>\-]*\s*\.\s*erase\s*\(\s*[A-Za-z_][A-Za-z0-9_]*\s*\))");
-    if (std::regex_search(code, kIterErase) &&
-        line - scanner.last_lease_context_line <= 8) {
-      scanner.Report(line, kScanPrune,
-                     "iteration-erase prune over lease state scans every "
-                     "entry; index expiries through core::TimerWheel "
-                     "(see core/invalidation_table.cc)");
-    }
-  }
-  if (NakedEvictRuleApplies(path)) {
-    // Byte-budget eviction belongs to the eviction kernel: a loop that
-    // balances bytes_used against capacity_bytes by erasing entries
-    // reimplements victim choice outside the policy, losing its stats,
-    // kEviction trace events and tier demotion. Keyed on the budget
-    // spellings so ordinary container erases stay out of scope.
-    // No trailing \b: members spell it `bytes_used_`.
-    static const std::regex kBudget(R"(\b(bytes_used|capacity_bytes))");
-    if (std::regex_search(code, kBudget)) {
-      scanner.last_budget_context_line = line;
-    }
-    static const std::regex kShrink(R"(\.\s*(erase|pop_back|pop_front)\s*\()");
-    if (std::regex_search(code, kShrink) &&
-        line - scanner.last_budget_context_line <= 8) {
-      scanner.Report(line, kNakedEvict,
-                     "hand-rolled byte-budget eviction bypasses the "
-                     "eviction kernel; route victim choice through "
-                     "http::ProxyCache and src/http/eviction/");
-    }
-  }
-  if (NakedSendRuleApplies(path) && PathContains(path, "live")) {
-    static const std::regex kNaked(R"((::|\b)(send|recv)\s*\(|::(write|read)\s*\()");
-    // The unclassified one-way helper collapses timeout/refused into one
-    // bool, which the push/drain retry policy (and the batched sender's
-    // partitioned-site hold) cannot act on. Invalidation pushes — outbox
-    // drains included — must use SendOneWayClassified.
-    static const std::regex kUnclassified(R"(\bSendOneWay\s*\()");
-    std::smatch m;
-    if (std::regex_search(code, m, kNaked)) {
-      scanner.Report(line, kNakedSend,
-                     "direct socket I/O '" + Trim(m.str()) +
-                         "' bypasses the classified IoError path; go "
-                         "through live/socket.h");
-    } else if (std::regex_search(code, m, kUnclassified)) {
-      scanner.Report(line, kNakedSend,
-                     "unclassified 'SendOneWay(' loses the timeout/refused "
-                     "distinction the push retry and partition-hold logic "
-                     "depends on; use SendOneWayClassified");
-    }
-  }
+std::string JsonString(std::string_view s) {
+  std::string out = "\"";
+  AppendJsonEscaped(&out, s);
+  out += '"';
+  return out;
 }
 
 }  // namespace
 
+// --- the reporter ------------------------------------------------------------------
+
+void Reporter::AddLineAllow(const std::string& file, int line,
+                            const std::string& rule) {
+  pragmas_[file][line].push_back({rule, /*used=*/false, /*file_wide=*/false});
+}
+
+void Reporter::AddFileAllow(const std::string& file, int line,
+                            const std::string& rule) {
+  pragmas_[file][line].push_back({rule, /*used=*/false, /*file_wide=*/true});
+}
+
+bool Reporter::Suppress(const Finding& finding) {
+  const auto fit = pragmas_.find(finding.file);
+  if (fit == pragmas_.end()) return false;
+  // File-wide allows first, then the finding's line or the line above.
+  for (auto& [line, pragmas] : fit->second) {
+    for (Pragma& p : pragmas) {
+      if (p.file_wide && p.rule == finding.rule) {
+        p.used = true;
+        return true;
+      }
+    }
+  }
+  for (const int line : {finding.line, finding.line - 1}) {
+    const auto lit = fit->second.find(line);
+    if (lit == fit->second.end()) continue;
+    for (Pragma& p : lit->second) {
+      if (!p.file_wide && p.rule == finding.rule) {
+        p.used = true;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void Reporter::Report(Finding finding) {
+  if (Suppress(finding)) return;
+  std::string key = finding.file;
+  key += '\0';
+  key += std::to_string(finding.line);
+  key += '\0';
+  key += finding.rule;
+  if (!seen_.insert(std::move(key)).second) return;  // duplicate
+  findings_->push_back(std::move(finding));
+}
+
+void Reporter::FlagStaleSuppressions() {
+  for (auto& [file, lines] : pragmas_) {
+    for (auto& [line, pragmas] : lines) {
+      for (const Pragma& p : pragmas) {
+        if (p.used) continue;
+        // A pragma for a rule that cannot fire here (path-exempt file) is
+        // documentation, not staleness — thread_annotations.h keeps its
+        // allow(raw-mutex) markers even though the rule skips the file.
+        if (!RuleAppliesToPath(p.rule, file)) continue;
+        Finding f;
+        f.file = file;
+        f.line = line;
+        f.rule = "stale-suppression";
+        f.pass = "suppressions";
+        f.severity = "warning";
+        f.message = std::string("suppression 'webcc-lint: ") +
+                    (p.file_wide ? "allow-file(" : "allow(") + p.rule +
+                    ")' never fires; remove it or fix the rule id";
+        Report(std::move(f));  // itself suppressible and deduplicated
+      }
+    }
+  }
+}
+
+// --- public API ---------------------------------------------------------------------
+
 std::vector<std::string_view> RuleIds() {
-  return {kDeterminismClock, kUnorderedIter, kRawMutex, kEnumSwitchDefault,
-          kNakedSend, kScanPrune, kNakedEvict};
+  return {"determinism-clock",
+          "unordered-iter-in-dump",
+          "raw-mutex",
+          "enum-switch-default",
+          "naked-send",
+          "scan-prune",
+          "naked-evict",
+          "guarded-by-unlocked",
+          "lock-order-cycle",
+          "determinism-taint",
+          "stale-suppression"};
 }
 
 std::vector<Finding> LintFile(std::string_view path, std::string_view text) {
-  std::vector<Finding> findings;
-  FileScanner scanner;
-  scanner.path = path;
-  scanner.findings = &findings;
-
-  // Pass 1: suppressions (pragmas live in comments, so scan raw lines).
-  {
-    static const std::regex kAllow(
-        R"(webcc-lint:\s*(allow|allow-file)\(([a-z\-, ]+)\))");
-    std::istringstream in{std::string(text)};
-    std::string raw;
-    int line = 0;
-    while (std::getline(in, raw)) {
-      ++line;
-      std::smatch m;
-      std::string s = raw;
-      while (std::regex_search(s, m, kAllow)) {
-        std::istringstream rules(m[2].str());
-        std::string rule;
-        while (std::getline(rules, rule, ',')) {
-          rule = Trim(rule);
-          if (m[1].str() == "allow-file") {
-            scanner.file_allows.insert(rule);
-          } else {
-            scanner.line_allows.insert({line, rule});
-          }
-        }
-        s = m.suffix();
-      }
-    }
-  }
-
-  // Pass 2: the scan proper.
-  std::istringstream in{std::string(text)};
-  std::string raw;
-  int line = 0;
-  bool in_block_comment = false;
-  while (std::getline(in, raw)) {
-    ++line;
-    const std::string code = StripNonCode(raw, in_block_comment);
-    ScanSimplePatterns(scanner, code, line);
-    scanner.FeedUnorderedDecl(code);
-
-    static const std::regex kDefault(R"(\bdefault\s*:)");
-    if (std::regex_search(code, kDefault)) scanner.HandleDefault(line);
-
-    // Statement segmentation: braces and semicolons delimit the regions the
-    // function/switch tracking needs.
-    for (const char c : code) {
-      if (c == '{') {
-        scanner.stmt += c;
-        scanner.CheckRangeFor(scanner.stmt, line);
-        scanner.regions.push_back(scanner.RegionFor(scanner.stmt));
-        scanner.stmt.clear();
-      } else if (c == '}') {
-        if (!scanner.regions.empty()) scanner.regions.pop_back();
-        scanner.stmt.clear();
-      } else if (c == ';') {
-        scanner.stmt += c;
-        scanner.CheckRangeFor(scanner.stmt, line);
-        scanner.stmt.clear();
-      } else {
-        scanner.stmt += c;
-      }
-    }
-    scanner.stmt += ' ';  // line break = token break
-  }
-  return findings;
+  std::vector<FileContext> files;
+  files.push_back(BuildFileContext(path, text));
+  return LintContexts(std::move(files));
 }
 
 std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
                                std::vector<std::string>& errors) {
   namespace fs = std::filesystem;
-  std::vector<std::string> files;
+  std::vector<std::string> names;
   for (const std::string& path : paths) {
     std::error_code ec;
     if (fs::is_directory(path, ec)) {
@@ -501,45 +279,60 @@ std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
            it != end && !ec; it.increment(ec)) {
         if (!it->is_regular_file()) continue;
         const std::string ext = it->path().extension().string();
-        if (ext == ".cc" || ext == ".h") files.push_back(it->path().string());
+        if (ext == ".cc" || ext == ".h") names.push_back(it->path().string());
       }
       if (ec) errors.push_back(path + ": " + ec.message());
     } else if (fs::is_regular_file(path, ec)) {
-      files.push_back(path);
+      names.push_back(path);
     } else {
       errors.push_back(path + ": not a file or directory");
     }
   }
-  std::sort(files.begin(), files.end());  // deterministic report order
+  std::sort(names.begin(), names.end());  // deterministic report order
 
-  std::vector<Finding> findings;
-  for (const std::string& file : files) {
-    std::ifstream in(file, std::ios::binary);
+  std::vector<FileContext> files;
+  for (const std::string& name : names) {
+    std::ifstream in(name, std::ios::binary);
     if (!in) {
-      errors.push_back(file + ": cannot open");
+      errors.push_back(name + ": cannot open");
       continue;
     }
     std::ostringstream text;
     text << in.rdbuf();
-    std::vector<Finding> file_findings = LintFile(file, text.str());
-    findings.insert(findings.end(),
-                    std::make_move_iterator(file_findings.begin()),
-                    std::make_move_iterator(file_findings.end()));
+    files.push_back(BuildFileContext(name, text.str()));
   }
-  return findings;
+  return LintContexts(std::move(files));
 }
 
 void WriteFindings(std::ostream& out, const std::vector<Finding>& findings,
                    bool json) {
   for (const Finding& f : findings) {
     if (json) {
-      // Paths and messages are ASCII without quotes; escape minimally.
-      out << "{\"file\":\"" << f.file << "\",\"line\":" << f.line
-          << ",\"rule\":\"" << f.rule << "\",\"message\":\"" << f.message
-          << "\"}\n";
+      std::string line = "{\"file\":" + JsonString(f.file) +
+                         ",\"line\":" + std::to_string(f.line) +
+                         ",\"rule\":" + JsonString(f.rule) +
+                         ",\"severity\":" + JsonString(f.severity) +
+                         ",\"pass\":" + JsonString(f.pass) +
+                         ",\"message\":" + JsonString(f.message);
+      if (!f.witness.empty()) {
+        line += ",\"witness\":[";
+        for (std::size_t i = 0; i < f.witness.size(); ++i) {
+          const WitnessStep& w = f.witness[i];
+          if (i > 0) line += ',';
+          line += "{\"file\":" + JsonString(w.file) +
+                  ",\"line\":" + std::to_string(w.line) +
+                  ",\"note\":" + JsonString(w.note) + "}";
+        }
+        line += ']';
+      }
+      line += "}";
+      out << line << "\n";
     } else {
       out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
           << "\n";
+      for (const WitnessStep& w : f.witness) {
+        out << "    " << w.file << ":" << w.line << ": " << w.note << "\n";
+      }
     }
   }
 }
@@ -547,15 +340,21 @@ void WriteFindings(std::ostream& out, const std::vector<Finding>& findings,
 int RunLintMain(const std::vector<std::string>& argv, std::ostream& out,
                 std::ostream& err) {
   bool json = false;
+  bool strict_suppressions = false;
   std::vector<std::string> paths;
   for (const std::string& arg : argv) {
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--strict-suppressions") {
+      strict_suppressions = true;
     } else if (arg == "--help" || arg == "-h") {
-      out << "usage: webcc_lint [--json] <file-or-dir>...\n"
+      out << "usage: webcc_lint [--json] [--strict-suppressions] "
+             "<file-or-dir>...\n"
              "rules:";
       for (const std::string_view rule : RuleIds()) out << ' ' << rule;
-      out << "\nexit: 0 clean, 1 findings, 2 errors\n";
+      out << "\nexit: 0 clean, 1 findings, 2 errors\n"
+             "warnings (stale-suppression) exit 0 unless "
+             "--strict-suppressions\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       err << "webcc_lint: unknown flag '" << arg << "'\n";
@@ -575,8 +374,13 @@ int RunLintMain(const std::vector<std::string>& argv, std::ostream& out,
     err << "webcc_lint: " << error << "\n";
   }
   if (!errors.empty()) return 2;
-  if (!findings.empty()) {
-    err << "webcc_lint: " << findings.size() << " finding(s)\n";
+  std::size_t error_count = 0, warning_count = 0;
+  for (const Finding& f : findings) {
+    (f.severity == "warning" ? warning_count : error_count) += 1;
+  }
+  if (error_count != 0 || (strict_suppressions && warning_count != 0)) {
+    err << "webcc_lint: " << error_count << " finding(s), " << warning_count
+        << " warning(s)\n";
     return 1;
   }
   return 0;

@@ -1,0 +1,195 @@
+// Lock-discipline dataflow (rule: guarded-by-unlocked).
+//
+// Whole-program phase one merges every WEBCC_GUARDED_BY declaration and
+// WEBCC_REQUIRES contract into ProgramFacts, so a field annotated in a
+// header is checked in the .cc that defines the methods. Phase two walks
+// each function body: an access to a guarded field of the function's own
+// class (bare or through `this->`) must be covered either by a
+// `util::MutexLock` on the declared mutex earlier in an enclosing scope,
+// or by a WEBCC_REQUIRES contract on the function itself.
+//
+// Deliberately intra-procedural and lexical: a MutexLock holds from its
+// statement to the end of its enclosing scope (RAII), contracts transfer
+// the obligation to callers, and constructors, destructors and
+// WEBCC_NO_THREAD_SAFETY_ANALYSIS scopes are exempt — the same envelope
+// Clang's -Wthread-safety checks, minus aliasing, which is why this pass
+// can run under GCC.
+#include <string>
+#include <string_view>
+
+#include "passes.h"
+
+namespace webcc::lint {
+namespace {
+
+// Lock expressions compare with `this->` stripped: `MutexLock lock(mu_)`
+// and `WEBCC_GUARDED_BY(this->mu_)` name the same mutex.
+std::string NormalizeLockExpr(std::string_view expr) {
+  std::string e(expr);
+  if (e.substr(0, 6) == "this->") e = e.substr(6);
+  if (!e.empty() && e.front() == '&') e = e.substr(1);
+  return e;
+}
+
+struct Checker {
+  const FileContext& file;
+  const ProgramFacts& facts;
+  Reporter& reporter;
+  const ScopeModel& model;
+
+  const Token& Tok(std::size_t k) const { return model.Tok(k); }
+  bool IsPunct(std::size_t k, std::string_view p) const {
+    const Token& t = Tok(k);
+    return t.kind == TokKind::kPunct && t.text == p;
+  }
+
+  // Innermost function/lambda scope enclosing scope `s`, or -1.
+  int EnclosingFunction(int s) const {
+    for (; s >= 0; s = model.scopes[static_cast<std::size_t>(s)].parent) {
+      const Scope& sc = model.scopes[static_cast<std::size_t>(s)];
+      if (sc.kind == ScopeKind::kFunction || sc.kind == ScopeKind::kLambda) {
+        return s;
+      }
+    }
+    return -1;
+  }
+
+  // Nearest named function (skipping lambdas) — the owner of any
+  // WEBCC_REQUIRES contract that covers code inside its lambdas too.
+  const Scope* ContractOwner(int s) const {
+    for (; s >= 0; s = model.scopes[static_cast<std::size_t>(s)].parent) {
+      const Scope& sc = model.scopes[static_cast<std::size_t>(s)];
+      if (sc.kind == ScopeKind::kFunction) return &sc;
+    }
+    return nullptr;
+  }
+
+  bool IsAncestorOrSelf(int candidate, int s) const {
+    for (; s >= 0; s = model.scopes[static_cast<std::size_t>(s)].parent) {
+      if (s == candidate) return true;
+    }
+    return false;
+  }
+
+  // True when `guard` is held at code index `k` (scope `s`).
+  bool Held(const std::string& guard, int s, std::size_t k) const {
+    // RAII acquisitions: a MutexLock earlier in any enclosing scope is
+    // still live here.
+    for (const LockAcquire& acq : model.locks) {
+      if (acq.code_index >= k) break;  // locks are in document order
+      if (!IsAncestorOrSelf(acq.scope, s)) continue;
+      if (NormalizeLockExpr(acq.expr) == guard) return true;
+    }
+    // Caller-supplied contracts on the nearest named function.
+    const Scope* owner = ContractOwner(s);
+    if (owner == nullptr) return false;
+    const std::string key = owner->class_name.empty()
+                                ? owner->name
+                                : owner->class_name + "::" + owner->name;
+    const auto it = facts.requires_locks.find(key);
+    if (it == facts.requires_locks.end()) return false;
+    for (const std::string& e : it->second) {
+      if (NormalizeLockExpr(e) == guard) return true;
+    }
+    return false;
+  }
+
+  void Check(std::size_t k) {
+    const Token& t = Tok(k);
+    if (t.kind != TokKind::kIdent) return;
+
+    // Access form: bare `field` or `this->field`. Qualified names and
+    // other objects' members are out of scope for an intra-procedural
+    // check (we cannot resolve which instance they belong to).
+    if (k > 0 && IsPunct(k - 1, "::")) return;
+    if (k > 0 && (IsPunct(k - 1, ".") || IsPunct(k - 1, "->"))) {
+      const bool via_this = IsPunct(k - 1, "->") && k >= 2 &&
+                            Tok(k - 2).kind == TokKind::kIdent &&
+                            Tok(k - 2).text == "this";
+      if (!via_this) return;
+    }
+    // Declaration sites re-state the field name right before the macro.
+    if (k + 1 < model.code.size()) {
+      const Token& nx = Tok(k + 1);
+      if (nx.kind == TokKind::kIdent &&
+          (nx.text == "WEBCC_GUARDED_BY" || nx.text == "WEBCC_PT_GUARDED_BY")) {
+        return;
+      }
+    }
+
+    const int s = model.scope_of[k];
+    const int fn = EnclosingFunction(s);
+    if (fn < 0) return;  // class bodies, initializers: not executable reads
+    const Scope& func = model.scopes[static_cast<std::size_t>(fn)];
+    if (func.class_name.empty()) return;
+    if (model.AnyEnclosing(s, [](const Scope& sc) {
+          return sc.no_tsa || (sc.kind == ScopeKind::kFunction && sc.ctor_dtor);
+        })) {
+      return;  // opted out, or single-threaded construction/destruction
+    }
+
+    const auto git = facts.guarded.find(func.class_name);
+    if (git == facts.guarded.end()) return;
+    const auto fit = git->second.find(t.text);
+    if (fit == git->second.end()) return;
+    const ProgramFacts::FieldFact& fact = fit->second;
+
+    if (fact.pointee_only) {
+      // Reads of the pointer value are fine; only dereferences touch the
+      // guarded pointee.
+      const bool deref = (k > 0 && IsPunct(k - 1, "*")) ||
+                         (k + 1 < model.code.size() &&
+                          (IsPunct(k + 1, "->") || IsPunct(k + 1, "[")));
+      if (!deref) return;
+    }
+
+    const std::string guard = NormalizeLockExpr(fact.guard);
+    if (Held(guard, s, k)) return;
+
+    Finding f;
+    f.file = file.path;
+    f.line = t.line;
+    f.rule = "guarded-by-unlocked";
+    f.pass = "lock-discipline";
+    f.message = "field '" + t.text + "' of " + func.class_name +
+                " is accessed without holding '" + guard +
+                "'; take a util::MutexLock or add WEBCC_REQUIRES(" + guard +
+                ") to " + func.name;
+    f.witness.push_back({file.path, t.line,
+                         "unguarded access in " + func.class_name +
+                             "::" + func.name});
+    f.witness.push_back({fact.file, fact.line,
+                         "field '" + t.text + "' declared WEBCC_GUARDED_BY(" +
+                             fact.guard + ") here"});
+    reporter.Report(std::move(f));
+  }
+};
+
+}  // namespace
+
+void CollectProgramFacts(const FileContext& file, ProgramFacts* facts) {
+  for (const GuardedField& gf : file.model.guarded_fields) {
+    ProgramFacts::FieldFact fact;
+    fact.guard = gf.guard;
+    fact.file = file.path;
+    fact.line = gf.line;
+    fact.pointee_only = gf.pointee_only;
+    // First declaration wins; redeclarations across TUs are identical in
+    // practice (the annotation lives in the header).
+    facts->guarded[gf.class_name].emplace(gf.field, std::move(fact));
+  }
+  for (const auto& [name, exprs] : file.model.requires_locks) {
+    facts->requires_locks[name].insert(exprs.begin(), exprs.end());
+  }
+}
+
+void RunLockDiscipline(const FileContext& file, const ProgramFacts& facts,
+                       Reporter& reporter) {
+  Checker checker{file, facts, reporter, file.model};
+  const std::size_t n = file.model.code.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    checker.Check(k);
+  }
+}
+
+}  // namespace webcc::lint

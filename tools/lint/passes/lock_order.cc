@@ -1,0 +1,156 @@
+// Whole-program lock-order cycle detection (rule: lock-order-cycle).
+//
+// Every nested pair of util::MutexLock acquisitions contributes an
+// acquired-before edge (outer lock -> inner lock), keyed by the
+// class-qualified canonical lock name so the same mutex matches across
+// translation units. WEBCC_ACQUIRED_BEFORE/_AFTER declarations contribute
+// edges too, so an ordering can be pinned even when only one side of it
+// is visible in the scanned sources. A cycle in the merged graph is a
+// potential deadlock; the finding's witness chain names the file:line of
+// every edge so the inversion can be read straight off the report.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "passes.h"
+
+namespace webcc::lint {
+namespace {
+
+// Nearest named function enclosing a scope — labels the witness steps.
+std::string FunctionLabel(const ScopeModel& model, int s) {
+  for (; s >= 0; s = model.scopes[static_cast<std::size_t>(s)].parent) {
+    const Scope& sc = model.scopes[static_cast<std::size_t>(s)];
+    if (sc.kind == ScopeKind::kFunction) {
+      return sc.class_name.empty() ? sc.name : sc.class_name + "::" + sc.name;
+    }
+  }
+  return "(file scope)";
+}
+
+bool IsAncestorOrSelf(const ScopeModel& model, int candidate, int s) {
+  for (; s >= 0; s = model.scopes[static_cast<std::size_t>(s)].parent) {
+    if (s == candidate) return true;
+  }
+  return false;
+}
+
+struct CycleFinder {
+  // Deduped adjacency; (from, to) -> index of the first witness edge.
+  std::map<std::string, std::map<std::string, std::size_t>> adj;
+  const std::vector<LockEdge>* edges = nullptr;
+
+  // DFS colors: 0 unvisited, 1 on stack, 2 done.
+  std::map<std::string, int> color;
+  std::vector<std::string> stack;
+  std::set<std::string> reported;  // canonical cycle keys
+  std::vector<std::vector<std::size_t>> cycles;  // edge-index chains
+
+  void Visit(const std::string& node) {
+    color[node] = 1;
+    stack.push_back(node);
+    const auto it = adj.find(node);
+    if (it != adj.end()) {
+      for (const auto& [next, edge_index] : it->second) {
+        const int c = color[next];
+        if (c == 1) {
+          RecordCycle(next);
+        } else if (c == 0) {
+          Visit(next);
+        }
+      }
+    }
+    stack.pop_back();
+    color[node] = 2;
+  }
+
+  void RecordCycle(const std::string& entry) {
+    const auto begin = std::find(stack.begin(), stack.end(), entry);
+    if (begin == stack.end()) return;
+    std::vector<std::string> nodes(begin, stack.end());
+    // Canonicalize: rotate the smallest lock name to the front so the same
+    // cycle discovered from different entry points reports once.
+    const auto smallest = std::min_element(nodes.begin(), nodes.end());
+    std::rotate(nodes.begin(), smallest, nodes.end());
+    std::string key;
+    for (const std::string& n : nodes) key += n + "\x1f";
+    if (!reported.insert(key).second) return;
+    std::vector<std::size_t> chain;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      chain.push_back(adj[nodes[i]][nodes[(i + 1) % nodes.size()]]);
+    }
+    cycles.push_back(std::move(chain));
+  }
+};
+
+}  // namespace
+
+void CollectLockOrder(const FileContext& file, LockOrderGraph* graph) {
+  const ScopeModel& model = file.model;
+  for (std::size_t i = 0; i < model.locks.size(); ++i) {
+    const LockAcquire& inner = model.locks[i];
+    for (std::size_t j = 0; j < i; ++j) {
+      const LockAcquire& outer = model.locks[j];
+      // `outer` is still held at `inner` iff inner's statement sits inside
+      // outer's RAII scope and comes after the acquisition.
+      if (outer.scope < 0) continue;  // file scope holds nothing
+      if (!IsAncestorOrSelf(model, outer.scope, inner.scope)) continue;
+      if (outer.code_index >= inner.code_index) continue;
+      const Scope& osc = model.scopes[static_cast<std::size_t>(outer.scope)];
+      if (inner.code_index >= osc.body_end) continue;  // RAII released
+      if (outer.canonical == inner.canonical) continue;
+      LockEdge e;
+      e.from = outer.canonical;
+      e.to = inner.canonical;
+      e.file = file.path;
+      e.line = inner.line;
+      e.note = FunctionLabel(model, inner.scope) + " acquires '" +
+               outer.canonical + "' then '" + inner.canonical + "'";
+      graph->edges.push_back(std::move(e));
+    }
+  }
+  for (const DeclaredOrder& d : model.declared_order) {
+    if (d.before == d.after) continue;
+    LockEdge e;
+    e.from = d.before;
+    e.to = d.after;
+    e.file = file.path;
+    e.line = d.line;
+    e.note = "declared WEBCC_ACQUIRED_BEFORE: '" + d.before + "' before '" +
+             d.after + "'";
+    graph->edges.push_back(std::move(e));
+  }
+}
+
+void RunLockOrderCycles(const LockOrderGraph& graph, Reporter& reporter) {
+  CycleFinder finder;
+  finder.edges = &graph.edges;
+  for (std::size_t i = 0; i < graph.edges.size(); ++i) {
+    const LockEdge& e = graph.edges[i];
+    finder.adj[e.from].emplace(e.to, i);  // first witness wins
+    finder.adj[e.to];                     // ensure the node exists
+  }
+  for (const auto& [node, unused] : finder.adj) {
+    if (finder.color[node] == 0) finder.Visit(node);
+  }
+  for (const std::vector<std::size_t>& chain : finder.cycles) {
+    const LockEdge& first = graph.edges[chain.front()];
+    Finding f;
+    f.file = first.file;
+    f.line = first.line;
+    f.rule = "lock-order-cycle";
+    f.pass = "lock-order";
+    std::string ring = first.from;
+    for (const std::size_t ei : chain) ring += " -> " + graph.edges[ei].to;
+    f.message = "lock-order cycle (potential deadlock): " + ring;
+    for (const std::size_t ei : chain) {
+      const LockEdge& e = graph.edges[ei];
+      f.witness.push_back({e.file, e.line, e.note});
+    }
+    reporter.Report(std::move(f));
+  }
+}
+
+}  // namespace webcc::lint

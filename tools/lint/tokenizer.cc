@@ -1,0 +1,204 @@
+#include "tokenizer.h"
+
+#include <cctype>
+
+namespace webcc::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Multi-character punctuators the passes care about, longest first.
+// (Three-char forms must precede their two-char prefixes.)
+constexpr std::string_view kPuncts[] = {
+    "...", "->*", "<<=", ">>=", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  "++",  "--",  "##",
+};
+
+struct Lexer {
+  std::string_view text;
+  std::size_t i = 0;
+  int line = 1;
+  int col = 1;
+  bool at_line_start = true;  // only whitespace seen on this line so far
+
+  char Peek(std::size_t ahead = 0) const {
+    return i + ahead < text.size() ? text[i + ahead] : '\0';
+  }
+
+  void Advance(std::size_t n = 1) {
+    for (std::size_t k = 0; k < n && i < text.size(); ++k, ++i) {
+      if (text[i] == '\n') {
+        ++line;
+        col = 1;
+        at_line_start = true;
+      } else {
+        ++col;
+        if (!std::isspace(static_cast<unsigned char>(text[i]))) {
+          at_line_start = false;
+        }
+      }
+    }
+  }
+
+  // Consumes i..end (exclusive) into a token of `kind`.
+  Token Take(TokKind kind, std::size_t end, int tok_line, int tok_col) {
+    Token t{kind, std::string(text.substr(i, end - i)), tok_line, tok_col};
+    Advance(end - i);
+    return t;
+  }
+
+  // `i` sits on the opening quote; returns one past the closing quote.
+  std::size_t ScanQuoted(char quote) const {
+    std::size_t j = i + 1;
+    while (j < text.size() && text[j] != quote && text[j] != '\n') {
+      if (text[j] == '\\' && j + 1 < text.size()) ++j;
+      ++j;
+    }
+    return j < text.size() && text[j] == quote ? j + 1 : j;
+  }
+
+  // `i` sits on the `R` of R"delim( ; returns one past the closing "quote.
+  std::size_t ScanRawString() const {
+    std::size_t j = i + 2;  // past R"
+    std::string delim;
+    while (j < text.size() && text[j] != '(' && text[j] != '"' &&
+           text[j] != '\n' && delim.size() < 16) {
+      delim += text[j++];
+    }
+    if (j >= text.size() || text[j] != '(') return j;  // malformed; degrade
+    const std::string close = ")" + delim + "\"";
+    const std::size_t end = text.find(close, j + 1);
+    return end == std::string_view::npos ? text.size() : end + close.size();
+  }
+};
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view text) {
+  std::vector<Token> out;
+  Lexer lx{text};
+  while (lx.i < text.size()) {
+    const char c = lx.Peek();
+    const int tl = lx.line, tc = lx.col;
+
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      lx.Advance();
+      continue;
+    }
+
+    // Preprocessor logical line: `#` first on the line, `\` splices.
+    if (c == '#' && lx.at_line_start) {
+      std::size_t j = lx.i;
+      while (j < text.size()) {
+        if (text[j] == '\n') {
+          if (j > lx.i && text[j - 1] == '\\') {
+            ++j;
+            continue;
+          }
+          break;
+        }
+        ++j;
+      }
+      out.push_back(lx.Take(TokKind::kPreproc, j, tl, tc));
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && lx.Peek(1) == '/') {
+      std::size_t j = text.find('\n', lx.i);
+      if (j == std::string_view::npos) j = text.size();
+      out.push_back(lx.Take(TokKind::kComment, j, tl, tc));
+      continue;
+    }
+    if (c == '/' && lx.Peek(1) == '*') {
+      std::size_t j = text.find("*/", lx.i + 2);
+      j = (j == std::string_view::npos) ? text.size() : j + 2;
+      out.push_back(lx.Take(TokKind::kComment, j, tl, tc));
+      continue;
+    }
+
+    // Identifiers — including string-literal prefixes (R"...", u8"...").
+    if (IsIdentStart(c)) {
+      std::size_t j = lx.i;
+      while (j < text.size() && IsIdentChar(text[j])) ++j;
+      const std::string_view word = text.substr(lx.i, j - lx.i);
+      const char next = j < text.size() ? text[j] : '\0';
+      if (next == '"' &&
+          (word == "R" || word == "uR" || word == "u8R" || word == "UR" ||
+           word == "LR")) {
+        // Re-anchor the raw-string scan at the prefix.
+        Lexer probe = lx;
+        probe.i = j - 1;  // ScanRawString expects i on the char before `"`
+        out.push_back(
+            lx.Take(TokKind::kString, probe.ScanRawString(), tl, tc));
+        continue;
+      }
+      if ((next == '"' || next == '\'') &&
+          (word == "u8" || word == "u" || word == "U" || word == "L")) {
+        Lexer probe = lx;
+        probe.i = j;
+        out.push_back(lx.Take(next == '"' ? TokKind::kString : TokKind::kChar,
+                              probe.ScanQuoted(next), tl, tc));
+        continue;
+      }
+      out.push_back(lx.Take(TokKind::kIdent, j, tl, tc));
+      continue;
+    }
+
+    // Numbers (also `.5`); digit separators and exponent signs included.
+    if (IsDigit(c) || (c == '.' && IsDigit(lx.Peek(1)))) {
+      std::size_t j = lx.i;
+      while (j < text.size()) {
+        const char d = text[j];
+        if (IsIdentChar(d) || d == '.') {
+          ++j;
+        } else if (d == '\'' && j + 1 < text.size() && IsIdentChar(text[j + 1])) {
+          ++j;  // digit separator
+        } else if ((d == '+' || d == '-') && j > lx.i &&
+                   (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                    text[j - 1] == 'p' || text[j - 1] == 'P')) {
+          ++j;  // exponent sign
+        } else {
+          break;
+        }
+      }
+      out.push_back(lx.Take(TokKind::kNumber, j, tl, tc));
+      continue;
+    }
+
+    // String / char literals.
+    if (c == '"') {
+      out.push_back(lx.Take(TokKind::kString, lx.ScanQuoted('"'), tl, tc));
+      continue;
+    }
+    if (c == '\'') {
+      out.push_back(lx.Take(TokKind::kChar, lx.ScanQuoted('\''), tl, tc));
+      continue;
+    }
+
+    // Punctuation, longest match first.
+    bool matched = false;
+    for (const std::string_view p : kPuncts) {
+      if (text.compare(lx.i, p.size(), p) == 0) {
+        out.push_back(lx.Take(TokKind::kPunct, lx.i + p.size(), tl, tc));
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      out.push_back(lx.Take(TokKind::kPunct, lx.i + 1, tl, tc));
+    }
+  }
+  return out;
+}
+
+}  // namespace webcc::lint

@@ -1,0 +1,54 @@
+// A real C++ tokenizer for webcc_lint (no LLVM dependency).
+//
+// The v1 scanner stripped comments and string literals per line with a
+// hand-rolled state machine and ran regexes over what remained; raw
+// strings, multi-line literals and preprocessor continuations were all
+// approximations. v2 lexes the translation unit once into a token stream
+// and every rule works on tokens, so `rand()` inside a raw string can
+// never trip determinism-clock and a `switch` split across lines still
+// parses.
+//
+// Token classes:
+//   kIdent    identifiers and keywords (callers classify keywords)
+//   kNumber   integer/float literals, including digit separators (1'000)
+//   kString   "...", raw R"delim(...)delim", and prefixed (u8/L/u/U) forms
+//   kChar     character literals
+//   kPunct    operators/punctuation, longest-match (`::`, `->`, `<<`, ...)
+//   kPreproc  one token per preprocessor logical line (with `\` splices)
+//   kComment  `// ...` and `/* ... */`, verbatim — suppression pragmas and
+//             no-op documentation live here, so comments are kept as
+//             tokens instead of being discarded
+//
+// Positions are 1-based (line, col) of the token's first character; a
+// multi-line token (block comment, raw string, spliced preprocessor line)
+// carries its start position.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace webcc::lint {
+
+enum class TokKind : unsigned char {
+  kIdent,
+  kNumber,
+  kString,
+  kChar,
+  kPunct,
+  kPreproc,
+  kComment,
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 1;
+  int col = 1;
+};
+
+// Lexes `text` into tokens. Never fails: unterminated literals and stray
+// bytes degrade to best-effort tokens so a half-edited file still lints.
+std::vector<Token> Tokenize(std::string_view text);
+
+}  // namespace webcc::lint
